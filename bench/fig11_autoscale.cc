@@ -1,0 +1,178 @@
+// Figure 11: auto-scaling under a very high input rate. The split stage is
+// deliberately under-provisioned (2 workers) and its workers crash with an
+// OutOfMemoryError analog when their input queue exceeds a memory limit.
+//
+//  (a) Storm: overloaded split workers periodically OOM and restart ->
+//      recurring throughput dips at the count workers; no permanent fix.
+//  (b)+(c) Typhoon: the auto-scaler app watches application-layer queue
+//      depths and initiates a scale-up (a third split worker) via control
+//      tuples before the OOM threshold; count-worker throughput stabilizes
+//      and the new split worker carries load.
+//
+// Compression: 1 reported "paper second" ~ 50 ms wall (paper runs 2000 s+).
+#include <cstdio>
+
+#include "util/components.h"
+#include "util/harness.h"
+
+namespace typhoon::bench {
+namespace {
+
+using stream::TopologyBuilder;
+using testutil::SentenceSpout;
+using testutil::SharedFlags;
+using testutil::SplitBolt;
+
+constexpr double kScale = 20.0;
+constexpr int kBuckets = 120;
+constexpr auto kBucket = std::chrono::milliseconds(100);
+
+// Split bolt with a fixed per-tuple compute cost (so stage capacity is
+// controlled) that OOMs when its worker's input queue passes the limit
+// (memory pressure from unbounded buffering).
+class OomSplitBolt final : public stream::Bolt {
+ public:
+  OomSplitBolt(std::int64_t queue_limit, std::chrono::microseconds work)
+      : limit_(queue_limit), work_(work) {}
+
+  void prepare(const stream::WorkerContext& ctx) override {
+    metrics_ = ctx.metrics;
+  }
+  void execute(const stream::Tuple& input, const stream::TupleMeta&,
+               stream::Emitter& out) override {
+    if ((++n_ & 0x3f) == 0 && metrics_ != nullptr &&
+        metrics_->value("queue_depth") > limit_) {
+      throw std::runtime_error("OutOfMemoryError: input queue over budget");
+    }
+    // Per-tuple processing cost, charged as a batched sleep so that stage
+    // capacity scales with parallelism even on a single-core machine (the
+    // "work" is modeled as waiting on an external resource).
+    if (n_ % kWorkBatch == 0) {
+      common::SleepFor(work_ * kWorkBatch);
+    }
+    const std::string& sentence = input.str(0);
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= sentence.size(); ++i) {
+      if (i == sentence.size() || sentence[i] == ' ') {
+        if (i > start) {
+          out.emit(stream::Tuple{sentence.substr(start, i - start),
+                                 std::int64_t{1}});
+        }
+        start = i + 1;
+      }
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t kWorkBatch = 16;
+
+  std::int64_t limit_;
+  std::chrono::microseconds work_;
+  common::MetricsRegistry* metrics_ = nullptr;
+  std::uint64_t n_ = 0;
+};
+
+// Stage sizing: source 24k sentences/s; each split handles ~10k/s
+// (100 us/tuple of modeled wait). Two splits (20k/s) are overloaded; three
+// (30k/s) keep up.
+constexpr double kSourceRate = 24000.0;
+constexpr auto kSplitWork = std::chrono::microseconds(100);
+constexpr std::int64_t kOomQueueLimit = 9000;   // tuples buffered -> crash
+constexpr std::int64_t kScaleQueueHigh = 2000;  // scaler acts well before
+
+void RunOnce(TransportMode mode) {
+  ClusterConfig cfg;
+  cfg.num_hosts = 3;
+  cfg.mode = mode;
+  cfg.heartbeat_timeout = std::chrono::milliseconds(3000);
+  cfg.agent_restart_delay = std::chrono::milliseconds(200);
+  cfg.agent_max_local_restarts = 1000;  // Storm keeps restarting OOM'd bolts
+  cfg.controller_tick = std::chrono::milliseconds(25);
+  Cluster cluster(cfg);
+  cluster.start();
+
+  auto flags = std::make_shared<SharedFlags>();
+  TopologyBuilder b("wc");
+  const NodeId src = b.add_spout(
+      "input",
+      [flags] {
+        return std::make_unique<SentenceSpout>(flags, 32, kSourceRate);
+      },
+      1);
+  const NodeId split = b.add_bolt(
+      "split",
+      [] { return std::make_unique<OomSplitBolt>(kOomQueueLimit, kSplitWork); },
+      2);
+  const NodeId count = b.add_bolt(
+      "count", [] { return std::make_unique<testutil::CountBolt>(); }, 4,
+      /*stateful=*/true);
+  b.shuffle(src, split);
+  b.fields(split, count, {0});
+  if (!cluster.submit(b.build().value()).ok()) {
+    std::fprintf(stderr, "submit failed\n");
+    return;
+  }
+
+  controller::AutoScaler* scaler = nullptr;
+  if (mode == TransportMode::kTyphoon) {
+    controller::AutoScalerPolicy policy;
+    policy.topology = "wc";
+    policy.node = "split";
+    policy.queue_high = kScaleQueueHigh;
+    policy.consecutive = 2;
+    policy.max_parallelism = 3;
+    policy.cooldown = std::chrono::milliseconds(1500);
+    scaler = cluster.add_auto_scaler(policy);
+  }
+
+  const char* fig =
+      mode == TransportMode::kTyphoon ? "11(b) TYPHOON" : "11(a) STORM";
+  PrintTimelineHeader(
+      std::string("Fig ") + fig + ": count-worker throughput (tuples/s)", 4,
+      "COUNT");
+  TimelineSampler counts(cluster, "wc", "count", 4, kScale);
+  TimelineSampler splits(cluster, "wc", "split", 3, kScale);
+  std::vector<TimelineRow> split_rows;
+  std::int64_t scaled_at_bucket = -1;
+  for (int bucket = 0; bucket < kBuckets; ++bucket) {
+    common::SleepFor(kBucket);
+    TimelineRow row = counts.sample();
+    split_rows.push_back(splits.sample());
+    if (scaler != nullptr && scaled_at_bucket < 0 &&
+        scaler->scale_ups() > 0) {
+      scaled_at_bucket = bucket;
+      std::printf("%8s  *** auto-scaler added a third split worker ***\n",
+                  "");
+    }
+    if (bucket % 4 == 3) PrintTimelineRow(row, 4);
+  }
+  std::printf("  agent restarts (OOM crashes): %lld\n",
+              static_cast<long long>(cluster.agent_restarts()));
+
+  if (mode == TransportMode::kTyphoon) {
+    PrintTimelineHeader("Fig 11(c) TYPHOON: split-worker throughput around "
+                        "scale-up (tuples/s)",
+                        3, "SPLIT");
+    for (std::size_t i = 0; i < split_rows.size(); i += 4) {
+      PrintTimelineRow(split_rows[i], 3);
+    }
+  }
+  cluster.stop();
+}
+
+}  // namespace
+}  // namespace typhoon::bench
+
+int main() {
+  using namespace typhoon::bench;
+  using typhoon::TransportMode;
+  PrintBanner("Auto-scaling under overload (word count, high input rate)",
+              "Typhoon (CoNEXT'17) Figure 11(a)/(b)/(c)");
+  RunOnce(TransportMode::kStormTcp);
+  RunOnce(TransportMode::kTyphoon);
+  std::printf(
+      "\nshape check: STORM shows recurring dips (OOM restarts, nonzero "
+      "agent restarts); TYPHOON stabilizes after one scale-up and the third "
+      "split carries traffic.\n");
+  return 0;
+}

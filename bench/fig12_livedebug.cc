@@ -1,0 +1,179 @@
+// Figure 12: live debugging overhead. A source->sink topology runs at full
+// speed; live logging is activated partway through and deactivated later.
+//
+//  STORM: the debug worker is pre-provisioned in the topology; when logging
+//  is on, the source replicates every tuple to it at the application layer
+//  — an extra serialization + copy per tuple — and throughput drops.
+//  TYPHOON: the live-debugger app provisions a debug tap on demand and
+//  inserts a packet-mirroring flow rule; replication is a network-level
+//  packet copy and throughput is essentially unaffected.
+//
+// Compression: 1 reported second ~ 100 ms wall (paper 0..70 s).
+#include <cstdio>
+
+#include "util/components.h"
+#include "util/harness.h"
+
+namespace typhoon::bench {
+namespace {
+
+using stream::TopologyBuilder;
+using testutil::CollectingSink;
+using testutil::SinkState;
+
+constexpr double kScale = 10.0;
+constexpr int kBuckets = 70;
+constexpr auto kBucket = std::chrono::milliseconds(100);
+constexpr int kStartBucket = 18;  // paper: logging starts at t=18 s
+constexpr int kEndBucket = 48;
+
+// Max-speed source: the comparison is the logging window against its own
+// surrounding baseline within each run, which stays meaningful even when
+// this shared host's available CPU drifts between runs.
+constexpr double kSourceRate = 0.0;
+
+// Storm-style source with a pre-provisioned debug stream: when the shared
+// flag is on, every tuple is also emitted on the debug stream (second
+// serialization at the application layer).
+class DebuggableSpout final : public stream::Spout {
+ public:
+  explicit DebuggableSpout(std::shared_ptr<std::atomic<bool>> debug_on)
+      : debug_on_(std::move(debug_on)), limiter_(kSourceRate) {}
+
+  bool next(stream::Emitter& out) override {
+    if (!limiter_.try_acquire(16)) return false;
+    const bool dup = debug_on_->load(std::memory_order_relaxed);
+    for (int i = 0; i < 16; ++i) {
+      stream::Tuple t{seq_++, std::string("payload-payload-payload")};
+      if (dup) {
+        out.emit(kDebugStream, stream::Tuple{t});
+      }
+      out.emit(std::move(t));
+    }
+    return true;
+  }
+
+  static constexpr StreamId kDebugStream = 2;
+
+ private:
+  std::shared_ptr<std::atomic<bool>> debug_on_;
+  common::RateLimiter limiter_;
+  std::int64_t seq_ = 0;
+};
+
+void RunStorm() {
+  ClusterConfig cfg;
+  cfg.num_hosts = 2;
+  cfg.mode = TransportMode::kStormTcp;
+  Cluster cluster(cfg);
+  cluster.start();
+
+  auto debug_on = std::make_shared<std::atomic<bool>>(false);
+  auto state = std::make_shared<SinkState>();
+  auto dbg_state = std::make_shared<SinkState>();
+  TopologyBuilder b("dbg");
+  const NodeId src = b.add_spout(
+      "src",
+      [debug_on] { return std::make_unique<DebuggableSpout>(debug_on); }, 1);
+  const NodeId sink = b.add_bolt(
+      "sink", [state] { return std::make_unique<CollectingSink>(state); },
+      1);
+  const NodeId dbg = b.add_bolt(
+      "debug",
+      [dbg_state] { return std::make_unique<CollectingSink>(dbg_state); },
+      1);
+  b.shuffle(src, sink);
+  b.shuffle(src, dbg, DebuggableSpout::kDebugStream);
+  if (!cluster.submit(b.build().value()).ok()) return;
+
+  PrintTimelineHeader("Fig 12 — STORM: sink throughput (tuples/s)", 1,
+                      "SINK");
+  TimelineSampler sampler(cluster, "dbg", "sink", 1, kScale);
+  for (int bucket = 0; bucket < kBuckets; ++bucket) {
+    common::SleepFor(kBucket);
+    if (bucket == kStartBucket) {
+      debug_on->store(true);
+      std::printf("%8s  *** live logging START (app-level replication) ***\n",
+                  "");
+    }
+    if (bucket == kEndBucket) {
+      debug_on->store(false);
+      std::printf("%8s  *** live logging END ***\n", "");
+    }
+    TimelineRow row = sampler.sample();
+    if (bucket % 2 == 1) PrintTimelineRow(row, 1);
+  }
+  std::printf("  debug worker captured: %lld tuples\n",
+              static_cast<long long>(dbg_state->received.load()));
+  cluster.stop();
+}
+
+void RunTyphoon() {
+  ClusterConfig cfg;
+  cfg.num_hosts = 2;
+  cfg.mode = TransportMode::kTyphoon;
+  Cluster cluster(cfg);
+  cluster.start();
+
+  auto state = std::make_shared<SinkState>();
+  TopologyBuilder b("dbg");
+  const NodeId src = b.add_spout(
+      "src",
+      [] {
+        return std::make_unique<DebuggableSpout>(
+            std::make_shared<std::atomic<bool>>(false));
+      },
+      1);
+  const NodeId sink = b.add_bolt(
+      "sink", [state] { return std::make_unique<CollectingSink>(state); },
+      1);
+  b.shuffle(src, sink);
+  auto tid = cluster.submit(b.build().value());
+  if (!tid.ok()) return;
+
+  auto phys = cluster.manager().physical("dbg").value();
+  auto spec = cluster.manager().spec("dbg").value();
+  const WorkerId src_w = phys.worker_ids_of(spec.node_by_name("src")->id)[0];
+  const WorkerId sink_w =
+      phys.worker_ids_of(spec.node_by_name("sink")->id)[0];
+
+  PrintTimelineHeader("Fig 12 — TYPHOON: sink throughput (tuples/s)", 1,
+                      "SINK");
+  TimelineSampler sampler(cluster, "dbg", "sink", 1, kScale);
+  std::shared_ptr<controller::DebugTap> tap;
+  for (int bucket = 0; bucket < kBuckets; ++bucket) {
+    common::SleepFor(kBucket);
+    if (bucket == kStartBucket) {
+      auto r = cluster.live_debugger()->attach(tid.value(), src_w, sink_w);
+      if (r.ok()) tap = r.value();
+      std::printf("%8s  *** live logging START (flow-rule mirror) ***\n", "");
+    }
+    if (bucket == kEndBucket && tap) {
+      (void)cluster.live_debugger()->detach(tid.value(), src_w, sink_w);
+      std::printf("%8s  *** live logging END ***\n", "");
+    }
+    TimelineRow row = sampler.sample();
+    if (bucket % 2 == 1) PrintTimelineRow(row, 1);
+  }
+  if (tap) {
+    std::printf("  debug tap captured: %lld tuples\n",
+                static_cast<long long>(tap->tuples()));
+  }
+  cluster.stop();
+}
+
+}  // namespace
+}  // namespace typhoon::bench
+
+int main() {
+  using namespace typhoon::bench;
+  PrintBanner("Live debugging overhead", "Typhoon (CoNEXT'17) Figure 12");
+  RunStorm();
+  RunTyphoon();
+  std::printf(
+      "\nshape check: STORM drops steeply (~half) while logging is active "
+      "and snaps back at END; TYPHOON's logging window stays close to its "
+      "own surrounding baseline (the tap costs only sampled decoding and a "
+      "per-packet mirror action, not a second serialization).\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 14: runtime update of computation logic on the Yahoo advertisement
+// analytics pipeline (Fig 13). The deployment starts with a filter that
+// admits only "view" events; mid-run the user submits a reconfiguration
+// that hot-swaps the filter logic to admit "view" and "click" — without a
+// shutdown or topology hot-swap. The store worker's windowed count rate
+// roughly doubles after the swap.
+//
+// Compression: 1 reported second ~ 20 ms wall (paper 0..2000 s).
+#include <cstdio>
+
+#include "util/harness.h"
+#include "typhoon/yahoo_benchmark.h"
+
+namespace typhoon::bench {
+namespace {
+
+constexpr double kScale = 25.0;
+constexpr int kBuckets = 80;
+constexpr auto kBucket = std::chrono::milliseconds(100);
+constexpr int kReconfigBucket = 40;
+
+}  // namespace
+}  // namespace typhoon::bench
+
+int main() {
+  using namespace typhoon::bench;
+  PrintBanner(
+      "Runtime computation-logic update (Yahoo ad-analytics pipeline)",
+      "Typhoon (CoNEXT'17) Figure 14 (pipeline: Figure 13)");
+
+  typhoon::kafkalite::Broker broker;
+  typhoon::redislite::Store store;
+  constexpr int kAds = 100;
+  constexpr int kCampaigns = 10;
+  broker.create_topic("ad-events", 4);
+  typhoon::yahoo::PopulateCampaigns(&store, kAds, kCampaigns);
+
+  typhoon::ClusterConfig cfg;
+  cfg.num_hosts = 3;
+  typhoon::Cluster cluster(cfg);
+  cluster.start();
+
+  typhoon::yahoo::PipelineConfig pcfg;
+  pcfg.broker = &broker;
+  pcfg.store = &store;
+  if (!cluster.submit(typhoon::yahoo::BuildPipeline(pcfg)).ok()) {
+    std::fprintf(stderr, "submit failed\n");
+    return 1;
+  }
+
+  // Continuous event feed: ~30k events per wall second.
+  std::atomic<bool> feeding{true};
+  std::thread feeder([&] {
+    std::uint64_t seed = 100;
+    while (feeding.load()) {
+      typhoon::yahoo::GenerateEvents(&broker, "ad-events", 3000, kAds,
+                                     seed++);
+      typhoon::common::SleepMillis(100);
+    }
+  });
+
+  PrintTimelineHeader(
+      "Fig 14: parse emit rate vs store (sink) receive rate (tuples/s)", 2,
+      "STAGE");
+  std::printf("%8s  %12s  %12s\n", "", "(1=parse)", "(2=store)");
+  TimelineSampler parse(cluster, "yahoo", "parse", 1, kScale);
+  TimelineSampler store_node(cluster, "yahoo", "store", 1, kScale);
+  for (int bucket = 0; bucket < kBuckets; ++bucket) {
+    typhoon::common::SleepFor(kBucket);
+    if (bucket == kReconfigBucket) {
+      cluster.registry().update_bolt(
+          "yahoo", "filter",
+          typhoon::yahoo::MakeFilterFactory({"view", "click"}));
+      typhoon::stream::ReconfigRequest req;
+      req.kind = typhoon::stream::ReconfigRequest::Kind::kSwapLogic;
+      req.topology = "yahoo";
+      req.node = "filter";
+      const auto st = cluster.reconfigure(req);
+      std::printf("%8s  *** filter logic hot-swap (view -> view+click): %s "
+                  "***\n",
+                  "", st.ok() ? "applied" : st.str().c_str());
+    }
+    TimelineRow p = parse.sample();
+    TimelineRow s = store_node.sample();
+    if (bucket % 2 == 1) {
+      std::printf("%8.0f  %12.0f  %12.0f\n", p.t,
+                  p.per_worker_rate.empty() ? 0 : p.per_worker_rate[0],
+                  s.per_worker_rate.empty() ? 0 : s.per_worker_rate[0]);
+    }
+  }
+  feeding.store(false);
+  feeder.join();
+
+  std::printf("\nshape check: parse rate steady throughout; store rate "
+              "roughly doubles after the swap (view-only ~1/3 of events -> "
+              "view+click ~2/3).\n");
+  cluster.stop();
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Stable-update ablation: the latency of each runtime reconfiguration
+// primitive (Sec 3.5) against a live pipeline, and the loss-freedom check
+// that motivates the update ordering. The paper argues these operations
+// replace minutes-long "shutdown, modification and restart" cycles; this
+// harness measures what they cost instead.
+#include <cstdio>
+
+#include "util/components.h"
+#include "util/harness.h"
+
+namespace typhoon::bench {
+namespace {
+
+using stream::ReconfigRequest;
+using stream::TopologyBuilder;
+using testutil::CollectingSink;
+using testutil::ForwardBolt;
+using testutil::SequenceSpout;
+using testutil::SinkState;
+
+struct Timing {
+  const char* what;
+  double ms;
+};
+
+double TimeIt(Cluster& cluster, const ReconfigRequest& req) {
+  const common::TimePoint t0 = common::Now();
+  const auto st = cluster.reconfigure(req);
+  const double ms = common::SecondsSince(t0) * 1e3;
+  if (!st.ok()) {
+    std::fprintf(stderr, "  reconfiguration failed: %s\n", st.str().c_str());
+    return -1;
+  }
+  return ms;
+}
+
+}  // namespace
+}  // namespace typhoon::bench
+
+int main() {
+  using namespace typhoon::bench;
+  PrintBanner(
+      "Runtime reconfiguration latency (stable update primitives)",
+      "Typhoon (CoNEXT'17) Sec 3.5 ablation — vs. shutdown/restart cycles");
+
+  typhoon::ClusterConfig cfg;
+  cfg.num_hosts = 3;
+  typhoon::Cluster cluster(cfg);
+  cluster.start();
+
+  auto state = std::make_shared<SinkState>();
+  constexpr std::int64_t kLimit = 400000;
+  TopologyBuilder b("abl");
+  const typhoon::NodeId src = b.add_spout(
+      "src",
+      [kLimit] {
+        return std::make_unique<SequenceSpout>(kLimit, 8, 0, 40000.0);
+      },
+      1);
+  const typhoon::NodeId mid = b.add_bolt(
+      "mid", [] { return std::make_unique<ForwardBolt>(); }, 2);
+  const typhoon::NodeId sink = b.add_bolt(
+      "sink",
+      [state] { return std::make_unique<CollectingSink>(state, true); }, 1);
+  b.shuffle(src, mid);
+  b.shuffle(mid, sink);
+  if (!cluster.submit(b.build().value()).ok()) return 1;
+  typhoon::common::SleepMillis(300);
+
+  std::vector<Timing> timings;
+
+  ReconfigRequest req;
+  req.topology = "abl";
+  req.node = "mid";
+
+  req.kind = ReconfigRequest::Kind::kScaleUp;
+  req.count = 2;
+  timings.push_back({"scale-up +2 workers", TimeIt(cluster, req)});
+
+  req.kind = ReconfigRequest::Kind::kScaleDown;
+  req.count = 2;
+  timings.push_back({"scale-down -2 workers (drained)", TimeIt(cluster, req)});
+
+  req.kind = ReconfigRequest::Kind::kChangeGrouping;
+  req.from_node = "src";
+  req.new_grouping = {typhoon::stream::GroupingType::kFields, {0}};
+  timings.push_back({"routing policy shuffle->fields", TimeIt(cluster, req)});
+  req.new_grouping = {typhoon::stream::GroupingType::kShuffle, {}};
+  timings.push_back({"routing policy fields->shuffle", TimeIt(cluster, req)});
+
+  cluster.registry().update_bolt("abl", "mid", [] {
+    return std::make_unique<ForwardBolt>();
+  });
+  req.kind = ReconfigRequest::Kind::kSwapLogic;
+  timings.push_back({"computation logic hot-swap", TimeIt(cluster, req)});
+
+  req.kind = ReconfigRequest::Kind::kRelocate;
+  {
+    // The logic swap renumbered task indices; relocate whichever mid
+    // worker is first.
+    auto mids = cluster.workers_of_node("abl", "mid");
+    if (!mids.empty()) {
+      req.task_index = mids.front()->context().task_index;
+      req.target_host = mids.front()->context().host == 1 ? 2 : 1;
+      timings.push_back(
+          {"relocate worker across hosts", TimeIt(cluster, req)});
+    }
+  }
+
+  cluster.registry().add_bolt("abl", "query", [] {
+    return std::make_unique<ForwardBolt>();
+  });
+  req.kind = ReconfigRequest::Kind::kAttachQuery;
+  req.from_node = "mid";
+  req.node = "query";
+  req.count = 1;
+  req.new_grouping = {typhoon::stream::GroupingType::kShuffle, {}};
+  timings.push_back({"attach query node", TimeIt(cluster, req)});
+
+  req.kind = ReconfigRequest::Kind::kDetachQuery;
+  req.node = "query";
+  timings.push_back({"detach query node", TimeIt(cluster, req)});
+
+  std::printf("\n%-36s %12s\n", "operation", "latency(ms)");
+  for (const Timing& t : timings) {
+    std::printf("%-36s %12.1f\n", t.what, t.ms);
+  }
+
+  // Loss-freedom check across the whole session.
+  const auto deadline = typhoon::common::Now() + std::chrono::seconds(30);
+  while (state->received.load() < kLimit &&
+         typhoon::common::Now() < deadline) {
+    typhoon::common::SleepMillis(20);
+  }
+  std::int64_t distinct = 0;
+  {
+    std::lock_guard lk(state->mu);
+    distinct = static_cast<std::int64_t>(state->seen.size());
+  }
+  std::printf(
+      "\nloss check: %lld/%lld distinct sequence numbers delivered, "
+      "%lld duplicates\n",
+      static_cast<long long>(distinct), static_cast<long long>(kLimit),
+      static_cast<long long>(state->duplicates.load()));
+  std::printf(
+      "shape check: every primitive completes in tens-to-hundreds of ms "
+      "(vs. a full pipeline restart) and the loss check reads %lld/%lld.\n",
+      static_cast<long long>(distinct), static_cast<long long>(kLimit));
+  cluster.stop();
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Shared helpers for the figure-reproduction harnesses: throughput probes,
+// timeline samplers, and table printers. Each bench binary regenerates one
+// table/figure of the paper's evaluation (Sec 6); see EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/log.h"
+#include "typhoon/cluster.h"
+
+namespace typhoon::bench {
+
+inline const char* ModeName(TransportMode m) {
+  return m == TransportMode::kTyphoon ? "TYPHOON" : "STORM";
+}
+
+// Sum of `received` over all live workers of a node.
+inline std::int64_t NodeReceived(Cluster& cluster, const std::string& topo,
+                                 const std::string& node) {
+  std::int64_t total = 0;
+  for (stream::Worker* w : cluster.workers_of_node(topo, node)) {
+    total += w->received();
+  }
+  return total;
+}
+
+inline std::int64_t NodeEmitted(Cluster& cluster, const std::string& topo,
+                                const std::string& node) {
+  std::int64_t total = 0;
+  for (stream::Worker* w : cluster.workers_of_node(topo, node)) {
+    total += w->emitted();
+  }
+  return total;
+}
+
+// Measure steady-state sink throughput: warm up, then count received deltas.
+inline double MeasureThroughput(Cluster& cluster, const std::string& topo,
+                                const std::string& sink_node,
+                                std::chrono::milliseconds warmup,
+                                std::chrono::milliseconds window) {
+  common::SleepFor(warmup);
+  const std::int64_t start = NodeReceived(cluster, topo, sink_node);
+  const common::TimePoint t0 = common::Now();
+  common::SleepFor(window);
+  const std::int64_t end = NodeReceived(cluster, topo, sink_node);
+  const double secs = common::SecondsSince(t0);
+  return static_cast<double>(end - start) / secs;
+}
+
+// Periodically sample per-worker throughput of one node; one row per bucket.
+// `scale` maps wall seconds to reported "paper seconds" (timeline
+// compression, DESIGN.md Sec 2).
+struct TimelineRow {
+  double t = 0;  // reported (scaled) seconds
+  std::vector<double> per_worker_rate;  // tuples/sec per task index
+  double total_rate = 0;
+};
+
+class TimelineSampler {
+ public:
+  TimelineSampler(Cluster& cluster, std::string topo, std::string node,
+                  int expected_tasks, double scale = 1.0)
+      : cluster_(cluster),
+        topo_(std::move(topo)),
+        node_(std::move(node)),
+        tasks_(expected_tasks),
+        scale_(scale),
+        start_(common::Now()),
+        last_(start_),
+        last_counts_(expected_tasks, 0) {}
+
+  // Take one sample; call at a fixed cadence.
+  TimelineRow sample() {
+    const common::TimePoint now = common::Now();
+    const double dt = std::chrono::duration<double>(now - last_).count();
+    last_ = now;
+
+    std::vector<std::int64_t> counts(last_counts_.size(), -1);
+    for (stream::Worker* w : cluster_.workers_of_node(topo_, node_)) {
+      const int idx = w->context().task_index;
+      if (idx >= static_cast<int>(counts.size())) {
+        counts.resize(idx + 1, -1);
+        last_counts_.resize(idx + 1, 0);
+      }
+      counts[idx] = w->received();
+    }
+    TimelineRow row;
+    row.t = common::SecondsSince(start_) * scale_;
+    row.per_worker_rate.resize(counts.size(), 0.0);
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] < 0 || dt <= 0) continue;  // worker down this bucket
+      const double rate =
+          static_cast<double>(counts[i] - last_counts_[i]) / dt;
+      row.per_worker_rate[i] = rate < 0 ? 0 : rate;
+      last_counts_[i] = counts[i];
+      row.total_rate += row.per_worker_rate[i];
+    }
+    return row;
+  }
+
+  [[nodiscard]] int tasks() const { return tasks_; }
+
+ private:
+  Cluster& cluster_;
+  std::string topo_;
+  std::string node_;
+  int tasks_;
+  double scale_;
+  common::TimePoint start_;
+  common::TimePoint last_;
+  std::vector<std::int64_t> last_counts_;
+};
+
+inline void PrintTimelineHeader(const std::string& title, int tasks,
+                                const std::string& worker_prefix) {
+  std::printf("\n-- %s --\n", title.c_str());
+  std::printf("%8s", "t(s)");
+  for (int i = 0; i < tasks; ++i) {
+    std::printf("  %10s%d", worker_prefix.c_str(), i + 1);
+  }
+  std::printf("  %12s\n", "TOTAL/s");
+}
+
+inline void PrintTimelineRow(const TimelineRow& row, int tasks) {
+  std::printf("%8.1f", row.t);
+  for (int i = 0; i < tasks; ++i) {
+    const double v = i < static_cast<int>(row.per_worker_rate.size())
+                         ? row.per_worker_rate[i]
+                         : 0.0;
+    std::printf("  %11.0f", v);
+  }
+  std::printf("  %12.0f\n", row.total_rate);
+}
+
+inline void PrintBanner(const std::string& what, const std::string& paper_ref) {
+  // Keep harness stdout clean of framework log interleaving.
+  common::SetLogLevel(common::LogLevel::kOff);
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", what.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace typhoon::bench

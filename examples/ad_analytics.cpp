@@ -1,0 +1,78 @@
+// Yahoo streaming-benchmark advertisement analytics (paper Fig 13): a
+// six-stage pipeline with KafkaLite as the event source and RedisLite as
+// the campaign join table and result store — including the runtime filter
+// hot-swap of Fig 14.
+//
+//   $ ./ad_analytics
+#include <cstdio>
+
+#include "typhoon/cluster.h"
+#include "typhoon/yahoo_benchmark.h"
+
+int main() {
+  using namespace typhoon;
+
+  // Substrates: a partitioned log broker and an in-memory KV store.
+  kafkalite::Broker broker;
+  redislite::Store store;
+  constexpr int kAds = 100;
+  constexpr int kCampaigns = 10;
+  broker.create_topic("ad-events", 4);
+  yahoo::PopulateCampaigns(&store, kAds, kCampaigns);
+
+  Cluster cluster({.num_hosts = 3});
+  cluster.start();
+
+  yahoo::PipelineConfig cfg;
+  cfg.broker = &broker;
+  cfg.store = &store;
+  cfg.allowed_events = {"view"};  // initial filter logic
+  auto id = cluster.submit(yahoo::BuildPipeline(cfg));
+  if (!id.ok()) {
+    std::fprintf(stderr, "submit failed: %s\n", id.status().str().c_str());
+    return 1;
+  }
+
+  // Phase 1: feed 30k events (views/clicks/purchases, uniformly random).
+  std::printf("phase 1: 30000 events, filter admits {view}\n");
+  yahoo::GenerateEvents(&broker, "ad-events", 30000, kAds, /*seed=*/7);
+  common::SleepMillis(1200);
+  const std::int64_t phase1 = yahoo::TotalStoredCount(&store, kCampaigns, 64);
+  std::printf("  windowed counts stored in redis: %lld (~1/3 of events)\n",
+              static_cast<long long>(phase1));
+
+  // Hot-swap the filter to also admit clicks (Fig 14) — no restart.
+  cluster.registry().update_bolt("yahoo", "filter",
+                                 yahoo::MakeFilterFactory({"view", "click"}));
+  stream::ReconfigRequest req;
+  req.kind = stream::ReconfigRequest::Kind::kSwapLogic;
+  req.topology = "yahoo";
+  req.node = "filter";
+  std::printf("phase 2: filter hot-swap to {view, click}: %s\n",
+              cluster.reconfigure(req).str().c_str());
+
+  yahoo::GenerateEvents(&broker, "ad-events", 30000, kAds, /*seed=*/8);
+  common::SleepMillis(1200);
+  const std::int64_t total = yahoo::TotalStoredCount(&store, kCampaigns, 64);
+  std::printf("  windowed counts now: %lld (+%lld in phase 2, ~2/3 of "
+              "events)\n",
+              static_cast<long long>(total),
+              static_cast<long long>(total - phase1));
+
+  // Campaign-level report straight from the store.
+  std::printf("\nper-campaign totals:\n");
+  for (int c = 0; c < kCampaigns; ++c) {
+    const std::string campaign = "campaign" + std::to_string(c);
+    std::int64_t n = 0;
+    for (std::int64_t w = 0; w <= 64; ++w) {
+      n += yahoo::StoredCount(&store, campaign, w);
+    }
+    std::printf("  %-12s %8lld\n", campaign.c_str(),
+                static_cast<long long>(n));
+  }
+  std::printf("\nredis ops served: %lld, keys: %zu\n",
+              static_cast<long long>(store.ops()), store.size());
+
+  cluster.stop();
+  return 0;
+}

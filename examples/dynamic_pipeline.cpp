@@ -1,0 +1,146 @@
+// Runtime flexibility tour (the paper's core contribution, Sec 3.2/3.5):
+// a live pipeline is scaled up, has its routing policy switched from
+// key-based to shuffle, and gets its computation logic hot-swapped — all
+// without restarting the topology or losing tuples.
+//
+//   $ ./dynamic_pipeline
+#include <atomic>
+#include <cstdio>
+#include <memory>
+
+#include "stream/topology.h"
+#include "typhoon/cluster.h"
+
+namespace {
+
+using typhoon::stream::Bolt;
+using typhoon::stream::Emitter;
+using typhoon::stream::ReconfigRequest;
+using typhoon::stream::Spout;
+using typhoon::stream::Tuple;
+using typhoon::stream::TupleMeta;
+
+class NumberSpout final : public Spout {
+ public:
+  bool next(Emitter& out) override {
+    for (int i = 0; i < 8; ++i) out.emit(Tuple{seq_++});
+    return true;
+  }
+
+ private:
+  std::int64_t seq_ = 0;
+};
+
+// v1 computation: pass-through.
+class IdentityBolt final : public Bolt {
+ public:
+  void execute(const Tuple& in, const TupleMeta&, Emitter& out) override {
+    out.emit(Tuple{in});
+  }
+};
+
+// v2 computation: squares the value (hot-swapped in at runtime).
+class SquareBolt final : public Bolt {
+ public:
+  void execute(const Tuple& in, const TupleMeta&, Emitter& out) override {
+    out.emit(Tuple{in.i64(0) * in.i64(0)});
+  }
+};
+
+struct SinkProbe {
+  std::atomic<std::int64_t> received{0};
+  std::atomic<std::int64_t> last_value{0};
+};
+
+class ProbeSink final : public Bolt {
+ public:
+  explicit ProbeSink(std::shared_ptr<SinkProbe> probe)
+      : probe_(std::move(probe)) {}
+  void execute(const Tuple& in, const TupleMeta&, Emitter&) override {
+    probe_->received.fetch_add(1, std::memory_order_relaxed);
+    probe_->last_value.store(in.i64(0), std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<SinkProbe> probe_;
+};
+
+void ShowState(typhoon::Cluster& cluster, const char* moment) {
+  auto spec = cluster.manager().spec("dynamic").value();
+  std::printf("\n[%s]\n", moment);
+  for (const auto& n : spec.nodes) {
+    std::printf("  node %-10s parallelism=%d  live workers:", n.name.c_str(),
+                n.parallelism);
+    for (typhoon::stream::Worker* w :
+         cluster.workers_of_node("dynamic", n.name)) {
+      std::printf(" w%llu@host%u", static_cast<unsigned long long>(w->id()),
+                  w->context().host);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  typhoon::Cluster cluster({.num_hosts = 3});
+  cluster.start();
+
+  auto probe = std::make_shared<SinkProbe>();
+  typhoon::stream::TopologyBuilder b("dynamic");
+  const auto src = b.add_spout(
+      "numbers", [] { return std::make_unique<NumberSpout>(); }, 1);
+  const auto xform = b.add_bolt(
+      "transform", [] { return std::make_unique<IdentityBolt>(); }, 2);
+  const auto sink = b.add_bolt(
+      "sink", [probe] { return std::make_unique<ProbeSink>(probe); }, 2);
+  b.shuffle(src, xform);
+  b.fields(xform, sink, {0});
+  if (!cluster.submit(b.build().value()).ok()) return 1;
+  typhoon::common::SleepMillis(400);
+  ShowState(cluster, "initial deployment");
+
+  // --- 1. scale the transform stage from 2 to 4 workers ---
+  ReconfigRequest scale;
+  scale.kind = ReconfigRequest::Kind::kScaleUp;
+  scale.topology = "dynamic";
+  scale.node = "transform";
+  scale.count = 2;
+  std::printf("\n>> scale-up transform by 2: %s\n",
+              cluster.reconfigure(scale).str().c_str());
+  ShowState(cluster, "after scale-up");
+
+  // --- 2. switch sink routing from key-based to shuffle at runtime ---
+  ReconfigRequest regroup;
+  regroup.kind = ReconfigRequest::Kind::kChangeGrouping;
+  regroup.topology = "dynamic";
+  regroup.from_node = "transform";
+  regroup.node = "sink";
+  regroup.new_grouping = {typhoon::stream::GroupingType::kShuffle, {}};
+  std::printf("\n>> change transform->sink grouping to shuffle: %s\n",
+              cluster.reconfigure(regroup).str().c_str());
+
+  // --- 3. hot-swap the transform computation (identity -> square) ---
+  cluster.registry().update_bolt("dynamic", "transform", [] {
+    return std::make_unique<SquareBolt>();
+  });
+  ReconfigRequest swap;
+  swap.kind = ReconfigRequest::Kind::kSwapLogic;
+  swap.topology = "dynamic";
+  swap.node = "transform";
+  std::printf("\n>> hot-swap transform logic to v2 (square): %s\n",
+              cluster.reconfigure(swap).str().c_str());
+  ShowState(cluster, "after logic swap (fresh worker ids)");
+
+  typhoon::common::SleepMillis(300);
+  const std::int64_t v = probe->last_value.load();
+  std::printf("\nsink now sees squared values (latest: %lld, sqrt=%lld)\n",
+              static_cast<long long>(v),
+              static_cast<long long>(v > 0 ? (std::int64_t)__builtin_sqrt(v)
+                                           : 0));
+  std::printf("total tuples delivered end-to-end: %lld\n",
+              static_cast<long long>(probe->received.load()));
+
+  cluster.stop();
+  return 0;
+}

@@ -1,0 +1,19 @@
+#include "common/bytes.h"
+
+namespace typhoon::common {
+
+std::string HexDump(std::span<const std::uint8_t> data, std::size_t max_bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  const std::size_t n = std::min(data.size(), max_bytes);
+  out.reserve(n * 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0) out.push_back(' ');
+    out.push_back(kHex[data[i] >> 4]);
+    out.push_back(kHex[data[i] & 0xf]);
+  }
+  if (data.size() > max_bytes) out += " ...";
+  return out;
+}
+
+}  // namespace typhoon::common

@@ -1,0 +1,42 @@
+// Time utilities. Experiment timelines in the paper span 70-4000 wall
+// seconds; benches compress them (DESIGN.md Sec 2), so code expresses
+// durations through these helpers rather than raw literals.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace typhoon::common {
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+using Duration = Clock::duration;
+
+inline TimePoint Now() { return Clock::now(); }
+
+inline std::int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Now().time_since_epoch())
+      .count();
+}
+
+inline double SecondsSince(TimePoint start) {
+  return std::chrono::duration<double>(Now() - start).count();
+}
+
+inline void SleepFor(Duration d) { std::this_thread::sleep_for(d); }
+
+inline void SleepMillis(std::int64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+// Busy-spin for very short waits where a syscall sleep is too coarse.
+inline void SpinFor(std::chrono::nanoseconds d) {
+  const TimePoint end = Now() + d;
+  while (Now() < end) {
+    // relax
+  }
+}
+
+}  // namespace typhoon::common

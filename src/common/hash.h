@@ -1,0 +1,73 @@
+// Hash functions used by key-based (fields) routing and the flow table.
+// FNV-1a for byte strings; splitmix64 as an integer finalizer. Key-based
+// routing in the paper (Listing 1) is `hash(tuple fields) % numNextHops`;
+// the hash must be stable across workers so that re-computation in the
+// controller agrees with workers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace typhoon::common {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+constexpr std::uint64_t Fnv1a(std::span<const std::uint8_t> data,
+                              std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t Fnv1a(std::string_view s,
+                           std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+constexpr std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b) {
+  return SplitMix64(a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2)));
+}
+
+// Deterministic PRNG for workload generators (xorshift128+).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed)
+      : s0_(SplitMix64(seed)), s1_(SplitMix64(seed + 1)) {}
+
+  std::uint64_t next() {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+  // Uniform in [0, n).
+  std::uint64_t below(std::uint64_t n) { return n == 0 ? 0 : next() % n; }
+  double uniform() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+}  // namespace typhoon::common

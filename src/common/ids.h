@@ -1,0 +1,71 @@
+// Strongly-typed identifiers used across the Typhoon framework.
+//
+// The paper (Sec 3.3.1, Fig 5) addresses workers with Ethernet-style
+// addresses: "the Ethernet source/destination addresses are filled with
+// source/destination worker IDs combined with application ID as an address
+// prefix". We model that as a 64-bit WorkerAddress whose upper 16 bits are
+// the topology (application) ID and lower 48 bits the worker ID, mirroring a
+// 48-bit MAC with a tenant prefix.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace typhoon {
+
+using TopologyId = std::uint16_t;
+using WorkerId = std::uint64_t;  // unique within a topology, 48 usable bits
+using HostId = std::uint32_t;
+using PortId = std::uint32_t;
+using StreamId = std::uint16_t;
+using NodeId = std::uint32_t;  // logical-topology node
+
+// Reserved port number meaning "send to the SDN controller"
+// (OpenFlow's OFPP_CONTROLLER).
+inline constexpr PortId kPortController = 0xfffffffdu;
+// Reserved port matching any in_port in a flow rule.
+inline constexpr PortId kPortAny = 0xffffffffu;
+
+// A worker address as carried in the Ethernet src/dst fields (Fig 5).
+struct WorkerAddress {
+  TopologyId topology = 0;
+  WorkerId worker = 0;
+
+  friend bool operator==(const WorkerAddress&, const WorkerAddress&) = default;
+  friend auto operator<=>(const WorkerAddress&, const WorkerAddress&) = default;
+
+  // Packs topology into the top 16 bits, worker into the low 48.
+  [[nodiscard]] std::uint64_t packed() const {
+    return (static_cast<std::uint64_t>(topology) << 48) |
+           (worker & 0xffffffffffffull);
+  }
+  static WorkerAddress unpack(std::uint64_t raw) {
+    return WorkerAddress{static_cast<TopologyId>(raw >> 48),
+                         raw & 0xffffffffffffull};
+  }
+  [[nodiscard]] std::string str() const {
+    return std::to_string(topology) + ":" + std::to_string(worker);
+  }
+};
+
+// The broadcast worker address: all-ones in the 48-bit worker field.
+// A packet addressed here is replicated by the switch to every port listed
+// in the matching one-to-many flow rule (Table 3).
+inline constexpr WorkerId kBroadcastWorker = 0xffffffffffffull;
+
+inline WorkerAddress BroadcastAddress(TopologyId topology) {
+  return WorkerAddress{topology, kBroadcastWorker};
+}
+
+// The controller "address" used by workers sending PacketIn-bound frames.
+inline constexpr WorkerId kControllerWorker = 0xfffffffffffeull;
+
+}  // namespace typhoon
+
+template <>
+struct std::hash<typhoon::WorkerAddress> {
+  std::size_t operator()(const typhoon::WorkerAddress& a) const noexcept {
+    return std::hash<std::uint64_t>{}(a.packed());
+  }
+};

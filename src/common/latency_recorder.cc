@@ -1,0 +1,87 @@
+#include "common/latency_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace typhoon::common {
+
+namespace {
+constexpr double kGrowth = 1.07;
+const double kLogGrowth = std::log(kGrowth);
+}  // namespace
+
+LatencyRecorder::LatencyRecorder() : counts_(kBuckets, 0) {}
+
+std::size_t LatencyRecorder::BucketFor(std::int64_t micros) {
+  if (micros <= 1) return 0;
+  const auto b = static_cast<std::size_t>(
+      std::log(static_cast<double>(micros)) / kLogGrowth);
+  return std::min(b, kBuckets - 1);
+}
+
+double LatencyRecorder::BucketUpperMicros(std::size_t bucket) {
+  return std::pow(kGrowth, static_cast<double>(bucket + 1));
+}
+
+void LatencyRecorder::record(std::int64_t micros) {
+  std::lock_guard lk(mu_);
+  ++counts_[BucketFor(micros)];
+  ++total_;
+  sum_micros_ += micros;
+}
+
+std::vector<LatencyRecorder::CdfPoint> LatencyRecorder::cdf() const {
+  std::lock_guard lk(mu_);
+  std::vector<CdfPoint> out;
+  if (total_ == 0) return out;
+  std::int64_t cum = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (counts_[b] == 0) continue;
+    cum += counts_[b];
+    out.push_back({BucketUpperMicros(b) / 1000.0,
+                   static_cast<double>(cum) / static_cast<double>(total_)});
+  }
+  return out;
+}
+
+double LatencyRecorder::percentile_ms(double q) const {
+  std::lock_guard lk(mu_);
+  if (total_ == 0) return 0.0;
+  const auto target = static_cast<std::int64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  std::int64_t cum = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    cum += counts_[b];
+    if (cum >= target) return BucketUpperMicros(b) / 1000.0;
+  }
+  return BucketUpperMicros(kBuckets - 1) / 1000.0;
+}
+
+std::int64_t LatencyRecorder::count() const {
+  std::lock_guard lk(mu_);
+  return total_;
+}
+
+double LatencyRecorder::mean_ms() const {
+  std::lock_guard lk(mu_);
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(sum_micros_) / static_cast<double>(total_) /
+         1000.0;
+}
+
+void LatencyRecorder::merge(const LatencyRecorder& other) {
+  // Lock ordering: always this before other; callers never merge in cycles.
+  std::scoped_lock lk(mu_, other.mu_);
+  for (std::size_t b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+  total_ += other.total_;
+  sum_micros_ += other.sum_micros_;
+}
+
+void LatencyRecorder::reset() {
+  std::lock_guard lk(mu_);
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+  sum_micros_ = 0;
+}
+
+}  // namespace typhoon::common

@@ -1,0 +1,48 @@
+// Latency histogram with CDF extraction, used by Fig 8(c,d) harnesses.
+// Log-bucketed (multiplicative buckets) so that microsecond-to-second
+// latencies fit in a fixed-size table with bounded relative error.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace typhoon::common {
+
+class LatencyRecorder {
+ public:
+  LatencyRecorder();
+
+  // Record one sample, in microseconds.
+  void record(std::int64_t micros);
+
+  struct CdfPoint {
+    double latency_ms;
+    double fraction;  // P(latency <= latency_ms)
+  };
+
+  // CDF sampled at each non-empty bucket boundary.
+  [[nodiscard]] std::vector<CdfPoint> cdf() const;
+
+  // Percentile in milliseconds (q in [0,1]).
+  [[nodiscard]] double percentile_ms(double q) const;
+  [[nodiscard]] std::int64_t count() const;
+  [[nodiscard]] double mean_ms() const;
+
+  void merge(const LatencyRecorder& other);
+  void reset();
+
+ private:
+  static std::size_t BucketFor(std::int64_t micros);
+  static double BucketUpperMicros(std::size_t bucket);
+
+  // ~1.07x geometric buckets covering [1us, ~100s] in a few hundred slots.
+  static constexpr std::size_t kBuckets = 400;
+
+  mutable std::mutex mu_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+  std::int64_t sum_micros_ = 0;
+};
+
+}  // namespace typhoon::common

@@ -1,0 +1,39 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace typhoon::common {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mu;
+
+const char* LevelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void LogLine(LogLevel level, const std::string& tag, const std::string& msg) {
+  if (GetLogLevel() > level) return;
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  const double t =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  std::lock_guard lk(g_mu);
+  std::fprintf(stderr, "[%9.3f] %s [%s] %s\n", t, LevelName(level),
+               tag.c_str(), msg.c_str());
+}
+
+}  // namespace typhoon::common

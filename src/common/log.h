@@ -1,0 +1,42 @@
+// Minimal leveled logger. Thread-safe; compiled-in cheap when disabled.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace typhoon::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Writes one formatted line to stderr (serialized by an internal mutex).
+void LogLine(LogLevel level, const std::string& tag, const std::string& msg);
+
+namespace detail {
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string tag)
+      : level_(level), tag_(std::move(tag)) {}
+  ~LogMessage() { LogLine(level_, tag_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::string tag_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace typhoon::common
+
+#define TYPHOON_LOG(level, tag)                                       \
+  if (::typhoon::common::GetLogLevel() <= (level))                   \
+  ::typhoon::common::detail::LogMessage((level), (tag)).stream()
+
+#define LOG_DEBUG(tag) TYPHOON_LOG(::typhoon::common::LogLevel::kDebug, tag)
+#define LOG_INFO(tag) TYPHOON_LOG(::typhoon::common::LogLevel::kInfo, tag)
+#define LOG_WARN(tag) TYPHOON_LOG(::typhoon::common::LogLevel::kWarn, tag)
+#define LOG_ERROR(tag) TYPHOON_LOG(::typhoon::common::LogLevel::kError, tag)

@@ -1,0 +1,38 @@
+#include "common/metrics.h"
+
+namespace typhoon::common {
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> MetricsRegistry::snapshot()
+    const {
+  std::lock_guard lk(mu_);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(counters_.size() + gauges_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::int64_t MetricsRegistry::value(const std::string& name) const {
+  std::lock_guard lk(mu_);
+  if (auto it = counters_.find(name); it != counters_.end())
+    return it->second->value();
+  if (auto it = gauges_.find(name); it != gauges_.end())
+    return it->second->value();
+  return 0;
+}
+
+}  // namespace typhoon::common

@@ -1,0 +1,120 @@
+// Bounded blocking multi-producer / multi-consumer queue.
+//
+// Used where back-pressure (not drop) is the right semantic: the Storm-
+// baseline per-connection transport (a TCP connection blocks the sender when
+// the receive window fills) and host-to-host tunnels. Close() releases all
+// waiters, which is how worker shutdown unblocks threads.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace typhoon::common {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  // Blocks while full. Returns false if the queue was closed.
+  bool push(T value) {
+    std::unique_lock lk(mu_);
+    not_full_.wait(lk, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Bounded-wait push; false when closed or still full after `timeout`
+  // (lets senders to a wedged consumer eventually give up — the TCP
+  // connection-timeout analog).
+  template <typename Rep, typename Period>
+  bool push_for(T value, std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lk(mu_);
+    if (!not_full_.wait_for(lk, timeout, [&] {
+          return closed_ || items_.size() < capacity_;
+        })) {
+      return false;
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Non-blocking push; false when full or closed.
+  bool try_push(T value) {
+    std::lock_guard lk(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while empty. nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lk(mu_);
+    not_empty_.wait(lk, [&] { return closed_ || !items_.empty(); });
+    return pop_locked();
+  }
+
+  std::optional<T> try_pop() {
+    std::lock_guard lk(mu_);
+    return pop_locked();
+  }
+
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> d) {
+    std::unique_lock lk(mu_);
+    not_empty_.wait_for(lk, d, [&] { return closed_ || !items_.empty(); });
+    return pop_locked();
+  }
+
+  void close() {
+    std::lock_guard lk(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lk(mu_);
+    return closed_;
+  }
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lk(mu_);
+    return items_.size();
+  }
+
+ private:
+  // GCC 12 issues a spurious -Wuninitialized on moving std::variant
+  // payloads out of the deque at -O2; the value is always constructed.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+  std::optional<T> pop_locked() {
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return v;
+  }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  const std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace typhoon::common

@@ -1,0 +1,57 @@
+#include "common/rate_limiter.h"
+
+#include <algorithm>
+
+namespace typhoon::common {
+
+RateLimiter::RateLimiter(double rate_per_sec)
+    : rate_(rate_per_sec),
+      tokens_(0.0),  // start empty: no start-up burst distorting rates
+      burst_(std::max(rate_per_sec / 50.0, 64.0)),  // ~20 ms of smoothing
+      last_refill_(Now()) {}
+
+void RateLimiter::refill_locked() {
+  const TimePoint now = Now();
+  const double elapsed =
+      std::chrono::duration<double>(now - last_refill_).count();
+  last_refill_ = now;
+  tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+}
+
+bool RateLimiter::try_acquire(double n) {
+  std::lock_guard lk(mu_);
+  if (rate_ <= 0.0) return true;
+  refill_locked();
+  if (tokens_ < n) return false;
+  tokens_ -= n;
+  return true;
+}
+
+void RateLimiter::acquire(double n) {
+  while (!try_acquire(n)) {
+    double wait_s;
+    {
+      std::lock_guard lk(mu_);
+      if (rate_ <= 0.0) return;
+      wait_s = (n - tokens_) / rate_;
+    }
+    wait_s = std::clamp(wait_s, 1e-5, 0.05);
+    SleepFor(std::chrono::duration_cast<Duration>(
+        std::chrono::duration<double>(wait_s)));
+  }
+}
+
+void RateLimiter::set_rate(double rate_per_sec) {
+  std::lock_guard lk(mu_);
+  refill_locked();
+  rate_ = rate_per_sec;
+  burst_ = std::max(rate_per_sec / 50.0, 64.0);
+  tokens_ = std::min(tokens_, burst_);
+}
+
+double RateLimiter::rate() const {
+  std::lock_guard lk(mu_);
+  return rate_;
+}
+
+}  // namespace typhoon::common

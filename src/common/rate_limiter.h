@@ -1,0 +1,38 @@
+// Token-bucket rate limiter. Backs the INPUT_RATE control tuple: the
+// controller can throttle a worker's input processing rate (Table 2), and
+// ACTIVATE/DEACTIVATE (un)throttle the first workers of a topology.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/clock.h"
+
+namespace typhoon::common {
+
+class RateLimiter {
+ public:
+  // rate_per_sec == 0 means unlimited.
+  explicit RateLimiter(double rate_per_sec = 0.0);
+
+  // Try to take `n` tokens; true if allowed now.
+  bool try_acquire(double n = 1.0);
+
+  // Block (sleep) until `n` tokens are available. Returns immediately when
+  // unlimited. Not intended for many concurrent callers.
+  void acquire(double n = 1.0);
+
+  void set_rate(double rate_per_sec);
+  [[nodiscard]] double rate() const;
+
+ private:
+  void refill_locked();
+
+  mutable std::mutex mu_;
+  double rate_;         // tokens per second; 0 = unlimited
+  double tokens_;       // current bucket level
+  double burst_;        // bucket capacity
+  TimePoint last_refill_;
+};
+
+}  // namespace typhoon::common

@@ -1,0 +1,100 @@
+// Lightweight Status / Result<T> error propagation. The data plane never
+// throws; configuration and control-plane entry points return these.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace typhoon::common {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kUnavailable,
+  kResourceExhausted,
+  kInternal,
+};
+
+[[nodiscard]] constexpr const char* ErrorCodeName(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status{}; }
+
+  [[nodiscard]] bool ok() const { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+  [[nodiscard]] std::string str() const {
+    return ok() ? "OK" : std::string(ErrorCodeName(code_)) + ": " + message_;
+  }
+  explicit operator bool() const { return ok(); }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status InvalidArgument(std::string m) {
+  return {ErrorCode::kInvalidArgument, std::move(m)};
+}
+inline Status NotFound(std::string m) {
+  return {ErrorCode::kNotFound, std::move(m)};
+}
+inline Status AlreadyExists(std::string m) {
+  return {ErrorCode::kAlreadyExists, std::move(m)};
+}
+inline Status FailedPrecondition(std::string m) {
+  return {ErrorCode::kFailedPrecondition, std::move(m)};
+}
+inline Status Unavailable(std::string m) {
+  return {ErrorCode::kUnavailable, std::move(m)};
+}
+inline Status ResourceExhausted(std::string m) {
+  return {ErrorCode::kResourceExhausted, std::move(m)};
+}
+inline Status Internal(std::string m) {
+  return {ErrorCode::kInternal, std::move(m)};
+}
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}                 // NOLINT implicit
+  Result(Status status) : v_(std::move(status)) {}          // NOLINT implicit
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& { return std::get<T>(v_); }
+  [[nodiscard]] T& value() & { return std::get<T>(v_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(v_)); }
+
+  [[nodiscard]] Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(v_);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace typhoon::common

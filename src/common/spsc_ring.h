@@ -1,0 +1,76 @@
+// Lock-free single-producer / single-consumer ring buffer.
+//
+// This is the DPDK-shared-memory-ring analog from the paper's data-plane
+// implementation (Fig 7): each worker is attached to its host's software
+// switch through a pair of these rings (TX and RX). Capacity is rounded up
+// to a power of two; a full ring rejects the push, which models switch-side
+// TX/RX queue overflow (Sec 8, "Packet loss in software SDN switches").
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace typhoon::common {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity)
+      : mask_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity) - 1),
+        slots_(mask_ + 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // Producer side. Returns false when the ring is full (packet drop).
+  bool try_push(T value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) return false;
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side.
+  std::optional<T> try_pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return std::nullopt;
+    T v = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return v;
+  }
+
+  // Consumer-side batch drain into `out`; returns the number popped.
+  template <typename OutIt>
+  std::size_t pop_bulk(OutIt out, std::size_t max) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    std::size_t n = head - tail;
+    if (n > max) n = max;
+    for (std::size_t i = 0; i < n; ++i) {
+      *out++ = std::move(slots_[(tail + i) & mask_]);
+    }
+    tail_.store(tail + n, std::memory_order_release);
+    return n;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  const std::size_t mask_;
+  std::vector<T> slots_;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace typhoon::common

@@ -1,0 +1,111 @@
+#include "controller/apps/auto_scaler.h"
+
+#include "common/log.h"
+#include "stream/physical.h"
+
+namespace typhoon::controller {
+
+AutoScaler::AutoScaler(AutoScalerPolicy policy, ReconfigureFn reconfigure)
+    : policy_(std::move(policy)), reconfigure_(std::move(reconfigure)) {}
+
+AutoScaler::~AutoScaler() { join_worker(); }
+
+void AutoScaler::join_worker() {
+  if (op_thread_.joinable()) op_thread_.join();
+}
+
+void AutoScaler::on_stop() { join_worker(); }
+
+void AutoScaler::launch(stream::ReconfigRequest req, bool up) {
+  join_worker();
+  in_flight_.store(true);
+  op_thread_ = std::thread([this, req = std::move(req), up] {
+    const common::Status st = reconfigure_(req);
+    if (st.ok()) {
+      (up ? scale_ups_ : scale_downs_).fetch_add(1);
+      LOG_INFO("auto-scaler") << (up ? "scaled up " : "scaled down ")
+                              << req.topology << "/" << req.node;
+    } else {
+      LOG_WARN("auto-scaler") << "reconfiguration failed: " << st.str();
+    }
+    in_flight_.store(false);
+  });
+}
+
+void AutoScaler::tick() {
+  if (in_flight_.load()) return;
+
+  // Resolve the watched node's workers from the controller's mirrored
+  // global state.
+  std::optional<stream::TopologySpec> spec;
+  std::optional<stream::PhysicalTopology> phys;
+  for (TopologyId id : ctl_->topology_ids()) {
+    auto s = ctl_->spec(id);
+    if (s && s->name == policy_.topology) {
+      spec = s;
+      phys = ctl_->physical(id);
+      break;
+    }
+  }
+  if (!spec || !phys) return;
+  const stream::NodeSpec* node = spec->node_by_name(policy_.node);
+  if (node == nullptr) return;
+  const std::vector<WorkerId> workers = phys->worker_ids_of(node->id);
+  if (workers.empty()) return;
+
+  // Application-layer metric pull: queue depths from the coordinator.
+  std::int64_t total = 0;
+  int counted = 0;
+  for (WorkerId w : workers) {
+    auto depth = ctl_->coord()->get_str(
+        stream::WorkerStatsPath(policy_.topology, w, "queue_depth"));
+    if (!depth) continue;
+    total += std::strtoll(depth->c_str(), nullptr, 10);
+    ++counted;
+  }
+  if (counted == 0) return;
+  const std::int64_t avg = total / counted;
+  last_avg_queue_.store(avg);
+
+  if (avg >= policy_.queue_high) {
+    ++high_streak_;
+    low_streak_ = 0;
+  } else if (avg <= policy_.queue_low) {
+    ++low_streak_;
+    high_streak_ = 0;
+  } else {
+    high_streak_ = 0;
+    low_streak_ = 0;
+  }
+
+  const common::TimePoint now = common::Now();
+  if (last_action_ != common::TimePoint{} &&
+      now - last_action_ < policy_.cooldown) {
+    return;
+  }
+
+  if (high_streak_ >= policy_.consecutive &&
+      node->parallelism < policy_.max_parallelism) {
+    high_streak_ = 0;
+    last_action_ = now;
+    stream::ReconfigRequest req;
+    req.kind = stream::ReconfigRequest::Kind::kScaleUp;
+    req.topology = policy_.topology;
+    req.node = policy_.node;
+    req.count = 1;
+    launch(std::move(req), /*up=*/true);
+  } else if (policy_.enable_scale_down &&
+             low_streak_ >= policy_.consecutive &&
+             node->parallelism > policy_.min_parallelism) {
+    low_streak_ = 0;
+    last_action_ = now;
+    stream::ReconfigRequest req;
+    req.kind = stream::ReconfigRequest::Kind::kScaleDown;
+    req.topology = policy_.topology;
+    req.node = policy_.node;
+    req.count = 1;
+    launch(std::move(req), /*up=*/false);
+  }
+}
+
+}  // namespace typhoon::controller

@@ -1,0 +1,71 @@
+#include "controller/apps/fault_detector.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace typhoon::controller {
+
+void FaultDetector::push_routing(TopologyId topology,
+                                 const stream::PhysicalWorker& w) {
+  auto spec = ctl_->spec(topology);
+  auto phys = ctl_->physical(topology);
+  if (!spec || !phys) return;
+
+  std::set<WorkerId> down;
+  {
+    std::lock_guard lk(mu_);
+    down = down_[topology];
+  }
+
+  // Surviving next hops for the affected node.
+  std::vector<WorkerId> hops;
+  for (WorkerId id : phys->worker_ids_of(w.node)) {
+    if (!down.contains(id)) hops.push_back(id);
+  }
+  if (hops.empty()) {
+    LOG_WARN("fault-detector") << "node " << w.node
+                               << " has no surviving workers";
+    return;
+  }
+
+  for (const stream::EdgeSpec& e : spec->in_edges(w.node)) {
+    stream::RoutingUpdate ru;
+    ru.to_node = w.node;
+    ru.state.type = e.grouping;
+    ru.state.key_indices = e.key_indices;
+    ru.state.next_hops = hops;
+    for (WorkerId pred : phys->worker_ids_of(e.from)) {
+      if (down.contains(pred)) continue;
+      ctl_->send_routing_update(*phys, pred, ru);
+    }
+  }
+}
+
+void FaultDetector::on_port_status(HostId host,
+                                   const openflow::PortStatus& ev) {
+  auto ref = ctl_->worker_by_port(host, ev.port);
+  if (!ref) return;
+
+  if (ev.reason == openflow::PortReason::kDelete) {
+    {
+      std::lock_guard lk(mu_);
+      if (!down_[ref->topology].insert(ref->worker.id).second) return;
+    }
+    detected_.fetch_add(1);
+    LOG_INFO("fault-detector")
+        << "port removal on host" << host << " -> worker w" << ref->worker.id
+        << " dead; rerouting predecessors";
+    push_routing(ref->topology, ref->worker);
+  } else if (ev.reason == openflow::PortReason::kAdd) {
+    {
+      std::lock_guard lk(mu_);
+      auto it = down_.find(ref->topology);
+      if (it == down_.end() || it->second.erase(ref->worker.id) == 0) return;
+    }
+    recovered_.fetch_add(1);
+    push_routing(ref->topology, ref->worker);
+  }
+}
+
+}  // namespace typhoon::controller

@@ -1,0 +1,40 @@
+// FaultDetector control-plane app (Sec 4, evaluated in Sec 6.2 / Fig 10).
+//
+// Instead of waiting for heartbeat timeouts, it reacts to the switch's
+// unexpected port-removal event (SwitchPortChanged): the dead worker is
+// immediately removed from every predecessor's routing state via ROUTING
+// control tuples, so traffic shifts to surviving siblings well before the
+// streaming manager re-schedules the worker. When the port reappears (local
+// restart or reschedule), the worker is re-included.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "controller/controller.h"
+
+namespace typhoon::controller {
+
+class FaultDetector final : public ControlPlaneApp {
+ public:
+  [[nodiscard]] const char* name() const override { return "fault-detector"; }
+
+  void on_port_status(HostId host, const openflow::PortStatus& ev) override;
+
+  [[nodiscard]] std::int64_t faults_detected() const {
+    return detected_.load();
+  }
+  [[nodiscard]] std::int64_t recoveries() const { return recovered_.load(); }
+
+ private:
+  void push_routing(TopologyId topology, const stream::PhysicalWorker& w);
+
+  std::mutex mu_;
+  std::map<TopologyId, std::set<WorkerId>> down_;
+  std::atomic<std::int64_t> detected_{0};
+  std::atomic<std::int64_t> recovered_{0};
+};
+
+}  // namespace typhoon::controller

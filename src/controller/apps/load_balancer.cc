@@ -1,0 +1,192 @@
+#include "controller/apps/load_balancer.h"
+
+#include "common/log.h"
+#include "net/packet.h"
+
+namespace typhoon::controller {
+
+using openflow::ActionGroup;
+using openflow::ActionOutput;
+using openflow::ActionSetDlDst;
+using openflow::ActionSetTunDst;
+using openflow::FlowRule;
+using openflow::GroupBucket;
+using openflow::GroupMod;
+
+std::vector<GroupBucket> LoadBalancer::make_buckets(
+    TopologyId topology, HostId src_host,
+    const std::vector<stream::PhysicalWorker>& dests,
+    const std::map<WorkerId, std::uint32_t>& weights) {
+  std::vector<GroupBucket> buckets;
+  buckets.reserve(dests.size());
+  for (const stream::PhysicalWorker& d : dests) {
+    GroupBucket b;
+    auto it = weights.find(d.id);
+    b.weight = it == weights.end() ? 1 : std::max<std::uint32_t>(1, it->second);
+    b.actions.push_back(
+        ActionSetDlDst{WorkerAddress{topology, d.id}.packed()});
+    if (d.host == src_host) {
+      b.actions.push_back(ActionOutput{d.port});
+    } else {
+      b.actions.push_back(ActionSetTunDst{d.host});
+      b.actions.push_back(ActionOutput{switchd::SoftSwitch::kTunnelPort});
+    }
+    buckets.push_back(std::move(b));
+  }
+  return buckets;
+}
+
+common::Status LoadBalancer::enable(TopologyId topology,
+                                    const std::string& from_node,
+                                    const std::string& to_node) {
+  auto spec = ctl_->spec(topology);
+  auto phys = ctl_->physical(topology);
+  if (!spec || !phys) return common::NotFound("topology");
+  const stream::NodeSpec* from = spec->node_by_name(from_node);
+  const stream::NodeSpec* to = spec->node_by_name(to_node);
+  if (from == nullptr || to == nullptr) return common::NotFound("node");
+
+  Session session;
+  session.dests = phys->workers_of(to->id);
+  if (session.dests.empty()) return common::NotFound("destinations");
+
+  const std::map<WorkerId, std::uint32_t> equal;  // all weight 1
+  for (const stream::PhysicalWorker& s : phys->workers_of(from->id)) {
+    switchd::SoftSwitch* sw = ctl_->switch_at(s.host);
+    if (sw == nullptr) continue;
+
+    SrcGroup g;
+    g.host = s.host;
+    g.group_id = ctl_->next_group_id();
+    g.src_port = s.port;
+    g.src_addr = WorkerAddress{topology, s.id}.packed();
+
+    GroupMod gm;
+    gm.command = GroupMod::Command::kAdd;
+    gm.group_id = g.group_id;
+    gm.type = openflow::GroupType::kSelect;
+    gm.buckets = make_buckets(topology, s.host, session.dests, equal);
+    sw->handle_group_mod(gm);
+
+    // Redirect rules: every (src, original-dst) pair is captured at a
+    // priority above the plain data rules and steered through the group.
+    for (const stream::PhysicalWorker& d : session.dests) {
+      FlowRule r;
+      r.priority = kPrioLoadBalance;
+      r.cookie = topology;
+      r.match.in_port = s.port;
+      r.match.dl_src = g.src_addr;
+      r.match.dl_dst = WorkerAddress{topology, d.id}.packed();
+      r.match.ether_type = net::kTyphoonEtherType;
+      r.actions = {ActionGroup{g.group_id}};
+      sw->handle_flow_mod({openflow::FlowModCommand::kAdd, r});
+    }
+    session.groups.push_back(g);
+  }
+
+  std::lock_guard lk(mu_);
+  sessions_[Key{topology, from->id, to->id}] = std::move(session);
+  return common::Status::Ok();
+}
+
+common::Status LoadBalancer::disable(TopologyId topology,
+                                     const std::string& from_node,
+                                     const std::string& to_node) {
+  auto spec = ctl_->spec(topology);
+  if (!spec) return common::NotFound("topology");
+  const stream::NodeSpec* from = spec->node_by_name(from_node);
+  const stream::NodeSpec* to = spec->node_by_name(to_node);
+  if (from == nullptr || to == nullptr) return common::NotFound("node");
+
+  Session session;
+  {
+    std::lock_guard lk(mu_);
+    auto it = sessions_.find(Key{topology, from->id, to->id});
+    if (it == sessions_.end()) return common::NotFound("session");
+    session = std::move(it->second);
+    sessions_.erase(it);
+  }
+  for (const SrcGroup& g : session.groups) {
+    switchd::SoftSwitch* sw = ctl_->switch_at(g.host);
+    if (sw == nullptr) continue;
+    for (const stream::PhysicalWorker& d : session.dests) {
+      openflow::FlowRule r;
+      r.priority = kPrioLoadBalance;
+      r.match.in_port = g.src_port;
+      r.match.dl_src = g.src_addr;
+      r.match.dl_dst = WorkerAddress{topology, d.id}.packed();
+      r.match.ether_type = net::kTyphoonEtherType;
+      sw->handle_flow_mod({openflow::FlowModCommand::kDelete, r});
+    }
+    GroupMod gm;
+    gm.command = GroupMod::Command::kDelete;
+    gm.group_id = g.group_id;
+    sw->handle_group_mod(gm);
+  }
+  return common::Status::Ok();
+}
+
+common::Status LoadBalancer::apply_weights(
+    const Session& s, TopologyId topology,
+    const std::map<WorkerId, std::uint32_t>& weights) {
+  for (const SrcGroup& g : s.groups) {
+    switchd::SoftSwitch* sw = ctl_->switch_at(g.host);
+    if (sw == nullptr) continue;
+    GroupMod gm;
+    gm.command = GroupMod::Command::kModify;
+    gm.group_id = g.group_id;
+    gm.type = openflow::GroupType::kSelect;
+    gm.buckets = make_buckets(topology, g.host, s.dests, weights);
+    sw->handle_group_mod(gm);
+  }
+  rebalances_.fetch_add(1);
+  return common::Status::Ok();
+}
+
+common::Status LoadBalancer::set_weights(
+    TopologyId topology, const std::string& from_node,
+    const std::string& to_node,
+    const std::map<WorkerId, std::uint32_t>& weights) {
+  auto spec = ctl_->spec(topology);
+  if (!spec) return common::NotFound("topology");
+  const stream::NodeSpec* from = spec->node_by_name(from_node);
+  const stream::NodeSpec* to = spec->node_by_name(to_node);
+  if (from == nullptr || to == nullptr) return common::NotFound("node");
+
+  std::lock_guard lk(mu_);
+  auto it = sessions_.find(Key{topology, from->id, to->id});
+  if (it == sessions_.end()) return common::NotFound("session");
+  return apply_weights(it->second, topology, weights);
+}
+
+void LoadBalancer::tick() {
+  if (!auto_rebalance_.load()) return;
+
+  std::map<Key, Session> sessions;
+  {
+    std::lock_guard lk(mu_);
+    sessions = sessions_;
+  }
+  for (const auto& [key, session] : sessions) {
+    auto spec = ctl_->spec(key.topology);
+    if (!spec) continue;
+
+    // Weight inversely proportional to each destination's queue depth.
+    std::int64_t max_q = 0;
+    std::map<WorkerId, std::int64_t> depths;
+    for (const stream::PhysicalWorker& d : session.dests) {
+      auto s = ctl_->coord()->get_str(
+          stream::WorkerStatsPath(spec->name, d.id, "queue_depth"));
+      const std::int64_t q = s ? std::strtoll(s->c_str(), nullptr, 10) : 0;
+      depths[d.id] = q;
+      max_q = std::max(max_q, q);
+    }
+    std::map<WorkerId, std::uint32_t> weights;
+    for (const auto& [id, q] : depths) {
+      weights[id] = static_cast<std::uint32_t>(max_q - q + 1);
+    }
+    apply_weights(session, key.topology, weights);
+  }
+}
+
+}  // namespace typhoon::controller

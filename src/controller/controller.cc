@@ -1,0 +1,344 @@
+#include "controller/controller.h"
+
+#include "common/log.h"
+#include "net/packetizer.h"
+#include "stream/tuple.h"
+
+namespace typhoon::controller {
+
+net::PacketPtr BuildControlPacket(TopologyId topology, WorkerId dst,
+                                  const stream::ControlTuple& ct) {
+  const common::Bytes body = stream::EncodeControl(ct);
+  net::Packet p;
+  p.src = WorkerAddress{topology, kControllerWorker};
+  p.dst = WorkerAddress{topology, dst};
+
+  net::ChunkHeader h;
+  h.stream_id = stream::kControlStream;
+  h.flags = net::kChunkFlagControl;
+  h.tuple_seq = 0;
+  h.chunk_len = static_cast<std::uint32_t>(body.size());
+  common::BufWriter w(p.payload);
+  net::EncodeChunkHeader(h, w);
+  w.raw(body);
+  return net::MakePacket(std::move(p));
+}
+
+TyphoonController::TyphoonController(coordinator::Coordinator* coord,
+                                     ControllerOptions opts)
+    : coord_(coord), opts_(opts), compiler_(opts.rules), events_q_(8192) {}
+
+TyphoonController::~TyphoonController() { stop(); }
+
+void TyphoonController::add_switch(HostId host, switchd::SoftSwitch* sw) {
+  {
+    std::lock_guard lk(mu_);
+    switches_[host] = sw;
+  }
+  sw->set_event_sink([this](HostId h, switchd::SwitchEvent ev) {
+    events_.fetch_add(1, std::memory_order_relaxed);
+    events_q_.try_push({h, std::move(ev)});
+  });
+}
+
+switchd::SoftSwitch* TyphoonController::switch_at(HostId host) const {
+  std::lock_guard lk(mu_);
+  auto it = switches_.find(host);
+  return it == switches_.end() ? nullptr : it->second;
+}
+
+std::vector<HostId> TyphoonController::hosts() const {
+  std::lock_guard lk(mu_);
+  std::vector<HostId> out;
+  out.reserve(switches_.size());
+  for (const auto& [h, sw] : switches_) out.push_back(h);
+  return out;
+}
+
+void TyphoonController::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  thread_ = std::thread([this] { run(); });
+}
+
+void TyphoonController::stop() {
+  if (!running_.exchange(false)) return;
+  events_q_.close();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard lk(mu_);
+  for (auto& app : apps_) app->on_stop();
+}
+
+void TyphoonController::install(const RulesByHost& rules) {
+  for (const auto& [host, host_rules] : rules) {
+    switchd::SoftSwitch* sw = switch_at(host);
+    if (sw == nullptr) continue;
+    for (const openflow::FlowRule& r : host_rules) {
+      sw->handle_flow_mod({openflow::FlowModCommand::kAdd, r});
+    }
+  }
+}
+
+void TyphoonController::on_topology_deployed(
+    const stream::TopologySpec& spec, const stream::PhysicalTopology& phys) {
+  {
+    std::lock_guard lk(mu_);
+    topologies_[spec.id] = TopoState{spec, phys};
+  }
+  install(compiler_.compile(spec, phys));
+  LOG_INFO("controller") << "installed rules for topology " << spec.name;
+}
+
+void TyphoonController::on_workers_added(
+    const stream::TopologySpec& spec, const stream::PhysicalTopology& phys,
+    const std::vector<stream::PhysicalWorker>& added) {
+  (void)added;
+  {
+    std::lock_guard lk(mu_);
+    topologies_[spec.id] = TopoState{spec, phys};
+  }
+  // Idempotent full re-install: new pairs appear, existing rules replaced
+  // in place.
+  install(compiler_.compile(spec, phys));
+}
+
+void TyphoonController::on_workers_removed(
+    const stream::TopologySpec& spec, const stream::PhysicalTopology& phys,
+    const std::vector<stream::PhysicalWorker>& removed) {
+  {
+    std::lock_guard lk(mu_);
+    topologies_[spec.id] = TopoState{spec, phys};
+  }
+  std::vector<switchd::SoftSwitch*> sws;
+  {
+    std::lock_guard lk(mu_);
+    for (auto& [h, sw] : switches_) sws.push_back(sw);
+  }
+  for (const stream::PhysicalWorker& w : removed) {
+    const std::uint64_t addr = WorkerAddress{spec.id, w.id}.packed();
+    for (switchd::SoftSwitch* sw : sws) sw->remove_rules_mentioning(addr);
+  }
+  // Re-install so broadcast rules shrink to the remaining destinations.
+  install(compiler_.compile(spec, phys));
+}
+
+void TyphoonController::send_routing_update(
+    const stream::PhysicalTopology& phys, WorkerId target,
+    const stream::RoutingUpdate& update) {
+  stream::ControlTuple ct;
+  ct.type = stream::ControlType::kRouting;
+  ct.routing = update;
+  (void)send_control(phys.id, target, ct);
+}
+
+void TyphoonController::send_signal(const stream::PhysicalTopology& phys,
+                                    WorkerId target, const std::string& tag) {
+  stream::ControlTuple ct;
+  ct.type = stream::ControlType::kSignal;
+  ct.signal_tag = tag;
+  (void)send_control(phys.id, target, ct);
+}
+
+void TyphoonController::send_control_tuple(
+    const stream::PhysicalTopology& phys, WorkerId target,
+    const stream::ControlTuple& ct) {
+  (void)send_control(phys.id, target, ct);
+}
+
+void TyphoonController::on_topology_killed(TopologyId id) {
+  std::vector<switchd::SoftSwitch*> sws;
+  {
+    std::lock_guard lk(mu_);
+    topologies_.erase(id);
+    for (auto& [h, sw] : switches_) sws.push_back(sw);
+  }
+  for (switchd::SoftSwitch* sw : sws) sw->remove_rules_by_cookie(id);
+}
+
+common::Status TyphoonController::send_control(TopologyId topology,
+                                               WorkerId dst,
+                                               const stream::ControlTuple& ct) {
+  stream::PhysicalTopology phys;
+  {
+    std::lock_guard lk(mu_);
+    auto it = topologies_.find(topology);
+    if (it == topologies_.end()) {
+      return common::NotFound("topology " + std::to_string(topology));
+    }
+    phys = it->second.physical;
+  }
+  const stream::PhysicalWorker* w = phys.worker(dst);
+  if (w == nullptr) {
+    return common::NotFound("worker w" + std::to_string(dst));
+  }
+  switchd::SoftSwitch* sw = switch_at(w->host);
+  if (sw == nullptr) return common::NotFound("switch for host");
+  sw->handle_packet_out({BuildControlPacket(topology, dst, ct),
+                         kPortController});
+  return common::Status::Ok();
+}
+
+common::Result<stream::MetricReport> TyphoonController::query_worker_metrics(
+    TopologyId topology, WorkerId worker, std::chrono::milliseconds timeout) {
+  const std::uint64_t req_id = next_request_.fetch_add(1);
+  auto pending = std::make_shared<PendingQuery>();
+  {
+    std::lock_guard lk(mu_);
+    pending_[req_id] = pending;
+  }
+  stream::ControlTuple ct;
+  ct.type = stream::ControlType::kMetricReq;
+  ct.request_id = req_id;
+  if (common::Status st = send_control(topology, worker, ct); !st.ok()) {
+    std::lock_guard lk(mu_);
+    pending_.erase(req_id);
+    return st;
+  }
+  const common::TimePoint deadline = common::Now() + timeout;
+  while (!pending->done.load(std::memory_order_acquire)) {
+    if (common::Now() > deadline) {
+      std::lock_guard lk(mu_);
+      pending_.erase(req_id);
+      return common::Unavailable("metric query timed out");
+    }
+    common::SleepFor(std::chrono::microseconds(200));
+  }
+  {
+    std::lock_guard lk(mu_);
+    pending_.erase(req_id);
+  }
+  return pending->report;
+}
+
+std::vector<openflow::PortStats> TyphoonController::port_stats(
+    HostId host) const {
+  switchd::SoftSwitch* sw = switch_at(host);
+  return sw == nullptr ? std::vector<openflow::PortStats>{} : sw->port_stats();
+}
+
+std::vector<openflow::FlowStats> TyphoonController::flow_stats(
+    HostId host, std::optional<std::uint64_t> cookie) const {
+  switchd::SoftSwitch* sw = switch_at(host);
+  return sw == nullptr ? std::vector<openflow::FlowStats>{}
+                       : sw->flow_stats(cookie);
+}
+
+std::optional<stream::TopologySpec> TyphoonController::spec(
+    TopologyId id) const {
+  std::lock_guard lk(mu_);
+  auto it = topologies_.find(id);
+  if (it == topologies_.end()) return std::nullopt;
+  return it->second.spec;
+}
+
+std::optional<stream::PhysicalTopology> TyphoonController::physical(
+    TopologyId id) const {
+  std::lock_guard lk(mu_);
+  auto it = topologies_.find(id);
+  if (it == topologies_.end()) return std::nullopt;
+  return it->second.physical;
+}
+
+std::vector<TopologyId> TyphoonController::topology_ids() const {
+  std::lock_guard lk(mu_);
+  std::vector<TopologyId> out;
+  for (const auto& [id, st] : topologies_) out.push_back(id);
+  return out;
+}
+
+std::optional<TyphoonController::WorkerRef> TyphoonController::worker_by_port(
+    HostId host, PortId port) const {
+  std::lock_guard lk(mu_);
+  for (const auto& [id, st] : topologies_) {
+    for (const stream::PhysicalWorker& w : st.physical.workers) {
+      if (w.host == host && w.port == port) return WorkerRef{id, w};
+    }
+  }
+  return std::nullopt;
+}
+
+void TyphoonController::add_app(std::unique_ptr<ControlPlaneApp> app) {
+  ControlPlaneApp* raw = app.get();
+  {
+    std::lock_guard lk(mu_);
+    apps_.push_back(std::move(app));
+  }
+  raw->on_start(*this);
+}
+
+ControlPlaneApp* TyphoonController::app(const std::string& name) const {
+  std::lock_guard lk(mu_);
+  for (const auto& a : apps_) {
+    if (name == a->name()) return a.get();
+  }
+  return nullptr;
+}
+
+void TyphoonController::handle_event(HostId host, switchd::SwitchEvent ev) {
+  // Internal handling first: METRIC_RESP PacketIns fulfill pending queries.
+  if (const auto* pin = std::get_if<openflow::PacketIn>(&ev)) {
+    common::BufReader r(pin->packet->payload);
+    net::ChunkHeader h;
+    std::span<const std::uint8_t> body;
+    if (net::DecodeChunkHeader(r, h) && r.view(h.chunk_len, body) &&
+        h.control()) {
+      stream::ControlTuple ct;
+      if (stream::DecodeControl(body, ct) &&
+          ct.type == stream::ControlType::kMetricResp && ct.report) {
+        std::shared_ptr<PendingQuery> pending;
+        {
+          std::lock_guard lk(mu_);
+          auto it = pending_.find(ct.report->request_id);
+          if (it != pending_.end()) pending = it->second;
+        }
+        if (pending) {
+          pending->report = *ct.report;
+          pending->done.store(true, std::memory_order_release);
+        }
+      }
+    }
+  }
+
+  std::vector<ControlPlaneApp*> apps;
+  {
+    std::lock_guard lk(mu_);
+    apps.reserve(apps_.size());
+    for (const auto& a : apps_) apps.push_back(a.get());
+  }
+  for (ControlPlaneApp* a : apps) {
+    std::visit(
+        [&](const auto& e) {
+          using T = std::decay_t<decltype(e)>;
+          if constexpr (std::is_same_v<T, openflow::PacketIn>) {
+            a->on_packet_in(host, e);
+          } else if constexpr (std::is_same_v<T, openflow::PortStatus>) {
+            a->on_port_status(host, e);
+          } else if constexpr (std::is_same_v<T, openflow::FlowRemoved>) {
+            a->on_flow_removed(host, e);
+          }
+        },
+        ev);
+  }
+}
+
+void TyphoonController::run() {
+  common::TimePoint last_tick = common::Now();
+  while (running_.load(std::memory_order_relaxed)) {
+    auto item = events_q_.pop_for(std::chrono::milliseconds(5));
+    if (item) handle_event(item->first, std::move(item->second));
+
+    const common::TimePoint now = common::Now();
+    if (now - last_tick >= opts_.tick_interval) {
+      last_tick = now;
+      std::vector<ControlPlaneApp*> apps;
+      {
+        std::lock_guard lk(mu_);
+        apps.reserve(apps_.size());
+        for (const auto& a : apps_) apps.push_back(a.get());
+      }
+      for (ControlPlaneApp* a : apps) a->tick();
+    }
+  }
+}
+
+}  // namespace typhoon::controller

@@ -1,0 +1,153 @@
+// TyphoonController — the SDN controller (Floodlight analog, Sec 3.4).
+//
+// A unified management layer: it programs data-tuple transport among
+// workers with flow rules (FlowMod), and controls stream applications and
+// the framework layer indirectly through control tuples carried in
+// PacketOut messages. It stays stateless with respect to stream
+// applications in the ZooKeeper sense — global state is written to the
+// coordinator by the streaming manager and mirrored here on notification —
+// and exposes cross-layer information (port/flow stats, port events, worker
+// metrics) to control-plane applications.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/mpmc_queue.h"
+#include "common/result.h"
+#include "controller/app.h"
+#include "controller/rule_compiler.h"
+#include "coordinator/coordinator.h"
+#include "stream/control_tuple.h"
+#include "stream/sdn_hooks.h"
+#include "switchd/soft_switch.h"
+
+namespace typhoon::controller {
+
+struct ControllerOptions {
+  std::chrono::milliseconds tick_interval{50};
+  RuleCompilerConfig rules;
+};
+
+// Build the Ethernet packet carrying one control tuple (controller ->
+// worker, Table 2/3).
+net::PacketPtr BuildControlPacket(TopologyId topology, WorkerId dst,
+                                  const stream::ControlTuple& ct);
+
+class TyphoonController final : public stream::SdnHooks {
+ public:
+  explicit TyphoonController(coordinator::Coordinator* coord,
+                             ControllerOptions opts = {});
+  ~TyphoonController() override;
+
+  // Wire up a host switch (registers this controller as its event sink).
+  void add_switch(HostId host, switchd::SoftSwitch* sw);
+  [[nodiscard]] switchd::SoftSwitch* switch_at(HostId host) const;
+
+  void start();
+  void stop();
+
+  // ---- SdnHooks (driven by the streaming manager) ----
+  void on_topology_deployed(const stream::TopologySpec& spec,
+                            const stream::PhysicalTopology& phys) override;
+  void on_workers_added(
+      const stream::TopologySpec& spec,
+      const stream::PhysicalTopology& phys,
+      const std::vector<stream::PhysicalWorker>& added) override;
+  void on_workers_removed(
+      const stream::TopologySpec& spec,
+      const stream::PhysicalTopology& phys,
+      const std::vector<stream::PhysicalWorker>& removed) override;
+  void send_routing_update(const stream::PhysicalTopology& phys,
+                           WorkerId target,
+                           const stream::RoutingUpdate& update) override;
+  void send_signal(const stream::PhysicalTopology& phys, WorkerId target,
+                   const std::string& tag) override;
+  void send_control_tuple(const stream::PhysicalTopology& phys,
+                          WorkerId target,
+                          const stream::ControlTuple& ct) override;
+  void on_topology_killed(TopologyId id) override;
+
+  // ---- services for apps and harnesses ----
+  // Inject a control tuple to a worker of a registered topology.
+  common::Status send_control(TopologyId topology, WorkerId dst,
+                              const stream::ControlTuple& ct);
+  // Application-layer statistics via METRIC_REQ / METRIC_RESP round trip.
+  common::Result<stream::MetricReport> query_worker_metrics(
+      TopologyId topology, WorkerId worker,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(500));
+
+  [[nodiscard]] std::vector<openflow::PortStats> port_stats(
+      HostId host) const;
+  [[nodiscard]] std::vector<openflow::FlowStats> flow_stats(
+      HostId host, std::optional<std::uint64_t> cookie = std::nullopt) const;
+
+  // Mirrored global state (learned via the coordinator-fed hooks).
+  [[nodiscard]] std::optional<stream::TopologySpec> spec(
+      TopologyId id) const;
+  [[nodiscard]] std::optional<stream::PhysicalTopology> physical(
+      TopologyId id) const;
+  [[nodiscard]] std::vector<TopologyId> topology_ids() const;
+  // Locate a worker by (host, port) — how apps resolve switch events back
+  // to application-layer entities.
+  struct WorkerRef {
+    TopologyId topology = 0;
+    stream::PhysicalWorker worker;
+  };
+  [[nodiscard]] std::optional<WorkerRef> worker_by_port(HostId host,
+                                                        PortId port) const;
+
+  void add_app(std::unique_ptr<ControlPlaneApp> app);
+  [[nodiscard]] ControlPlaneApp* app(const std::string& name) const;
+
+  [[nodiscard]] coordinator::Coordinator* coord() const { return coord_; }
+  [[nodiscard]] const RuleCompiler& compiler() const { return compiler_; }
+  [[nodiscard]] std::vector<HostId> hosts() const;
+
+  // Allocate an OpenFlow group id (load balancer app).
+  std::uint32_t next_group_id() { return next_group_.fetch_add(1); }
+
+  // Event counters (tests/benches).
+  [[nodiscard]] std::int64_t events_seen() const { return events_.load(); }
+
+ private:
+  void run();
+  void handle_event(HostId host, switchd::SwitchEvent ev);
+  void install(const RulesByHost& rules);
+
+  coordinator::Coordinator* coord_;
+  ControllerOptions opts_;
+  RuleCompiler compiler_;
+
+  mutable std::mutex mu_;
+  std::map<HostId, switchd::SoftSwitch*> switches_;
+  struct TopoState {
+    stream::TopologySpec spec;
+    stream::PhysicalTopology physical;
+  };
+  std::map<TopologyId, TopoState> topologies_;
+  std::vector<std::unique_ptr<ControlPlaneApp>> apps_;
+
+  // METRIC_REQ correlation.
+  struct PendingQuery {
+    stream::MetricReport report;
+    std::atomic<bool> done{false};
+  };
+  std::map<std::uint64_t, std::shared_ptr<PendingQuery>> pending_;
+  std::atomic<std::uint64_t> next_request_{1};
+  std::atomic<std::uint32_t> next_group_{1};
+
+  common::MpmcQueue<std::pair<HostId, switchd::SwitchEvent>> events_q_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::int64_t> events_{0};
+  std::thread thread_;
+};
+
+}  // namespace typhoon::controller

@@ -1,0 +1,84 @@
+#include "controller/cross_layer.h"
+
+#include <sstream>
+
+namespace typhoon::controller {
+
+common::Result<CrossLayerReport> BuildCrossLayerReport(
+    TyphoonController& controller, TopologyId topology,
+    std::chrono::milliseconds per_worker_timeout) {
+  auto spec = controller.spec(topology);
+  auto phys = controller.physical(topology);
+  if (!spec || !phys) return common::NotFound("topology");
+
+  CrossLayerReport report;
+  report.topology = topology;
+  report.name = spec->name;
+  report.version = phys->version;
+
+  // Network layer: one stats pull per host.
+  std::map<HostId, std::vector<openflow::PortStats>> port_stats;
+  for (HostId h : controller.hosts()) {
+    port_stats[h] = controller.port_stats(h);
+    report.rules_per_host[h] =
+        controller.flow_stats(h, spec->id).size();
+  }
+
+  for (const stream::PhysicalWorker& w : phys->workers) {
+    WorkerView view;
+    view.worker = w;
+    if (const stream::NodeSpec* n = spec->node(w.node)) {
+      view.node_name = n->name;
+    }
+    // Application layer via control tuples.
+    auto metrics =
+        controller.query_worker_metrics(topology, w.id, per_worker_timeout);
+    if (metrics.ok()) {
+      view.app_metrics_ok = true;
+      for (const auto& [name, value] : metrics.value().metrics) {
+        view.app_metrics[name] = value;
+      }
+    }
+    // Network layer: the worker's switch port.
+    for (const openflow::PortStats& ps : port_stats[w.host]) {
+      if (ps.port == w.port) view.port = ps;
+    }
+    report.workers.push_back(std::move(view));
+  }
+  return report;
+}
+
+std::string CrossLayerReport::str() const {
+  std::ostringstream os;
+  os << "topology '" << name << "' (id " << topology << ", physical v"
+     << version << ")\n";
+  os << "  rules:";
+  for (const auto& [host, n] : rules_per_host) {
+    os << " host" << host << "=" << n;
+  }
+  os << "\n";
+  char line[256];
+  std::snprintf(line, sizeof line, "  %-14s %-6s %-6s %12s %12s %10s %12s %12s\n",
+                "worker", "host", "port", "emitted", "received", "queue",
+                "port rx", "port tx");
+  os << line;
+  for (const WorkerView& w : workers) {
+    const auto get = [&](const char* k) -> std::int64_t {
+      auto it = w.app_metrics.find(k);
+      return it == w.app_metrics.end() ? -1 : it->second;
+    };
+    std::snprintf(line, sizeof line,
+                  "  %-3s[%d] w%-7llu %-6u %-6u %12lld %12lld %10lld %12llu %12llu\n",
+                  w.node_name.c_str(), w.worker.task_index,
+                  static_cast<unsigned long long>(w.worker.id), w.worker.host,
+                  w.worker.port, static_cast<long long>(get("emitted")),
+                  static_cast<long long>(get("received")),
+                  static_cast<long long>(get("queue_depth")),
+                  static_cast<unsigned long long>(w.port.rx_packets),
+                  static_cast<unsigned long long>(w.port.tx_packets));
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace typhoon::controller

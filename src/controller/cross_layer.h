@@ -1,0 +1,46 @@
+// Cross-layer visibility (Sec 3.4/4): the controller joins application-
+// layer worker statistics (METRIC_REQ/RESP control tuples) with network-
+// layer state (switch port counters, flow-rule counts) into one report —
+// the substrate every control-plane app builds on, exposed here for
+// operators and tests.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "controller/controller.h"
+
+namespace typhoon::controller {
+
+struct WorkerView {
+  stream::PhysicalWorker worker;
+  std::string node_name;
+  // Application layer (from the worker's framework layer, in-band).
+  std::map<std::string, std::int64_t> app_metrics;
+  bool app_metrics_ok = false;  // false: worker did not answer in time
+  // Network layer (from the host switch).
+  openflow::PortStats port;
+};
+
+struct CrossLayerReport {
+  TopologyId topology = 0;
+  std::string name;
+  std::uint64_t version = 0;
+  std::vector<WorkerView> workers;
+  std::map<HostId, std::size_t> rules_per_host;
+
+  // Human-readable table.
+  [[nodiscard]] std::string str() const;
+};
+
+// Query every worker of a topology plus its switches. `per_worker_timeout`
+// bounds each METRIC_REQ round trip.
+common::Result<CrossLayerReport> BuildCrossLayerReport(
+    TyphoonController& controller, TopologyId topology,
+    std::chrono::milliseconds per_worker_timeout =
+        std::chrono::milliseconds(300));
+
+}  // namespace typhoon::controller

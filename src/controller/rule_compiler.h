@@ -1,0 +1,60 @@
+// RuleCompiler — turns (TopologySpec, PhysicalTopology) into the exact SDN
+// flow-rule set of Table 3:
+//
+//   local transfer       in_port=src.port, dl_src=src, dl_dst=dst -> output dst.port
+//   remote (sender)      in_port=src.port, dl_src=src, dl_dst=dst -> set_tun_dst(peer), output TUNNEL
+//   remote (receiver)    in_port=TUNNEL,   dl_src=src, dl_dst=dst -> output dst.port
+//   one-to-many          in_port=src.port, dl_dst=BROADCAST       -> output all dst ports (+tunnels)
+//   controller -> worker in_port=CONTROLLER, dl_dst=worker        -> output worker.port
+//   worker -> controller in_port=worker.port, dl_dst=CONTROLLER   -> output CONTROLLER
+//
+// Every rule carries cookie = topology id, so a killed topology's rules are
+// swept in one call. Installation is idempotent (same match+priority
+// replaces), so the controller re-installs the full set after any change.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "openflow/flow.h"
+#include "stream/physical.h"
+
+namespace typhoon::controller {
+
+// Rules grouped by the host (switch) they must be installed on.
+using RulesByHost = std::map<HostId, std::vector<openflow::FlowRule>>;
+
+// Rule priorities, lowest to highest: data, SDN-load-balancer redirects,
+// control-tuple paths.
+inline constexpr std::uint16_t kPrioData = 100;
+inline constexpr std::uint16_t kPrioLoadBalance = 300;
+inline constexpr std::uint16_t kPrioControl = 400;
+
+struct RuleCompilerConfig {
+  // Idle timeout for per-pair data rules; 0 = permanent. Stale rules of
+  // removed workers age out with this (Sec 3.5).
+  std::uint32_t data_rule_idle_timeout_s = 0;
+};
+
+class RuleCompiler {
+ public:
+  explicit RuleCompiler(RuleCompilerConfig cfg = {}) : cfg_(cfg) {}
+
+  // Full Table 3 rule set for a topology.
+  [[nodiscard]] RulesByHost compile(
+      const stream::TopologySpec& spec,
+      const stream::PhysicalTopology& phys) const;
+
+ private:
+  void emit_data_rules(const stream::TopologySpec& spec,
+                       const stream::PhysicalTopology& phys,
+                       const stream::PhysicalWorker& src,
+                       RulesByHost& out) const;
+  void emit_control_rules(const stream::TopologySpec& spec,
+                          const stream::PhysicalWorker& w,
+                          RulesByHost& out) const;
+
+  RuleCompilerConfig cfg_;
+};
+
+}  // namespace typhoon::controller

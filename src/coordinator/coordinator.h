@@ -1,0 +1,127 @@
+// Coordinator — the central coordination service (ZooKeeper analog, Table 1).
+//
+// A hierarchical, versioned key-value tree with persistent watches and
+// ephemeral nodes tied to sessions. All Typhoon global state flows through
+// here: the streaming manager writes logical/physical topologies, the SDN
+// controller reads them (and writes reconfiguration options), worker agents
+// register themselves and learn of assignments via watches, and workers
+// publish heartbeats.
+//
+// Differences from real ZooKeeper, chosen for an in-process substrate:
+// watches are persistent (no re-arm dance), intermediate znodes are created
+// implicitly, and callbacks run synchronously on the mutating thread after
+// the tree lock is released.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace typhoon::coordinator {
+
+enum class WatchEvent { kCreated, kDataChanged, kDeleted, kChildrenChanged };
+
+[[nodiscard]] const char* WatchEventName(WatchEvent e);
+
+struct NodeStat {
+  std::uint64_t version = 0;
+  bool ephemeral = false;
+  std::uint64_t owner_session = 0;
+};
+
+class Coordinator {
+ public:
+  using SessionId = std::uint64_t;
+  using WatchId = std::uint64_t;
+  // (path, event, data-at-event-time). For kDeleted / kChildrenChanged the
+  // data is the node's latest value or empty.
+  using WatchCallback =
+      std::function<void(const std::string&, WatchEvent, const common::Bytes&)>;
+
+  // ---- sessions (for ephemeral nodes) ----
+  SessionId create_session();
+  // Deletes every ephemeral node owned by the session, firing watches —
+  // this is how a crashed agent/worker "disappears" from the tree.
+  void close_session(SessionId session);
+
+  // ---- tree operations ----
+  // Creates the node (and missing parents). Fails with kAlreadyExists.
+  common::Status create(const std::string& path, common::Bytes data,
+                        bool ephemeral = false, SessionId owner = 0);
+  // Sets data on an existing node (bumps version). kNotFound if absent.
+  common::Status set(const std::string& path, common::Bytes data);
+  // Create-or-set convenience used for state tables.
+  common::Status put(const std::string& path, common::Bytes data);
+  [[nodiscard]] common::Result<common::Bytes> get(const std::string& path) const;
+  [[nodiscard]] std::optional<NodeStat> stat(const std::string& path) const;
+  // Removes a node; kFailedPrecondition if it has children (unless
+  // recursive).
+  common::Status remove(const std::string& path, bool recursive = false);
+  [[nodiscard]] bool exists(const std::string& path) const;
+  // Immediate child names (not full paths), sorted.
+  [[nodiscard]] std::vector<std::string> children(const std::string& path) const;
+
+  // ---- watches ----
+  // Fires for events on `path` itself and kChildrenChanged when a direct
+  // child is created/deleted. With `prefix` true, also fires for any
+  // descendant's created/changed/deleted events.
+  WatchId watch(const std::string& path, WatchCallback cb,
+                bool prefix = false);
+  void unwatch(WatchId id);
+
+  // String convenience (most global state is serialized text/Thrift-like
+  // blobs; tests use strings heavily).
+  common::Status put_str(const std::string& path, const std::string& s);
+  [[nodiscard]] std::optional<std::string> get_str(const std::string& path) const;
+
+ private:
+  struct Node {
+    common::Bytes data;
+    NodeStat stat;
+  };
+  struct Watch {
+    std::string path;
+    WatchCallback cb;
+    bool prefix = false;
+  };
+  struct PendingEvent {
+    std::string path;
+    WatchEvent event;
+    common::Bytes data;
+  };
+
+  static std::string ParentOf(const std::string& path);
+  static std::string BaseName(const std::string& path);
+  static bool ValidPath(const std::string& path);
+
+  // Must hold mu_. Appends matching watch callbacks for the event.
+  void collect_watchers(const std::string& path, WatchEvent event,
+                        const common::Bytes& data,
+                        std::vector<std::pair<WatchCallback, PendingEvent>>& out) const;
+  void ensure_parents_locked(const std::string& path,
+                             std::vector<std::pair<WatchCallback, PendingEvent>>& fired);
+  common::Status remove_locked(
+      const std::string& path, bool recursive,
+      std::vector<std::pair<WatchCallback, PendingEvent>>& fired);
+
+  static void dispatch(
+      std::vector<std::pair<WatchCallback, PendingEvent>>&& fired);
+
+  mutable std::recursive_mutex mu_;
+  std::map<std::string, Node> nodes_;                 // path -> node
+  std::map<std::string, std::set<std::string>> kids_; // path -> child names
+  std::map<WatchId, Watch> watches_;
+  WatchId next_watch_ = 1;
+  SessionId next_session_ = 1;
+  std::map<SessionId, std::set<std::string>> session_nodes_;
+};
+
+}  // namespace typhoon::coordinator

@@ -1,0 +1,195 @@
+#include "kafkalite/broker.h"
+
+#include "common/clock.h"
+
+namespace typhoon::kafkalite {
+
+std::int64_t Partition::append(Record r) {
+  std::lock_guard lk(mu_);
+  r.offset = static_cast<std::int64_t>(log_.size());
+  if (r.timestamp_us == 0) r.timestamp_us = common::NowMicros();
+  log_.push_back(std::move(r));
+  return log_.back().offset;
+}
+
+std::vector<Record> Partition::fetch(std::int64_t offset,
+                                     std::size_t max) const {
+  std::lock_guard lk(mu_);
+  std::vector<Record> out;
+  if (offset < 0) offset = 0;
+  for (std::size_t i = static_cast<std::size_t>(offset);
+       i < log_.size() && out.size() < max; ++i) {
+    out.push_back(log_[i]);
+  }
+  return out;
+}
+
+std::int64_t Partition::end_offset() const {
+  std::lock_guard lk(mu_);
+  return static_cast<std::int64_t>(log_.size());
+}
+
+common::Status Broker::create_topic(const std::string& topic,
+                                    std::uint32_t partitions) {
+  if (partitions == 0) return common::InvalidArgument("partitions == 0");
+  std::lock_guard lk(mu_);
+  if (topics_.contains(topic)) return common::AlreadyExists(topic);
+  Topic t;
+  t.partitions.reserve(partitions);
+  for (std::uint32_t i = 0; i < partitions; ++i) {
+    t.partitions.push_back(std::make_unique<Partition>());
+  }
+  topics_[topic] = std::move(t);
+  return common::Status::Ok();
+}
+
+bool Broker::has_topic(const std::string& topic) const {
+  std::lock_guard lk(mu_);
+  return topics_.contains(topic);
+}
+
+std::uint32_t Broker::partition_count(const std::string& topic) const {
+  std::lock_guard lk(mu_);
+  auto it = topics_.find(topic);
+  return it == topics_.end()
+             ? 0
+             : static_cast<std::uint32_t>(it->second.partitions.size());
+}
+
+common::Result<std::int64_t> Broker::produce(const std::string& topic,
+                                             std::string key,
+                                             std::string value) {
+  Partition* p = nullptr;
+  {
+    std::lock_guard lk(mu_);
+    auto it = topics_.find(topic);
+    if (it == topics_.end()) return common::NotFound(topic);
+    Topic& t = it->second;
+    const std::size_t n = t.partitions.size();
+    const std::size_t idx =
+        key.empty() ? (t.rr++ % n) : (common::Fnv1a(key) % n);
+    p = t.partitions[idx].get();
+  }
+  return p->append({-1, std::move(key), std::move(value), 0});
+}
+
+common::Result<std::int64_t> Broker::produce_to(const std::string& topic,
+                                                std::uint32_t partition,
+                                                std::string key,
+                                                std::string value) {
+  Partition* p = nullptr;
+  {
+    std::lock_guard lk(mu_);
+    auto it = topics_.find(topic);
+    if (it == topics_.end()) return common::NotFound(topic);
+    if (partition >= it->second.partitions.size()) {
+      return common::InvalidArgument("partition out of range");
+    }
+    p = it->second.partitions[partition].get();
+  }
+  return p->append({-1, std::move(key), std::move(value), 0});
+}
+
+common::Result<std::vector<Record>> Broker::fetch(const std::string& topic,
+                                                  std::uint32_t partition,
+                                                  std::int64_t offset,
+                                                  std::size_t max) const {
+  const Partition* p = nullptr;
+  {
+    std::lock_guard lk(mu_);
+    auto it = topics_.find(topic);
+    if (it == topics_.end()) return common::NotFound(topic);
+    if (partition >= it->second.partitions.size()) {
+      return common::InvalidArgument("partition out of range");
+    }
+    p = it->second.partitions[partition].get();
+  }
+  return p->fetch(offset, max);
+}
+
+std::int64_t Broker::end_offset(const std::string& topic,
+                                std::uint32_t partition) const {
+  std::lock_guard lk(mu_);
+  auto it = topics_.find(topic);
+  if (it == topics_.end() || partition >= it->second.partitions.size()) {
+    return -1;
+  }
+  return it->second.partitions[partition]->end_offset();
+}
+
+namespace {
+std::string OffsetKey(const std::string& group, const std::string& topic,
+                      std::uint32_t partition) {
+  return group + "/" + topic + "/" + std::to_string(partition);
+}
+}  // namespace
+
+void Broker::commit(const std::string& group, const std::string& topic,
+                    std::uint32_t partition, std::int64_t offset) {
+  std::lock_guard lk(mu_);
+  offsets_[OffsetKey(group, topic, partition)] = offset;
+}
+
+std::int64_t Broker::committed(const std::string& group,
+                               const std::string& topic,
+                               std::uint32_t partition) const {
+  std::lock_guard lk(mu_);
+  auto it = offsets_.find(OffsetKey(group, topic, partition));
+  return it == offsets_.end() ? 0 : it->second;
+}
+
+std::vector<std::uint32_t> Broker::assignment(const std::string& topic,
+                                              std::uint32_t member,
+                                              std::uint32_t group_size) const {
+  std::vector<std::uint32_t> out;
+  const std::uint32_t n = partition_count(topic);
+  if (group_size == 0) return out;
+  for (std::uint32_t p = 0; p < n; ++p) {
+    if (p % group_size == member % group_size) out.push_back(p);
+  }
+  return out;
+}
+
+Consumer::Consumer(Broker* broker, std::string group, std::string topic,
+                   std::uint32_t member, std::uint32_t group_size)
+    : broker_(broker),
+      group_(std::move(group)),
+      topic_(std::move(topic)),
+      parts_(broker->assignment(topic_, member, group_size)) {
+  for (std::uint32_t p : parts_) {
+    positions_[p] = broker_->committed(group_, topic_, p);
+  }
+}
+
+std::vector<Record> Consumer::poll(std::size_t max) {
+  std::vector<Record> out;
+  for (std::size_t tries = 0; tries < parts_.size() && out.size() < max;
+       ++tries) {
+    const std::uint32_t p = parts_[next_part_++ % parts_.size()];
+    auto r = broker_->fetch(topic_, p, positions_[p], max - out.size());
+    if (!r.ok()) continue;
+    for (Record& rec : r.value()) {
+      positions_[p] = rec.offset + 1;
+      out.push_back(std::move(rec));
+    }
+  }
+  return out;
+}
+
+void Consumer::commit() {
+  for (const auto& [p, off] : positions_) {
+    broker_->commit(group_, topic_, p, off);
+  }
+}
+
+std::int64_t Consumer::lag() const {
+  std::int64_t lag = 0;
+  for (std::uint32_t p : parts_) {
+    const std::int64_t end = broker_->end_offset(topic_, p);
+    auto it = positions_.find(p);
+    if (end >= 0 && it != positions_.end()) lag += end - it->second;
+  }
+  return lag;
+}
+
+}  // namespace typhoon::kafkalite

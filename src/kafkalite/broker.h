@@ -1,0 +1,107 @@
+// KafkaLite — a minimal partitioned-log message broker, the input-source
+// substrate for the Yahoo streaming benchmark pipeline (Fig 13: "Kafka as an
+// input source"). Topics are sets of append-only partitions; producers
+// append (optionally by key), consumers poll independent offsets, and
+// consumer groups split partitions among members.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/result.h"
+
+namespace typhoon::kafkalite {
+
+struct Record {
+  std::int64_t offset = -1;
+  std::string key;
+  std::string value;
+  std::int64_t timestamp_us = 0;
+};
+
+class Partition {
+ public:
+  std::int64_t append(Record r);
+  // Read up to max records from `offset`.
+  [[nodiscard]] std::vector<Record> fetch(std::int64_t offset,
+                                          std::size_t max) const;
+  [[nodiscard]] std::int64_t end_offset() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Record> log_;
+};
+
+class Broker {
+ public:
+  common::Status create_topic(const std::string& topic,
+                              std::uint32_t partitions);
+  [[nodiscard]] bool has_topic(const std::string& topic) const;
+  [[nodiscard]] std::uint32_t partition_count(const std::string& topic) const;
+
+  // Produce to an explicit partition, or hash the key (empty key ->
+  // round-robin). Returns the record's offset.
+  common::Result<std::int64_t> produce(const std::string& topic,
+                                       std::string key, std::string value);
+  common::Result<std::int64_t> produce_to(const std::string& topic,
+                                          std::uint32_t partition,
+                                          std::string key, std::string value);
+
+  common::Result<std::vector<Record>> fetch(const std::string& topic,
+                                            std::uint32_t partition,
+                                            std::int64_t offset,
+                                            std::size_t max) const;
+  [[nodiscard]] std::int64_t end_offset(const std::string& topic,
+                                        std::uint32_t partition) const;
+
+  // Consumer-group offset bookkeeping.
+  void commit(const std::string& group, const std::string& topic,
+              std::uint32_t partition, std::int64_t offset);
+  [[nodiscard]] std::int64_t committed(const std::string& group,
+                                       const std::string& topic,
+                                       std::uint32_t partition) const;
+
+  // Deterministic partition assignment: member i of n takes partitions
+  // where p % n == i.
+  [[nodiscard]] std::vector<std::uint32_t> assignment(
+      const std::string& topic, std::uint32_t member,
+      std::uint32_t group_size) const;
+
+ private:
+  struct Topic {
+    std::vector<std::unique_ptr<Partition>> partitions;
+    std::uint64_t rr = 0;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, Topic> topics_;
+  std::map<std::string, std::int64_t> offsets_;  // "group/topic/p" -> offset
+};
+
+// A simple polling consumer bound to one group member.
+class Consumer {
+ public:
+  Consumer(Broker* broker, std::string group, std::string topic,
+           std::uint32_t member, std::uint32_t group_size);
+
+  // Fetch the next batch across assigned partitions, advancing offsets.
+  std::vector<Record> poll(std::size_t max);
+  void commit();
+
+  [[nodiscard]] std::int64_t lag() const;
+
+ private:
+  Broker* broker_;
+  std::string group_;
+  std::string topic_;
+  std::vector<std::uint32_t> parts_;
+  std::map<std::uint32_t, std::int64_t> positions_;
+  std::size_t next_part_ = 0;
+};
+
+}  // namespace typhoon::kafkalite

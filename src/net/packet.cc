@@ -1,0 +1,42 @@
+#include "net/packet.h"
+
+namespace typhoon::net {
+
+void EncodeFrame(const Packet& p, common::Bytes& out) {
+  common::BufWriter w(out);
+  w.u64(p.dst.packed());
+  w.u64(p.src.packed());
+  w.u16(p.ether_type);
+  w.raw(p.payload);
+}
+
+std::optional<Packet> DecodeFrame(std::span<const std::uint8_t> frame) {
+  common::BufReader r(frame);
+  std::uint64_t dst = 0;
+  std::uint64_t src = 0;
+  std::uint16_t ether_type = 0;
+  if (!r.u64(dst) || !r.u64(src) || !r.u16(ether_type)) return std::nullopt;
+  Packet p;
+  p.dst = WorkerAddress::unpack(dst);
+  p.src = WorkerAddress::unpack(src);
+  p.ether_type = ether_type;
+  p.payload.assign(frame.begin() + static_cast<std::ptrdiff_t>(r.position()),
+                   frame.end());
+  return p;
+}
+
+void EncodeChunkHeader(const ChunkHeader& h, common::BufWriter& w) {
+  w.u16(h.stream_id);
+  w.u8(h.flags);
+  w.u32(h.tuple_seq);
+  w.u16(h.seg_index);
+  w.u16(h.seg_count);
+  w.u32(h.chunk_len);
+}
+
+bool DecodeChunkHeader(common::BufReader& r, ChunkHeader& h) {
+  return r.u16(h.stream_id) && r.u8(h.flags) && r.u32(h.tuple_seq) &&
+         r.u16(h.seg_index) && r.u16(h.seg_count) && r.u32(h.chunk_len);
+}
+
+}  // namespace typhoon::net

@@ -1,0 +1,74 @@
+// Typhoon custom transport packet (paper Fig 5).
+//
+// Wire layout (what EncodeFrame produces for tunnels):
+//   [dst worker addr u64][src worker addr u64][ether_type u16][payload ...]
+// The payload is a sequence of tuple chunks:
+//   [stream_id u16][flags u8][tuple_seq u32][seg_index u16][seg_count u16]
+//   [chunk_len u32][chunk bytes ...]
+// A chunk is either a whole serialized tuple (seg_count == 1) or one segment
+// of a large tuple (reassembled by the depacketizer). Multiple small tuples
+// with the same src/dst are multiplexed into one packet; one large tuple is
+// segmented into several packets (Sec 5, southbound egress workflow).
+//
+// In-process, packets move as shared_ptr<const Packet>: the switch's
+// broadcast replication is a reference-count bump, the analog of OVS's
+// cheap packet copy vs. app-level re-serialization (Sec 6.1, Fig 9).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+
+namespace typhoon::net {
+
+// Custom EtherType for Typhoon tuple traffic (paper uses 0xffff so switch
+// rules avoid wildcarding unused IPv4 fields).
+inline constexpr std::uint16_t kTyphoonEtherType = 0xffff;
+
+// Chunk flag bits.
+inline constexpr std::uint8_t kChunkFlagControl = 0x01;  // control tuple
+
+struct ChunkHeader {
+  StreamId stream_id = 0;
+  std::uint8_t flags = 0;
+  std::uint32_t tuple_seq = 0;  // reassembly key, unique per (src, tuple)
+  std::uint16_t seg_index = 0;
+  std::uint16_t seg_count = 1;
+  std::uint32_t chunk_len = 0;
+
+  static constexpr std::size_t kWireSize = 2 + 1 + 4 + 2 + 2 + 4;
+
+  [[nodiscard]] bool control() const { return flags & kChunkFlagControl; }
+};
+
+struct Packet {
+  WorkerAddress dst;
+  WorkerAddress src;
+  std::uint16_t ether_type = kTyphoonEtherType;
+  common::Bytes payload;
+
+  static constexpr std::size_t kHeaderWireSize = 8 + 8 + 2;
+  [[nodiscard]] std::size_t wire_size() const {
+    return kHeaderWireSize + payload.size();
+  }
+};
+
+using PacketPtr = std::shared_ptr<const Packet>;
+
+inline PacketPtr MakePacket(Packet p) {
+  return std::make_shared<const Packet>(std::move(p));
+}
+
+// Serialize/parse the full frame (header + payload) for tunnel transport.
+void EncodeFrame(const Packet& p, common::Bytes& out);
+std::optional<Packet> DecodeFrame(std::span<const std::uint8_t> frame);
+
+// Chunk header codec within a payload.
+void EncodeChunkHeader(const ChunkHeader& h, common::BufWriter& w);
+bool DecodeChunkHeader(common::BufReader& r, ChunkHeader& h);
+
+}  // namespace typhoon::net

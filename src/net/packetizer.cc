@@ -1,0 +1,125 @@
+#include "net/packetizer.h"
+
+#include "common/hash.h"
+
+namespace typhoon::net {
+
+Packetizer::Packetizer(WorkerAddress self, PacketizerConfig cfg, Sink sink)
+    : self_(self), cfg_(cfg), sink_(std::move(sink)) {}
+
+void Packetizer::append_chunk(DstBuffer& buf, const ChunkHeader& h,
+                              std::span<const std::uint8_t> data) {
+  common::BufWriter w(buf.payload);
+  EncodeChunkHeader(h, w);
+  w.raw(data);
+}
+
+void Packetizer::emit(const WorkerAddress& dst, DstBuffer& buf) {
+  if (buf.payload.empty()) return;
+  Packet p;
+  p.dst = dst;
+  p.src = self_;
+  p.payload = std::move(buf.payload);
+  buf.payload.clear();
+  buf.tuple_count = 0;
+  ++packets_;
+  sink_(MakePacket(std::move(p)));
+}
+
+void Packetizer::add(const TupleRecord& rec) {
+  DstBuffer& buf = buffers_[rec.dst];
+
+  ChunkHeader h;
+  h.stream_id = rec.stream_id;
+  h.flags = rec.control ? kChunkFlagControl : std::uint8_t{0};
+  h.tuple_seq = next_seq_++;
+
+  const std::size_t max_chunk = cfg_.max_payload - ChunkHeader::kWireSize;
+  if (rec.data.size() > max_chunk) {
+    // Large tuple: flush what we have, then emit one packet per segment.
+    emit(rec.dst, buf);
+    const std::size_t segs = (rec.data.size() + max_chunk - 1) / max_chunk;
+    h.seg_count = static_cast<std::uint16_t>(segs);
+    std::size_t off = 0;
+    for (std::size_t i = 0; i < segs; ++i) {
+      const std::size_t n = std::min(max_chunk, rec.data.size() - off);
+      h.seg_index = static_cast<std::uint16_t>(i);
+      h.chunk_len = static_cast<std::uint32_t>(n);
+      append_chunk(buf, h, std::span(rec.data).subspan(off, n));
+      off += n;
+      emit(rec.dst, buf);
+    }
+    return;
+  }
+
+  // Would this tuple overflow the packet? Flush first.
+  if (buf.payload.size() + ChunkHeader::kWireSize + rec.data.size() >
+      cfg_.max_payload) {
+    emit(rec.dst, buf);
+  }
+  h.chunk_len = static_cast<std::uint32_t>(rec.data.size());
+  append_chunk(buf, h, rec.data);
+  ++buf.tuple_count;
+  if (cfg_.batch_tuples != 0 && buf.tuple_count >= cfg_.batch_tuples) {
+    emit(rec.dst, buf);
+  }
+}
+
+void Packetizer::flush() {
+  for (auto& [dst, buf] : buffers_) emit(dst, buf);
+}
+
+void Packetizer::flush_to(const WorkerAddress& dst) {
+  if (auto it = buffers_.find(dst); it != buffers_.end()) {
+    emit(dst, it->second);
+  }
+}
+
+void Packetizer::set_batch_tuples(std::size_t n) { cfg_.batch_tuples = n; }
+
+Depacketizer::Depacketizer(Sink sink) : sink_(std::move(sink)) {}
+
+bool Depacketizer::consume(const Packet& p) {
+  common::BufReader r(p.payload);
+  while (r.remaining() > 0) {
+    ChunkHeader h;
+    if (!DecodeChunkHeader(r, h)) return false;
+    std::span<const std::uint8_t> data;
+    if (!r.view(h.chunk_len, data)) return false;
+
+    TupleRecord rec;
+    rec.src = p.src;
+    rec.dst = p.dst;
+    rec.stream_id = h.stream_id;
+    rec.control = h.control();
+
+    if (h.seg_count <= 1) {
+      rec.data.assign(data.begin(), data.end());
+      sink_(std::move(rec));
+      continue;
+    }
+
+    // Segmented tuple: accumulate until all segments arrive. Segments of
+    // one tuple travel in order over one path, so append-order suffices.
+    const std::uint64_t key =
+        common::HashCombine(p.src.packed(), h.tuple_seq);
+    Partial& part = reassembly_[key];
+    if (part.expected == 0) {
+      part.expected = h.seg_count;
+      part.stream_id = h.stream_id;
+      part.control = h.control();
+    }
+    part.data.insert(part.data.end(), data.begin(), data.end());
+    ++part.received;
+    if (part.received == part.expected) {
+      rec.stream_id = part.stream_id;
+      rec.control = part.control;
+      rec.data = std::move(part.data);
+      reassembly_.erase(key);
+      sink_(std::move(rec));
+    }
+  }
+  return true;
+}
+
+}  // namespace typhoon::net

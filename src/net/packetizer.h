@@ -1,0 +1,105 @@
+// Packetizer / Depacketizer — the southbound half of the Typhoon I/O layer
+// (Sec 3.3.1, Sec 5). The packetizer multiplexes serialized tuples bound for
+// the same destination into packets, segments oversized tuples, and batches
+// up to a configurable tuple count before flushing (the BATCH_SIZE knob of
+// Fig 8). The depacketizer performs the inverse: demultiplexing chunks and
+// reassembling segmented tuples.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "net/packet.h"
+
+namespace typhoon::net {
+
+// A serialized tuple plus its routing envelope, as handed to/from the I/O
+// layer by the framework layer.
+struct TupleRecord {
+  WorkerAddress src;
+  WorkerAddress dst;
+  StreamId stream_id = 0;
+  bool control = false;
+  common::Bytes data;
+};
+
+struct PacketizerConfig {
+  // Flush automatically once this many tuples are buffered for one
+  // destination. 0 disables count-based flushing (explicit flush only).
+  std::size_t batch_tuples = 100;
+  // Maximum payload bytes per packet; larger tuples are segmented.
+  std::size_t max_payload = 16 * 1024;
+};
+
+class Packetizer {
+ public:
+  using Sink = std::function<void(PacketPtr)>;
+
+  Packetizer(WorkerAddress self, PacketizerConfig cfg, Sink sink);
+
+  // Queue one tuple; may emit packets through the sink.
+  void add(const TupleRecord& rec);
+
+  // Emit all buffered tuples as packets.
+  void flush();
+  // Flush only the buffer for one destination.
+  void flush_to(const WorkerAddress& dst);
+
+  void set_batch_tuples(std::size_t n);
+  [[nodiscard]] std::size_t batch_tuples() const { return cfg_.batch_tuples; }
+
+  // Number of packets emitted since construction.
+  [[nodiscard]] std::uint64_t packets_emitted() const { return packets_; }
+
+ private:
+  struct DstBuffer {
+    common::Bytes payload;
+    std::size_t tuple_count = 0;
+  };
+
+  void append_chunk(DstBuffer& buf, const ChunkHeader& h,
+                    std::span<const std::uint8_t> data);
+  void emit(const WorkerAddress& dst, DstBuffer& buf);
+
+  WorkerAddress self_;
+  PacketizerConfig cfg_;
+  Sink sink_;
+  std::unordered_map<WorkerAddress, DstBuffer> buffers_;
+  std::uint32_t next_seq_ = 1;
+  std::uint64_t packets_ = 0;
+};
+
+class Depacketizer {
+ public:
+  using Sink = std::function<void(TupleRecord)>;
+
+  explicit Depacketizer(Sink sink);
+
+  // Consume one packet; may deliver zero or more reassembled tuples.
+  // Returns false if the payload is malformed (frame dropped).
+  bool consume(const Packet& p);
+
+  // Number of partially reassembled tuples pending.
+  [[nodiscard]] std::size_t pending_reassemblies() const {
+    return reassembly_.size();
+  }
+
+ private:
+  struct Partial {
+    common::Bytes data;
+    std::uint16_t received = 0;
+    std::uint16_t expected = 0;
+    StreamId stream_id = 0;
+    bool control = false;
+  };
+
+  Sink sink_;
+  // Keyed by (src worker, tuple_seq).
+  std::unordered_map<std::uint64_t, Partial> reassembly_;
+};
+
+}  // namespace typhoon::net

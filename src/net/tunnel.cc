@@ -1,0 +1,45 @@
+#include "net/tunnel.h"
+
+namespace typhoon::net {
+
+bool TunnelEndpoint::send(const Packet& p) {
+  common::Bytes frame;
+  frame.reserve(p.wire_size());
+  EncodeFrame(p, frame);
+  bytes_ += frame.size();
+  ++sent_;
+  return tx_->push(std::move(frame));
+}
+
+std::optional<Packet> TunnelEndpoint::try_recv() {
+  auto frame = rx_->try_pop();
+  if (!frame) return std::nullopt;
+  return DecodeFrame(*frame);
+}
+
+std::optional<Packet> TunnelEndpoint::recv_for(
+    std::chrono::milliseconds timeout) {
+  auto frame = rx_->pop_for(timeout);
+  if (!frame) return std::nullopt;
+  return DecodeFrame(*frame);
+}
+
+void TunnelEndpoint::close() {
+  tx_->close();
+  rx_->close();
+}
+
+std::pair<std::shared_ptr<TunnelEndpoint>, std::shared_ptr<TunnelEndpoint>>
+CreateTunnel(std::size_t capacity) {
+  auto a_to_b = std::make_shared<TunnelEndpoint::Channel>(capacity);
+  auto b_to_a = std::make_shared<TunnelEndpoint::Channel>(capacity);
+  auto a = std::make_shared<TunnelEndpoint>();
+  auto b = std::make_shared<TunnelEndpoint>();
+  a->tx_ = a_to_b;
+  a->rx_ = b_to_a;
+  b->tx_ = b_to_a;
+  b->rx_ = a_to_b;
+  return {a, b};
+}
+
+}  // namespace typhoon::net

@@ -1,0 +1,51 @@
+// Host-level TCP tunnel analog (Sec 3.3.1): a reliable, in-order, framed
+// byte channel between two hosts. Workers never own connections; the per-
+// host switch forwards remote-bound packets into the tunnel designated by a
+// set_tun_dst action, and the peer's switch re-injects them into its pipeline
+// (Table 3, remote transfer rules).
+//
+// Frames are serialized to bytes on send and parsed on receive, preserving
+// the real marshaling cost of crossing a host boundary.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "common/mpmc_queue.h"
+#include "net/packet.h"
+
+namespace typhoon::net {
+
+class TunnelEndpoint {
+ public:
+  // Blocking send (TCP back-pressure semantics). False once closed.
+  bool send(const Packet& p);
+  // Non-blocking receive of one decoded frame.
+  std::optional<Packet> try_recv();
+  // Blocking receive with timeout.
+  std::optional<Packet> recv_for(std::chrono::milliseconds timeout);
+
+  void close();
+  [[nodiscard]] std::uint64_t frames_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
+
+ private:
+  friend std::pair<std::shared_ptr<TunnelEndpoint>,
+                   std::shared_ptr<TunnelEndpoint>>
+  CreateTunnel(std::size_t capacity);
+
+  using Channel = common::MpmcQueue<common::Bytes>;
+
+  std::shared_ptr<Channel> tx_;
+  std::shared_ptr<Channel> rx_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+// Create a bidirectional tunnel; returns the two endpoints.
+std::pair<std::shared_ptr<TunnelEndpoint>, std::shared_ptr<TunnelEndpoint>>
+CreateTunnel(std::size_t capacity = 4096);
+
+}  // namespace typhoon::net

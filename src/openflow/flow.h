@@ -1,0 +1,158 @@
+// OpenFlow-modeled flow rules: match fields, actions, and messages.
+//
+// The match fields are exactly the ones Typhoon rules use (Table 3):
+// in_port, dl_src, dl_dst, ether_type — each individually wildcardable.
+// Actions cover output-to-port(s), set_tun_dst + output-to-tunnel,
+// output-to-controller, select-group indirection (load balancer app), and
+// dl_dst rewrite (used inside group buckets).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/ids.h"
+#include "net/packet.h"
+
+namespace typhoon::openflow {
+
+struct FlowMatch {
+  std::optional<PortId> in_port;
+  std::optional<std::uint64_t> dl_src;  // packed WorkerAddress
+  std::optional<std::uint64_t> dl_dst;
+  std::optional<std::uint16_t> ether_type;
+
+  [[nodiscard]] bool matches(const net::Packet& p, PortId pkt_in_port) const {
+    if (in_port && *in_port != pkt_in_port) return false;
+    if (dl_src && *dl_src != p.src.packed()) return false;
+    if (dl_dst && *dl_dst != p.dst.packed()) return false;
+    if (ether_type && *ether_type != p.ether_type) return false;
+    return true;
+  }
+
+  // Number of specified (non-wildcard) fields; used as a tiebreaker so more
+  // specific rules win at equal priority.
+  [[nodiscard]] int specificity() const {
+    return int(in_port.has_value()) + int(dl_src.has_value()) +
+           int(dl_dst.has_value()) + int(ether_type.has_value());
+  }
+
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const FlowMatch&, const FlowMatch&) = default;
+};
+
+struct ActionOutput {
+  PortId port = 0;
+  friend bool operator==(const ActionOutput&, const ActionOutput&) = default;
+};
+struct ActionOutputController {
+  friend bool operator==(const ActionOutputController&,
+                         const ActionOutputController&) = default;
+};
+struct ActionSetTunDst {
+  HostId host = 0;  // the peer host the tunnel port should deliver to
+  friend bool operator==(const ActionSetTunDst&,
+                         const ActionSetTunDst&) = default;
+};
+struct ActionGroup {
+  std::uint32_t group_id = 0;
+  friend bool operator==(const ActionGroup&, const ActionGroup&) = default;
+};
+struct ActionSetDlDst {
+  std::uint64_t dl_dst = 0;  // packed WorkerAddress to rewrite into the frame
+  friend bool operator==(const ActionSetDlDst&,
+                         const ActionSetDlDst&) = default;
+};
+
+using FlowAction = std::variant<ActionOutput, ActionOutputController,
+                                ActionSetTunDst, ActionGroup, ActionSetDlDst>;
+
+std::string ActionStr(const FlowAction& a);
+
+struct FlowRule {
+  FlowMatch match;
+  std::vector<FlowAction> actions;
+  std::uint16_t priority = 100;
+  // Seconds of inactivity after which the rule is evicted; 0 = permanent.
+  // (Stale rules from removed workers lapse this way, Sec 3.5.)
+  std::uint32_t idle_timeout_s = 0;
+  std::uint64_t cookie = 0;
+
+  [[nodiscard]] std::string str() const;
+};
+
+// ---- Controller -> switch messages ----
+
+enum class FlowModCommand { kAdd, kModify, kDelete };
+
+struct FlowMod {
+  FlowModCommand command = FlowModCommand::kAdd;
+  FlowRule rule;  // for kDelete only rule.match (+cookie if nonzero) is used
+};
+
+struct GroupBucket {
+  std::uint32_t weight = 1;
+  std::vector<FlowAction> actions;
+};
+
+enum class GroupType { kAll, kSelect };
+
+struct GroupMod {
+  enum class Command { kAdd, kModify, kDelete };
+  Command command = Command::kAdd;
+  std::uint32_t group_id = 0;
+  GroupType type = GroupType::kSelect;
+  std::vector<GroupBucket> buckets;
+};
+
+// Inject a packet into the switch pipeline as if received on in_port
+// (paper: PacketOut carrying control tuples, Sec 3.4).
+struct PacketOut {
+  net::PacketPtr packet;
+  PortId in_port = kPortController;
+};
+
+struct PortStatsRequest {};
+struct FlowStatsRequest {
+  std::optional<std::uint64_t> cookie;  // filter; nullopt = all rules
+};
+
+// ---- Switch -> controller messages ----
+
+struct PacketIn {
+  net::PacketPtr packet;
+  PortId in_port = 0;
+};
+
+enum class PortReason { kAdd, kDelete, kModify };
+
+// The SwitchPortChanged event the fault detector keys on (Sec 4, Sec 6.2).
+struct PortStatus {
+  PortId port = 0;
+  PortReason reason = PortReason::kAdd;
+};
+
+struct PortStats {
+  PortId port = 0;
+  std::uint64_t rx_packets = 0;
+  std::uint64_t tx_packets = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t tx_dropped = 0;  // ring-full drops (Sec 8 discussion)
+};
+
+struct FlowStats {
+  FlowRule rule;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct FlowRemoved {
+  FlowRule rule;
+  enum class Reason { kIdleTimeout, kDelete } reason = Reason::kIdleTimeout;
+};
+
+}  // namespace typhoon::openflow

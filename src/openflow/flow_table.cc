@@ -1,0 +1,118 @@
+#include "openflow/flow_table.h"
+
+#include <algorithm>
+
+namespace typhoon::openflow {
+
+void FlowTable::sort_entries() {
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const Entry& a, const Entry& b) {
+                     if (a.rule.priority != b.rule.priority)
+                       return a.rule.priority > b.rule.priority;
+                     if (a.rule.match.specificity() != b.rule.match.specificity())
+                       return a.rule.match.specificity() > b.rule.match.specificity();
+                     return a.seq < b.seq;
+                   });
+}
+
+void FlowTable::add(FlowRule rule) {
+  for (Entry& e : entries_) {
+    if (e.rule.match == rule.match && e.rule.priority == rule.priority) {
+      e.rule = std::move(rule);
+      e.last_used = common::Now();
+      return;
+    }
+  }
+  Entry e;
+  e.rule = std::move(rule);
+  e.last_used = common::Now();
+  e.seq = next_seq_++;
+  entries_.push_back(std::move(e));
+  sort_entries();
+}
+
+bool FlowTable::modify(const FlowMatch& match,
+                       std::vector<FlowAction> actions) {
+  bool any = false;
+  for (Entry& e : entries_) {
+    if (e.rule.match == match) {
+      e.rule.actions = actions;
+      e.last_used = common::Now();
+      any = true;
+    }
+  }
+  return any;
+}
+
+std::size_t FlowTable::erase(const FlowMatch& match, std::uint64_t cookie) {
+  const std::size_t before = entries_.size();
+  std::erase_if(entries_, [&](const Entry& e) {
+    if (e.rule.match != match) return false;
+    return cookie == 0 || e.rule.cookie == cookie;
+  });
+  return before - entries_.size();
+}
+
+std::size_t FlowTable::erase_by_cookie(std::uint64_t cookie) {
+  const std::size_t before = entries_.size();
+  std::erase_if(entries_,
+                [&](const Entry& e) { return e.rule.cookie == cookie; });
+  return before - entries_.size();
+}
+
+std::size_t FlowTable::erase_mentioning(std::uint64_t addr) {
+  const std::size_t before = entries_.size();
+  std::erase_if(entries_, [&](const Entry& e) {
+    const FlowMatch& m = e.rule.match;
+    return (m.dl_src && *m.dl_src == addr) || (m.dl_dst && *m.dl_dst == addr);
+  });
+  return before - entries_.size();
+}
+
+const FlowRule* FlowTable::lookup(const net::Packet& p, PortId in_port) {
+  for (Entry& e : entries_) {
+    if (e.rule.match.matches(p, in_port)) {
+      ++e.packets;
+      e.bytes += p.wire_size();
+      e.last_used = common::Now();
+      return &e.rule;
+    }
+  }
+  return nullptr;
+}
+
+std::size_t FlowTable::sweep_idle(
+    common::TimePoint now,
+    const std::function<void(const FlowRule&)>& on_removed) {
+  std::size_t evicted = 0;
+  std::erase_if(entries_, [&](const Entry& e) {
+    if (e.rule.idle_timeout_s == 0) return false;
+    const auto idle = std::chrono::duration_cast<std::chrono::seconds>(
+                          now - e.last_used)
+                          .count();
+    if (idle < static_cast<std::int64_t>(e.rule.idle_timeout_s)) return false;
+    if (on_removed) on_removed(e.rule);
+    ++evicted;
+    return true;
+  });
+  return evicted;
+}
+
+std::vector<FlowStats> FlowTable::stats(
+    std::optional<std::uint64_t> cookie) const {
+  std::vector<FlowStats> out;
+  for (const Entry& e : entries_) {
+    if (cookie && e.rule.cookie != *cookie) continue;
+    out.push_back({e.rule, e.packets, e.bytes});
+  }
+  return out;
+}
+
+std::vector<FlowRule> FlowTable::rules() const {
+  std::vector<FlowRule> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.rule);
+  return out;
+}
+
+}  // namespace typhoon::openflow

@@ -1,0 +1,62 @@
+// Priority-ordered flow table with wildcard matching, per-rule counters,
+// and idle-timeout eviction. Single-threaded from the owning switch's
+// perspective; the switch serializes pipeline and FlowMod processing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/clock.h"
+#include "openflow/flow.h"
+
+namespace typhoon::openflow {
+
+class FlowTable {
+ public:
+  // Install or replace (same match + priority) a rule.
+  void add(FlowRule rule);
+
+  // Modify actions of rules whose match equals `match`; true if any changed.
+  bool modify(const FlowMatch& match, std::vector<FlowAction> actions);
+
+  // Delete rules matching the given match exactly (and cookie, if nonzero).
+  // Returns the number of removed rules.
+  std::size_t erase(const FlowMatch& match, std::uint64_t cookie = 0);
+  std::size_t erase_by_cookie(std::uint64_t cookie);
+  // Delete every rule whose match names `addr` as dl_src or dl_dst — the
+  // sweep used when a worker leaves the cluster.
+  std::size_t erase_mentioning(std::uint64_t addr);
+
+  // Highest-priority rule matching the packet as received on `in_port`
+  // (ties broken by match specificity, then insertion order). Updates match
+  // counters.
+  const FlowRule* lookup(const net::Packet& p, PortId in_port);
+
+  // Evict rules idle longer than their timeout; invokes `on_removed` for
+  // each. Returns the number evicted.
+  std::size_t sweep_idle(common::TimePoint now,
+                         const std::function<void(const FlowRule&)>& on_removed);
+
+  [[nodiscard]] std::vector<FlowStats> stats(
+      std::optional<std::uint64_t> cookie = std::nullopt) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::vector<FlowRule> rules() const;
+
+ private:
+  struct Entry {
+    FlowRule rule;
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    common::TimePoint last_used;
+    std::uint64_t seq = 0;  // insertion order for stable tie-breaking
+  };
+
+  void sort_entries();
+
+  std::vector<Entry> entries_;  // kept sorted: priority desc, specificity desc
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace typhoon::openflow

@@ -1,0 +1,129 @@
+#include "redislite/store.h"
+
+#include "common/hash.h"
+
+namespace typhoon::redislite {
+
+Store::Store(std::size_t shards) : shards_(shards == 0 ? 1 : shards) {}
+
+Store::Shard& Store::shard_for(const std::string& key) const {
+  return shards_[common::Fnv1a(key) % shards_.size()];
+}
+
+void Store::set(const std::string& key, std::string value,
+                std::chrono::milliseconds ttl) {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  Shard& s = shard_for(key);
+  std::lock_guard lk(s.mu);
+  Entry e;
+  e.value = std::move(value);
+  if (ttl != std::chrono::milliseconds::zero()) {
+    e.expires = common::Now() + ttl;
+  }
+  s.strings[key] = std::move(e);
+}
+
+std::optional<std::string> Store::get(const std::string& key) const {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  Shard& s = shard_for(key);
+  std::lock_guard lk(s.mu);
+  auto it = s.strings.find(key);
+  if (it == s.strings.end() || it->second.expired(common::Now())) {
+    return std::nullopt;
+  }
+  return it->second.value;
+}
+
+bool Store::del(const std::string& key) {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  Shard& s = shard_for(key);
+  std::lock_guard lk(s.mu);
+  return s.strings.erase(key) > 0 || s.hashes.erase(key) > 0;
+}
+
+bool Store::exists(const std::string& key) const {
+  Shard& s = shard_for(key);
+  std::lock_guard lk(s.mu);
+  auto it = s.strings.find(key);
+  if (it != s.strings.end() && !it->second.expired(common::Now())) {
+    return true;
+  }
+  return s.hashes.contains(key);
+}
+
+void Store::hset(const std::string& key, const std::string& field,
+                 std::string value) {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  Shard& s = shard_for(key);
+  std::lock_guard lk(s.mu);
+  s.hashes[key][field] = std::move(value);
+}
+
+std::optional<std::string> Store::hget(const std::string& key,
+                                       const std::string& field) const {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  Shard& s = shard_for(key);
+  std::lock_guard lk(s.mu);
+  auto it = s.hashes.find(key);
+  if (it == s.hashes.end()) return std::nullopt;
+  auto fit = it->second.find(field);
+  if (fit == it->second.end()) return std::nullopt;
+  return fit->second;
+}
+
+std::int64_t Store::hincrby(const std::string& key, const std::string& field,
+                            std::int64_t delta) {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  Shard& s = shard_for(key);
+  std::lock_guard lk(s.mu);
+  std::string& v = s.hashes[key][field];
+  const std::int64_t cur = v.empty() ? 0 : std::strtoll(v.c_str(), nullptr, 10);
+  const std::int64_t next = cur + delta;
+  v = std::to_string(next);
+  return next;
+}
+
+std::map<std::string, std::string> Store::hgetall(
+    const std::string& key) const {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  Shard& s = shard_for(key);
+  std::lock_guard lk(s.mu);
+  auto it = s.hashes.find(key);
+  return it == s.hashes.end() ? std::map<std::string, std::string>{}
+                              : it->second;
+}
+
+std::int64_t Store::incrby(const std::string& key, std::int64_t delta) {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  Shard& s = shard_for(key);
+  std::lock_guard lk(s.mu);
+  Entry& e = s.strings[key];
+  const std::int64_t cur =
+      e.value.empty() ? 0 : std::strtoll(e.value.c_str(), nullptr, 10);
+  const std::int64_t next = cur + delta;
+  e.value = std::to_string(next);
+  return next;
+}
+
+std::size_t Store::size() const {
+  std::size_t n = 0;
+  for (Shard& s : shards_) {
+    std::lock_guard lk(s.mu);
+    n += s.strings.size() + s.hashes.size();
+  }
+  return n;
+}
+
+std::size_t Store::sweep_expired() {
+  std::size_t removed = 0;
+  const common::TimePoint now = common::Now();
+  for (Shard& s : shards_) {
+    std::lock_guard lk(s.mu);
+    removed += std::erase_if(s.strings, [&](const auto& kv) {
+      return kv.second.expired(now);
+    });
+  }
+  return removed;
+}
+
+}  // namespace typhoon::redislite

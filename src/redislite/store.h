@@ -1,0 +1,68 @@
+// RedisLite — a minimal in-memory key-value store, the database substrate
+// for the Yahoo streaming benchmark pipeline (Fig 13: "Redis as a database
+// for join and aggregation workers"). Supports string GET/SET with TTL,
+// hash-field operations (HSET/HGET/HINCRBY), and sharded locking.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace typhoon::redislite {
+
+class Store {
+ public:
+  explicit Store(std::size_t shards = 16);
+
+  // ---- string ops ----
+  void set(const std::string& key, std::string value,
+           std::chrono::milliseconds ttl = std::chrono::milliseconds::zero());
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  bool del(const std::string& key);
+  [[nodiscard]] bool exists(const std::string& key) const;
+
+  // ---- hash ops ----
+  void hset(const std::string& key, const std::string& field,
+            std::string value);
+  [[nodiscard]] std::optional<std::string> hget(const std::string& key,
+                                                const std::string& field) const;
+  std::int64_t hincrby(const std::string& key, const std::string& field,
+                       std::int64_t delta);
+  [[nodiscard]] std::map<std::string, std::string> hgetall(
+      const std::string& key) const;
+
+  // ---- counters / introspection ----
+  std::int64_t incrby(const std::string& key, std::int64_t delta);
+  [[nodiscard]] std::size_t size() const;
+  // Drop expired string keys; returns count removed.
+  std::size_t sweep_expired();
+
+  [[nodiscard]] std::int64_t ops() const { return ops_.load(); }
+
+ private:
+  struct Entry {
+    std::string value;
+    common::TimePoint expires{};  // zero = no expiry
+    [[nodiscard]] bool expired(common::TimePoint now) const {
+      return expires != common::TimePoint{} && now >= expires;
+    }
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, Entry> strings;
+    std::map<std::string, std::map<std::string, std::string>> hashes;
+  };
+
+  [[nodiscard]] Shard& shard_for(const std::string& key) const;
+
+  mutable std::vector<Shard> shards_;
+  mutable std::atomic<std::int64_t> ops_{0};
+};
+
+}  // namespace typhoon::redislite

@@ -1,0 +1,75 @@
+#include "stream/acker.h"
+
+namespace typhoon::stream {
+
+namespace {
+std::int64_t AsI64(std::uint64_t v) { return static_cast<std::int64_t>(v); }
+std::uint64_t AsU64(std::int64_t v) { return static_cast<std::uint64_t>(v); }
+}  // namespace
+
+Tuple MakeAckInit(std::uint64_t root, std::uint64_t xor_val,
+                  WorkerId spout_worker) {
+  return Tuple{static_cast<std::int64_t>(AckKind::kInit), AsI64(root),
+               AsI64(xor_val), AsI64(spout_worker)};
+}
+
+Tuple MakeAck(std::uint64_t root, std::uint64_t xor_val) {
+  return Tuple{static_cast<std::int64_t>(AckKind::kAck), AsI64(root),
+               AsI64(xor_val)};
+}
+
+Tuple MakeAckComplete(std::uint64_t root) {
+  return Tuple{static_cast<std::int64_t>(AckKind::kComplete), AsI64(root)};
+}
+
+void AckerBolt::prepare(const WorkerContext&) {
+  last_sweep_ = common::Now();
+}
+
+void AckerBolt::sweep(common::TimePoint now) {
+  std::erase_if(trees_, [&](const auto& kv) {
+    return now - kv.second.first_seen > tree_timeout_;
+  });
+}
+
+void AckerBolt::execute(const Tuple& input, const TupleMeta&, Emitter& out) {
+  if (input.size() < 2) return;
+  const auto kind = static_cast<AckKind>(input.i64(0));
+  const std::uint64_t root = AsU64(input.i64(1));
+
+  Tree& tree = trees_[root];
+  if (tree.first_seen == common::TimePoint{}) {
+    tree.first_seen = common::Now();
+  }
+
+  switch (kind) {
+    case AckKind::kInit:
+      if (input.size() < 4) return;
+      tree.value ^= AsU64(input.i64(2));
+      tree.spout = AsU64(input.i64(3));
+      tree.init_seen = true;
+      break;
+    case AckKind::kAck:
+      if (input.size() < 3) return;
+      tree.value ^= AsU64(input.i64(2));
+      break;
+    case AckKind::kComplete:
+      return;  // not addressed to ackers
+  }
+
+  if (tree.init_seen && tree.value == 0) {
+    const WorkerId spout = tree.spout;
+    trees_.erase(root);
+    out.emit_direct(spout, kAckStream, MakeAckComplete(root));
+  }
+
+  if ((++executes_ & 0x3ff) == 0) {
+    const common::TimePoint now = common::Now();
+    if (now - last_sweep_ > std::chrono::seconds(5)) {
+      last_sweep_ = now;
+      sweep(now);
+    }
+  }
+}
+
+}  // namespace typhoon::stream

@@ -1,0 +1,70 @@
+// Guaranteed processing (Sec 6.1 "Tuple forwarding with reliability
+// guarantee"): Storm-style acker workers track XOR-folded tuple trees and
+// notify source workers on completion; unfinished trees time out and fail.
+//
+// Ack algebra (adapted for broadcast payload identity): when a worker emits
+// a tuple copy with edge id e to destination d, the pending contribution is
+// mix(e, d). The receiving worker contributes mix(e, self). Because the
+// sender knows its destination set even for an all-grouping broadcast, a
+// single destination-independent payload still acks correctly at every
+// replica — N copies contribute N distinct mix values.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "common/hash.h"
+#include "stream/api.h"
+
+namespace typhoon::stream {
+
+// Mix an edge id with the receiving worker id (see header comment).
+inline std::uint64_t AckContribution(std::uint64_t edge_id, WorkerId dst) {
+  return common::HashCombine(edge_id, dst);
+}
+
+// Ack message layout on kAckStream (plain data tuples):
+//   [i64 kind][i64 root][i64 xor]           kind = kInit | kAck
+//   [i64 kind][i64 root][i64 spout_worker]  extra field for kInit
+//   [i64 kind][i64 root]                    kind = kComplete / kFailNotice
+enum class AckKind : std::int64_t {
+  kInit = 0,      // spout registered a new tuple tree
+  kAck = 1,       // bolt processed one hop
+  kComplete = 2,  // acker -> spout: tree fully processed
+};
+
+Tuple MakeAckInit(std::uint64_t root, std::uint64_t xor_val,
+                  WorkerId spout_worker);
+Tuple MakeAck(std::uint64_t root, std::uint64_t xor_val);
+Tuple MakeAckComplete(std::uint64_t root);
+
+// The acker node's computation logic, deployed like any bolt under the
+// reserved node name kAckerNodeName.
+class AckerBolt : public Bolt {
+ public:
+  void prepare(const WorkerContext& ctx) override;
+  void execute(const Tuple& input, const TupleMeta& meta,
+               Emitter& out) override;
+
+  [[nodiscard]] std::size_t pending() const { return trees_.size(); }
+
+ private:
+  struct Tree {
+    std::uint64_t value = 0;
+    WorkerId spout = 0;
+    bool init_seen = false;
+    common::TimePoint first_seen;
+  };
+
+  void sweep(common::TimePoint now);
+
+  std::unordered_map<std::uint64_t, Tree> trees_;
+  common::TimePoint last_sweep_;
+  std::chrono::milliseconds tree_timeout_{30000};
+  std::uint64_t executes_ = 0;
+};
+
+inline constexpr const char* kAckerNodeName = "__acker";
+
+}  // namespace typhoon::stream

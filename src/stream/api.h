@@ -1,0 +1,83 @@
+// User-facing computation API: Spout (source), Bolt (operator), Emitter.
+// These are the "application computation layer" of the worker (Fig 4) and
+// are identical between Storm-baseline and Typhoon modes — Typhoon's changes
+// live below this layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/ids.h"
+#include "common/metrics.h"
+#include "stream/tuple.h"
+
+namespace typhoon::stream {
+
+// Runtime context handed to user code at open/prepare time.
+struct WorkerContext {
+  TopologyId topology = 0;
+  std::string topology_name;
+  WorkerId worker = 0;
+  NodeId node = 0;
+  std::string node_name;
+  int task_index = 0;
+  int parallelism = 1;
+  HostId host = 0;
+  common::MetricsRegistry* metrics = nullptr;
+};
+
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+
+  // Emit on the default stream; routed by the node's per-edge policies.
+  // Anchoring to the input tuple (guaranteed processing) is automatic.
+  virtual void emit(Tuple t) = 0;
+  virtual void emit(StreamId stream, Tuple t) = 0;
+
+  // Direct emit to a specific worker, bypassing routing policies. Used by
+  // system workers (acker completions) and debug tooling.
+  virtual void emit_direct(WorkerId dst, StreamId stream, Tuple t) = 0;
+};
+
+class Spout {
+ public:
+  virtual ~Spout() = default;
+  virtual void open(const WorkerContext&) {}
+  // Produce zero or more tuples; return false when nothing was emitted
+  // (the worker backs off briefly).
+  virtual bool next(Emitter& out) = 0;
+  // Guaranteed-processing callbacks (reliable topologies only).
+  // `anchored` is invoked synchronously right after each emit with the root
+  // id the framework assigned — the hook replayable spouts use to map root
+  // ids back to their own records.
+  virtual void anchored(std::uint64_t root_id) { (void)root_id; }
+  virtual void ack(std::uint64_t root_id, std::int64_t latency_us) {
+    (void)root_id;
+    (void)latency_us;
+  }
+  virtual void fail(std::uint64_t root_id) { (void)root_id; }
+  virtual void close() {}
+};
+
+class Bolt {
+ public:
+  virtual ~Bolt() = default;
+  virtual void prepare(const WorkerContext&) {}
+  virtual void execute(const Tuple& input, const TupleMeta& meta,
+                       Emitter& out) = 0;
+  // SIGNAL control tuple delivered to the application layer — stateful
+  // workers flush their in-memory cache here (Listing 2).
+  virtual void on_signal(const std::string& tag, Emitter& out) {
+    (void)tag;
+    (void)out;
+  }
+  virtual void close() {}
+};
+
+using SpoutFactory = std::function<std::unique_ptr<Spout>()>;
+using BoltFactory = std::function<std::unique_ptr<Bolt>()>;
+
+}  // namespace typhoon::stream

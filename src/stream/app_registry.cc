@@ -1,0 +1,55 @@
+#include "stream/app_registry.h"
+
+namespace typhoon::stream {
+
+void AppRegistry::register_app(const LogicalTopology& topology) {
+  std::lock_guard lk(mu_);
+  auto& nodes = apps_[topology.name()];
+  for (const LogicalNode& n : topology.nodes()) {
+    nodes[n.name] = Entry{n.spout, n.bolt};
+  }
+}
+
+void AppRegistry::unregister_app(const std::string& topology) {
+  std::lock_guard lk(mu_);
+  apps_.erase(topology);
+}
+
+void AppRegistry::update_bolt(const std::string& topology,
+                              const std::string& node, BoltFactory factory) {
+  std::lock_guard lk(mu_);
+  apps_[topology][node].bolt = std::move(factory);
+}
+
+void AppRegistry::update_spout(const std::string& topology,
+                               const std::string& node, SpoutFactory factory) {
+  std::lock_guard lk(mu_);
+  apps_[topology][node].spout = std::move(factory);
+}
+
+void AppRegistry::add_bolt(const std::string& topology,
+                           const std::string& node, BoltFactory factory) {
+  update_bolt(topology, node, std::move(factory));
+}
+
+SpoutFactory AppRegistry::spout_factory(const std::string& topology,
+                                        const std::string& node) const {
+  std::lock_guard lk(mu_);
+  auto ait = apps_.find(topology);
+  if (ait == apps_.end()) return nullptr;
+  auto nit = ait->second.find(node);
+  if (nit == ait->second.end()) return nullptr;
+  return nit->second.spout;
+}
+
+BoltFactory AppRegistry::bolt_factory(const std::string& topology,
+                                      const std::string& node) const {
+  std::lock_guard lk(mu_);
+  auto ait = apps_.find(topology);
+  if (ait == apps_.end()) return nullptr;
+  auto nit = ait->second.find(node);
+  if (nit == ait->second.end()) return nullptr;
+  return nit->second.bolt;
+}
+
+}  // namespace typhoon::stream

@@ -1,0 +1,45 @@
+// AppRegistry — the in-process analog of "fetching application binaries".
+// Worker agents resolve the computation factory for (topology, node name)
+// here when launching workers. Computation-logic reconfiguration (Sec 6.2)
+// registers a new factory version before new workers are launched.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "stream/api.h"
+#include "stream/topology.h"
+
+namespace typhoon::stream {
+
+class AppRegistry {
+ public:
+  // Register all node factories of a submitted topology.
+  void register_app(const LogicalTopology& topology);
+  void unregister_app(const std::string& topology);
+
+  // Swap a node's computation logic ("new application binaries").
+  void update_bolt(const std::string& topology, const std::string& node,
+                   BoltFactory factory);
+  void update_spout(const std::string& topology, const std::string& node,
+                    SpoutFactory factory);
+  // Register a brand-new node added by reconfiguration.
+  void add_bolt(const std::string& topology, const std::string& node,
+                BoltFactory factory);
+
+  [[nodiscard]] SpoutFactory spout_factory(const std::string& topology,
+                                           const std::string& node) const;
+  [[nodiscard]] BoltFactory bolt_factory(const std::string& topology,
+                                         const std::string& node) const;
+
+ private:
+  struct Entry {
+    SpoutFactory spout;
+    BoltFactory bolt;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, std::map<std::string, Entry>> apps_;
+};
+
+}  // namespace typhoon::stream

@@ -1,0 +1,166 @@
+#include "stream/scheduler.h"
+
+#include <algorithm>
+#include <map>
+
+namespace typhoon::stream {
+
+std::vector<PhysicalWorker> Scheduler::place_additional(
+    PhysicalTopology& physical, NodeId node, int count,
+    std::span<const HostId> hosts, IdAllocator& ids) {
+  // Balance by current worker count per host.
+  std::map<HostId, int> load;
+  for (HostId h : hosts) load[h] = 0;
+  for (const PhysicalWorker& w : physical.workers) {
+    if (load.contains(w.host)) ++load[w.host];
+  }
+  int max_task = -1;
+  for (const PhysicalWorker& w : physical.workers_of(node)) {
+    max_task = std::max(max_task, w.task_index);
+  }
+
+  std::vector<PhysicalWorker> added;
+  for (int i = 0; i < count; ++i) {
+    auto least = std::min_element(
+        load.begin(), load.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    PhysicalWorker w;
+    w.id = ids.next_worker();
+    w.node = node;
+    w.task_index = ++max_task;
+    w.host = least->first;
+    w.port = IdAllocator::port_for(w.id);
+    ++least->second;
+    physical.workers.push_back(w);
+    added.push_back(w);
+  }
+  return added;
+}
+
+void Scheduler::reschedule_worker(PhysicalTopology& physical, WorkerId worker,
+                                  std::span<const HostId> hosts) {
+  for (PhysicalWorker& w : physical.workers) {
+    if (w.id != worker) continue;
+    // Move to the next host in the list (wrapping), away from the current.
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      if (hosts[i] == w.host) {
+        w.host = hosts[(i + 1) % hosts.size()];
+        return;
+      }
+    }
+    if (!hosts.empty()) w.host = hosts[0];
+    return;
+  }
+}
+
+namespace {
+
+// Nodes in a deterministic topological order (spouts first).
+std::vector<const LogicalNode*> TopoOrder(const LogicalTopology& t) {
+  std::map<NodeId, int> indeg;
+  for (const LogicalNode& n : t.nodes()) indeg[n.id] = 0;
+  for (const LogicalEdge& e : t.edges()) {
+    if (e.stream >= kAckStream) continue;
+    ++indeg[e.to];
+  }
+  std::vector<const LogicalNode*> order;
+  std::vector<NodeId> ready;
+  for (const LogicalNode& n : t.nodes()) {
+    if (indeg[n.id] == 0) ready.push_back(n.id);
+  }
+  std::sort(ready.begin(), ready.end());
+  while (!ready.empty()) {
+    const NodeId id = ready.front();
+    ready.erase(ready.begin());
+    order.push_back(t.node(id));
+    for (const LogicalEdge& e : t.edges()) {
+      if (e.from != id || e.stream >= kAckStream) continue;
+      if (--indeg[e.to] == 0) {
+        ready.push_back(e.to);
+        std::sort(ready.begin(), ready.end());
+      }
+    }
+  }
+  // Fallback for nodes unreachable through data streams.
+  for (const LogicalNode& n : t.nodes()) {
+    if (std::find(order.begin(), order.end(), &n) == order.end()) {
+      order.push_back(&n);
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+PhysicalTopology RoundRobinScheduler::schedule(const LogicalTopology& logical,
+                                               TopologyId id,
+                                               std::span<const HostId> hosts,
+                                               IdAllocator& ids) {
+  PhysicalTopology p;
+  p.id = id;
+  p.name = logical.name();
+  std::size_t host_idx = 0;
+  for (const LogicalNode* n : TopoOrder(logical)) {
+    for (int task = 0; task < n->parallelism; ++task) {
+      PhysicalWorker w;
+      w.id = ids.next_worker();
+      w.node = n->id;
+      w.task_index = task;
+      w.host = hosts[host_idx++ % hosts.size()];
+      w.port = IdAllocator::port_for(w.id);
+      p.workers.push_back(w);
+    }
+  }
+  return p;
+}
+
+PhysicalTopology LocalityScheduler::schedule(const LogicalTopology& logical,
+                                             TopologyId id,
+                                             std::span<const HostId> hosts,
+                                             IdAllocator& ids) {
+  PhysicalTopology p;
+  p.id = id;
+  p.name = logical.name();
+
+  std::size_t total = 0;
+  for (const LogicalNode& n : logical.nodes()) {
+    total += static_cast<std::size_t>(n.parallelism);
+  }
+  // Fill hosts sequentially in topological order so adjacent pipeline
+  // stages land together; cap per-host load to keep the cluster balanced.
+  const std::size_t cap = (total + hosts.size() - 1) / hosts.size();
+  std::size_t host_idx = 0;
+  std::size_t used = 0;
+  for (const LogicalNode* n : TopoOrder(logical)) {
+    for (int task = 0; task < n->parallelism; ++task) {
+      if (used >= cap && host_idx + 1 < hosts.size()) {
+        ++host_idx;
+        used = 0;
+      }
+      PhysicalWorker w;
+      w.id = ids.next_worker();
+      w.node = n->id;
+      w.task_index = task;
+      w.host = hosts[host_idx];
+      w.port = IdAllocator::port_for(w.id);
+      ++used;
+      p.workers.push_back(w);
+    }
+  }
+  return p;
+}
+
+std::size_t RemoteEdgeCount(const LogicalTopology& logical,
+                            const PhysicalTopology& physical) {
+  std::size_t remote = 0;
+  for (const LogicalEdge& e : logical.edges()) {
+    for (const PhysicalWorker& a : physical.workers_of(e.from)) {
+      for (const PhysicalWorker& b : physical.workers_of(e.to)) {
+        if (a.host != b.host) ++remote;
+      }
+    }
+  }
+  return remote;
+}
+
+}  // namespace typhoon::stream

@@ -1,0 +1,76 @@
+// Topology schedulers. RoundRobinScheduler is Storm's default (and the
+// evaluation baseline: "we use Storm's default configurations with a
+// round-robin topology scheduler"); LocalityScheduler is the custom Typhoon
+// scheduler that "assigns topologically neighboring workers to the same
+// compute node to minimize remote inter-worker communication" (Sec 5).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stream/physical.h"
+#include "stream/topology.h"
+
+namespace typhoon::stream {
+
+// Allocates globally unique worker ids and per-host switch ports.
+class IdAllocator {
+ public:
+  WorkerId next_worker() { return next_worker_++; }
+  // Ports are derived from worker ids so they never collide across
+  // topologies on one host.
+  static PortId port_for(WorkerId w) {
+    return static_cast<PortId>(100 + w);
+  }
+
+ private:
+  WorkerId next_worker_ = 1;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  // Expand the logical topology into physical workers placed on hosts.
+  virtual PhysicalTopology schedule(const LogicalTopology& logical,
+                                    TopologyId id,
+                                    std::span<const HostId> hosts,
+                                    IdAllocator& ids) = 0;
+
+  // Place `count` additional workers for one node of an existing physical
+  // topology (scale-up); returns the new workers (already appended to
+  // `physical`).
+  virtual std::vector<PhysicalWorker> place_additional(
+      PhysicalTopology& physical, NodeId node, int count,
+      std::span<const HostId> hosts, IdAllocator& ids);
+
+  // Re-place one failed worker onto a different host (Storm-style
+  // rescheduling after heartbeat timeout). Keeps the same worker id.
+  virtual void reschedule_worker(PhysicalTopology& physical, WorkerId worker,
+                                 std::span<const HostId> hosts);
+};
+
+// Storm's default: spread workers across hosts in round-robin order.
+class RoundRobinScheduler : public Scheduler {
+ public:
+  PhysicalTopology schedule(const LogicalTopology& logical, TopologyId id,
+                            std::span<const HostId> hosts,
+                            IdAllocator& ids) override;
+};
+
+// Typhoon scheduler: walk the DAG in topological order and co-locate
+// adjacent nodes' workers on the same host while per-host capacity allows.
+class LocalityScheduler : public Scheduler {
+ public:
+  PhysicalTopology schedule(const LogicalTopology& logical, TopologyId id,
+                            std::span<const HostId> hosts,
+                            IdAllocator& ids) override;
+};
+
+// Count edges in the physical topology that cross hosts — the metric the
+// locality scheduler minimizes (used by the scheduler ablation bench).
+std::size_t RemoteEdgeCount(const LogicalTopology& logical,
+                            const PhysicalTopology& physical);
+
+}  // namespace typhoon::stream

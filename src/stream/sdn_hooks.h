@@ -1,0 +1,53 @@
+// SdnHooks — the boundary the streaming manager uses to drive the SDN
+// control plane during deployment and stable topology updates (Sec 3.2's
+// "Notification" / "Network setup" steps and Sec 3.5's update procedures).
+// Implemented by controller::TyphoonController; null in Storm-baseline mode,
+// where none of these operations exist.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stream/control_tuple.h"
+#include "stream/physical.h"
+
+namespace typhoon::stream {
+
+class SdnHooks {
+ public:
+  virtual ~SdnHooks() = default;
+
+  // Install the full Table 3 rule set for a newly scheduled topology.
+  virtual void on_topology_deployed(const TopologySpec& spec,
+                                    const PhysicalTopology& physical) = 0;
+
+  // Install rules connecting newly added workers (scale-up / logic swap).
+  virtual void on_workers_added(const TopologySpec& spec,
+                                const PhysicalTopology& physical,
+                                const std::vector<PhysicalWorker>& added) = 0;
+
+  // Remove rules for workers leaving the topology (the switch's idle
+  // timeout would reclaim them anyway; explicit removal keeps tables tidy).
+  virtual void on_workers_removed(
+      const TopologySpec& spec, const PhysicalTopology& physical,
+      const std::vector<PhysicalWorker>& removed) = 0;
+
+  // Deliver a ROUTING control tuple to one worker (PacketOut).
+  virtual void send_routing_update(const PhysicalTopology& physical,
+                                   WorkerId target,
+                                   const RoutingUpdate& update) = 0;
+
+  // Inject a SIGNAL control tuple (stateful-worker cache flush, Fig 6(b)).
+  virtual void send_signal(const PhysicalTopology& physical, WorkerId target,
+                           const std::string& tag) = 0;
+
+  // Deliver an arbitrary control tuple (Table 2) to one worker.
+  virtual void send_control_tuple(const PhysicalTopology& physical,
+                                  WorkerId target,
+                                  const ControlTuple& ct) = 0;
+
+  // Drop every rule belonging to a killed topology.
+  virtual void on_topology_killed(TopologyId id) = 0;
+};
+
+}  // namespace typhoon::stream

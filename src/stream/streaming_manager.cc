@@ -1,0 +1,734 @@
+#include "stream/streaming_manager.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/log.h"
+#include "stream/acker.h"
+
+namespace typhoon::stream {
+
+namespace {
+
+TopologySpec BuildSpec(const LogicalTopology& topo, TopologyId id,
+                       const SubmitOptions& options) {
+  TopologySpec s;
+  s.id = id;
+  s.name = topo.name();
+  s.version = 1;
+  s.reliable = options.reliable;
+  s.batch_size = options.batch_size;
+  s.flush_interval_us = options.flush_interval_us;
+  s.max_pending = options.max_pending;
+  for (const LogicalNode& n : topo.nodes()) {
+    s.nodes.push_back(
+        {n.id, n.name, n.parallelism, n.is_spout, n.stateful});
+  }
+  for (const LogicalEdge& e : topo.edges()) {
+    s.edges.push_back(
+        {e.from, e.to, e.grouping.type, e.grouping.key_indices, e.stream});
+  }
+  return s;
+}
+
+}  // namespace
+
+StreamingManager::StreamingManager(coordinator::Coordinator* coord,
+                                   AppRegistry* registry,
+                                   ManagerOptions opts)
+    : coord_(coord), registry_(registry), opts_(std::move(opts)) {
+  if (!opts_.scheduler) {
+    opts_.scheduler = std::make_unique<RoundRobinScheduler>();
+  }
+}
+
+StreamingManager::~StreamingManager() { stop(); }
+
+void StreamingManager::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  if (opts_.enable_failure_detector) {
+    monitor_thread_ = std::thread([this] { failure_detector(); });
+  }
+}
+
+void StreamingManager::stop() {
+  if (!running_.exchange(false)) return;
+  if (monitor_thread_.joinable()) monitor_thread_.join();
+}
+
+void StreamingManager::write_global_state(const Deployed& d) {
+  coord_->put(SpecPath(d.spec.name), EncodeSpec(d.spec));
+  coord_->put(PhysicalPath(d.spec.name), EncodePhysical(d.physical));
+}
+
+common::Status StreamingManager::wait_for_state(
+    const std::string& topology, const std::vector<WorkerId>& workers,
+    const std::string& state, std::chrono::milliseconds timeout) {
+  const common::TimePoint deadline = common::Now() + timeout;
+  for (WorkerId w : workers) {
+    for (;;) {
+      auto s = coord_->get_str(WorkerStatePath(topology, w));
+      if (s && *s == state) break;
+      if (common::Now() > deadline) {
+        return common::Unavailable("worker w" + std::to_string(w) +
+                                   " never reached state " + state);
+      }
+      common::SleepMillis(1);
+    }
+  }
+  return common::Status::Ok();
+}
+
+common::Status StreamingManager::wait_for_drain(
+    const std::string& topology, const std::vector<WorkerId>& workers,
+    std::chrono::milliseconds timeout) {
+  const common::TimePoint deadline = common::Now() + timeout;
+  for (WorkerId w : workers) {
+    int consecutive_empty = 0;
+    while (consecutive_empty < 2) {
+      auto depth = coord_->get_str(WorkerStatsPath(topology, w, "queue_depth"));
+      if (depth && *depth == "0") {
+        ++consecutive_empty;
+      } else {
+        consecutive_empty = 0;
+      }
+      if (common::Now() > deadline) {
+        return common::Unavailable("worker w" + std::to_string(w) +
+                                   " did not drain");
+      }
+      common::SleepMillis(5);
+    }
+  }
+  common::SleepFor(opts_.drain_settle);
+  return common::Status::Ok();
+}
+
+common::Result<TopologyId> StreamingManager::submit(
+    const LogicalTopology& topology, SubmitOptions options) {
+  if (common::Status st = topology.validate(); !st.ok()) return st;
+
+  std::lock_guard lk(mu_);
+  if (topologies_.contains(topology.name())) {
+    return common::AlreadyExists("topology " + topology.name());
+  }
+
+  LogicalTopology topo = topology;
+  if (options.reliable) {
+    // Deploy an acker node with direct ack-stream edges from every node and
+    // back to every spout (Sec 6.1; SDN rules are installed for ackers like
+    // for any worker).
+    LogicalNode acker;
+    acker.name = kAckerNodeName;
+    acker.parallelism = 1;
+    acker.bolt = [] { return std::make_unique<AckerBolt>(); };
+    const NodeId acker_id = topo.add_node(std::move(acker));
+    for (const LogicalNode& n : topology.nodes()) {
+      topo.add_edge({n.id, acker_id, {GroupingType::kDirect, {}}, kAckStream});
+      if (n.is_spout) {
+        topo.add_edge(
+            {acker_id, n.id, {GroupingType::kDirect, {}}, kAckStream});
+      }
+    }
+  }
+
+  registry_->register_app(topo);
+  const TopologyId tid = next_topology_++;
+
+  Deployed d;
+  d.physical = opts_.scheduler->schedule(topo, tid, opts_.hosts, ids_);
+  d.physical.version = 1;
+  d.spec = BuildSpec(topo, tid, options);
+  d.options = options;
+  write_global_state(d);
+
+  // Step (iii) Notification / network setup: the SDN controller programs
+  // Table 3 rules before any worker starts.
+  if (hooks_) hooks_->on_topology_deployed(d.spec, d.physical);
+
+  // Step (iv) Application setup, bolts first so the pipeline downstream of
+  // every spout exists before tuples flow.
+  std::vector<WorkerId> bolts;
+  std::vector<WorkerId> spouts;
+  for (const PhysicalWorker& w : d.physical.workers) {
+    const NodeSpec* n = d.spec.node(w.node);
+    (n != nullptr && n->is_spout ? spouts : bolts).push_back(w.id);
+  }
+  auto assign = [&](const std::vector<WorkerId>& ws) {
+    for (WorkerId w : ws) {
+      const PhysicalWorker* pw = d.physical.worker(w);
+      coord_->put_str(WorkerHeartbeatPath(d.spec.name, w),
+                      std::to_string(common::NowMicros()));
+      coord_->put_str(AssignmentPath(pw->host, w), d.spec.name);
+    }
+  };
+  assign(bolts);
+  if (common::Status st = wait_for_state(d.spec.name, bolts, "RUNNING",
+                                         options.launch_timeout);
+      !st.ok()) {
+    return st;
+  }
+  assign(spouts);
+  if (common::Status st = wait_for_state(d.spec.name, spouts, "RUNNING",
+                                         options.launch_timeout);
+      !st.ok()) {
+    return st;
+  }
+
+  topologies_[topology.name()] = std::move(d);
+  LOG_INFO("manager") << "deployed " << topology.name() << " (id " << tid
+                      << ")";
+  return tid;
+}
+
+common::Status StreamingManager::kill(const std::string& topology) {
+  std::lock_guard lk(mu_);
+  auto it = topologies_.find(topology);
+  if (it == topologies_.end()) return common::NotFound(topology);
+  Deployed& d = it->second;
+  if (hooks_) hooks_->on_topology_killed(d.spec.id);
+  for (const PhysicalWorker& w : d.physical.workers) {
+    coord_->remove(AssignmentPath(w.host, w.id));
+  }
+  coord_->remove("/topologies/" + topology, /*recursive=*/true);
+  coord_->remove("/workers/" + topology, /*recursive=*/true);
+  registry_->unregister_app(topology);
+  topologies_.erase(it);
+  return common::Status::Ok();
+}
+
+void StreamingManager::send_predecessor_routing(const Deployed& d,
+                                                NodeId node) {
+  if (!hooks_) return;
+  const std::vector<WorkerId> hops = d.physical.worker_ids_of(node);
+  for (const EdgeSpec& e : d.spec.in_edges(node)) {
+    RoutingUpdate ru;
+    ru.to_node = node;
+    ru.state.type = e.grouping;
+    ru.state.key_indices = e.key_indices;
+    ru.state.next_hops = hops;
+    for (WorkerId pred : d.physical.worker_ids_of(e.from)) {
+      hooks_->send_routing_update(d.physical, pred, ru);
+    }
+  }
+}
+
+common::Status StreamingManager::scale_up(Deployed& d,
+                                          const ReconfigRequest& req) {
+  const NodeSpec* node = d.spec.node_by_name(req.node);
+  if (node == nullptr) return common::NotFound("node " + req.node);
+  const NodeId node_id = node->id;
+  const std::vector<WorkerId> existing = d.physical.worker_ids_of(node_id);
+
+  // 1. Launch new workers and connect them (flow rules) before any
+  //    predecessor learns about them — no tuple can be lost (Fig 6(a)).
+  const std::vector<PhysicalWorker> added = opts_.scheduler->place_additional(
+      d.physical, node_id, req.count, opts_.hosts, ids_);
+  for (NodeSpec& n : d.spec.nodes) {
+    if (n.id == node_id) n.parallelism += req.count;
+  }
+  ++d.physical.version;
+  ++d.spec.version;
+  write_global_state(d);
+  hooks_->on_workers_added(d.spec, d.physical, added);
+
+  std::vector<WorkerId> added_ids;
+  for (const PhysicalWorker& w : added) {
+    added_ids.push_back(w.id);
+    coord_->put_str(WorkerHeartbeatPath(d.spec.name, w.id),
+                    std::to_string(common::NowMicros()));
+    coord_->put_str(AssignmentPath(w.host, w.id), d.spec.name);
+  }
+  if (common::Status st = wait_for_state(d.spec.name, added_ids, "RUNNING",
+                                         d.options.launch_timeout);
+      !st.ok()) {
+    return st;
+  }
+
+  // 2. Stateful node: flush existing caches right before the key space
+  //    changes (Fig 6(b)).
+  if (node->stateful) {
+    for (WorkerId w : existing) {
+      hooks_->send_signal(d.physical, w, "scale");
+    }
+  }
+
+  // 3. Swap routing state in all predecessors via ROUTING control tuples.
+  send_predecessor_routing(d, node_id);
+  return common::Status::Ok();
+}
+
+common::Status StreamingManager::scale_down(Deployed& d,
+                                            const ReconfigRequest& req) {
+  const NodeSpec* node = d.spec.node_by_name(req.node);
+  if (node == nullptr) return common::NotFound("node " + req.node);
+  const NodeId node_id = node->id;
+  std::vector<PhysicalWorker> workers = d.physical.workers_of(node_id);
+  if (req.count <= 0 ||
+      static_cast<std::size_t>(req.count) >= workers.size()) {
+    return common::InvalidArgument("scale-down must leave >= 1 worker");
+  }
+
+  // Victims: highest task indices.
+  std::vector<PhysicalWorker> victims(workers.end() - req.count,
+                                      workers.end());
+  std::vector<WorkerId> victim_ids;
+  for (const PhysicalWorker& w : victims) victim_ids.push_back(w.id);
+
+  // 1. Update predecessors first so no more tuples reach the victims.
+  std::erase_if(d.physical.workers, [&](const PhysicalWorker& w) {
+    return std::find(victim_ids.begin(), victim_ids.end(), w.id) !=
+           victim_ids.end();
+  });
+  for (NodeSpec& n : d.spec.nodes) {
+    if (n.id == node_id) n.parallelism -= req.count;
+  }
+  ++d.physical.version;
+  ++d.spec.version;
+  send_predecessor_routing(d, node_id);
+
+  // 2. Let the victims finish emitting ongoing tuples.
+  if (common::Status st = wait_for_drain(d.spec.name, victim_ids,
+                                         d.options.launch_timeout);
+      !st.ok()) {
+    return st;
+  }
+
+  // 3. Stateful victims flush residual window state downstream.
+  if (node->stateful) {
+    for (WorkerId w : victim_ids) {
+      hooks_->send_signal(d.physical, w, "drain");
+    }
+    common::SleepFor(opts_.drain_settle);
+  }
+
+  // 4. Remove from the cluster. The SDN control plane forgets the victims
+  //    first so their port-removal events are recognized as administrative
+  //    (not faults); then agents tear the workers down.
+  hooks_->on_workers_removed(d.spec, d.physical, victims);
+  for (const PhysicalWorker& w : victims) {
+    coord_->remove(AssignmentPath(w.host, w.id));
+  }
+  write_global_state(d);
+  return common::Status::Ok();
+}
+
+common::Status StreamingManager::change_grouping(Deployed& d,
+                                                 const ReconfigRequest& req) {
+  const NodeSpec* from = d.spec.node_by_name(req.from_node);
+  const NodeSpec* to = d.spec.node_by_name(req.node);
+  if (from == nullptr || to == nullptr) {
+    return common::NotFound("edge endpoints");
+  }
+  bool found = false;
+  for (EdgeSpec& e : d.spec.edges) {
+    if (e.from == from->id && e.to == to->id && e.stream < kAckStream) {
+      e.grouping = req.new_grouping.type;
+      e.key_indices = req.new_grouping.key_indices;
+      found = true;
+    }
+  }
+  if (!found) return common::NotFound("no edge " + req.from_node + "->" +
+                                      req.node);
+  ++d.spec.version;
+  write_global_state(d);
+
+  // Stateful consumers flush before their key space shifts.
+  if (to->stateful) {
+    for (WorkerId w : d.physical.worker_ids_of(to->id)) {
+      hooks_->send_signal(d.physical, w, "regroup");
+    }
+  }
+  send_predecessor_routing(d, to->id);
+  return common::Status::Ok();
+}
+
+common::Status StreamingManager::swap_logic(Deployed& d,
+                                            const ReconfigRequest& req) {
+  const NodeSpec* node = d.spec.node_by_name(req.node);
+  if (node == nullptr) return common::NotFound("node " + req.node);
+  const NodeId node_id = node->id;
+  const std::vector<PhysicalWorker> old_workers =
+      d.physical.workers_of(node_id);
+  const int count = static_cast<int>(old_workers.size());
+
+  // 1. Launch replacement workers running the newly registered factory.
+  const std::vector<PhysicalWorker> added = opts_.scheduler->place_additional(
+      d.physical, node_id, count, opts_.hosts, ids_);
+  ++d.physical.version;
+  ++d.spec.version;
+  write_global_state(d);
+  hooks_->on_workers_added(d.spec, d.physical, added);
+
+  std::vector<WorkerId> added_ids;
+  for (const PhysicalWorker& w : added) {
+    added_ids.push_back(w.id);
+    coord_->put_str(WorkerHeartbeatPath(d.spec.name, w.id),
+                    std::to_string(common::NowMicros()));
+    coord_->put_str(AssignmentPath(w.host, w.id), d.spec.name);
+  }
+  if (common::Status st = wait_for_state(d.spec.name, added_ids, "RUNNING",
+                                         d.options.launch_timeout);
+      !st.ok()) {
+    return st;
+  }
+
+  // 2. Divert all traffic to the replacements.
+  if (hooks_) {
+    const std::vector<EdgeSpec> in = d.spec.in_edges(node_id);
+    for (const EdgeSpec& e : in) {
+      RoutingUpdate ru;
+      ru.to_node = node_id;
+      ru.state.type = e.grouping;
+      ru.state.key_indices = e.key_indices;
+      ru.state.next_hops = added_ids;
+      for (WorkerId pred : d.physical.worker_ids_of(e.from)) {
+        hooks_->send_routing_update(d.physical, pred, ru);
+      }
+    }
+  }
+
+  // 3. Drain and kill the old workers.
+  std::vector<WorkerId> old_ids;
+  for (const PhysicalWorker& w : old_workers) old_ids.push_back(w.id);
+  if (node->stateful) {
+    for (WorkerId w : old_ids) hooks_->send_signal(d.physical, w, "swap");
+  }
+  if (common::Status st = wait_for_drain(d.spec.name, old_ids,
+                                         d.options.launch_timeout);
+      !st.ok()) {
+    return st;
+  }
+  std::erase_if(d.physical.workers, [&](const PhysicalWorker& w) {
+    return std::find(old_ids.begin(), old_ids.end(), w.id) != old_ids.end();
+  });
+  // Control plane forgets the old workers before their ports vanish, so the
+  // fault detector does not treat the teardown as a failure.
+  hooks_->on_workers_removed(d.spec, d.physical, old_workers);
+  for (const PhysicalWorker& w : old_workers) {
+    coord_->remove(AssignmentPath(w.host, w.id));
+  }
+  ++d.physical.version;
+  write_global_state(d);
+  return common::Status::Ok();
+}
+
+common::Status StreamingManager::relocate(Deployed& d,
+                                          const ReconfigRequest& req) {
+  const NodeSpec* node = d.spec.node_by_name(req.node);
+  if (node == nullptr) return common::NotFound("node " + req.node);
+  if (std::find(opts_.hosts.begin(), opts_.hosts.end(), req.target_host) ==
+      opts_.hosts.end()) {
+    return common::NotFound("host " + std::to_string(req.target_host));
+  }
+  PhysicalWorker* moving = nullptr;
+  for (PhysicalWorker& w : d.physical.workers) {
+    if (w.node == node->id && w.task_index == req.task_index) moving = &w;
+  }
+  if (moving == nullptr) return common::NotFound("task index");
+  if (moving->host == req.target_host) return common::Status::Ok();
+  const PhysicalWorker before = *moving;
+
+  // Pause-and-resume (paper Sec 8): quiesce the worker, flush its window
+  // state downstream / to external storage (SIGNAL), stop routing to it,
+  // then bring it up on the target host and re-include it.
+  hooks_->send_signal(d.physical, before.id, "relocate");
+
+  // 1. Divert traffic to the node's other workers. For a single-worker
+  //    node the update carries an empty hop list: predecessors *park*
+  //    emitted tuples until the resume update arrives (the pause half of
+  //    pause-and-resume).
+  std::vector<WorkerId> others;
+  for (const PhysicalWorker& w : d.physical.workers_of(node->id)) {
+    if (w.id != before.id) others.push_back(w.id);
+  }
+  for (const EdgeSpec& e : d.spec.in_edges(node->id)) {
+    RoutingUpdate ru;
+    ru.to_node = node->id;
+    ru.state.type = e.grouping;
+    ru.state.key_indices = e.key_indices;
+    ru.state.next_hops = others;
+    for (WorkerId pred : d.physical.worker_ids_of(e.from)) {
+      hooks_->send_routing_update(d.physical, pred, ru);
+    }
+  }
+
+  // 2. Drain in-flight tuples, then tear down at the old host. The global
+  //    state is flipped to the target host first so the control plane
+  //    treats the old port's disappearance as administrative.
+  if (common::Status st = wait_for_drain(d.spec.name, {before.id},
+                                         d.options.launch_timeout);
+      !st.ok()) {
+    return st;
+  }
+  moving->host = req.target_host;
+  ++d.physical.version;
+  write_global_state(d);
+  hooks_->on_workers_removed(d.spec, d.physical, {before});
+  coord_->remove(AssignmentPath(before.host, before.id));
+
+  // 3. Resume on the target host (same worker id; ports are per-host, so
+  //    the port number carries over).
+  hooks_->on_workers_added(d.spec, d.physical, {*moving});
+  coord_->put_str(WorkerHeartbeatPath(d.spec.name, before.id),
+                  std::to_string(common::NowMicros()));
+  coord_->put_str(AssignmentPath(req.target_host, before.id), d.spec.name);
+  if (common::Status st = wait_for_state(d.spec.name, {before.id}, "RUNNING",
+                                         d.options.launch_timeout);
+      !st.ok()) {
+    return st;
+  }
+
+  // 4. Re-include the worker in its predecessors' routing state.
+  send_predecessor_routing(d, node->id);
+  return common::Status::Ok();
+}
+
+common::Status StreamingManager::attach_query(Deployed& d,
+                                              const ReconfigRequest& req) {
+  const NodeSpec* from = d.spec.node_by_name(req.from_node);
+  if (from == nullptr) return common::NotFound("node " + req.from_node);
+  // Copy out before mutating spec.nodes — push_back may reallocate.
+  const NodeId from_id = from->id;
+  if (d.spec.node_by_name(req.node) != nullptr) {
+    return common::AlreadyExists("node " + req.node);
+  }
+  if (!registry_->bolt_factory(d.spec.name, req.node)) {
+    return common::FailedPrecondition(
+        "register the query bolt factory (AppRegistry::add_bolt) before "
+        "attaching");
+  }
+  if (req.count <= 0) return common::InvalidArgument("parallelism <= 0");
+
+  // 1. Extend the logical structure: a new node fed by from_node.
+  NodeId max_id = 0;
+  for (const NodeSpec& n : d.spec.nodes) max_id = std::max(max_id, n.id);
+  NodeSpec node;
+  node.id = max_id + 1;
+  node.name = req.node;
+  node.parallelism = req.count;
+  d.spec.nodes.push_back(node);
+  d.spec.edges.push_back({from_id, node.id, req.new_grouping.type,
+                          req.new_grouping.key_indices, kDefaultStream});
+  ++d.spec.version;
+
+  // 2. Launch the query workers and connect them (rules before routing).
+  const std::vector<PhysicalWorker> added = opts_.scheduler->place_additional(
+      d.physical, node.id, req.count, opts_.hosts, ids_);
+  ++d.physical.version;
+  write_global_state(d);
+  hooks_->on_workers_added(d.spec, d.physical, added);
+
+  std::vector<WorkerId> added_ids;
+  for (const PhysicalWorker& w : added) {
+    added_ids.push_back(w.id);
+    coord_->put_str(WorkerHeartbeatPath(d.spec.name, w.id),
+                    std::to_string(common::NowMicros()));
+    coord_->put_str(AssignmentPath(w.host, w.id), d.spec.name);
+  }
+  if (common::Status st = wait_for_state(d.spec.name, added_ids, "RUNNING",
+                                         d.options.launch_timeout);
+      !st.ok()) {
+    return st;
+  }
+
+  // 3. The source node's workers learn the brand-new out-edge via ROUTING
+  //    control tuples (the framework layer creates the edge on the fly).
+  send_predecessor_routing(d, node.id);
+  return common::Status::Ok();
+}
+
+common::Status StreamingManager::detach_query(Deployed& d,
+                                              const ReconfigRequest& req) {
+  const NodeSpec* node = d.spec.node_by_name(req.node);
+  if (node == nullptr) return common::NotFound("node " + req.node);
+  const NodeId node_id = node->id;
+  if (!d.spec.out_edges(node_id).empty()) {
+    return common::FailedPrecondition(
+        "only sink query nodes can be detached");
+  }
+
+  // 1. Unplug: predecessors drop the edge entirely.
+  if (hooks_) {
+    for (const EdgeSpec& e : d.spec.in_edges(node_id)) {
+      RoutingUpdate ru;
+      ru.to_node = node_id;
+      ru.remove = true;
+      for (WorkerId pred : d.physical.worker_ids_of(e.from)) {
+        hooks_->send_routing_update(d.physical, pred, ru);
+      }
+    }
+  }
+
+  // 2. Drain and remove the query workers.
+  const std::vector<PhysicalWorker> victims = d.physical.workers_of(node_id);
+  std::vector<WorkerId> victim_ids;
+  for (const PhysicalWorker& w : victims) victim_ids.push_back(w.id);
+  if (common::Status st = wait_for_drain(d.spec.name, victim_ids,
+                                         d.options.launch_timeout);
+      !st.ok()) {
+    return st;
+  }
+  std::erase_if(d.physical.workers, [&](const PhysicalWorker& w) {
+    return w.node == node_id;
+  });
+  std::erase_if(d.spec.nodes,
+                [&](const NodeSpec& n) { return n.id == node_id; });
+  std::erase_if(d.spec.edges, [&](const EdgeSpec& e) {
+    return e.from == node_id || e.to == node_id;
+  });
+  ++d.spec.version;
+  ++d.physical.version;
+  hooks_->on_workers_removed(d.spec, d.physical, victims);
+  for (const PhysicalWorker& w : victims) {
+    coord_->remove(AssignmentPath(w.host, w.id));
+  }
+  write_global_state(d);
+  return common::Status::Ok();
+}
+
+common::Status StreamingManager::reconfigure(const ReconfigRequest& request) {
+  std::lock_guard lk(mu_);
+  if (hooks_ == nullptr) {
+    return common::FailedPrecondition(
+        "runtime reconfiguration requires the Typhoon SDN control plane; "
+        "the baseline framework must be shut down, modified and restarted");
+  }
+  auto it = topologies_.find(request.topology);
+  if (it == topologies_.end()) return common::NotFound(request.topology);
+  Deployed& d = it->second;
+
+  switch (request.kind) {
+    case ReconfigRequest::Kind::kScaleUp:
+      return scale_up(d, request);
+    case ReconfigRequest::Kind::kScaleDown:
+      return scale_down(d, request);
+    case ReconfigRequest::Kind::kChangeGrouping:
+      return change_grouping(d, request);
+    case ReconfigRequest::Kind::kSwapLogic:
+      return swap_logic(d, request);
+    case ReconfigRequest::Kind::kRelocate:
+      return relocate(d, request);
+    case ReconfigRequest::Kind::kAttachQuery:
+      return attach_query(d, request);
+    case ReconfigRequest::Kind::kDetachQuery:
+      return detach_query(d, request);
+  }
+  return common::InvalidArgument("unknown reconfiguration kind");
+}
+
+common::Status StreamingManager::activate(const std::string& topology) {
+  return set_active(topology, true);
+}
+
+common::Status StreamingManager::deactivate(const std::string& topology) {
+  return set_active(topology, false);
+}
+
+common::Status StreamingManager::set_active(const std::string& topology,
+                                            bool active) {
+  std::lock_guard lk(mu_);
+  if (hooks_ == nullptr) {
+    return common::FailedPrecondition(
+        "ACTIVATE/DEACTIVATE control tuples require the SDN control plane");
+  }
+  auto it = topologies_.find(topology);
+  if (it == topologies_.end()) return common::NotFound(topology);
+  Deployed& d = it->second;
+  ControlTuple ct;
+  ct.type = active ? ControlType::kActivate : ControlType::kDeactivate;
+  for (const NodeSpec& n : d.spec.nodes) {
+    if (!n.is_spout) continue;
+    for (WorkerId w : d.physical.worker_ids_of(n.id)) {
+      hooks_->send_control_tuple(d.physical, w, ct);
+    }
+  }
+  return common::Status::Ok();
+}
+
+common::Result<PhysicalTopology> StreamingManager::physical(
+    const std::string& topology) const {
+  std::lock_guard lk(mu_);
+  auto it = topologies_.find(topology);
+  if (it == topologies_.end()) return common::NotFound(topology);
+  return it->second.physical;
+}
+
+common::Result<TopologySpec> StreamingManager::spec(
+    const std::string& topology) const {
+  std::lock_guard lk(mu_);
+  auto it = topologies_.find(topology);
+  if (it == topologies_.end()) return common::NotFound(topology);
+  return it->second.spec;
+}
+
+void StreamingManager::failure_detector() {
+  while (running_.load(std::memory_order_relaxed)) {
+    common::SleepFor(opts_.monitor_interval);
+
+    // Re-schedule only onto hosts whose agents are alive (ephemeral
+    // registrations under /cluster/hosts); fall back to the static list
+    // when the registry is empty (bare-manager tests).
+    std::vector<HostId> live;
+    for (const std::string& name : coord_->children("/cluster/hosts")) {
+      if (name.starts_with("host")) {
+        live.push_back(static_cast<HostId>(
+            std::strtoul(name.c_str() + 4, nullptr, 10)));
+      }
+    }
+    if (live.empty()) live = opts_.hosts;
+
+    std::lock_guard lk(mu_);
+    const std::int64_t now_us = common::NowMicros();
+    const std::int64_t timeout_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            opts_.heartbeat_timeout)
+            .count();
+
+    for (auto& [name, d] : topologies_) {
+      for (PhysicalWorker w : d.physical.workers) {
+        auto hb = coord_->get_str(WorkerHeartbeatPath(name, w.id));
+        if (!hb) continue;
+        const std::int64_t last = std::strtoll(hb->c_str(), nullptr, 10);
+        if (now_us - last < timeout_us) continue;
+
+        // Heartbeat timeout: re-schedule onto another host (Sec 2 "Any
+        // worker failure is detected from periodic heartbeats...").
+        LOG_WARN("manager") << "heartbeat timeout for w" << w.id << " ("
+                            << name << "), rescheduling";
+        coord_->remove(AssignmentPath(w.host, w.id));
+        opts_.scheduler->reschedule_worker(d.physical, w.id, live);
+        ++d.physical.version;
+        write_global_state(d);
+        const PhysicalWorker* moved = d.physical.worker(w.id);
+        if (hooks_ && moved) {
+          hooks_->on_workers_removed(d.spec, d.physical, {w});
+          hooks_->on_workers_added(d.spec, d.physical, {*moved});
+        }
+        coord_->put_str(WorkerHeartbeatPath(name, w.id),
+                        std::to_string(common::NowMicros()));
+        if (moved) {
+          coord_->put_str(AssignmentPath(moved->host, w.id), name);
+        }
+        reschedules_.fetch_add(1);
+        // Predecessors re-include the worker once it is actually RUNNING on
+        // the new host (checked on subsequent monitor rounds).
+        if (hooks_) pending_reinclude_.emplace_back(name, w.id);
+      }
+    }
+
+    // Re-include rescheduled workers that have come back up.
+    std::erase_if(pending_reinclude_, [&](const auto& entry) {
+      const auto& [name, wid] = entry;
+      auto it = topologies_.find(name);
+      if (it == topologies_.end()) return true;
+      auto state = coord_->get_str(WorkerStatePath(name, wid));
+      if (!state || *state != "RUNNING") return false;
+      const PhysicalWorker* pw = it->second.physical.worker(wid);
+      if (pw != nullptr) send_predecessor_routing(it->second, pw->node);
+      return true;
+    });
+  }
+}
+
+}  // namespace typhoon::stream

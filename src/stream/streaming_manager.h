@@ -1,0 +1,151 @@
+// StreamingManager — the central job manager (Nimbus analog) plus Typhoon's
+// dynamic topology manager (Sec 3.2).
+//
+// Submission: builds the physical topology via the pluggable scheduler,
+// writes global state to the coordinator (Table 1), notifies the SDN
+// control plane (SdnHooks), and rolls out assignments bolts-first so no
+// spout emits into a half-deployed pipeline.
+//
+// Reconfiguration (Typhoon only): per-node parallelism, computation logic,
+// and routing policy, each following the stable-update procedures of
+// Sec 3.5 (launch -> rules -> [SIGNAL for stateful] -> ROUTING to
+// predecessors; removals update predecessors first and drain before kill).
+//
+// Failure detection: scans worker heartbeats; a stale worker is re-scheduled
+// onto another host (Storm's Nimbus-timeout path, used by both modes — the
+// Typhoon fault-detector app additionally reroutes traffic instantly).
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "coordinator/coordinator.h"
+#include "stream/app_registry.h"
+#include "stream/scheduler.h"
+#include "stream/sdn_hooks.h"
+#include "stream/topology.h"
+
+namespace typhoon::stream {
+
+struct SubmitOptions {
+  bool reliable = false;        // deploy an acker; anchor + ack every tuple
+  std::uint32_t batch_size = 100;  // initial I/O batch size (Fig 8 knob)
+  // Timer flush for partial batches; raise to expose batch-size latency.
+  std::uint32_t flush_interval_us = 200;
+  // Outstanding-tuple cap for reliable spouts (max.spout.pending analog).
+  std::uint32_t max_pending = 2048;
+  std::chrono::milliseconds launch_timeout{5000};
+};
+
+struct ReconfigRequest {
+  enum class Kind {
+    kScaleUp,         // node, count
+    kScaleDown,       // node, count
+    kChangeGrouping,  // from_node -> node edge gets new_grouping
+    kSwapLogic,       // node: relaunch with the factory currently registered
+    kRelocate,        // node + task_index: move one worker to target_host
+                      // (paper Sec 8: pause-and-resume via control tuples,
+                      // state kept in external storage)
+    kAttachQuery,     // plug a new node (factory pre-registered under
+                      // `node`) consuming from_node's stream — the paper's
+                      // "interactive data mining" scenario
+    kDetachQuery,     // unplug a previously attached query node
+  };
+  Kind kind = Kind::kScaleUp;
+  std::string topology;
+  std::string node;       // target node name
+  int count = 1;          // scale delta
+  std::string from_node;  // kChangeGrouping: upstream node name
+  Grouping new_grouping;  // kChangeGrouping
+  int task_index = 0;     // kRelocate: which worker of the node
+  HostId target_host = 0; // kRelocate: destination host
+};
+
+struct ManagerOptions {
+  std::vector<HostId> hosts;
+  std::unique_ptr<Scheduler> scheduler;  // defaults to RoundRobinScheduler
+  bool typhoon_mode = true;
+  bool enable_failure_detector = true;
+  std::chrono::milliseconds heartbeat_timeout{1500};
+  std::chrono::milliseconds monitor_interval{100};
+  std::chrono::milliseconds drain_settle{30};
+};
+
+class StreamingManager {
+ public:
+  StreamingManager(coordinator::Coordinator* coord, AppRegistry* registry,
+                   ManagerOptions opts);
+  ~StreamingManager();
+
+  void set_sdn_hooks(SdnHooks* hooks) { hooks_ = hooks; }
+
+  void start();
+  void stop();
+
+  common::Result<TopologyId> submit(const LogicalTopology& topology,
+                                    SubmitOptions options = {});
+  common::Status kill(const std::string& topology);
+  common::Status reconfigure(const ReconfigRequest& request);
+
+  // (Un)throttle a topology by sending ACTIVATE/DEACTIVATE control tuples
+  // to its first workers — Table 2's topology-level gate. Typhoon mode
+  // only (the baseline has no control-tuple path).
+  common::Status activate(const std::string& topology);
+  common::Status deactivate(const std::string& topology);
+
+  [[nodiscard]] common::Result<PhysicalTopology> physical(
+      const std::string& topology) const;
+  [[nodiscard]] common::Result<TopologySpec> spec(
+      const std::string& topology) const;
+
+  // Number of heartbeat-timeout reschedules performed (test/bench probe).
+  [[nodiscard]] std::int64_t reschedules() const { return reschedules_.load(); }
+
+ private:
+  struct Deployed {
+    TopologySpec spec;
+    PhysicalTopology physical;
+    SubmitOptions options;
+  };
+
+  common::Status wait_for_state(const std::string& topology,
+                                const std::vector<WorkerId>& workers,
+                                const std::string& state,
+                                std::chrono::milliseconds timeout);
+  common::Status wait_for_drain(const std::string& topology,
+                                const std::vector<WorkerId>& workers,
+                                std::chrono::milliseconds timeout);
+  void write_global_state(const Deployed& d);
+  void send_predecessor_routing(const Deployed& d, NodeId node);
+  void failure_detector();
+  common::Status scale_up(Deployed& d, const ReconfigRequest& req);
+  common::Status scale_down(Deployed& d, const ReconfigRequest& req);
+  common::Status change_grouping(Deployed& d, const ReconfigRequest& req);
+  common::Status swap_logic(Deployed& d, const ReconfigRequest& req);
+  common::Status relocate(Deployed& d, const ReconfigRequest& req);
+  common::Status attach_query(Deployed& d, const ReconfigRequest& req);
+  common::Status detach_query(Deployed& d, const ReconfigRequest& req);
+  common::Status set_active(const std::string& topology, bool active);
+
+  coordinator::Coordinator* coord_;
+  AppRegistry* registry_;
+  ManagerOptions opts_;
+  SdnHooks* hooks_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Deployed> topologies_;
+  IdAllocator ids_;
+  TopologyId next_topology_ = 1;
+  // Rescheduled workers awaiting RUNNING before predecessors re-route to
+  // them: (topology, worker).
+  std::vector<std::pair<std::string, WorkerId>> pending_reinclude_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<std::int64_t> reschedules_{0};
+  std::thread monitor_thread_;
+};
+
+}  // namespace typhoon::stream

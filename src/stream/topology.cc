@@ -1,0 +1,212 @@
+#include "stream/topology.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace typhoon::stream {
+
+const LogicalNode* LogicalTopology::node(NodeId id) const {
+  for (const LogicalNode& n : nodes_) {
+    if (n.id == id) return &n;
+  }
+  return nullptr;
+}
+
+LogicalNode* LogicalTopology::mutable_node(NodeId id) {
+  for (LogicalNode& n : nodes_) {
+    if (n.id == id) return &n;
+  }
+  return nullptr;
+}
+
+const LogicalNode* LogicalTopology::node_by_name(
+    const std::string& name) const {
+  for (const LogicalNode& n : nodes_) {
+    if (n.name == name) return &n;
+  }
+  return nullptr;
+}
+
+std::vector<LogicalEdge> LogicalTopology::out_edges(NodeId id) const {
+  std::vector<LogicalEdge> out;
+  for (const LogicalEdge& e : edges_) {
+    if (e.from == id) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<LogicalEdge> LogicalTopology::in_edges(NodeId id) const {
+  std::vector<LogicalEdge> out;
+  for (const LogicalEdge& e : edges_) {
+    if (e.to == id) out.push_back(e);
+  }
+  return out;
+}
+
+NodeId LogicalTopology::add_node(LogicalNode n) {
+  if (n.id == 0) n.id = next_id_;
+  next_id_ = std::max(next_id_, n.id) + 1;
+  nodes_.push_back(std::move(n));
+  return nodes_.back().id;
+}
+
+void LogicalTopology::add_edge(LogicalEdge e) { edges_.push_back(e); }
+
+void LogicalTopology::remove_edges_between(NodeId from, NodeId to) {
+  std::erase_if(edges_, [&](const LogicalEdge& e) {
+    return e.from == from && e.to == to;
+  });
+}
+
+common::Status LogicalTopology::validate() const {
+  if (nodes_.empty()) return common::InvalidArgument("topology has no nodes");
+  std::set<NodeId> ids;
+  std::set<std::string> names;
+  for (const LogicalNode& n : nodes_) {
+    if (!ids.insert(n.id).second) {
+      return common::InvalidArgument("duplicate node id " +
+                                     std::to_string(n.id));
+    }
+    if (!names.insert(n.name).second) {
+      return common::InvalidArgument("duplicate node name " + n.name);
+    }
+    if (n.parallelism <= 0) {
+      return common::InvalidArgument(n.name + ": parallelism must be > 0");
+    }
+    if (n.is_spout && !n.spout) {
+      return common::InvalidArgument(n.name + ": missing spout factory");
+    }
+    if (!n.is_spout && !n.bolt) {
+      return common::InvalidArgument(n.name + ": missing bolt factory");
+    }
+  }
+  for (const LogicalEdge& e : edges_) {
+    if (!ids.contains(e.from) || !ids.contains(e.to)) {
+      return common::InvalidArgument("edge references unknown node");
+    }
+    const LogicalNode* to = node(e.to);
+    if (to->is_spout) {
+      return common::InvalidArgument("spout " + to->name + " has an input");
+    }
+  }
+
+  // Cycle check (Kahn's algorithm over data streams only — control/ack
+  // streams added by the framework may legally point back to spouts).
+  std::map<NodeId, int> indeg;
+  for (const LogicalNode& n : nodes_) indeg[n.id] = 0;
+  for (const LogicalEdge& e : edges_) {
+    if (e.stream >= kAckStream) continue;
+    ++indeg[e.to];
+  }
+  std::vector<NodeId> ready;
+  for (auto& [id, d] : indeg) {
+    if (d == 0) ready.push_back(id);
+  }
+  std::size_t visited = 0;
+  while (!ready.empty()) {
+    const NodeId id = ready.back();
+    ready.pop_back();
+    ++visited;
+    for (const LogicalEdge& e : edges_) {
+      if (e.from != id || e.stream >= kAckStream) continue;
+      if (--indeg[e.to] == 0) ready.push_back(e.to);
+    }
+  }
+  if (visited != nodes_.size()) {
+    return common::InvalidArgument("topology contains a cycle");
+  }
+  return common::Status::Ok();
+}
+
+NodeId TopologyBuilder::add_spout(const std::string& name,
+                                  SpoutFactory factory, int parallelism) {
+  LogicalNode n;
+  n.name = name;
+  n.parallelism = parallelism;
+  n.is_spout = true;
+  n.spout = std::move(factory);
+  return topo_.add_node(std::move(n));
+}
+
+NodeId TopologyBuilder::add_bolt(const std::string& name, BoltFactory factory,
+                                 int parallelism, bool stateful) {
+  LogicalNode n;
+  n.name = name;
+  n.parallelism = parallelism;
+  n.is_spout = false;
+  n.stateful = stateful;
+  n.bolt = std::move(factory);
+  return topo_.add_node(std::move(n));
+}
+
+TopologyBuilder& TopologyBuilder::declare_fields(
+    NodeId node, std::vector<std::string> field_names) {
+  if (LogicalNode* n = topo_.mutable_node(node)) {
+    n->output_fields = std::move(field_names);
+  }
+  return *this;
+}
+
+void TopologyBuilder::shuffle(NodeId from, NodeId to, StreamId stream) {
+  topo_.add_edge({from, to, {GroupingType::kShuffle, {}}, stream});
+}
+
+void TopologyBuilder::fields(NodeId from, NodeId to,
+                             std::vector<std::uint32_t> key_indices,
+                             StreamId stream) {
+  topo_.add_edge({from, to, {GroupingType::kFields, std::move(key_indices)},
+                  stream});
+}
+
+void TopologyBuilder::fields_by_name(NodeId from, NodeId to,
+                                     std::vector<std::string> key_names,
+                                     StreamId stream) {
+  named_edges_.push_back({from, to, std::move(key_names), stream});
+}
+
+void TopologyBuilder::global(NodeId from, NodeId to, StreamId stream) {
+  topo_.add_edge({from, to, {GroupingType::kGlobal, {}}, stream});
+}
+
+void TopologyBuilder::all(NodeId from, NodeId to, StreamId stream) {
+  topo_.add_edge({from, to, {GroupingType::kAll, {}}, stream});
+}
+
+void TopologyBuilder::direct(NodeId from, NodeId to, StreamId stream) {
+  topo_.add_edge({from, to, {GroupingType::kDirect, {}}, stream});
+}
+
+common::Result<LogicalTopology> TopologyBuilder::build() const {
+  LogicalTopology topo = topo_;
+  // Resolve named key fields against the upstream schema.
+  for (const PendingNamedEdge& pe : named_edges_) {
+    const LogicalNode* from = topo.node(pe.from);
+    if (from == nullptr) {
+      return common::Status(common::ErrorCode::kInvalidArgument,
+                            "fields_by_name: unknown upstream node");
+    }
+    if (from->output_fields.empty()) {
+      return common::InvalidArgument(
+          from->name + ": declare_fields() required for fields_by_name");
+    }
+    std::vector<std::uint32_t> indices;
+    for (const std::string& key : pe.key_names) {
+      auto it = std::find(from->output_fields.begin(),
+                          from->output_fields.end(), key);
+      if (it == from->output_fields.end()) {
+        return common::InvalidArgument(from->name + ": no output field \"" +
+                                       key + "\"");
+      }
+      indices.push_back(static_cast<std::uint32_t>(
+          std::distance(from->output_fields.begin(), it)));
+    }
+    topo.add_edge(
+        {pe.from, pe.to, {GroupingType::kFields, std::move(indices)},
+         pe.stream});
+  }
+  if (common::Status st = topo.validate(); !st.ok()) return st;
+  return topo;
+}
+
+}  // namespace typhoon::stream

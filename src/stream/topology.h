@@ -1,0 +1,113 @@
+// Logical topology: the DAG an application declares (Fig 2(a)). Each node
+// carries a computing-function factory, a parallelism degree, and each edge
+// a routing policy (grouping). Built via TopologyBuilder at "compile time";
+// in Typhoon it stays mutable at runtime through the dynamic topology
+// manager.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "stream/api.h"
+#include "stream/routing.h"
+
+namespace typhoon::stream {
+
+struct LogicalNode {
+  NodeId id = 0;
+  std::string name;
+  int parallelism = 1;
+  bool is_spout = false;
+  // Stateful workers (Table 4) keep in-memory caches and require SIGNAL
+  // flushes during stable updates.
+  bool stateful = false;
+  // Declared output tuple schema (optional). When present, fields-grouped
+  // consumers can name their key fields instead of using indices.
+  std::vector<std::string> output_fields;
+  SpoutFactory spout;
+  BoltFactory bolt;
+};
+
+struct LogicalEdge {
+  NodeId from = 0;
+  NodeId to = 0;
+  Grouping grouping;
+  StreamId stream = kDefaultStream;
+};
+
+class LogicalTopology {
+ public:
+  explicit LogicalTopology(std::string name) : name_(std::move(name)) {}
+  LogicalTopology() = default;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<LogicalNode>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<LogicalEdge>& edges() const { return edges_; }
+
+  [[nodiscard]] const LogicalNode* node(NodeId id) const;
+  [[nodiscard]] LogicalNode* mutable_node(NodeId id);
+  [[nodiscard]] const LogicalNode* node_by_name(const std::string& name) const;
+  [[nodiscard]] std::vector<LogicalEdge> out_edges(NodeId id) const;
+  [[nodiscard]] std::vector<LogicalEdge> in_edges(NodeId id) const;
+
+  NodeId add_node(LogicalNode n);
+  void add_edge(LogicalEdge e);
+  // Remove an edge (used when rewiring during computation-logic swap).
+  void remove_edges_between(NodeId from, NodeId to);
+
+  // Structural validation: ids resolve, DAG (no cycles), spouts have no
+  // inputs, parallelism positive, factories present.
+  [[nodiscard]] common::Status validate() const;
+
+ private:
+  std::string name_;
+  std::vector<LogicalNode> nodes_;
+  std::vector<LogicalEdge> edges_;
+  NodeId next_id_ = 1;
+};
+
+// Fluent construction facade mirroring Storm's TopologyBuilder.
+class TopologyBuilder {
+ public:
+  explicit TopologyBuilder(std::string name) : topo_(std::move(name)) {}
+
+  NodeId add_spout(const std::string& name, SpoutFactory factory,
+                   int parallelism = 1);
+  NodeId add_bolt(const std::string& name, BoltFactory factory,
+                  int parallelism = 1, bool stateful = false);
+
+  // Declare the output tuple schema of a node (enables fields_by_name).
+  TopologyBuilder& declare_fields(NodeId node,
+                                  std::vector<std::string> field_names);
+
+  // Wire `to`'s input from `from` with the given grouping.
+  void shuffle(NodeId from, NodeId to, StreamId stream = kDefaultStream);
+  void fields(NodeId from, NodeId to, std::vector<std::uint32_t> key_indices,
+              StreamId stream = kDefaultStream);
+  // Key-based grouping with named key fields, resolved against the
+  // upstream node's declared schema. Unknown names fail at build().
+  void fields_by_name(NodeId from, NodeId to,
+                      std::vector<std::string> key_names,
+                      StreamId stream = kDefaultStream);
+  void global(NodeId from, NodeId to, StreamId stream = kDefaultStream);
+  void all(NodeId from, NodeId to, StreamId stream = kDefaultStream);
+  void direct(NodeId from, NodeId to, StreamId stream = kDefaultStream);
+
+  [[nodiscard]] common::Result<LogicalTopology> build() const;
+
+ private:
+  struct PendingNamedEdge {
+    NodeId from = 0;
+    NodeId to = 0;
+    std::vector<std::string> key_names;
+    StreamId stream = kDefaultStream;
+  };
+
+  LogicalTopology topo_;
+  std::vector<PendingNamedEdge> named_edges_;
+};
+
+}  // namespace typhoon::stream

@@ -1,0 +1,61 @@
+// Transport — the boundary between the worker framework layer and the
+// network. Two implementations embody the paper's comparison:
+//
+//  * TyphoonTransport (transport_typhoon.h): custom Ethernet packets through
+//    the host SDN switch; one serialization per tuple regardless of fanout;
+//    control tuples in-band.
+//  * StormTransport (transport_storm.h): per-worker-pair connections with
+//    per-destination serialization (each copy carries distinct metadata).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "stream/control_tuple.h"
+#include "stream/tuple.h"
+
+namespace typhoon::stream {
+
+struct ReceivedItem {
+  bool is_control = false;
+  // Data tuple (is_control == false).
+  Tuple tuple;
+  TupleMeta meta;
+  // Control tuple (is_control == true).
+  ControlTuple control;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Send one logical tuple to the given destinations. `broadcast` marks an
+  // all-grouping emission whose payload is destination-independent.
+  virtual void send(const Tuple& t, StreamId stream, std::uint64_t root_id,
+                    std::uint64_t edge_id, const std::vector<WorkerId>& dests,
+                    bool broadcast) = 0;
+
+  // Send a control tuple up to the SDN controller (METRIC_RESP). A no-op on
+  // transports without a control plane.
+  virtual void send_to_controller(const ControlTuple& ct) = 0;
+
+  // Drain up to `max` received tuples. Non-blocking.
+  virtual std::size_t poll(std::vector<ReceivedItem>& out,
+                           std::size_t max) = 0;
+
+  // Push out any batched/buffered output.
+  virtual void flush() = 0;
+
+  // BATCH_SIZE control knob (Typhoon I/O layer).
+  virtual void set_batch_size(std::uint32_t n) { (void)n; }
+  [[nodiscard]] virtual std::uint32_t batch_size() const { return 0; }
+
+  // Approximate number of items waiting in the input queue.
+  [[nodiscard]] virtual std::size_t input_queue_depth() const = 0;
+
+  // Packets/messages dropped on send (ring or queue overflow).
+  [[nodiscard]] virtual std::uint64_t send_drops() const { return 0; }
+};
+
+}  // namespace typhoon::stream

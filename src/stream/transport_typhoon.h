@@ -1,0 +1,57 @@
+// TyphoonTransport — the worker I/O layer of Fig 4/7.
+//
+// Northbound: tuple objects from the framework layer are serialized once
+// (destination-independent payload) and handed to the packetizer.
+// Southbound: the packetizer multiplexes/segments/batches them into custom
+// Ethernet packets pushed into the host switch via the port's SPSC ring.
+// Receive side reverses the path: ring -> depacketizer -> deserialize.
+//
+// An all-grouping emission produces a single packet addressed to the
+// broadcast worker address; replication happens in the switch.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "net/packetizer.h"
+#include "stream/transport.h"
+#include "switchd/soft_switch.h"
+
+namespace typhoon::stream {
+
+class TyphoonTransport : public Transport {
+ public:
+  TyphoonTransport(WorkerAddress self,
+                   std::shared_ptr<switchd::PortHandle> port,
+                   net::PacketizerConfig cfg);
+
+  void send(const Tuple& t, StreamId stream, std::uint64_t root_id,
+            std::uint64_t edge_id, const std::vector<WorkerId>& dests,
+            bool broadcast) override;
+  void send_to_controller(const ControlTuple& ct) override;
+  std::size_t poll(std::vector<ReceivedItem>& out, std::size_t max) override;
+  void flush() override;
+  void set_batch_size(std::uint32_t n) override;
+  [[nodiscard]] std::uint32_t batch_size() const override;
+  [[nodiscard]] std::size_t input_queue_depth() const override;
+  [[nodiscard]] std::uint64_t send_drops() const override { return drops_; }
+
+  // Deliver a control tuple directly into the receive path, bypassing the
+  // switch (thread-safe; used by tests and local tooling).
+  void inject_control(const ControlTuple& ct);
+
+ private:
+  WorkerAddress self_;
+  std::shared_ptr<switchd::PortHandle> port_;
+  net::Packetizer packetizer_;
+  net::Depacketizer depacketizer_;
+  std::deque<net::TupleRecord> inbound_;
+  std::vector<net::PacketPtr> pkt_burst_;
+  std::uint64_t drops_ = 0;
+
+  std::mutex injected_mu_;
+  std::deque<net::TupleRecord> injected_;
+};
+
+}  // namespace typhoon::stream

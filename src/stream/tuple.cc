@@ -1,0 +1,181 @@
+#include "stream/tuple.h"
+
+#include <sstream>
+
+#include "common/hash.h"
+
+namespace typhoon::stream {
+
+namespace {
+enum class ValueTag : std::uint8_t {
+  kI64 = 1,
+  kF64 = 2,
+  kStr = 3,
+  kBytes = 4,
+  kBool = 5,
+};
+}  // namespace
+
+std::uint64_t Tuple::hash_fields(
+    const std::vector<std::uint32_t>& indices) const {
+  std::uint64_t h = common::kFnvOffset;
+  for (std::uint32_t i : indices) {
+    if (i >= vals_.size()) continue;
+    const Value& v = vals_[i];
+    std::visit(
+        [&](const auto& x) {
+          using T = std::decay_t<decltype(x)>;
+          if constexpr (std::is_same_v<T, std::int64_t>) {
+            h = common::HashCombine(h, static_cast<std::uint64_t>(x));
+          } else if constexpr (std::is_same_v<T, double>) {
+            std::uint64_t bits = 0;
+            static_assert(sizeof bits == sizeof x);
+            std::memcpy(&bits, &x, sizeof bits);
+            h = common::HashCombine(h, bits);
+          } else if constexpr (std::is_same_v<T, std::string>) {
+            h = common::HashCombine(h, common::Fnv1a(x));
+          } else if constexpr (std::is_same_v<T, common::Bytes>) {
+            h = common::HashCombine(h, common::Fnv1a(std::span(x)));
+          } else if constexpr (std::is_same_v<T, bool>) {
+            h = common::HashCombine(h, x ? 1u : 0u);
+          }
+        },
+        v);
+  }
+  return h;
+}
+
+std::string Tuple::str_repr() const {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < vals_.size(); ++i) {
+    if (i) os << ", ";
+    std::visit(
+        [&](const auto& x) {
+          using T = std::decay_t<decltype(x)>;
+          if constexpr (std::is_same_v<T, std::string>) {
+            os << '"' << x << '"';
+          } else if constexpr (std::is_same_v<T, common::Bytes>) {
+            os << "<" << x.size() << "B>";
+          } else if constexpr (std::is_same_v<T, bool>) {
+            os << (x ? "true" : "false");
+          } else {
+            os << x;
+          }
+        },
+        vals_[i]);
+  }
+  os << ")";
+  return os.str();
+}
+
+void EncodeTupleBody(const Tuple& t, common::BufWriter& w) {
+  w.u16(static_cast<std::uint16_t>(t.size()));
+  for (const Value& v : t.values()) {
+    std::visit(
+        [&](const auto& x) {
+          using T = std::decay_t<decltype(x)>;
+          if constexpr (std::is_same_v<T, std::int64_t>) {
+            w.u8(static_cast<std::uint8_t>(ValueTag::kI64));
+            w.i64(x);
+          } else if constexpr (std::is_same_v<T, double>) {
+            w.u8(static_cast<std::uint8_t>(ValueTag::kF64));
+            w.f64(x);
+          } else if constexpr (std::is_same_v<T, std::string>) {
+            w.u8(static_cast<std::uint8_t>(ValueTag::kStr));
+            w.str(x);
+          } else if constexpr (std::is_same_v<T, common::Bytes>) {
+            w.u8(static_cast<std::uint8_t>(ValueTag::kBytes));
+            w.bytes(x);
+          } else if constexpr (std::is_same_v<T, bool>) {
+            w.u8(static_cast<std::uint8_t>(ValueTag::kBool));
+            w.u8(x ? 1 : 0);
+          }
+        },
+        v);
+  }
+}
+
+bool DecodeTupleBody(common::BufReader& r, Tuple& t) {
+  std::uint16_t n = 0;
+  if (!r.u16(n)) return false;
+  std::vector<Value> vals;
+  vals.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) {
+    std::uint8_t tag = 0;
+    if (!r.u8(tag)) return false;
+    switch (static_cast<ValueTag>(tag)) {
+      case ValueTag::kI64: {
+        std::int64_t v = 0;
+        if (!r.i64(v)) return false;
+        vals.emplace_back(v);
+        break;
+      }
+      case ValueTag::kF64: {
+        double v = 0;
+        if (!r.f64(v)) return false;
+        vals.emplace_back(v);
+        break;
+      }
+      case ValueTag::kStr: {
+        std::string v;
+        if (!r.str(v)) return false;
+        vals.emplace_back(std::move(v));
+        break;
+      }
+      case ValueTag::kBytes: {
+        common::Bytes v;
+        if (!r.bytes(v)) return false;
+        vals.emplace_back(std::move(v));
+        break;
+      }
+      case ValueTag::kBool: {
+        std::uint8_t v = 0;
+        if (!r.u8(v)) return false;
+        vals.emplace_back(v != 0);
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  t = Tuple(std::move(vals));
+  return true;
+}
+
+common::Bytes SerializeTyphoon(const Tuple& t, std::uint64_t root_id,
+                               std::uint64_t edge_id) {
+  common::Bytes out;
+  common::BufWriter w(out);
+  w.u64(root_id);
+  w.u64(edge_id);
+  EncodeTupleBody(t, w);
+  return out;
+}
+
+bool DeserializeTyphoon(std::span<const std::uint8_t> data, Tuple& t,
+                        std::uint64_t& root_id, std::uint64_t& edge_id) {
+  common::BufReader r(data);
+  return r.u64(root_id) && r.u64(edge_id) && DecodeTupleBody(r, t);
+}
+
+common::Bytes SerializeStorm(const Tuple& t, const StormEnvelope& env) {
+  common::Bytes out;
+  common::BufWriter w(out);
+  w.u64(env.src);
+  w.u64(env.dst);
+  w.u16(env.stream);
+  w.u64(env.root_id);
+  w.u64(env.edge_id);
+  EncodeTupleBody(t, w);
+  return out;
+}
+
+bool DeserializeStorm(std::span<const std::uint8_t> data, StormEnvelope& env) {
+  common::BufReader r(data);
+  return r.u64(env.src) && r.u64(env.dst) && r.u16(env.stream) &&
+         r.u64(env.root_id) && r.u64(env.edge_id) &&
+         DecodeTupleBody(r, env.tuple);
+}
+
+}  // namespace typhoon::stream

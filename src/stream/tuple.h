@@ -1,0 +1,110 @@
+// Tuple — the unit of data flowing through a topology, and its wire codec.
+//
+// A tuple is a list of dynamically typed values. Serialization is self-
+// describing (tag byte per value). Two envelope formats exist, mirroring the
+// paper's key performance distinction (Sec 2 "Data tuple transfer"):
+//
+//  * Storm envelope: full metadata (src, dst, stream, anchors) *inside* the
+//    serialized blob — so a broadcast to N destinations requires N distinct
+//    serializations, "each copy carries distinct metadata".
+//  * Typhoon envelope: src/dst/stream live in the packet and chunk headers;
+//    the payload is destination-independent, so one serialization serves any
+//    number of network-layer replicas.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+
+namespace typhoon::stream {
+
+using Value =
+    std::variant<std::int64_t, double, std::string, common::Bytes, bool>;
+
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(std::initializer_list<Value> vals) : vals_(vals) {}
+  explicit Tuple(std::vector<Value> vals) : vals_(std::move(vals)) {}
+
+  [[nodiscard]] std::size_t size() const { return vals_.size(); }
+  [[nodiscard]] bool empty() const { return vals_.empty(); }
+
+  void push(Value v) { vals_.push_back(std::move(v)); }
+
+  [[nodiscard]] const Value& at(std::size_t i) const { return vals_.at(i); }
+  [[nodiscard]] std::int64_t i64(std::size_t i) const {
+    return std::get<std::int64_t>(vals_.at(i));
+  }
+  [[nodiscard]] double f64(std::size_t i) const {
+    return std::get<double>(vals_.at(i));
+  }
+  [[nodiscard]] const std::string& str(std::size_t i) const {
+    return std::get<std::string>(vals_.at(i));
+  }
+  [[nodiscard]] const common::Bytes& bytes(std::size_t i) const {
+    return std::get<common::Bytes>(vals_.at(i));
+  }
+  [[nodiscard]] bool boolean(std::size_t i) const {
+    return std::get<bool>(vals_.at(i));
+  }
+
+  [[nodiscard]] const std::vector<Value>& values() const { return vals_; }
+
+  // Stable hash over the given field indices — the key-based routing hash
+  // (Listing 1: hash(fieldA, fieldB) % numNextHops).
+  [[nodiscard]] std::uint64_t hash_fields(
+      const std::vector<std::uint32_t>& indices) const;
+
+  [[nodiscard]] std::string str_repr() const;
+
+  friend bool operator==(const Tuple&, const Tuple&) = default;
+
+ private:
+  std::vector<Value> vals_;
+};
+
+// Per-tuple metadata accompanying a received tuple.
+struct TupleMeta {
+  WorkerId src_worker = 0;
+  StreamId stream = 0;
+  // Guaranteed-processing anchors (0 when unanchored).
+  std::uint64_t root_id = 0;
+  std::uint64_t edge_id = 0;
+};
+
+// The well-known stream carrying control tuples (Table 2). Data streams use
+// ids below this.
+inline constexpr StreamId kControlStream = 0xfffe;
+// Stream carrying acker traffic for guaranteed processing.
+inline constexpr StreamId kAckStream = 0xfffd;
+inline constexpr StreamId kDefaultStream = 1;
+
+// ---- value / tuple body codec (shared by both envelopes) ----
+void EncodeTupleBody(const Tuple& t, common::BufWriter& w);
+bool DecodeTupleBody(common::BufReader& r, Tuple& t);
+
+// ---- Typhoon envelope: [root u64][edge u64][body] ----
+common::Bytes SerializeTyphoon(const Tuple& t, std::uint64_t root_id,
+                               std::uint64_t edge_id);
+bool DeserializeTyphoon(std::span<const std::uint8_t> data, Tuple& t,
+                        std::uint64_t& root_id, std::uint64_t& edge_id);
+
+// ---- Storm envelope:
+//      [src u64][dst u64][stream u16][root u64][edge u64][body] ----
+struct StormEnvelope {
+  WorkerId src = 0;
+  WorkerId dst = 0;
+  StreamId stream = 0;
+  std::uint64_t root_id = 0;
+  std::uint64_t edge_id = 0;
+  Tuple tuple;
+};
+common::Bytes SerializeStorm(const Tuple& t, const StormEnvelope& env);
+bool DeserializeStorm(std::span<const std::uint8_t> data, StormEnvelope& env);
+
+}  // namespace typhoon::stream

@@ -1,0 +1,104 @@
+#include "stream/windows.h"
+
+#include <algorithm>
+
+namespace typhoon::stream {
+
+WindowBolt::WindowBolt(Config cfg, FlushFn flush)
+    : cfg_(cfg), flush_(std::move(flush)) {}
+
+void WindowBolt::prepare(const WorkerContext&) {
+  window_start_ = common::Now();
+}
+
+void WindowBolt::flush_window(Emitter& out) {
+  if (buffer_.empty()) {
+    window_start_ = common::Now();
+    return;
+  }
+  std::vector<Tuple> window;
+  window.swap(buffer_);
+  window_start_ = common::Now();
+  flush_(std::move(window), out);
+}
+
+void WindowBolt::execute(const Tuple& input, const TupleMeta&, Emitter& out) {
+  last_emitter_ = &out;
+  buffer_.push_back(input);
+  const bool count_full =
+      cfg_.max_count != 0 && buffer_.size() >= cfg_.max_count;
+  const bool time_up = common::Now() - window_start_ >= cfg_.window;
+  if (count_full || time_up) flush_window(out);
+}
+
+void WindowBolt::on_signal(const std::string&, Emitter& out) {
+  flush_window(out);
+}
+
+void WindowBolt::close() {
+  if (last_emitter_ != nullptr) flush_window(*last_emitter_);
+}
+
+KeyedCountWindowBolt::KeyedCountWindowBolt(std::uint32_t key_index,
+                                           std::chrono::milliseconds window)
+    : key_index_(key_index), window_(window) {}
+
+void KeyedCountWindowBolt::prepare(const WorkerContext&) {
+  window_start_ = common::Now();
+}
+
+void KeyedCountWindowBolt::flush(Emitter& out) {
+  for (const auto& [key, count] : counts_) {
+    out.emit(Tuple{key, count});
+  }
+  counts_.clear();
+  window_start_ = common::Now();
+}
+
+void KeyedCountWindowBolt::execute(const Tuple& input, const TupleMeta&,
+                                   Emitter& out) {
+  last_emitter_ = &out;
+  if (key_index_ >= input.size()) return;
+  ++counts_[input.str(key_index_)];
+  if (common::Now() - window_start_ >= window_) flush(out);
+}
+
+void KeyedCountWindowBolt::on_signal(const std::string&, Emitter& out) {
+  flush(out);
+}
+
+void KeyedCountWindowBolt::close() {
+  if (last_emitter_ != nullptr && !counts_.empty()) flush(*last_emitter_);
+}
+
+SlidingAggregateBolt::SlidingAggregateBolt(std::uint32_t value_index,
+                                           std::size_t size,
+                                           std::size_t stride)
+    : value_index_(value_index),
+      size_(size == 0 ? 1 : size),
+      stride_(stride == 0 ? 1 : stride) {}
+
+void SlidingAggregateBolt::execute(const Tuple& input, const TupleMeta&,
+                                   Emitter& out) {
+  if (value_index_ >= input.size()) return;
+  double v = 0;
+  if (std::holds_alternative<std::int64_t>(input.at(value_index_))) {
+    v = static_cast<double>(input.i64(value_index_));
+  } else if (std::holds_alternative<double>(input.at(value_index_))) {
+    v = input.f64(value_index_);
+  } else {
+    return;
+  }
+  values_.push_back(v);
+  while (values_.size() > size_) values_.pop_front();
+
+  if (++since_emit_ < stride_) return;
+  since_emit_ = 0;
+  const auto [mn, mx] = std::minmax_element(values_.begin(), values_.end());
+  double sum = 0;
+  for (double x : values_) sum += x;
+  out.emit(Tuple{static_cast<std::int64_t>(values_.size()), *mn, *mx, sum,
+                 sum / static_cast<double>(values_.size())});
+}
+
+}  // namespace typhoon::stream

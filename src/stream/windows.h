@@ -1,0 +1,95 @@
+// Window operators — reusable stateful-worker building blocks (the Table 4
+// / Listing 2 pattern: an in-memory cache flushed downstream on SIGNAL
+// control tuples or when the window closes). These cover the paper's
+// stateful scenarios: time-based windowing (Sec 3.5), the Yahoo pipeline's
+// windowed aggregation, and ad-hoc window queries for interactive data
+// mining (Sec 1).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/clock.h"
+#include "stream/api.h"
+
+namespace typhoon::stream {
+
+// Buffers tuples into processing-time (and optionally count-bounded)
+// tumbling windows; invokes `flush` with the whole window when it closes,
+// on SIGNAL, and at shutdown.
+class WindowBolt : public Bolt {
+ public:
+  struct Config {
+    std::chrono::milliseconds window{1000};
+    // Close the window early once this many tuples buffered (0 = no cap).
+    std::size_t max_count = 0;
+  };
+  using FlushFn = std::function<void(std::vector<Tuple>&&, Emitter&)>;
+
+  WindowBolt(Config cfg, FlushFn flush);
+
+  void prepare(const WorkerContext& ctx) override;
+  void execute(const Tuple& input, const TupleMeta& meta,
+               Emitter& out) override;
+  void on_signal(const std::string& tag, Emitter& out) override;
+  void close() override;
+
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  void flush_window(Emitter& out);
+
+  Config cfg_;
+  FlushFn flush_;
+  std::vector<Tuple> buffer_;
+  common::TimePoint window_start_{};
+  Emitter* last_emitter_ = nullptr;  // for close()-time flush
+};
+
+// Keyed tumbling count window (the word-count / top-N shape of Listing 2):
+// counts occurrences of the key field and emits (key, count) tuples when
+// the window closes or a SIGNAL arrives. Designed for fields-grouped input.
+class KeyedCountWindowBolt : public Bolt {
+ public:
+  KeyedCountWindowBolt(std::uint32_t key_index,
+                       std::chrono::milliseconds window);
+
+  void prepare(const WorkerContext& ctx) override;
+  void execute(const Tuple& input, const TupleMeta& meta,
+               Emitter& out) override;
+  void on_signal(const std::string& tag, Emitter& out) override;
+  void close() override;
+
+  [[nodiscard]] std::size_t distinct_keys() const { return counts_.size(); }
+
+ private:
+  void flush(Emitter& out);
+
+  std::uint32_t key_index_;
+  std::chrono::milliseconds window_;
+  std::map<std::string, std::int64_t> counts_;
+  common::TimePoint window_start_{};
+  Emitter* last_emitter_ = nullptr;
+};
+
+// Sliding numeric aggregate over the last `size` values of one field:
+// every `stride` inputs emits Tuple{count, min, max, sum, mean}.
+class SlidingAggregateBolt : public Bolt {
+ public:
+  SlidingAggregateBolt(std::uint32_t value_index, std::size_t size,
+                       std::size_t stride);
+
+  void execute(const Tuple& input, const TupleMeta& meta,
+               Emitter& out) override;
+
+ private:
+  std::uint32_t value_index_;
+  std::size_t size_;
+  std::size_t stride_;
+  std::deque<double> values_;
+  std::size_t since_emit_ = 0;
+};
+
+}  // namespace typhoon::stream

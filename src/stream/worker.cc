@@ -1,0 +1,380 @@
+#include "stream/worker.h"
+
+#include <deque>
+#include <exception>
+
+#include "common/log.h"
+#include "stream/acker.h"
+#include "stream/physical.h"
+
+namespace typhoon::stream {
+
+Worker::Worker(WorkerOptions opts)
+    : opts_(std::move(opts)),
+      emitted_(metrics_.counter("emitted")),
+      received_(metrics_.counter("received")),
+      acked_(metrics_.counter("acked")),
+      failed_(metrics_.counter("failed")),
+      input_rate_(0.0),
+      rng_(common::HashCombine(opts_.ctx.worker, 0x7970686f6f6eull)),
+      active_(opts_.start_active) {
+  opts_.ctx.metrics = &metrics_;
+}
+
+Worker::~Worker() { stop(); }
+
+void Worker::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  stop_requested_.store(false);
+  thread_ = std::thread([this] { run(); });
+}
+
+void Worker::stop() {
+  stop_requested_.store(true);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false);
+}
+
+void Worker::emit(Tuple t) { emit(kDefaultStream, std::move(t)); }
+
+void Worker::emit(StreamId stream, Tuple t) {
+  const bool acking = opts_.reliable && opts_.acker != 0;
+  std::uint64_t root = 0;
+  bool spout_root = false;
+  if (acking) {
+    if (opts_.is_spout) {
+      root = rng_.next() | 1;  // never zero
+      spout_root = true;
+    } else {
+      root = current_root_;
+    }
+  }
+
+  std::uint64_t init_xor = 0;
+  bool sent_any = false;
+  for (EdgeRuntime& e : opts_.out_edges) {
+    if (e.stream != stream) continue;
+    if (e.state.next_hops.empty()) {
+      // Paused edge: park until a ROUTING update supplies destinations.
+      if (e.parked.size() >= kMaxParkedPerEdge) {
+        e.parked.pop_front();
+        metrics_.counter("parked_dropped").inc();
+      }
+      e.parked.push_back(t);
+      metrics_.counter("parked").inc();
+      continue;
+    }
+    RouteDecision d = Router::route(e.state, t, opts_.ctx.worker);
+    if (d.dests.empty()) continue;
+    std::uint64_t edge_id = 0;
+    if (root != 0) {
+      edge_id = rng_.next();
+      for (WorkerId dst : d.dests) {
+        const std::uint64_t c = AckContribution(edge_id, dst);
+        if (spout_root) {
+          init_xor ^= c;
+        } else {
+          child_xor_ ^= c;
+        }
+      }
+    }
+    opts_.transport->send(t, stream, root, edge_id, d.dests, d.broadcast);
+    sent_any = true;
+  }
+  if (sent_any) emitted_.inc();
+
+  if (spout_root && sent_any) {
+    pending_[root] = PendingRoot{common::Now()};
+    opts_.spout->anchored(root);
+    opts_.transport->send(MakeAckInit(root, init_xor, opts_.ctx.worker),
+                          kAckStream, 0, 0, {opts_.acker}, false);
+  }
+}
+
+void Worker::emit_direct(WorkerId dst, StreamId stream, Tuple t) {
+  opts_.transport->send(t, stream, 0, 0, {dst}, false);
+  emitted_.inc();
+}
+
+void Worker::handle_control(const ControlTuple& ct) {
+  switch (ct.type) {
+    case ControlType::kRouting: {
+      if (!ct.routing) return;
+      const RoutingUpdate& ru = *ct.routing;
+      if (ru.remove) {
+        // Unplug the edge (dynamic query detach); parked tuples for it are
+        // discarded with it.
+        std::erase_if(opts_.out_edges, [&](const EdgeRuntime& e) {
+          return e.to_node == ru.to_node;
+        });
+        metrics_.counter("routing_updates").inc();
+        break;
+      }
+      bool found = false;
+      for (EdgeRuntime& e : opts_.out_edges) {
+        if (e.to_node == ru.to_node) {
+          // Preserve the round-robin counter so shuffle routing does not
+          // restart at index 0 (which would skew fairness briefly).
+          const std::uint64_t rr = e.state.rr_counter;
+          e.state = ru.state;
+          e.state.rr_counter = rr;
+          found = true;
+        }
+      }
+      if (!found) {
+        // Reconfiguration added a brand-new downstream node.
+        EdgeRuntime e;
+        e.to_node = ru.to_node;
+        e.stream = kDefaultStream;
+        e.state = ru.state;
+        opts_.out_edges.push_back(std::move(e));
+      }
+      // Resume: flush tuples parked while the edge had no destinations.
+      // (Re-emitted unanchored; a reliable topology replays any that are
+      // lost downstream.)
+      for (EdgeRuntime& e : opts_.out_edges) {
+        if (e.to_node != ru.to_node || e.state.next_hops.empty()) continue;
+        std::deque<Tuple> parked;
+        parked.swap(e.parked);
+        for (Tuple& t : parked) {
+          RouteDecision d = Router::route(e.state, t, opts_.ctx.worker);
+          if (d.dests.empty()) continue;
+          opts_.transport->send(t, e.stream, 0, 0, d.dests, d.broadcast);
+          emitted_.inc();
+        }
+      }
+      metrics_.counter("routing_updates").inc();
+      break;
+    }
+    case ControlType::kSignal:
+      if (opts_.bolt) {
+        opts_.bolt->on_signal(ct.signal_tag, *this);
+      }
+      metrics_.counter("signals").inc();
+      break;
+    case ControlType::kMetricReq: {
+      MetricReport report;
+      report.worker = opts_.ctx.worker;
+      report.request_id = ct.request_id;
+      report.metrics = metrics_.snapshot();
+      report.metrics.emplace_back(
+          "queue_depth",
+          static_cast<std::int64_t>(opts_.transport->input_queue_depth()));
+      ControlTuple resp;
+      resp.type = ControlType::kMetricResp;
+      resp.request_id = ct.request_id;
+      resp.report = std::move(report);
+      opts_.transport->send_to_controller(resp);
+      break;
+    }
+    case ControlType::kInputRate:
+      input_rate_.set_rate(ct.input_rate);
+      break;
+    case ControlType::kActivate:
+      active_.store(true);
+      break;
+    case ControlType::kDeactivate:
+      active_.store(false);
+      break;
+    case ControlType::kBatchSize:
+      opts_.transport->set_batch_size(ct.batch_size);
+      break;
+    default:
+      break;
+  }
+}
+
+void Worker::handle_ack_stream(const Tuple& t) {
+  if (t.size() < 2) return;
+  if (static_cast<AckKind>(t.i64(0)) != AckKind::kComplete) return;
+  const auto root = static_cast<std::uint64_t>(t.i64(1));
+  auto it = pending_.find(root);
+  if (it == pending_.end()) return;
+  const std::int64_t latency_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          common::Now() - it->second.emitted_at)
+          .count();
+  pending_.erase(it);
+  acked_.inc();
+  opts_.spout->ack(root, latency_us);
+}
+
+void Worker::handle_item(ReceivedItem& item) {
+  if (item.is_control) {
+    handle_control(item.control);
+    return;
+  }
+  received_.inc();
+  const bool is_acker = opts_.ctx.node_name == kAckerNodeName;
+  if (item.meta.stream == kAckStream && opts_.is_spout) {
+    handle_ack_stream(item.tuple);
+    return;
+  }
+  if (opts_.is_spout) return;  // spouts consume no other data streams
+
+  current_root_ = item.meta.root_id;
+  child_xor_ = 0;
+  opts_.bolt->execute(item.tuple, item.meta, *this);
+
+  if (!is_acker && opts_.reliable && opts_.acker != 0 &&
+      item.meta.root_id != 0) {
+    const std::uint64_t ack_val =
+        AckContribution(item.meta.edge_id, opts_.ctx.worker) ^ child_xor_;
+    opts_.transport->send(MakeAck(item.meta.root_id, ack_val), kAckStream, 0,
+                          0, {opts_.acker}, false);
+  }
+  current_root_ = 0;
+}
+
+void Worker::publish_stats(common::TimePoint now) {
+  // Local gauge first: user code (e.g. memory-pressure simulation) and
+  // harness probes read it without touching the coordinator.
+  metrics_.gauge("queue_depth")
+      .set(static_cast<std::int64_t>(opts_.transport->input_queue_depth()));
+  if (opts_.coord == nullptr) return;
+  const std::string& topo = opts_.ctx.topology_name;
+  const WorkerId w = opts_.ctx.worker;
+  opts_.coord->put_str(WorkerHeartbeatPath(topo, w),
+                       std::to_string(common::NowMicros()));
+  opts_.coord->put_str(WorkerStatsPath(topo, w, "emitted"),
+                       std::to_string(emitted_.value()));
+  opts_.coord->put_str(WorkerStatsPath(topo, w, "received"),
+                       std::to_string(received_.value()));
+  opts_.coord->put_str(
+      WorkerStatsPath(topo, w, "queue_depth"),
+      std::to_string(opts_.transport->input_queue_depth()));
+  (void)now;
+}
+
+void Worker::sweep_pending(common::TimePoint now) {
+  std::vector<std::uint64_t> expired;
+  for (const auto& [root, p] : pending_) {
+    if (now - p.emitted_at > opts_.pending_timeout) expired.push_back(root);
+  }
+  for (std::uint64_t root : expired) {
+    pending_.erase(root);
+    failed_.inc();
+    opts_.spout->fail(root);
+  }
+}
+
+bool Worker::spout_turn() {
+  if (!active_.load(std::memory_order_relaxed)) return false;
+  if (opts_.reliable && opts_.acker != 0 &&
+      pending_.size() >= opts_.max_pending) {
+    return false;
+  }
+  if (input_rate_.rate() > 0 && !input_rate_.try_acquire()) return false;
+  return opts_.spout->next(*this);
+}
+
+void Worker::run() {
+  const std::string& topo = opts_.ctx.topology_name;
+  const WorkerId w = opts_.ctx.worker;
+
+  try {
+    if (opts_.is_spout) {
+      opts_.spout->open(opts_.ctx);
+    } else {
+      opts_.bolt->prepare(opts_.ctx);
+    }
+  } catch (const std::exception& e) {
+    crashed_.store(true);
+    LOG_ERROR("worker") << "w" << w << " crashed in open/prepare: "
+                        << e.what();
+    if (opts_.coord) opts_.coord->put_str(WorkerStatePath(topo, w), "DEAD");
+    return;
+  }
+
+  if (opts_.coord) {
+    opts_.coord->put_str(WorkerStatePath(topo, w), "RUNNING");
+    publish_stats(common::Now());
+  }
+
+  std::vector<ReceivedItem> buf;
+  std::deque<ReceivedItem> backlog;
+  common::TimePoint last_flush = common::Now();
+  common::TimePoint last_hb = last_flush;
+  common::TimePoint last_sweep = last_flush;
+
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    std::size_t work = 0;
+
+    if (backlog.empty()) {
+      buf.clear();
+      opts_.transport->poll(buf, 256);
+      for (ReceivedItem& item : buf) backlog.push_back(std::move(item));
+    }
+    while (!backlog.empty() &&
+           !stop_requested_.load(std::memory_order_relaxed)) {
+      ReceivedItem& item = backlog.front();
+      // INPUT_RATE throttling applies to data tuples; control tuples are
+      // processed unconditionally so the throttle itself can be lifted.
+      if (!item.is_control && !opts_.is_spout && input_rate_.rate() > 0 &&
+          !input_rate_.try_acquire()) {
+        break;
+      }
+      try {
+        handle_item(item);
+      } catch (const std::exception& e) {
+        crashed_.store(true);
+        LOG_WARN("worker") << "w" << w << " crashed in execute: " << e.what();
+        break;
+      }
+      backlog.pop_front();
+      ++work;
+    }
+    if (crashed_.load()) break;
+
+    if (opts_.is_spout) {
+      try {
+        if (spout_turn()) ++work;
+      } catch (const std::exception& e) {
+        crashed_.store(true);
+        LOG_WARN("worker") << "w" << w << " crashed in next: " << e.what();
+        break;
+      }
+    }
+
+    const common::TimePoint now = common::Now();
+    if (now - last_flush >= opts_.flush_interval) {
+      opts_.transport->flush();
+      last_flush = now;
+    }
+    if (opts_.coord && now - last_hb >= opts_.heartbeat_interval) {
+      publish_stats(now);
+      last_hb = now;
+    }
+    if (opts_.reliable && opts_.is_spout &&
+        now - last_sweep >= std::chrono::milliseconds(100)) {
+      sweep_pending(now);
+      last_sweep = now;
+    }
+    if (work == 0) {
+      // Idle: park briefly. Buffered output is NOT force-flushed here —
+      // the flush_interval timer above owns that, so the batching
+      // latency/throughput knob keeps its meaning on quiet streams.
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+
+  if (crashed_.load()) {
+    if (opts_.coord) opts_.coord->put_str(WorkerStatePath(topo, w), "DEAD");
+    return;
+  }
+
+  opts_.transport->flush();
+  try {
+    if (opts_.is_spout) {
+      opts_.spout->close();
+    } else {
+      opts_.bolt->close();
+    }
+  } catch (const std::exception&) {
+    // Shutdown-path failures are logged but do not change outcome.
+  }
+  if (opts_.coord) opts_.coord->put_str(WorkerStatePath(topo, w), "STOPPED");
+}
+
+}  // namespace typhoon::stream

@@ -1,0 +1,138 @@
+// Worker — one physical node of a running topology, executing on its own
+// thread. Implements the three-layer design of Fig 4:
+//
+//   application computation layer : the user Spout/Bolt
+//   framework layer               : routing policies (runtime-swappable via
+//                                   ROUTING control tuples), control-tuple
+//                                   handling (Table 2), guaranteed-
+//                                   processing bookkeeping, stats reporting,
+//                                   input-rate controller
+//   I/O layer                     : the Transport (Typhoon packets or
+//                                   Storm-style connections)
+//
+// A crash in user code (the induced NullPointerException of Sec 6.2) marks
+// the worker dead and exits the thread; the worker agent and, in Typhoon
+// mode, the switch port-status event take it from there.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/hash.h"
+#include "common/metrics.h"
+#include "common/rate_limiter.h"
+#include "coordinator/coordinator.h"
+#include "stream/api.h"
+#include "stream/routing.h"
+#include "stream/transport.h"
+
+namespace typhoon::stream {
+
+// Routing runtime for one outgoing logical edge. When the edge has no
+// routable next hops (a "paused" edge during pause-and-resume relocation,
+// Sec 8), emitted tuples park here until a ROUTING control tuple supplies
+// destinations again.
+struct EdgeRuntime {
+  NodeId to_node = 0;
+  StreamId stream = kDefaultStream;
+  RoutingState state;
+  std::deque<Tuple> parked;
+};
+
+// Cap on parked tuples per edge; beyond it the oldest are dropped (counted
+// in the worker's "parked_dropped" metric).
+inline constexpr std::size_t kMaxParkedPerEdge = 65536;
+
+struct WorkerOptions {
+  WorkerContext ctx;
+  bool is_spout = false;
+  std::unique_ptr<Spout> spout;
+  std::unique_ptr<Bolt> bolt;
+  std::unique_ptr<Transport> transport;
+  std::vector<EdgeRuntime> out_edges;
+
+  // Guaranteed processing.
+  bool reliable = false;
+  WorkerId acker = 0;  // acker worker id (0 = none even if reliable)
+  std::size_t max_pending = 2048;
+  std::chrono::milliseconds pending_timeout{5000};
+
+  // Coordination (optional: tests can run bare workers).
+  coordinator::Coordinator* coord = nullptr;
+  std::chrono::milliseconds heartbeat_interval{25};
+  std::chrono::microseconds flush_interval{200};
+
+  bool start_active = true;
+};
+
+class Worker final : public Emitter {
+ public:
+  explicit Worker(WorkerOptions opts);
+  ~Worker() override;
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  void start();
+  // Signal the loop to exit and join the thread.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_.load(); }
+  [[nodiscard]] bool crashed() const { return crashed_.load(); }
+  [[nodiscard]] WorkerId id() const { return opts_.ctx.worker; }
+  [[nodiscard]] NodeId node() const { return opts_.ctx.node; }
+  [[nodiscard]] const WorkerContext& context() const { return opts_.ctx; }
+  [[nodiscard]] common::MetricsRegistry& metrics() { return metrics_; }
+
+  // Emitter interface (invoked from the worker thread during next/execute
+  // and on_signal).
+  void emit(Tuple t) override;
+  void emit(StreamId stream, Tuple t) override;
+  void emit_direct(WorkerId dst, StreamId stream, Tuple t) override;
+
+  // Counters exposed for harnesses (also published to the coordinator).
+  [[nodiscard]] std::int64_t emitted() const { return emitted_.value(); }
+  [[nodiscard]] std::int64_t received() const { return received_.value(); }
+
+ private:
+  void run();
+  void handle_item(ReceivedItem& item);
+  void handle_control(const ControlTuple& ct);
+  void handle_ack_stream(const Tuple& t);
+  void publish_stats(common::TimePoint now);
+  void sweep_pending(common::TimePoint now);
+  bool spout_turn();
+
+  WorkerOptions opts_;
+  common::MetricsRegistry metrics_;
+  common::Counter& emitted_;
+  common::Counter& received_;
+  common::Counter& acked_;
+  common::Counter& failed_;
+  common::RateLimiter input_rate_;
+  common::Rng rng_;
+
+  // Guaranteed-processing state for the in-flight tuple tree being built by
+  // the current execute()/next() call.
+  std::uint64_t current_root_ = 0;
+  std::uint64_t child_xor_ = 0;
+
+  struct PendingRoot {
+    common::TimePoint emitted_at;
+  };
+  std::unordered_map<std::uint64_t, PendingRoot> pending_;
+
+  std::atomic<bool> active_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> crashed_{false};
+  std::thread thread_;
+};
+
+}  // namespace typhoon::stream

@@ -1,0 +1,91 @@
+// WorkerAgent — the per-host supervisor daemon (Fig 1/3). It watches the
+// coordinator for worker assignments targeting its host, "fetches
+// application binaries" (resolves factories from the AppRegistry), launches
+// and kills workers, and locally restarts crashed workers a bounded number
+// of times (the Storm supervisor behaviour of Sec 6.2: "when a worker dies,
+// it is locally detected and the worker gets restarted on the same server").
+//
+// In Typhoon mode a launched worker is attached to the host's SDN switch on
+// its scheduler-assigned port; a crash detaches the port, producing the
+// PortStatus event the fault-detector app consumes.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "coordinator/coordinator.h"
+#include "stream/app_registry.h"
+#include "stream/transport_storm.h"
+#include "stream/worker.h"
+#include "switchd/soft_switch.h"
+
+namespace typhoon::stream {
+
+struct AgentOptions {
+  HostId host = 0;
+  bool typhoon_mode = true;
+  switchd::SoftSwitch* sw = nullptr;      // Typhoon mode
+  StormFabric* fabric = nullptr;          // Storm mode
+  coordinator::Coordinator* coord = nullptr;
+  AppRegistry* registry = nullptr;
+
+  // Local restart policy for crashed workers.
+  bool auto_restart = true;
+  int max_local_restarts = 3;
+  std::chrono::milliseconds restart_delay{150};
+  std::chrono::milliseconds monitor_interval{20};
+
+  // Worker tuning passed through.
+  std::chrono::milliseconds worker_heartbeat{25};
+  std::chrono::microseconds worker_flush{200};
+};
+
+class WorkerAgent {
+ public:
+  explicit WorkerAgent(AgentOptions opts);
+  ~WorkerAgent();
+
+  void start();
+  void stop();
+
+  [[nodiscard]] HostId host() const { return opts_.host; }
+
+  // Harness access to a live worker (nullptr if not on this host / dead).
+  [[nodiscard]] Worker* find_worker(WorkerId id) const;
+  [[nodiscard]] std::vector<WorkerId> worker_ids() const;
+  [[nodiscard]] std::int64_t restarts() const { return restarts_.load(); }
+
+ private:
+  struct Managed {
+    std::unique_ptr<Worker> worker;
+    std::shared_ptr<switchd::PortHandle> port;  // Typhoon mode
+    std::string topology;
+    int restart_count = 0;
+    common::TimePoint last_restart{};
+    bool gave_up = false;
+  };
+
+  void on_assignment_event(const std::string& path,
+                           coordinator::WatchEvent ev);
+  bool launch(WorkerId id, const std::string& topology, Managed& slot);
+  void remove_worker(WorkerId id);
+  void monitor();
+
+  AgentOptions opts_;
+  coordinator::Coordinator::SessionId session_ = 0;
+  coordinator::Coordinator::WatchId watch_ = 0;
+
+  mutable std::mutex mu_;
+  std::map<WorkerId, Managed> workers_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<std::int64_t> restarts_{0};
+  std::thread monitor_thread_;
+};
+
+}  // namespace typhoon::stream

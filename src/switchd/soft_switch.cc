@@ -1,0 +1,354 @@
+#include "switchd/soft_switch.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/log.h"
+
+namespace typhoon::switchd {
+
+struct PortHandle::Port {
+  explicit Port(std::size_t cap) : to_switch(cap), from_switch(cap) {}
+
+  common::SpscRing<net::PacketPtr> to_switch;    // worker -> switch
+  common::SpscRing<net::PacketPtr> from_switch;  // switch -> worker
+  std::atomic<bool> open{true};
+
+  // Stats from the switch's perspective.
+  std::atomic<std::uint64_t> rx_packets{0};
+  std::atomic<std::uint64_t> rx_bytes{0};
+  std::atomic<std::uint64_t> tx_packets{0};
+  std::atomic<std::uint64_t> tx_bytes{0};
+  std::atomic<std::uint64_t> tx_dropped{0};
+};
+
+bool PortHandle::send(net::PacketPtr p) {
+  if (!port_->open.load(std::memory_order_relaxed)) return false;
+  return port_->to_switch.try_push(std::move(p));
+}
+
+bool PortHandle::closed() const {
+  return !port_->open.load(std::memory_order_relaxed);
+}
+
+std::optional<net::PacketPtr> PortHandle::recv() {
+  return port_->from_switch.try_pop();
+}
+
+std::size_t PortHandle::recv_bulk(std::vector<net::PacketPtr>& out,
+                                  std::size_t max) {
+  return port_->from_switch.pop_bulk(std::back_inserter(out), max);
+}
+
+std::size_t PortHandle::rx_queue_depth() const {
+  return port_->from_switch.size();
+}
+
+SoftSwitch::SoftSwitch(SoftSwitchConfig cfg)
+    : cfg_(cfg), injected_(4096) {}
+
+SoftSwitch::~SoftSwitch() { stop(); }
+
+void SoftSwitch::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  thread_ = std::thread([this] { run(); });
+}
+
+void SoftSwitch::stop() {
+  if (!running_.exchange(false)) return;
+  injected_.close();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::shared_ptr<PortHandle> SoftSwitch::attach_port() {
+  std::unique_lock lk(ports_mu_);
+  while (ports_.contains(next_port_) || next_port_ == kTunnelPort ||
+         next_port_ == kPortController) {
+    ++next_port_;
+  }
+  const PortId id = next_port_++;
+  auto port = std::make_shared<PortHandle::Port>(cfg_.ring_capacity);
+  ports_[id] = port;
+  lk.unlock();
+  emit_event(openflow::PortStatus{id, openflow::PortReason::kAdd});
+  return std::shared_ptr<PortHandle>(new PortHandle(id, std::move(port)));
+}
+
+std::shared_ptr<PortHandle> SoftSwitch::attach_port(PortId requested) {
+  std::unique_lock lk(ports_mu_);
+  if (ports_.contains(requested) || requested == kTunnelPort ||
+      requested == kPortController) {
+    return nullptr;
+  }
+  auto port = std::make_shared<PortHandle::Port>(cfg_.ring_capacity);
+  ports_[requested] = port;
+  lk.unlock();
+  emit_event(openflow::PortStatus{requested, openflow::PortReason::kAdd});
+  return std::shared_ptr<PortHandle>(new PortHandle(requested, std::move(port)));
+}
+
+void SoftSwitch::detach_port(PortId port) {
+  std::shared_ptr<PortHandle::Port> p;
+  {
+    std::unique_lock lk(ports_mu_);
+    auto it = ports_.find(port);
+    if (it == ports_.end()) return;
+    p = it->second;
+    ports_.erase(it);
+  }
+  p->open.store(false, std::memory_order_relaxed);
+  emit_event(openflow::PortStatus{port, openflow::PortReason::kDelete});
+}
+
+void SoftSwitch::add_tunnel(HostId peer,
+                            std::shared_ptr<net::TunnelEndpoint> ep) {
+  std::lock_guard lk(tunnels_mu_);
+  tunnels_.push_back({peer, std::move(ep)});
+}
+
+void SoftSwitch::handle_flow_mod(const openflow::FlowMod& mod) {
+  std::lock_guard lk(table_mu_);
+  switch (mod.command) {
+    case openflow::FlowModCommand::kAdd:
+      flow_table_.add(mod.rule);
+      break;
+    case openflow::FlowModCommand::kModify:
+      flow_table_.modify(mod.rule.match, mod.rule.actions);
+      break;
+    case openflow::FlowModCommand::kDelete:
+      flow_table_.erase(mod.rule.match, mod.rule.cookie);
+      break;
+  }
+}
+
+void SoftSwitch::handle_group_mod(const openflow::GroupMod& mod) {
+  std::lock_guard lk(table_mu_);
+  group_table_.apply(mod);
+}
+
+void SoftSwitch::handle_packet_out(const openflow::PacketOut& po) {
+  injected_.push({po.packet, po.in_port});
+}
+
+std::size_t SoftSwitch::remove_rules_mentioning(std::uint64_t addr) {
+  std::lock_guard lk(table_mu_);
+  return flow_table_.erase_mentioning(addr);
+}
+
+std::size_t SoftSwitch::remove_rules_by_cookie(std::uint64_t cookie) {
+  std::lock_guard lk(table_mu_);
+  return flow_table_.erase_by_cookie(cookie);
+}
+
+std::vector<openflow::PortStats> SoftSwitch::port_stats() const {
+  std::shared_lock lk(ports_mu_);
+  std::vector<openflow::PortStats> out;
+  out.reserve(ports_.size());
+  for (const auto& [id, p] : ports_) {
+    openflow::PortStats s;
+    s.port = id;
+    s.rx_packets = p->rx_packets.load(std::memory_order_relaxed);
+    s.rx_bytes = p->rx_bytes.load(std::memory_order_relaxed);
+    s.tx_packets = p->tx_packets.load(std::memory_order_relaxed);
+    s.tx_bytes = p->tx_bytes.load(std::memory_order_relaxed);
+    s.tx_dropped = p->tx_dropped.load(std::memory_order_relaxed);
+    out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.port < b.port; });
+  return out;
+}
+
+std::vector<openflow::FlowStats> SoftSwitch::flow_stats(
+    std::optional<std::uint64_t> cookie) const {
+  std::lock_guard lk(table_mu_);
+  return flow_table_.stats(cookie);
+}
+
+std::vector<openflow::FlowRule> SoftSwitch::flow_rules() const {
+  std::lock_guard lk(table_mu_);
+  return flow_table_.rules();
+}
+
+std::size_t SoftSwitch::flow_count() const {
+  std::lock_guard lk(table_mu_);
+  return flow_table_.size();
+}
+
+void SoftSwitch::set_event_sink(
+    std::function<void(HostId, SwitchEvent)> sink) {
+  std::lock_guard lk(sink_mu_);
+  event_sink_ = std::move(sink);
+}
+
+void SoftSwitch::emit_event(SwitchEvent ev) {
+  std::function<void(HostId, SwitchEvent)> sink;
+  {
+    std::lock_guard lk(sink_mu_);
+    sink = event_sink_;
+  }
+  if (sink) sink(cfg_.host, std::move(ev));
+}
+
+void SoftSwitch::output_to_port(const net::PacketPtr& p, PortId port) {
+  std::shared_ptr<PortHandle::Port> target;
+  {
+    std::shared_lock lk(ports_mu_);
+    auto it = ports_.find(port);
+    if (it == ports_.end()) return;  // port vanished; silently dropped
+    target = it->second;
+  }
+  if (target->from_switch.try_push(p)) {
+    target->tx_packets.fetch_add(1, std::memory_order_relaxed);
+    target->tx_bytes.fetch_add(p->wire_size(), std::memory_order_relaxed);
+  } else {
+    target->tx_dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SoftSwitch::apply_actions(
+    const net::PacketPtr& p, PortId in_port,
+    const std::vector<openflow::FlowAction>& actions) {
+  net::PacketPtr current = p;
+  HostId pending_tun_dst = 0;
+  bool has_tun_dst = false;
+
+  for (const openflow::FlowAction& a : actions) {
+    if (const auto* out = std::get_if<openflow::ActionOutput>(&a)) {
+      if (out->port == kTunnelPort) {
+        std::shared_ptr<net::TunnelEndpoint> ep;
+        {
+          std::lock_guard lk(tunnels_mu_);
+          for (const TunnelRef& t : tunnels_) {
+            if (!has_tun_dst || t.peer == pending_tun_dst) {
+              ep = t.ep;
+              break;
+            }
+          }
+        }
+        if (ep) ep->send(*current);
+      } else {
+        output_to_port(current, out->port);
+      }
+    } else if (std::holds_alternative<openflow::ActionOutputController>(a)) {
+      emit_event(openflow::PacketIn{current, in_port});
+    } else if (const auto* tun = std::get_if<openflow::ActionSetTunDst>(&a)) {
+      pending_tun_dst = tun->host;
+      has_tun_dst = true;
+    } else if (const auto* grp = std::get_if<openflow::ActionGroup>(&a)) {
+      std::optional<openflow::GroupType> type;
+      std::vector<openflow::GroupBucket> buckets;
+      {
+        std::lock_guard lk(table_mu_);
+        type = group_table_.type(grp->group_id);
+        if (!type) continue;
+        if (*type == openflow::GroupType::kSelect) {
+          if (const auto* b = group_table_.select(grp->group_id)) {
+            buckets.push_back(*b);
+          }
+        } else if (const auto* bs = group_table_.buckets(grp->group_id)) {
+          buckets = *bs;
+        }
+      }
+      for (const openflow::GroupBucket& b : buckets) {
+        apply_actions(current, in_port, b.actions);
+      }
+    } else if (const auto* rw = std::get_if<openflow::ActionSetDlDst>(&a)) {
+      // Copy-on-write header rewrite.
+      net::Packet copy = *current;
+      copy.dst = WorkerAddress::unpack(rw->dl_dst);
+      current = net::MakePacket(std::move(copy));
+    }
+  }
+}
+
+void SoftSwitch::process(const net::PacketPtr& p, PortId in_port) {
+  std::vector<openflow::FlowAction> actions;
+  {
+    std::lock_guard lk(table_mu_);
+    const openflow::FlowRule* rule = flow_table_.lookup(*p, in_port);
+    if (rule == nullptr) return;  // table miss: drop
+    actions = rule->actions;
+  }
+  forwarded_.fetch_add(1, std::memory_order_relaxed);
+  apply_actions(p, in_port, actions);
+}
+
+void SoftSwitch::run() {
+  common::TimePoint last_sweep = common::Now();
+  std::vector<std::pair<PortId, std::shared_ptr<PortHandle::Port>>> snapshot;
+  std::vector<net::PacketPtr> burst;
+  burst.reserve(cfg_.poll_burst);
+
+  while (running_.load(std::memory_order_relaxed)) {
+    std::size_t work = 0;
+
+    // Snapshot attached ports, then poll without holding the lock.
+    snapshot.clear();
+    {
+      std::shared_lock lk(ports_mu_);
+      snapshot.reserve(ports_.size());
+      for (const auto& [id, port] : ports_) snapshot.emplace_back(id, port);
+    }
+    for (auto& [id, port] : snapshot) {
+      burst.clear();
+      const std::size_t n =
+          port->to_switch.pop_bulk(std::back_inserter(burst), cfg_.poll_burst);
+      for (std::size_t i = 0; i < n; ++i) {
+        port->rx_packets.fetch_add(1, std::memory_order_relaxed);
+        port->rx_bytes.fetch_add(burst[i]->wire_size(),
+                                 std::memory_order_relaxed);
+        process(burst[i], id);
+      }
+      work += n;
+    }
+
+    // Controller-injected packets (PacketOut).
+    for (std::size_t i = 0; i < cfg_.poll_burst; ++i) {
+      auto item = injected_.try_pop();
+      if (!item) break;
+      process(item->first, item->second);
+      ++work;
+    }
+
+    // Tunnel ingress.
+    std::vector<std::shared_ptr<net::TunnelEndpoint>> eps;
+    {
+      std::lock_guard lk(tunnels_mu_);
+      eps.reserve(tunnels_.size());
+      for (const TunnelRef& t : tunnels_) eps.push_back(t.ep);
+    }
+    for (const auto& ep : eps) {
+      for (std::size_t i = 0; i < cfg_.poll_burst; ++i) {
+        auto pkt = ep->try_recv();
+        if (!pkt) break;
+        process(net::MakePacket(std::move(*pkt)), kTunnelPort);
+        ++work;
+      }
+    }
+
+    // Idle-timeout sweep.
+    const common::TimePoint now = common::Now();
+    if (now - last_sweep >= cfg_.idle_sweep_interval) {
+      last_sweep = now;
+      std::vector<openflow::FlowRule> removed;
+      {
+        std::lock_guard lk(table_mu_);
+        flow_table_.sweep_idle(now, [&](const openflow::FlowRule& r) {
+          removed.push_back(r);
+        });
+      }
+      for (auto& r : removed) {
+        emit_event(openflow::FlowRemoved{
+            std::move(r), openflow::FlowRemoved::Reason::kIdleTimeout});
+      }
+    }
+
+    if (work == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+}  // namespace typhoon::switchd

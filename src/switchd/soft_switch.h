@@ -1,0 +1,168 @@
+// SoftSwitch — the per-host software SDN switch (DPDK-OVS analog, Fig 3/7).
+//
+// Workers attach to the switch through SPSC packet rings (the DPDK shared-
+// memory ring ports of the paper). A dedicated switch thread polls worker
+// ports, tunnel endpoints, and a controller-injection queue; every packet
+// runs through the OpenFlow flow table and its actions are applied:
+// output-to-port (ref-counted replication for multi-output broadcast),
+// set_tun_dst + output-to-tunnel for remote hosts, output-to-controller
+// (PacketIn), select/all groups, and destination rewrite.
+//
+// Control-plane calls (FlowMod, GroupMod, PacketOut, stats) may come from
+// any thread; table state is guarded by a mutex that the pipeline holds per
+// packet batch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/mpmc_queue.h"
+#include "common/spsc_ring.h"
+#include "net/packet.h"
+#include "net/tunnel.h"
+#include "openflow/flow.h"
+#include "openflow/flow_table.h"
+#include "openflow/group_table.h"
+
+namespace typhoon::switchd {
+
+using SwitchEvent =
+    std::variant<openflow::PacketIn, openflow::PortStatus,
+                 openflow::FlowRemoved>;
+
+// Worker-side view of a switch port: a TX ring toward the switch and an RX
+// ring from it. Obtained from SoftSwitch::attach_port.
+class PortHandle {
+ public:
+  // Send a packet into the switch. False = ring full (packet dropped by the
+  // caller; mirrors NIC TX-queue overflow).
+  bool send(net::PacketPtr p);
+  // True once the switch has detached this port (no further sends succeed).
+  [[nodiscard]] bool closed() const;
+
+  std::optional<net::PacketPtr> recv();
+  std::size_t recv_bulk(std::vector<net::PacketPtr>& out, std::size_t max);
+
+  [[nodiscard]] PortId id() const { return id_; }
+  [[nodiscard]] std::size_t rx_queue_depth() const;
+
+ private:
+  friend class SoftSwitch;
+  struct Port;
+  PortHandle(PortId id, std::shared_ptr<Port> port)
+      : id_(id), port_(std::move(port)) {}
+
+  PortId id_;
+  std::shared_ptr<Port> port_;
+};
+
+struct SoftSwitchConfig {
+  HostId host = 0;
+  std::size_t ring_capacity = 8192;
+  // How often the idle-timeout sweeper runs.
+  std::chrono::milliseconds idle_sweep_interval{100};
+  // Max packets drained per port per poll round.
+  std::size_t poll_burst = 64;
+};
+
+class SoftSwitch {
+ public:
+  explicit SoftSwitch(SoftSwitchConfig cfg);
+  ~SoftSwitch();
+
+  SoftSwitch(const SoftSwitch&) = delete;
+  SoftSwitch& operator=(const SoftSwitch&) = delete;
+
+  void start();
+  void stop();
+
+  // ---- dataplane attachment ----
+  std::shared_ptr<PortHandle> attach_port();
+  // Attach requesting a specific port number (scheduler-assigned); returns
+  // nullptr if taken.
+  std::shared_ptr<PortHandle> attach_port(PortId requested);
+  void detach_port(PortId port);
+
+  // Simulate an abrupt worker death: the port disappears without a clean
+  // detach handshake, producing the PortStatus(kDelete) event the fault
+  // detector relies on.
+  void kill_port(PortId port) { detach_port(port); }
+
+  // Register the tunnel endpoint that reaches `peer`. All tunnels share the
+  // single logical tunnel port (Table 3's "tunneling port").
+  void add_tunnel(HostId peer, std::shared_ptr<net::TunnelEndpoint> ep);
+  [[nodiscard]] PortId tunnel_port() const { return kTunnelPort; }
+
+  // ---- OpenFlow control interface ----
+  void handle_flow_mod(const openflow::FlowMod& mod);
+  void handle_group_mod(const openflow::GroupMod& mod);
+  void handle_packet_out(const openflow::PacketOut& po);
+  // Remove every rule whose match names the worker address (departures).
+  std::size_t remove_rules_mentioning(std::uint64_t addr);
+  std::size_t remove_rules_by_cookie(std::uint64_t cookie);
+  [[nodiscard]] std::vector<openflow::PortStats> port_stats() const;
+  [[nodiscard]] std::vector<openflow::FlowStats> flow_stats(
+      std::optional<std::uint64_t> cookie = std::nullopt) const;
+  [[nodiscard]] std::vector<openflow::FlowRule> flow_rules() const;
+  [[nodiscard]] std::size_t flow_count() const;
+
+  // Controller event channel; invoked from switch or caller threads.
+  void set_event_sink(std::function<void(HostId, SwitchEvent)> sink);
+
+  [[nodiscard]] HostId host() const { return cfg_.host; }
+
+  // Total packets forwarded through the pipeline (all ports).
+  [[nodiscard]] std::uint64_t packets_forwarded() const {
+    return forwarded_.load(std::memory_order_relaxed);
+  }
+
+  // The well-known logical tunnel port number.
+  static constexpr PortId kTunnelPort = 0xfffe;
+
+ private:
+  struct TunnelRef {
+    HostId peer;
+    std::shared_ptr<net::TunnelEndpoint> ep;
+  };
+
+  void run();
+  void process(const net::PacketPtr& p, PortId in_port);
+  void apply_actions(const net::PacketPtr& p, PortId in_port,
+                     const std::vector<openflow::FlowAction>& actions);
+  void output_to_port(const net::PacketPtr& p, PortId port);
+  void emit_event(SwitchEvent ev);
+
+  SoftSwitchConfig cfg_;
+
+  mutable std::shared_mutex ports_mu_;
+  std::unordered_map<PortId, std::shared_ptr<PortHandle::Port>> ports_;
+  PortId next_port_ = 1;
+
+  mutable std::mutex table_mu_;
+  openflow::FlowTable flow_table_;
+  openflow::GroupTable group_table_;
+
+  mutable std::mutex tunnels_mu_;
+  std::vector<TunnelRef> tunnels_;
+
+  common::MpmcQueue<std::pair<net::PacketPtr, PortId>> injected_;
+
+  mutable std::mutex sink_mu_;
+  std::function<void(HostId, SwitchEvent)> event_sink_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> forwarded_{0};
+  std::thread thread_;
+};
+
+}  // namespace typhoon::switchd

@@ -1,0 +1,197 @@
+#include "typhoon/cluster.h"
+
+#include "net/tunnel.h"
+
+namespace typhoon {
+
+Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
+  for (int i = 0; i < cfg_.num_hosts; ++i) {
+    auto host = std::make_unique<Host>();
+    host->id = static_cast<HostId>(i + 1);
+    host_ids_.push_back(host->id);
+    if (cfg_.mode == TransportMode::kTyphoon) {
+      switchd::SoftSwitchConfig scfg;
+      scfg.host = host->id;
+      scfg.ring_capacity = cfg_.ring_capacity;
+      host->sw = std::make_unique<switchd::SoftSwitch>(scfg);
+    }
+    hosts_.push_back(std::move(host));
+  }
+
+  // Full mesh of host-level TCP tunnels (Sec 3.3.1).
+  if (cfg_.mode == TransportMode::kTyphoon) {
+    for (std::size_t a = 0; a < hosts_.size(); ++a) {
+      for (std::size_t b = a + 1; b < hosts_.size(); ++b) {
+        auto [ea, eb] = net::CreateTunnel();
+        hosts_[a]->sw->add_tunnel(hosts_[b]->id, ea);
+        hosts_[b]->sw->add_tunnel(hosts_[a]->id, eb);
+      }
+    }
+    controller::ControllerOptions copts;
+    copts.tick_interval = cfg_.controller_tick;
+    controller_ =
+        std::make_unique<controller::TyphoonController>(&coord_, copts);
+    for (auto& h : hosts_) controller_->add_switch(h->id, h->sw.get());
+  }
+
+  for (auto& h : hosts_) {
+    stream::AgentOptions aopts;
+    aopts.host = h->id;
+    aopts.typhoon_mode = cfg_.mode == TransportMode::kTyphoon;
+    aopts.sw = h->sw.get();
+    aopts.fabric = &fabric_;
+    aopts.coord = &coord_;
+    aopts.registry = &registry_;
+    aopts.auto_restart = cfg_.agent_auto_restart;
+    aopts.max_local_restarts = cfg_.agent_max_local_restarts;
+    aopts.restart_delay = cfg_.agent_restart_delay;
+    h->agent = std::make_unique<stream::WorkerAgent>(aopts);
+  }
+
+  stream::ManagerOptions mopts;
+  mopts.hosts = host_ids_;
+  mopts.typhoon_mode = cfg_.mode == TransportMode::kTyphoon;
+  mopts.enable_failure_detector = cfg_.enable_failure_detector;
+  mopts.heartbeat_timeout = cfg_.heartbeat_timeout;
+  mopts.monitor_interval = cfg_.manager_monitor_interval;
+  if (cfg_.locality_scheduler) {
+    mopts.scheduler = std::make_unique<stream::LocalityScheduler>();
+  } else {
+    mopts.scheduler = std::make_unique<stream::RoundRobinScheduler>();
+  }
+  manager_ = std::make_unique<stream::StreamingManager>(&coord_, &registry_,
+                                                        std::move(mopts));
+  if (controller_) manager_->set_sdn_hooks(controller_.get());
+}
+
+Cluster::~Cluster() { stop(); }
+
+void Cluster::start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& h : hosts_) {
+    if (h->sw) h->sw->start();
+  }
+  if (controller_) {
+    if (cfg_.default_apps) {
+      controller_->add_app(std::make_unique<controller::FaultDetector>());
+      controller_->add_app(std::make_unique<controller::LiveDebugger>());
+      controller_->add_app(std::make_unique<controller::LoadBalancer>());
+    }
+    controller_->start();
+  }
+  for (auto& h : hosts_) h->agent->start();
+  manager_->start();
+}
+
+void Cluster::stop() {
+  if (!started_) return;
+  started_ = false;
+  manager_->stop();
+  // Controller first: agent teardown detaches every port, and those events
+  // must not be misread as faults.
+  if (controller_) controller_->stop();
+  for (auto& h : hosts_) h->agent->stop();
+  for (auto& h : hosts_) {
+    if (h->sw) h->sw->stop();
+  }
+}
+
+switchd::SoftSwitch* Cluster::switch_at(HostId host) const {
+  for (const auto& h : hosts_) {
+    if (h->id == host) return h->sw.get();
+  }
+  return nullptr;
+}
+
+common::Result<TopologyId> Cluster::submit(
+    const stream::LogicalTopology& topology, stream::SubmitOptions options) {
+  return manager_->submit(topology, options);
+}
+
+common::Status Cluster::kill(const std::string& topology) {
+  return manager_->kill(topology);
+}
+
+common::Status Cluster::reconfigure(const stream::ReconfigRequest& request) {
+  return manager_->reconfigure(request);
+}
+
+stream::Worker* Cluster::find_worker_by_id(WorkerId id) {
+  for (const auto& h : hosts_) {
+    if (stream::Worker* w = h->agent->find_worker(id)) return w;
+  }
+  return nullptr;
+}
+
+stream::Worker* Cluster::find_worker(const std::string& topology,
+                                     const std::string& node,
+                                     int task_index) {
+  auto spec = manager_->spec(topology);
+  auto phys = manager_->physical(topology);
+  if (!spec.ok() || !phys.ok()) return nullptr;
+  const stream::NodeSpec* n = spec.value().node_by_name(node);
+  if (n == nullptr) return nullptr;
+  for (const stream::PhysicalWorker& w : phys.value().workers_of(n->id)) {
+    if (w.task_index == task_index) return find_worker_by_id(w.id);
+  }
+  return nullptr;
+}
+
+std::vector<stream::Worker*> Cluster::workers_of_node(
+    const std::string& topology, const std::string& node) {
+  std::vector<stream::Worker*> out;
+  auto spec = manager_->spec(topology);
+  auto phys = manager_->physical(topology);
+  if (!spec.ok() || !phys.ok()) return out;
+  const stream::NodeSpec* n = spec.value().node_by_name(node);
+  if (n == nullptr) return out;
+  for (const stream::PhysicalWorker& w : phys.value().workers_of(n->id)) {
+    if (stream::Worker* live = find_worker_by_id(w.id)) out.push_back(live);
+  }
+  return out;
+}
+
+void Cluster::fail_host(HostId host) {
+  for (const auto& h : hosts_) {
+    if (h->id == host) h->agent->stop();
+  }
+}
+
+std::int64_t Cluster::agent_restarts() const {
+  std::int64_t n = 0;
+  for (const auto& h : hosts_) n += h->agent->restarts();
+  return n;
+}
+
+controller::FaultDetector* Cluster::fault_detector() {
+  if (!controller_) return nullptr;
+  return dynamic_cast<controller::FaultDetector*>(
+      controller_->app("fault-detector"));
+}
+
+controller::LiveDebugger* Cluster::live_debugger() {
+  if (!controller_) return nullptr;
+  return dynamic_cast<controller::LiveDebugger*>(
+      controller_->app("live-debugger"));
+}
+
+controller::LoadBalancer* Cluster::load_balancer() {
+  if (!controller_) return nullptr;
+  return dynamic_cast<controller::LoadBalancer*>(
+      controller_->app("load-balancer"));
+}
+
+controller::AutoScaler* Cluster::add_auto_scaler(
+    controller::AutoScalerPolicy policy) {
+  if (!controller_) return nullptr;
+  auto app = std::make_unique<controller::AutoScaler>(
+      std::move(policy), [this](const stream::ReconfigRequest& req) {
+        return manager_->reconfigure(req);
+      });
+  controller::AutoScaler* raw = app.get();
+  controller_->add_app(std::move(app));
+  return raw;
+}
+
+}  // namespace typhoon

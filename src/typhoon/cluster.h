@@ -1,0 +1,136 @@
+// Cluster — the top-level facade assembling a complete Typhoon (or
+// Storm-baseline) deployment in process: a coordinator, N hosts each with a
+// worker agent and (Typhoon mode) a software SDN switch, a full mesh of
+// host-to-host tunnels, the streaming manager, and (Typhoon mode) the SDN
+// controller with its control-plane applications.
+//
+// This is the public entry point a downstream user starts from:
+//
+//   typhoon::Cluster cluster({.num_hosts = 3});
+//   cluster.start();
+//   cluster.submit(topology);
+//   ...
+//   cluster.stop();
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "controller/apps/auto_scaler.h"
+#include "controller/apps/fault_detector.h"
+#include "controller/apps/live_debugger.h"
+#include "controller/apps/load_balancer.h"
+#include "controller/controller.h"
+#include "coordinator/coordinator.h"
+#include "stream/app_registry.h"
+#include "stream/streaming_manager.h"
+#include "stream/worker_agent.h"
+#include "switchd/soft_switch.h"
+
+namespace typhoon {
+
+enum class TransportMode {
+  kTyphoon,   // SDN switches, custom Ethernet transport, control plane
+  kStormTcp,  // baseline: per-pair connections, per-destination serialization
+};
+
+struct ClusterConfig {
+  int num_hosts = 3;
+  TransportMode mode = TransportMode::kTyphoon;
+  // The paper evaluates against Storm's default round-robin scheduler for
+  // fairness; flip this to use the locality-aware Typhoon scheduler.
+  bool locality_scheduler = false;
+
+  std::size_t ring_capacity = 8192;
+  bool enable_failure_detector = true;
+  std::chrono::milliseconds heartbeat_timeout{1500};
+  std::chrono::milliseconds manager_monitor_interval{100};
+
+  // Agent local-restart policy (Storm supervisor behaviour).
+  bool agent_auto_restart = true;
+  int agent_max_local_restarts = 3;
+  std::chrono::milliseconds agent_restart_delay{150};
+
+  std::chrono::milliseconds controller_tick{50};
+
+  // Deploy the stock control-plane apps (fault detector, live debugger,
+  // load balancer) at startup. The auto-scaler needs a policy, so it is
+  // added explicitly via add_auto_scaler().
+  bool default_apps = true;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig cfg);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  void start();
+  void stop();
+
+  // ---- components ----
+  [[nodiscard]] coordinator::Coordinator& coord() { return coord_; }
+  [[nodiscard]] stream::AppRegistry& registry() { return registry_; }
+  [[nodiscard]] stream::StreamingManager& manager() { return *manager_; }
+  // Null in Storm mode.
+  [[nodiscard]] controller::TyphoonController* controller() {
+    return controller_.get();
+  }
+  [[nodiscard]] switchd::SoftSwitch* switch_at(HostId host) const;
+  [[nodiscard]] std::vector<HostId> hosts() const { return host_ids_; }
+  [[nodiscard]] TransportMode mode() const { return cfg_.mode; }
+
+  // ---- convenience pass-throughs ----
+  common::Result<TopologyId> submit(const stream::LogicalTopology& topology,
+                                    stream::SubmitOptions options = {});
+  common::Status kill(const std::string& topology);
+  common::Status reconfigure(const stream::ReconfigRequest& request);
+
+  // ---- harness probes ----
+  // Live worker handle by (topology, node name, task index); nullptr when
+  // not running. The handle dies on worker restart — re-resolve after
+  // faults.
+  [[nodiscard]] stream::Worker* find_worker(const std::string& topology,
+                                            const std::string& node,
+                                            int task_index);
+  [[nodiscard]] stream::Worker* find_worker_by_id(WorkerId id);
+  [[nodiscard]] std::vector<stream::Worker*> workers_of_node(
+      const std::string& topology, const std::string& node);
+  [[nodiscard]] std::int64_t agent_restarts() const;
+
+  // Fault injection: take a host down abruptly. Its agent stops (the
+  // ephemeral /cluster/hosts registration disappears, all workers die and
+  // their switch ports detach). The streaming manager reschedules the
+  // host's workers onto surviving hosts once heartbeats go stale.
+  void fail_host(HostId host);
+
+  // Stock control-plane apps (Typhoon mode; nullptr otherwise).
+  [[nodiscard]] controller::FaultDetector* fault_detector();
+  [[nodiscard]] controller::LiveDebugger* live_debugger();
+  [[nodiscard]] controller::LoadBalancer* load_balancer();
+  // Deploy an auto-scaler app wired to this cluster's reconfigure service.
+  controller::AutoScaler* add_auto_scaler(
+      controller::AutoScalerPolicy policy);
+
+ private:
+  struct Host {
+    HostId id = 0;
+    std::unique_ptr<switchd::SoftSwitch> sw;
+    std::unique_ptr<stream::WorkerAgent> agent;
+  };
+
+  ClusterConfig cfg_;
+  coordinator::Coordinator coord_;
+  stream::AppRegistry registry_;
+  stream::StormFabric fabric_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<HostId> host_ids_;
+  std::unique_ptr<controller::TyphoonController> controller_;
+  std::unique_ptr<stream::StreamingManager> manager_;
+  bool started_ = false;
+};
+
+}  // namespace typhoon

@@ -1,0 +1,83 @@
+#include "typhoon/dot_export.h"
+
+#include <map>
+#include <sstream>
+
+#include "stream/tuple.h"
+
+namespace typhoon {
+
+namespace {
+
+std::string GroupingLabel(const stream::EdgeSpec& e) {
+  std::ostringstream os;
+  os << stream::GroupingName(e.grouping);
+  if (e.grouping == stream::GroupingType::kFields) {
+    os << "(";
+    for (std::size_t i = 0; i < e.key_indices.size(); ++i) {
+      if (i) os << ",";
+      os << e.key_indices[i];
+    }
+    os << ")";
+  }
+  if (e.stream >= stream::kAckStream) os << " [system]";
+  return os.str();
+}
+
+}  // namespace
+
+std::string ToDot(const stream::TopologySpec& spec) {
+  std::ostringstream os;
+  os << "digraph \"" << spec.name << "\" {\n";
+  os << "  rankdir=LR;\n  node [shape=box, style=rounded];\n";
+  for (const stream::NodeSpec& n : spec.nodes) {
+    os << "  n" << n.id << " [label=\"" << n.name << " x" << n.parallelism;
+    if (n.stateful) os << "\\n(stateful)";
+    os << "\"";
+    if (n.is_spout) os << ", shape=cds";
+    os << "];\n";
+  }
+  for (const stream::EdgeSpec& e : spec.edges) {
+    os << "  n" << e.from << " -> n" << e.to << " [label=\""
+       << GroupingLabel(e) << "\"";
+    if (e.stream >= stream::kAckStream) os << ", style=dotted";
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string ToDot(const stream::TopologySpec& spec,
+                  const stream::PhysicalTopology& physical) {
+  std::ostringstream os;
+  os << "digraph \"" << spec.name << "-physical\" {\n";
+  os << "  rankdir=LR;\n  node [shape=box];\n";
+
+  std::map<HostId, std::vector<const stream::PhysicalWorker*>> by_host;
+  for (const stream::PhysicalWorker& w : physical.workers) {
+    by_host[w.host].push_back(&w);
+  }
+  for (const auto& [host, workers] : by_host) {
+    os << "  subgraph cluster_host" << host << " {\n";
+    os << "    label=\"host " << host << "\";\n";
+    for (const stream::PhysicalWorker* w : workers) {
+      const stream::NodeSpec* n = spec.node(w->node);
+      os << "    w" << w->id << " [label=\""
+         << (n != nullptr ? n->name : "?") << "[" << w->task_index
+         << "]\\nw" << w->id << " :" << w->port << "\"];\n";
+    }
+    os << "  }\n";
+  }
+  for (const stream::EdgeSpec& e : spec.edges) {
+    if (e.stream >= stream::kAckStream) continue;  // keep the picture legible
+    for (WorkerId a : physical.worker_ids_of(e.from)) {
+      for (WorkerId b : physical.worker_ids_of(e.to)) {
+        os << "  w" << a << " -> w" << b << ";\n";
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace typhoon

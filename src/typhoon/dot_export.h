@@ -1,0 +1,25 @@
+// Graphviz DOT export of a deployed topology — a small operator tool for
+// visualizing the logical DAG (nodes + groupings) and, when a physical
+// topology is supplied, the per-host worker placement (Fig 2(a)/(b)).
+//
+//   std::ofstream("topo.dot") << typhoon::ToDot(spec, &physical);
+//   $ dot -Tsvg topo.dot -o topo.svg
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "stream/physical.h"
+
+namespace typhoon {
+
+// Logical view: one box per node ("name xN"), edges labeled with their
+// grouping (shuffle / fields(i,j) / global / all / direct).
+std::string ToDot(const stream::TopologySpec& spec);
+
+// Physical view: clusters per host containing worker boxes, with
+// worker-level edges implied by the logical groupings.
+std::string ToDot(const stream::TopologySpec& spec,
+                  const stream::PhysicalTopology& physical);
+
+}  // namespace typhoon

@@ -1,0 +1,136 @@
+// AckerBolt algebra: XOR-folded tuple trees with the mix(edge, dst)
+// contribution scheme that keeps broadcast payloads destination-independent
+// (see acker.h header comment).
+#include <gtest/gtest.h>
+
+#include "stream/acker.h"
+
+namespace typhoon::stream {
+namespace {
+
+// Captures direct emissions (acker completions go to spout workers).
+class CaptureEmitter : public Emitter {
+ public:
+  void emit(Tuple) override {}
+  void emit(StreamId, Tuple) override {}
+  void emit_direct(WorkerId dst, StreamId stream, Tuple t) override {
+    completions.push_back({dst, stream, std::move(t)});
+  }
+  struct Item {
+    WorkerId dst;
+    StreamId stream;
+    Tuple tuple;
+  };
+  std::vector<Item> completions;
+};
+
+TupleMeta Meta() { return {}; }
+
+TEST(Acker, SingleHopTreeCompletes) {
+  AckerBolt acker;
+  CaptureEmitter out;
+  acker.prepare({});
+
+  // Spout 100 emits tuple (root=1, edge=7) to worker 200.
+  const std::uint64_t root = 1;
+  const std::uint64_t c = AckContribution(7, 200);
+  acker.execute(MakeAckInit(root, c, 100), Meta(), out);
+  EXPECT_TRUE(out.completions.empty());
+  EXPECT_EQ(acker.pending(), 1u);
+
+  // Worker 200 consumes it and emits nothing.
+  acker.execute(MakeAck(root, AckContribution(7, 200)), Meta(), out);
+  ASSERT_EQ(out.completions.size(), 1u);
+  EXPECT_EQ(out.completions[0].dst, 100u);
+  EXPECT_EQ(out.completions[0].stream, kAckStream);
+  EXPECT_EQ(static_cast<AckKind>(out.completions[0].tuple.i64(0)),
+            AckKind::kComplete);
+  EXPECT_EQ(out.completions[0].tuple.i64(1), 1);
+  EXPECT_EQ(acker.pending(), 0u);
+}
+
+TEST(Acker, MultiHopTreeNeedsEveryAck) {
+  AckerBolt acker;
+  CaptureEmitter out;
+  const std::uint64_t root = 42;
+
+  // Spout -> A (edge e1); A -> B (edge e2); B emits nothing.
+  const std::uint64_t e1 = 0x1111;
+  const std::uint64_t e2 = 0x2222;
+  const WorkerId a = 201;
+  const WorkerId b = 202;
+
+  acker.execute(MakeAckInit(root, AckContribution(e1, a), 100), Meta(), out);
+  // A acks consumption of e1 and registers child e2 -> b.
+  acker.execute(
+      MakeAck(root, AckContribution(e1, a) ^ AckContribution(e2, b)), Meta(),
+      out);
+  EXPECT_TRUE(out.completions.empty());
+  // B acks consumption of e2.
+  acker.execute(MakeAck(root, AckContribution(e2, b)), Meta(), out);
+  ASSERT_EQ(out.completions.size(), 1u);
+}
+
+TEST(Acker, BroadcastFanoutAcksPerReplica) {
+  AckerBolt acker;
+  CaptureEmitter out;
+  const std::uint64_t root = 7;
+  const std::uint64_t e = 0xabcd;  // one edge id, identical payloads
+  const std::vector<WorkerId> dests{301, 302, 303, 304};
+
+  std::uint64_t init = 0;
+  for (WorkerId d : dests) init ^= AckContribution(e, d);
+  acker.execute(MakeAckInit(root, init, 100), Meta(), out);
+
+  for (std::size_t i = 0; i < dests.size(); ++i) {
+    EXPECT_TRUE(out.completions.empty()) << "completed after " << i;
+    acker.execute(MakeAck(root, AckContribution(e, dests[i])), Meta(), out);
+  }
+  ASSERT_EQ(out.completions.size(), 1u);
+}
+
+TEST(Acker, OutOfOrderAckBeforeInitStillCompletes) {
+  AckerBolt acker;
+  CaptureEmitter out;
+  const std::uint64_t root = 9;
+  const std::uint64_t c = AckContribution(5, 200);
+
+  acker.execute(MakeAck(root, c), Meta(), out);  // ack arrives first
+  EXPECT_TRUE(out.completions.empty());
+  acker.execute(MakeAckInit(root, c, 100), Meta(), out);
+  ASSERT_EQ(out.completions.size(), 1u);
+}
+
+TEST(Acker, IndependentTreesDoNotInterfere) {
+  AckerBolt acker;
+  CaptureEmitter out;
+  acker.execute(MakeAckInit(1, AckContribution(10, 200), 100), Meta(), out);
+  acker.execute(MakeAckInit(2, AckContribution(20, 200), 101), Meta(), out);
+  EXPECT_EQ(acker.pending(), 2u);
+
+  acker.execute(MakeAck(2, AckContribution(20, 200)), Meta(), out);
+  ASSERT_EQ(out.completions.size(), 1u);
+  EXPECT_EQ(out.completions[0].dst, 101u);
+  EXPECT_EQ(acker.pending(), 1u);
+}
+
+TEST(Acker, IgnoresMalformedTuples) {
+  AckerBolt acker;
+  CaptureEmitter out;
+  acker.execute(Tuple{}, Meta(), out);
+  acker.execute(Tuple{std::int64_t{0}}, Meta(), out);  // too short for INIT
+  acker.execute(Tuple{std::int64_t{99}, std::int64_t{1}}, Meta(), out);
+  EXPECT_TRUE(out.completions.empty());
+}
+
+TEST(Acker, ContributionMixDistinguishesReplicas) {
+  // The broadcast fix: same edge, different destination => different
+  // contribution, so N identical payloads don't XOR-cancel.
+  EXPECT_NE(AckContribution(5, 1), AckContribution(5, 2));
+  EXPECT_NE(AckContribution(5, 1), AckContribution(6, 1));
+  EXPECT_EQ(AckContribution(5, 1), AckContribution(5, 1));
+  EXPECT_EQ(AckContribution(5, 1) ^ AckContribution(5, 1), 0u);
+}
+
+}  // namespace
+}  // namespace typhoon::stream

@@ -1,0 +1,295 @@
+// Unit tests for the common substrate: byte codec, hashing, SPSC ring,
+// MPMC queue, rate limiter, latency recorder, metrics registry.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/bytes.h"
+#include "common/hash.h"
+#include "common/latency_recorder.h"
+#include "common/metrics.h"
+#include "common/mpmc_queue.h"
+#include "common/rate_limiter.h"
+#include "common/result.h"
+#include "common/spsc_ring.h"
+
+namespace typhoon::common {
+namespace {
+
+TEST(Bytes, RoundTripsAllPrimitives) {
+  Bytes buf;
+  BufWriter w(buf);
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.i64(-42);
+  w.f64(3.25);
+  w.str("hello");
+  w.bytes(Bytes{1, 2, 3});
+
+  BufReader r(buf);
+  std::uint8_t u8v = 0;
+  std::uint16_t u16v = 0;
+  std::uint32_t u32v = 0;
+  std::uint64_t u64v = 0;
+  std::int64_t i64v = 0;
+  double f64v = 0;
+  std::string s;
+  Bytes b;
+  ASSERT_TRUE(r.u8(u8v));
+  ASSERT_TRUE(r.u16(u16v));
+  ASSERT_TRUE(r.u32(u32v));
+  ASSERT_TRUE(r.u64(u64v));
+  ASSERT_TRUE(r.i64(i64v));
+  ASSERT_TRUE(r.f64(f64v));
+  ASSERT_TRUE(r.str(s));
+  ASSERT_TRUE(r.bytes(b));
+  EXPECT_EQ(u8v, 0xab);
+  EXPECT_EQ(u16v, 0x1234);
+  EXPECT_EQ(u32v, 0xdeadbeefu);
+  EXPECT_EQ(u64v, 0x0123456789abcdefull);
+  EXPECT_EQ(i64v, -42);
+  EXPECT_DOUBLE_EQ(f64v, 3.25);
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(b, (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, ReaderRejectsTruncatedInput) {
+  Bytes buf;
+  BufWriter w(buf);
+  w.str("payload");
+  buf.resize(buf.size() - 2);  // corrupt: declared length exceeds data
+  BufReader r(buf);
+  std::string s;
+  EXPECT_FALSE(r.str(s));
+}
+
+TEST(Bytes, ViewDoesNotCopy) {
+  Bytes buf{1, 2, 3, 4, 5};
+  BufReader r(buf);
+  std::span<const std::uint8_t> v;
+  ASSERT_TRUE(r.view(3, v));
+  EXPECT_EQ(v.data(), buf.data());
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(r.remaining(), 2u);
+  EXPECT_FALSE(r.view(3, v));
+}
+
+TEST(Bytes, HexDumpTruncates) {
+  Bytes buf(100, 0xff);
+  const std::string dump = HexDump(buf, 4);
+  EXPECT_EQ(dump, "ff ff ff ff ...");
+}
+
+TEST(Hash, Fnv1aIsStableAndSensitive) {
+  EXPECT_EQ(Fnv1a("abc"), Fnv1a("abc"));
+  EXPECT_NE(Fnv1a("abc"), Fnv1a("abd"));
+  EXPECT_NE(Fnv1a(""), 0u);
+}
+
+TEST(Hash, RngIsDeterministicPerSeed) {
+  Rng a(7);
+  Rng b(7);
+  Rng c(8);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t av = a.next();
+    EXPECT_EQ(av, b.next());
+    if (av != c.next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Hash, RngUniformInUnitInterval) {
+  Rng r(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(SpscRing, PushPopPreservesOrder) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.try_push(i));
+  for (int i = 0; i < 5; ++i) {
+    auto v = ring.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(SpscRing, RejectsWhenFull) {
+  SpscRing<int> ring(4);
+  const std::size_t cap = ring.capacity();
+  for (std::size_t i = 0; i < cap; ++i) {
+    EXPECT_TRUE(ring.try_push(static_cast<int>(i)));
+  }
+  EXPECT_FALSE(ring.try_push(99));
+  EXPECT_EQ(ring.size(), cap);
+}
+
+TEST(SpscRing, PopBulkDrains) {
+  SpscRing<int> ring(16);
+  for (int i = 0; i < 10; ++i) ring.try_push(i);
+  std::vector<int> out;
+  EXPECT_EQ(ring.pop_bulk(std::back_inserter(out), 6), 6u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  out.clear();
+  EXPECT_EQ(ring.pop_bulk(std::back_inserter(out), 100), 4u);
+}
+
+TEST(SpscRing, ConcurrentProducerConsumerLosesNothing) {
+  SpscRing<std::uint64_t> ring(256);
+  constexpr std::uint64_t kCount = 200000;
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kCount;) {
+      if (ring.try_push(i)) ++i;
+    }
+  });
+  std::uint64_t expected = 0;
+  std::uint64_t sum = 0;
+  while (expected < kCount) {
+    auto v = ring.try_pop();
+    if (!v) continue;
+    ASSERT_EQ(*v, expected);
+    sum += *v;
+    ++expected;
+  }
+  producer.join();
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+}
+
+TEST(MpmcQueue, BlockingPushPopAcrossThreads) {
+  MpmcQueue<int> q(4);
+  std::thread t([&] {
+    for (int i = 0; i < 100; ++i) q.push(i);
+    q.close();
+  });
+  int count = 0;
+  while (auto v = q.pop()) {
+    EXPECT_EQ(*v, count++);
+  }
+  EXPECT_EQ(count, 100);
+  t.join();
+}
+
+TEST(MpmcQueue, TryPushFailsWhenFull) {
+  MpmcQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  q.try_pop();
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(MpmcQueue, CloseReleasesBlockedConsumers) {
+  MpmcQueue<int> q(2);
+  std::thread t([&] {
+    auto v = q.pop();
+    EXPECT_FALSE(v.has_value());
+  });
+  q.close();
+  t.join();
+  EXPECT_FALSE(q.push(1));
+}
+
+TEST(MpmcQueue, PopForTimesOut) {
+  MpmcQueue<int> q(2);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop_for(std::chrono::milliseconds(20)).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(15));
+}
+
+TEST(RateLimiter, UnlimitedAlwaysAllows) {
+  RateLimiter rl(0.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(rl.try_acquire());
+}
+
+TEST(RateLimiter, EnforcesApproximateRate) {
+  RateLimiter rl(1000.0);  // 1k/s
+  // Drain the initial burst.
+  while (rl.try_acquire()) {
+  }
+  int allowed = 0;
+  const auto end = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(200);
+  while (std::chrono::steady_clock::now() < end) {
+    if (rl.try_acquire()) ++allowed;
+  }
+  EXPECT_GT(allowed, 100);
+  EXPECT_LT(allowed, 400);
+}
+
+TEST(RateLimiter, SetRateTakesEffect) {
+  RateLimiter rl(1.0);
+  while (rl.try_acquire()) {
+  }
+  EXPECT_FALSE(rl.try_acquire());
+  rl.set_rate(0.0);
+  EXPECT_TRUE(rl.try_acquire());
+}
+
+TEST(LatencyRecorder, PercentilesAreMonotone) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 1000; ++i) rec.record(i * 10);  // 10us..10ms
+  EXPECT_EQ(rec.count(), 1000);
+  const double p50 = rec.percentile_ms(0.5);
+  const double p90 = rec.percentile_ms(0.9);
+  const double p99 = rec.percentile_ms(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_NEAR(p50, 5.0, 1.5);
+}
+
+TEST(LatencyRecorder, CdfIsNondecreasingAndEndsAtOne) {
+  LatencyRecorder rec;
+  for (int i = 0; i < 500; ++i) rec.record(100 + i * 37);
+  auto cdf = rec.cdf();
+  ASSERT_FALSE(cdf.empty());
+  double prev = 0;
+  for (const auto& pt : cdf) {
+    EXPECT_GE(pt.fraction, prev);
+    prev = pt.fraction;
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+}
+
+TEST(LatencyRecorder, MergeCombinesCounts) {
+  LatencyRecorder a;
+  LatencyRecorder b;
+  a.record(100);
+  b.record(200);
+  b.record(300);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3);
+}
+
+TEST(Metrics, CountersAndGaugesByName) {
+  MetricsRegistry reg;
+  reg.counter("emitted").add(5);
+  reg.counter("emitted").inc();
+  reg.gauge("queue").set(17);
+  EXPECT_EQ(reg.value("emitted"), 6);
+  EXPECT_EQ(reg.value("queue"), 17);
+  EXPECT_EQ(reg.value("missing"), 0);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.size(), 2u);
+}
+
+TEST(Result, StatusAndValueSemantics) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> bad(NotFound("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), ErrorCode::kNotFound);
+  EXPECT_NE(bad.status().str().find("nope"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace typhoon::common

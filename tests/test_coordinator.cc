@@ -1,0 +1,231 @@
+// Coordinator (ZooKeeper-lite) semantics: CRUD with versions, implicit
+// parents, children listing, recursive removal, ephemeral-session cleanup,
+// and watch delivery (exact, children, prefix).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "coordinator/coordinator.h"
+
+namespace typhoon::coordinator {
+namespace {
+
+common::Bytes B(const std::string& s) {
+  return common::Bytes(s.begin(), s.end());
+}
+
+TEST(Coordinator, CreateGetSetVersions) {
+  Coordinator c;
+  ASSERT_TRUE(c.create("/a/b", B("v0")).ok());
+  EXPECT_TRUE(c.exists("/a"));  // implicit parent
+  auto got = c.get("/a/b");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), B("v0"));
+  EXPECT_EQ(c.stat("/a/b")->version, 0u);
+
+  ASSERT_TRUE(c.set("/a/b", B("v1")).ok());
+  EXPECT_EQ(c.stat("/a/b")->version, 1u);
+  EXPECT_EQ(c.get("/a/b").value(), B("v1"));
+}
+
+TEST(Coordinator, CreateFailsOnDuplicateAndBadPaths) {
+  Coordinator c;
+  ASSERT_TRUE(c.create("/x", {}).ok());
+  EXPECT_EQ(c.create("/x", {}).code(), common::ErrorCode::kAlreadyExists);
+  EXPECT_FALSE(c.create("no-slash", {}).ok());
+  EXPECT_FALSE(c.create("/trailing/", {}).ok());
+  EXPECT_FALSE(c.create("/dou//ble", {}).ok());
+  EXPECT_FALSE(c.create("/", {}).ok());
+}
+
+TEST(Coordinator, SetFailsOnMissingNode) {
+  Coordinator c;
+  EXPECT_EQ(c.set("/nope", {}).code(), common::ErrorCode::kNotFound);
+}
+
+TEST(Coordinator, PutCreatesThenUpdates) {
+  Coordinator c;
+  ASSERT_TRUE(c.put_str("/k", "1").ok());
+  ASSERT_TRUE(c.put_str("/k", "2").ok());
+  EXPECT_EQ(*c.get_str("/k"), "2");
+}
+
+TEST(Coordinator, ChildrenSortedAndScoped) {
+  Coordinator c;
+  c.create("/t/b", {});
+  c.create("/t/a", {});
+  c.create("/t/a/nested", {});
+  EXPECT_EQ(c.children("/t"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(c.children("/t/a"), (std::vector<std::string>{"nested"}));
+  EXPECT_TRUE(c.children("/none").empty());
+}
+
+TEST(Coordinator, RemoveRequiresRecursiveForParents) {
+  Coordinator c;
+  c.create("/p/q", {});
+  EXPECT_EQ(c.remove("/p").code(), common::ErrorCode::kFailedPrecondition);
+  EXPECT_TRUE(c.remove("/p", /*recursive=*/true).ok());
+  EXPECT_FALSE(c.exists("/p"));
+  EXPECT_FALSE(c.exists("/p/q"));
+}
+
+TEST(Coordinator, EphemeralNodesDieWithSession) {
+  Coordinator c;
+  const auto s = c.create_session();
+  ASSERT_TRUE(c.create("/live/worker1", B("x"), true, s).ok());
+  ASSERT_TRUE(c.create("/live/worker2", B("y"), true, s).ok());
+  ASSERT_TRUE(c.create("/live/permanent", B("z")).ok());
+  c.close_session(s);
+  EXPECT_FALSE(c.exists("/live/worker1"));
+  EXPECT_FALSE(c.exists("/live/worker2"));
+  EXPECT_TRUE(c.exists("/live/permanent"));
+}
+
+TEST(Coordinator, ExactWatchSeesLifecycle) {
+  Coordinator c;
+  std::vector<WatchEvent> events;
+  c.watch("/w", [&](const std::string&, WatchEvent e, const common::Bytes&) {
+    events.push_back(e);
+  });
+  c.create("/w", B("1"));
+  c.set("/w", B("2"));
+  c.remove("/w");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0], WatchEvent::kCreated);
+  EXPECT_EQ(events[1], WatchEvent::kDataChanged);
+  EXPECT_EQ(events[2], WatchEvent::kDeleted);
+}
+
+TEST(Coordinator, ParentWatchSeesChildrenChanged) {
+  Coordinator c;
+  c.create("/dir", {});
+  int children_changed = 0;
+  c.watch("/dir",
+          [&](const std::string&, WatchEvent e, const common::Bytes&) {
+            if (e == WatchEvent::kChildrenChanged) ++children_changed;
+          });
+  c.create("/dir/a", {});
+  c.create("/dir/b", {});
+  c.remove("/dir/a");
+  EXPECT_EQ(children_changed, 3);
+}
+
+TEST(Coordinator, PrefixWatchSeesDescendants) {
+  Coordinator c;
+  std::vector<std::string> paths;
+  c.watch("/assignments",
+          [&](const std::string& p, WatchEvent e, const common::Bytes&) {
+            if (e == WatchEvent::kCreated) paths.push_back(p);
+          },
+          /*prefix=*/true);
+  c.create("/assignments/host1/w1", B("t"));
+  c.create("/assignments/host1/w2", B("t"));
+  c.create("/other/x", B("t"));
+  // /assignments itself (implicit), host1 (implicit), w1, w2.
+  ASSERT_EQ(paths.size(), 4u);
+  EXPECT_EQ(paths[0], "/assignments");
+  EXPECT_EQ(paths[1], "/assignments/host1");
+  EXPECT_EQ(paths[2], "/assignments/host1/w1");
+}
+
+TEST(Coordinator, PrefixWatchDoesNotMatchSiblingPrefix) {
+  Coordinator c;
+  int hits = 0;
+  c.watch("/ab",
+          [&](const std::string&, WatchEvent, const common::Bytes&) {
+            ++hits;
+          },
+          true);
+  c.create("/abc", {});  // shares string prefix but not path prefix
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(Coordinator, UnwatchStopsDelivery) {
+  Coordinator c;
+  int hits = 0;
+  const auto id = c.watch(
+      "/u", [&](const std::string&, WatchEvent, const common::Bytes&) {
+        ++hits;
+      });
+  c.create("/u", {});
+  c.unwatch(id);
+  c.set("/u", B("x"));
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(Coordinator, WatchCallbackMayReenterCoordinator) {
+  Coordinator c;
+  c.watch("/trigger",
+          [&](const std::string&, WatchEvent e, const common::Bytes&) {
+            if (e == WatchEvent::kCreated) {
+              c.put_str("/reaction", "done");
+            }
+          });
+  c.create("/trigger", {});
+  EXPECT_EQ(*c.get_str("/reaction"), "done");
+}
+
+TEST(Coordinator, ConcurrentWritersStayConsistent) {
+  Coordinator c;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::string path =
+            "/load/t" + std::to_string(t) + "/n" + std::to_string(i % 50);
+        c.put_str(path, std::to_string(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(c.children("/load/t" + std::to_string(t)).size(), 50u);
+  }
+  // Versions reflect the repeated sets.
+  const auto stat = c.stat("/load/t0/n0");
+  ASSERT_TRUE(stat.has_value());
+  EXPECT_EQ(stat->version, kPerThread / 50 - 1);
+}
+
+TEST(Coordinator, WatchersRaceWithWritersSafely) {
+  Coordinator c;
+  std::atomic<int> events{0};
+  c.watch("/race", [&](const std::string&, WatchEvent, const common::Bytes&) {
+    events.fetch_add(1);
+  },
+          /*prefix=*/true);
+  std::thread writer([&] {
+    for (int i = 0; i < 1000; ++i) {
+      c.put_str("/race/key", std::to_string(i));
+    }
+  });
+  std::thread churner([&] {
+    for (int i = 0; i < 200; ++i) {
+      const auto id = c.watch(
+          "/race/other",
+          [](const std::string&, WatchEvent, const common::Bytes&) {});
+      c.unwatch(id);
+    }
+  });
+  writer.join();
+  churner.join();
+  // create + 999 data changes on /race/key (+1 for /race implicit parent).
+  EXPECT_GE(events.load(), 1000);
+}
+
+TEST(Coordinator, DeletedWatchCarriesLastData) {
+  Coordinator c;
+  c.create("/d", B("final"));
+  common::Bytes seen;
+  c.watch("/d", [&](const std::string&, WatchEvent e, const common::Bytes& b) {
+    if (e == WatchEvent::kDeleted) seen = b;
+  });
+  c.remove("/d");
+  EXPECT_EQ(seen, B("final"));
+}
+
+}  // namespace
+}  // namespace typhoon::coordinator

@@ -1,0 +1,81 @@
+// DOT exporter tests: logical and physical renderings contain the expected
+// structure and survive graphviz-less sanity checks (balanced braces).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stream/tuple.h"
+#include "typhoon/dot_export.h"
+
+namespace typhoon {
+namespace {
+
+stream::TopologySpec Spec() {
+  stream::TopologySpec s;
+  s.id = 1;
+  s.name = "wc";
+  s.nodes = {{1, "input", 1, true, false},
+             {2, "split", 2, false, false},
+             {3, "count", 2, false, true}};
+  s.edges = {{1, 2, stream::GroupingType::kShuffle, {},
+              stream::kDefaultStream},
+             {2, 3, stream::GroupingType::kFields, {0},
+              stream::kDefaultStream},
+             {1, 3, stream::GroupingType::kDirect, {}, stream::kAckStream}};
+  return s;
+}
+
+stream::PhysicalTopology Phys() {
+  stream::PhysicalTopology p;
+  p.id = 1;
+  p.name = "wc";
+  p.workers = {{1, 1, 0, 1, 101},
+               {2, 2, 0, 1, 102},
+               {3, 2, 1, 2, 103},
+               {4, 3, 0, 1, 104},
+               {5, 3, 1, 2, 105}};
+  return p;
+}
+
+std::size_t Count(const std::string& s, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = s.find(needle); pos != std::string::npos;
+       pos = s.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(DotExport, LogicalContainsNodesAndGroupings) {
+  const std::string dot = ToDot(Spec());
+  EXPECT_NE(dot.find("digraph \"wc\""), std::string::npos);
+  EXPECT_NE(dot.find("input x1"), std::string::npos);
+  EXPECT_NE(dot.find("split x2"), std::string::npos);
+  EXPECT_NE(dot.find("count x2\\n(stateful)"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"shuffle\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"fields(0)\""), std::string::npos);
+  EXPECT_NE(dot.find("[system]"), std::string::npos);
+  EXPECT_EQ(Count(dot, "{"), Count(dot, "}"));
+}
+
+TEST(DotExport, PhysicalGroupsWorkersByHost) {
+  const std::string dot = ToDot(Spec(), Phys());
+  EXPECT_NE(dot.find("cluster_host1"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_host2"), std::string::npos);
+  EXPECT_NE(dot.find("split[1]"), std::string::npos);
+  // Worker-level edges: 1 src->2 splits + 2 splits->2 counts = 6 arrows;
+  // the ack-stream edge is omitted for legibility.
+  EXPECT_EQ(Count(dot, " -> "), 6u);
+  EXPECT_EQ(Count(dot, "{"), Count(dot, "}"));
+}
+
+TEST(DotExport, EmptyTopologyStillValidDot) {
+  stream::TopologySpec s;
+  s.name = "empty";
+  const std::string dot = ToDot(s);
+  EXPECT_NE(dot.find("digraph \"empty\""), std::string::npos);
+  EXPECT_EQ(Count(dot, "{"), Count(dot, "}"));
+}
+
+}  // namespace
+}  // namespace typhoon

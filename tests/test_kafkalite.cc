@@ -1,0 +1,141 @@
+// KafkaLite broker: topics, partitioning, offsets, consumer groups, lag.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "kafkalite/broker.h"
+
+namespace typhoon::kafkalite {
+namespace {
+
+TEST(Broker, TopicLifecycle) {
+  Broker b;
+  EXPECT_FALSE(b.has_topic("ads"));
+  ASSERT_TRUE(b.create_topic("ads", 4).ok());
+  EXPECT_TRUE(b.has_topic("ads"));
+  EXPECT_EQ(b.partition_count("ads"), 4u);
+  EXPECT_EQ(b.create_topic("ads", 4).code(),
+            common::ErrorCode::kAlreadyExists);
+  EXPECT_FALSE(b.create_topic("zero", 0).ok());
+}
+
+TEST(Broker, ProduceFetchRoundTrips) {
+  Broker b;
+  b.create_topic("t", 1);
+  auto off = b.produce("t", "k", "v1");
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(off.value(), 0);
+  b.produce("t", "k", "v2");
+
+  auto recs = b.fetch("t", 0, 0, 10);
+  ASSERT_TRUE(recs.ok());
+  ASSERT_EQ(recs.value().size(), 2u);
+  EXPECT_EQ(recs.value()[0].value, "v1");
+  EXPECT_EQ(recs.value()[1].offset, 1);
+  EXPECT_GT(recs.value()[0].timestamp_us, 0);
+}
+
+TEST(Broker, FetchFromOffsetAndBound) {
+  Broker b;
+  b.create_topic("t", 1);
+  for (int i = 0; i < 10; ++i) b.produce("t", "", std::to_string(i));
+  auto recs = b.fetch("t", 0, 4, 3);
+  ASSERT_TRUE(recs.ok());
+  ASSERT_EQ(recs.value().size(), 3u);
+  EXPECT_EQ(recs.value()[0].value, "4");
+  EXPECT_EQ(b.end_offset("t", 0), 10);
+}
+
+TEST(Broker, KeyedProduceIsSticky) {
+  Broker b;
+  b.create_topic("t", 4);
+  // Same key must land in the same partition every time.
+  std::int64_t sum0 = 0;
+  for (int i = 0; i < 20; ++i) b.produce("t", "stickykey", "v");
+  int nonempty = 0;
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    const std::int64_t n = b.end_offset("t", p);
+    sum0 += n;
+    if (n > 0) ++nonempty;
+  }
+  EXPECT_EQ(sum0, 20);
+  EXPECT_EQ(nonempty, 1);
+}
+
+TEST(Broker, EmptyKeyRoundRobins) {
+  Broker b;
+  b.create_topic("t", 4);
+  for (int i = 0; i < 40; ++i) b.produce("t", "", "v");
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(b.end_offset("t", p), 10);
+  }
+}
+
+TEST(Broker, ErrorsOnUnknownTopicOrPartition) {
+  Broker b;
+  EXPECT_FALSE(b.produce("none", "", "v").ok());
+  b.create_topic("t", 1);
+  EXPECT_FALSE(b.produce_to("t", 5, "", "v").ok());
+  EXPECT_FALSE(b.fetch("t", 5, 0, 1).ok());
+  EXPECT_EQ(b.end_offset("t", 5), -1);
+}
+
+TEST(Broker, CommitAndAssignment) {
+  Broker b;
+  b.create_topic("t", 6);
+  b.commit("g", "t", 2, 17);
+  EXPECT_EQ(b.committed("g", "t", 2), 17);
+  EXPECT_EQ(b.committed("g", "t", 3), 0);
+
+  EXPECT_EQ(b.assignment("t", 0, 2),
+            (std::vector<std::uint32_t>{0, 2, 4}));
+  EXPECT_EQ(b.assignment("t", 1, 2),
+            (std::vector<std::uint32_t>{1, 3, 5}));
+}
+
+TEST(Consumer, PollsAssignedPartitionsAndTracksLag) {
+  Broker b;
+  b.create_topic("t", 2);
+  for (int i = 0; i < 10; ++i) b.produce_to("t", i % 2, "", std::to_string(i));
+
+  Consumer c0(&b, "g", "t", 0, 2);
+  Consumer c1(&b, "g", "t", 1, 2);
+  EXPECT_EQ(c0.lag(), 5);
+
+  auto r0 = c0.poll(100);
+  auto r1 = c1.poll(100);
+  EXPECT_EQ(r0.size(), 5u);
+  EXPECT_EQ(r1.size(), 5u);
+  EXPECT_EQ(c0.lag(), 0);
+  EXPECT_TRUE(c0.poll(100).empty());
+
+  // Committed offsets resume a fresh consumer.
+  c0.commit();
+  b.produce_to("t", 0, "", "new");
+  Consumer c0b(&b, "g", "t", 0, 2);
+  auto r = c0b.poll(100);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].value, "new");
+}
+
+TEST(Broker, ConcurrentProducersSerializeAppends) {
+  Broker b;
+  b.create_topic("t", 1);
+  constexpr int kPerThread = 2000;
+  std::thread t1([&] {
+    for (int i = 0; i < kPerThread; ++i) b.produce("t", "", "a");
+  });
+  std::thread t2([&] {
+    for (int i = 0; i < kPerThread; ++i) b.produce("t", "", "b");
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(b.end_offset("t", 0), 2 * kPerThread);
+  auto recs = b.fetch("t", 0, 0, 2 * kPerThread);
+  for (std::size_t i = 0; i < recs.value().size(); ++i) {
+    EXPECT_EQ(recs.value()[i].offset, static_cast<std::int64_t>(i));
+  }
+}
+
+}  // namespace
+}  // namespace typhoon::kafkalite

@@ -1,0 +1,328 @@
+// Tests for the Typhoon packet format (Fig 5), packetizer/depacketizer
+// (multiplexing, segmentation, batching), and host tunnels — including
+// parameterized roundtrip sweeps over tuple sizes and batch settings.
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "net/packet.h"
+#include "net/packetizer.h"
+#include "net/tunnel.h"
+
+namespace typhoon::net {
+namespace {
+
+WorkerAddress Addr(WorkerId w) { return WorkerAddress{7, w}; }
+
+TEST(Packet, FrameCodecRoundTrips) {
+  Packet p;
+  p.dst = Addr(2);
+  p.src = Addr(1);
+  p.payload = {1, 2, 3, 4};
+  common::Bytes wire;
+  EncodeFrame(p, wire);
+  EXPECT_EQ(wire.size(), p.wire_size());
+  auto decoded = DecodeFrame(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->dst, p.dst);
+  EXPECT_EQ(decoded->src, p.src);
+  EXPECT_EQ(decoded->ether_type, kTyphoonEtherType);
+  EXPECT_EQ(decoded->payload, p.payload);
+}
+
+TEST(Packet, DecodeRejectsShortFrame) {
+  common::Bytes wire{1, 2, 3};
+  EXPECT_FALSE(DecodeFrame(wire).has_value());
+}
+
+TEST(Packet, WorkerAddressPackUnpack) {
+  const WorkerAddress a{0x1234, 0xabcdef012345ull};
+  EXPECT_EQ(WorkerAddress::unpack(a.packed()), a);
+  EXPECT_EQ(BroadcastAddress(3).worker, kBroadcastWorker);
+  EXPECT_NE(BroadcastAddress(3).packed(), BroadcastAddress(4).packed());
+}
+
+class PacketizerFixture : public ::testing::Test {
+ protected:
+  void Build(std::size_t batch, std::size_t max_payload = 16 * 1024) {
+    PacketizerConfig cfg;
+    cfg.batch_tuples = batch;
+    cfg.max_payload = max_payload;
+    packetizer_ = std::make_unique<Packetizer>(
+        Addr(1), cfg, [this](PacketPtr p) { packets_.push_back(p); });
+    depack_ = std::make_unique<Depacketizer>(
+        [this](TupleRecord rec) { received_.push_back(std::move(rec)); });
+  }
+
+  void DeliverAll() {
+    for (const PacketPtr& p : packets_) {
+      ASSERT_TRUE(depack_->consume(*p));
+    }
+    packets_.clear();
+  }
+
+  TupleRecord Rec(WorkerId dst, common::Bytes data, StreamId stream = 1) {
+    TupleRecord r;
+    r.src = Addr(1);
+    r.dst = Addr(dst);
+    r.stream_id = stream;
+    r.data = std::move(data);
+    return r;
+  }
+
+  std::unique_ptr<Packetizer> packetizer_;
+  std::unique_ptr<Depacketizer> depack_;
+  std::vector<PacketPtr> packets_;
+  std::vector<TupleRecord> received_;
+};
+
+TEST_F(PacketizerFixture, MultiplexesSmallTuplesIntoOnePacket) {
+  Build(/*batch=*/10);
+  for (int i = 0; i < 10; ++i) {
+    packetizer_->add(Rec(2, common::Bytes{static_cast<std::uint8_t>(i)}));
+  }
+  // Batch reached: exactly one packet out.
+  ASSERT_EQ(packets_.size(), 1u);
+  DeliverAll();
+  ASSERT_EQ(received_.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(received_[i].data,
+              common::Bytes{static_cast<std::uint8_t>(i)});
+    EXPECT_EQ(received_[i].src.worker, 1u);
+    EXPECT_EQ(received_[i].dst.worker, 2u);
+  }
+}
+
+TEST_F(PacketizerFixture, SeparateBuffersPerDestination) {
+  Build(/*batch=*/2);
+  packetizer_->add(Rec(2, {1}));
+  packetizer_->add(Rec(3, {2}));
+  EXPECT_TRUE(packets_.empty());  // neither buffer full
+  packetizer_->add(Rec(2, {3}));
+  EXPECT_EQ(packets_.size(), 1u);  // dst 2 flushed
+  packetizer_->flush();
+  EXPECT_EQ(packets_.size(), 2u);
+}
+
+TEST_F(PacketizerFixture, FlushToTargetsOneDestination) {
+  Build(/*batch=*/100);
+  packetizer_->add(Rec(2, {1}));
+  packetizer_->add(Rec(3, {2}));
+  packetizer_->flush_to(Addr(3));
+  ASSERT_EQ(packets_.size(), 1u);
+  EXPECT_EQ(packets_[0]->dst.worker, 3u);
+}
+
+TEST_F(PacketizerFixture, SegmentsLargeTupleAcrossPackets) {
+  Build(/*batch=*/100, /*max_payload=*/1024);
+  common::Bytes big(5000);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  packetizer_->add(Rec(2, big));
+  EXPECT_GE(packets_.size(), 5u);  // ~1KB payload per packet
+  DeliverAll();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].data, big);
+  EXPECT_EQ(depack_->pending_reassemblies(), 0u);
+}
+
+TEST_F(PacketizerFixture, OversizeFlushesPendingSmallTuplesFirst) {
+  Build(/*batch=*/100, /*max_payload=*/512);
+  packetizer_->add(Rec(2, {9}));
+  packetizer_->add(Rec(2, common::Bytes(2000, 0x5a)));
+  packetizer_->flush();
+  DeliverAll();
+  ASSERT_EQ(received_.size(), 2u);
+  EXPECT_EQ(received_[0].data, common::Bytes{9});
+  EXPECT_EQ(received_[1].data.size(), 2000u);
+}
+
+TEST_F(PacketizerFixture, ControlFlagSurvivesRoundTrip) {
+  Build(/*batch=*/1);
+  TupleRecord r = Rec(2, {1, 2});
+  r.control = true;
+  r.stream_id = 0xfffe;
+  packetizer_->add(r);
+  DeliverAll();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_TRUE(received_[0].control);
+  EXPECT_EQ(received_[0].stream_id, 0xfffe);
+}
+
+TEST_F(PacketizerFixture, MalformedPayloadRejected) {
+  Build(1);
+  Packet junk;
+  junk.src = Addr(1);
+  junk.dst = Addr(2);
+  junk.payload = {0xde, 0xad};  // shorter than a chunk header
+  EXPECT_FALSE(depack_->consume(junk));
+}
+
+// Property sweep: random tuple sizes and batch sizes always roundtrip
+// losslessly and in order per destination.
+class PacketizerPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(PacketizerPropertyTest, RandomSizesRoundTripLosslessly) {
+  const auto [batch, max_payload] = GetParam();
+  std::vector<PacketPtr> packets;
+  std::vector<TupleRecord> received;
+  PacketizerConfig cfg;
+  cfg.batch_tuples = batch;
+  cfg.max_payload = max_payload;
+  Packetizer pk(Addr(1), cfg,
+                [&](PacketPtr p) { packets.push_back(std::move(p)); });
+  Depacketizer dp([&](TupleRecord r) { received.push_back(std::move(r)); });
+
+  common::Rng rng(batch * 1000 + max_payload);
+  std::vector<common::Bytes> sent;
+  for (int i = 0; i < 300; ++i) {
+    const std::size_t len = 1 + rng.below(max_payload * 3);
+    common::Bytes data(len);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+    sent.push_back(data);
+    TupleRecord r;
+    r.src = Addr(1);
+    r.dst = Addr(2);
+    r.stream_id = 1;
+    r.data = std::move(data);
+    pk.add(r);
+  }
+  pk.flush();
+  for (const PacketPtr& p : packets) {
+    ASSERT_LE(p->payload.size(), max_payload + ChunkHeader::kWireSize);
+    ASSERT_TRUE(dp.consume(*p));
+  }
+  ASSERT_EQ(received.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(received[i].data, sent[i]) << "tuple " << i;
+  }
+  EXPECT_EQ(dp.pending_reassemblies(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PacketizerPropertyTest,
+    ::testing::Combine(::testing::Values(1, 10, 100, 1000),
+                       ::testing::Values(256, 4096, 16384)));
+
+// Robustness fuzz: random byte soup must never crash the frame or payload
+// decoders — corrupt frames are rejected, never mis-parsed into OOB reads.
+TEST(Fuzz, DecodersSurviveRandomBytes) {
+  common::Rng rng(0xdec0de);
+  int frames_ok = 0;
+  for (int i = 0; i < 5000; ++i) {
+    common::Bytes junk(rng.below(128));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+
+    if (auto frame = DecodeFrame(junk)) ++frames_ok;
+
+    Depacketizer dp([](TupleRecord) {});
+    Packet p;
+    p.src = Addr(1);
+    p.dst = Addr(2);
+    p.payload = junk;
+    (void)dp.consume(p);
+  }
+  // Frames >= 18 bytes parse structurally (header is fixed-width), so some
+  // succeed — the point is no crash and no false tuple deliveries below.
+  EXPECT_GT(frames_ok, 0);
+}
+
+TEST(Fuzz, TruncatedValidPacketsAreRejectedNotMisread) {
+  // Build a valid multi-tuple packet, then truncate at every length.
+  std::vector<PacketPtr> packets;
+  PacketizerConfig cfg;
+  cfg.batch_tuples = 8;
+  Packetizer pk(Addr(1), cfg,
+                [&](PacketPtr p) { packets.push_back(std::move(p)); });
+  for (int i = 0; i < 8; ++i) {
+    TupleRecord r;
+    r.src = Addr(1);
+    r.dst = Addr(2);
+    r.stream_id = 1;
+    r.data = common::Bytes{1, 2, 3, 4, 5};
+    pk.add(r);
+  }
+  ASSERT_EQ(packets.size(), 1u);
+  const common::Bytes full = packets[0]->payload;
+
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    Packet p;
+    p.src = Addr(1);
+    p.dst = Addr(2);
+    p.payload.assign(full.begin(),
+                     full.begin() + static_cast<std::ptrdiff_t>(cut));
+    int delivered = 0;
+    Depacketizer dp([&](TupleRecord rec) {
+      ++delivered;
+      EXPECT_EQ(rec.data, (common::Bytes{1, 2, 3, 4, 5}));
+    });
+    const bool ok = dp.consume(p);
+    if (cut % (ChunkHeader::kWireSize + 5) == 0) {
+      // Cuts at chunk boundaries parse cleanly up to the cut.
+      EXPECT_TRUE(ok) << "cut " << cut;
+    }
+    EXPECT_LE(delivered, static_cast<int>(cut / (ChunkHeader::kWireSize + 5)));
+  }
+}
+
+TEST(Tunnel, BidirectionalFrameTransfer) {
+  auto [a, b] = CreateTunnel(16);
+  Packet p;
+  p.src = Addr(1);
+  p.dst = Addr(2);
+  p.payload = {1, 2, 3};
+  ASSERT_TRUE(a->send(p));
+  auto got = b->recv_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, p.payload);
+  EXPECT_EQ(got->src, p.src);
+
+  Packet back;
+  back.src = Addr(2);
+  back.dst = Addr(1);
+  ASSERT_TRUE(b->send(back));
+  EXPECT_TRUE(a->recv_for(std::chrono::milliseconds(100)).has_value());
+}
+
+TEST(Tunnel, CountsFramesAndBytes) {
+  auto [a, b] = CreateTunnel(16);
+  Packet p;
+  p.src = Addr(1);
+  p.dst = Addr(2);
+  p.payload.resize(100);
+  a->send(p);
+  a->send(p);
+  EXPECT_EQ(a->frames_sent(), 2u);
+  EXPECT_EQ(a->bytes_sent(), 2 * p.wire_size());
+}
+
+TEST(Tunnel, CloseStopsTransfer) {
+  auto [a, b] = CreateTunnel(4);
+  a->close();
+  Packet p;
+  EXPECT_FALSE(a->send(p));
+  EXPECT_FALSE(b->try_recv().has_value());
+}
+
+TEST(Tunnel, PreservesOrder) {
+  auto [a, b] = CreateTunnel(1024);
+  for (int i = 0; i < 500; ++i) {
+    Packet p;
+    p.src = Addr(1);
+    p.dst = Addr(2);
+    p.payload = {static_cast<std::uint8_t>(i & 0xff),
+                 static_cast<std::uint8_t>(i >> 8)};
+    ASSERT_TRUE(a->send(p));
+  }
+  for (int i = 0; i < 500; ++i) {
+    auto got = b->try_recv();
+    ASSERT_TRUE(got.has_value());
+    const int v = got->payload[0] | (got->payload[1] << 8);
+    EXPECT_EQ(v, i);
+  }
+}
+
+}  // namespace
+}  // namespace typhoon::net

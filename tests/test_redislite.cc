@@ -1,0 +1,91 @@
+// RedisLite store: strings with TTL, hashes, counters, sharded concurrency.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "redislite/store.h"
+
+namespace typhoon::redislite {
+namespace {
+
+TEST(Store, StringSetGetDel) {
+  Store s;
+  EXPECT_FALSE(s.get("k").has_value());
+  s.set("k", "v");
+  EXPECT_EQ(*s.get("k"), "v");
+  EXPECT_TRUE(s.exists("k"));
+  EXPECT_TRUE(s.del("k"));
+  EXPECT_FALSE(s.del("k"));
+  EXPECT_FALSE(s.exists("k"));
+}
+
+TEST(Store, TtlExpiresKeys) {
+  Store s;
+  s.set("gone", "v", std::chrono::milliseconds(20));
+  s.set("stays", "v");
+  EXPECT_TRUE(s.get("gone").has_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_FALSE(s.get("gone").has_value());
+  EXPECT_FALSE(s.exists("gone"));
+  EXPECT_TRUE(s.get("stays").has_value());
+  EXPECT_EQ(s.sweep_expired(), 1u);
+}
+
+TEST(Store, HashOps) {
+  Store s;
+  EXPECT_FALSE(s.hget("h", "f").has_value());
+  s.hset("h", "f1", "a");
+  s.hset("h", "f2", "b");
+  EXPECT_EQ(*s.hget("h", "f1"), "a");
+  auto all = s.hgetall("h");
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_EQ(all["f2"], "b");
+  EXPECT_TRUE(s.exists("h"));
+}
+
+TEST(Store, HincrbyCreatesAndAccumulates) {
+  Store s;
+  EXPECT_EQ(s.hincrby("camp1", "views", 1), 1);
+  EXPECT_EQ(s.hincrby("camp1", "views", 4), 5);
+  EXPECT_EQ(s.hincrby("camp1", "clicks", 2), 2);
+  EXPECT_EQ(*s.hget("camp1", "views"), "5");
+}
+
+TEST(Store, IncrbyOnStrings) {
+  Store s;
+  EXPECT_EQ(s.incrby("c", 10), 10);
+  EXPECT_EQ(s.incrby("c", -3), 7);
+  EXPECT_EQ(*s.get("c"), "7");
+}
+
+TEST(Store, SizeCountsKeys) {
+  Store s;
+  s.set("a", "1");
+  s.hset("b", "f", "1");
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(Store, OpsCounterAdvances) {
+  Store s;
+  const auto before = s.ops();
+  s.set("x", "1");
+  (void)s.get("x");
+  EXPECT_GE(s.ops() - before, 2);
+}
+
+TEST(Store, ConcurrentHincrbyIsAtomic) {
+  Store s(4);
+  constexpr int kThreads = 4;
+  constexpr int kPer = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPer; ++i) s.hincrby("hot", "n", 1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(*s.hget("hot", "n"), std::to_string(kThreads * kPer));
+}
+
+}  // namespace
+}  // namespace typhoon::redislite

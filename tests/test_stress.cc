@@ -1,0 +1,292 @@
+// Stress / fuzz-style integration tests: a randomized sequence of runtime
+// reconfigurations against a live pipeline with end-to-end loss checking,
+// and whole-host failure with rescheduling onto surviving hosts.
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "stream/topology.h"
+#include "typhoon/cluster.h"
+#include "util/components.h"
+
+namespace typhoon {
+namespace {
+
+using namespace std::chrono_literals;
+using stream::ReconfigRequest;
+using stream::TopologyBuilder;
+using testutil::CollectingSink;
+using testutil::ForwardBolt;
+using testutil::SequenceSpout;
+using testutil::SinkState;
+
+template <typename F>
+bool WaitFor(F&& pred, std::chrono::milliseconds timeout) {
+  const auto deadline = common::Now() + timeout;
+  while (common::Now() < deadline) {
+    if (pred()) return true;
+    common::SleepMillis(5);
+  }
+  return pred();
+}
+
+// Randomized reconfiguration storm: scale up/down, change grouping, swap
+// logic, and relocate — all while a bounded sequence streams through.
+// Invariant: every sequence number arrives exactly once.
+TEST(Stress, RandomReconfigurationsLoseNothing) {
+  ClusterConfig cfg;
+  cfg.num_hosts = 3;
+  Cluster cluster(cfg);
+  cluster.start();
+
+  auto state = std::make_shared<SinkState>();
+  constexpr std::int64_t kLimit = 120000;
+  TopologyBuilder b("fuzz");
+  const NodeId src = b.add_spout(
+      "src",
+      [kLimit] { return std::make_unique<SequenceSpout>(kLimit, 8, 0, 30000.0); },
+      1);
+  const NodeId mid = b.add_bolt(
+      "mid", [] { return std::make_unique<ForwardBolt>(); }, 2);
+  const NodeId sink = b.add_bolt(
+      "sink",
+      [state] { return std::make_unique<CollectingSink>(state, true); }, 1);
+  b.shuffle(src, mid);
+  b.shuffle(mid, sink);
+  ASSERT_TRUE(cluster.submit(b.build().value()).ok());
+  ASSERT_TRUE(WaitFor([&] { return state->received.load() > 2000; }, 10s));
+
+  common::Rng rng(0xfeed);
+  int applied = 0;
+  for (int step = 0; step < 12; ++step) {
+    const auto spec = cluster.manager().spec("fuzz").value();
+    const int par = spec.node_by_name("mid")->parallelism;
+
+    ReconfigRequest req;
+    req.topology = "fuzz";
+    req.node = "mid";
+    switch (rng.below(5)) {
+      case 0:
+        req.kind = ReconfigRequest::Kind::kScaleUp;
+        req.count = 1;
+        break;
+      case 1:
+        if (par <= 1) continue;
+        req.kind = ReconfigRequest::Kind::kScaleDown;
+        req.count = 1;
+        break;
+      case 2:
+        req.kind = ReconfigRequest::Kind::kChangeGrouping;
+        req.from_node = "src";
+        req.new_grouping = {rng.below(2) == 0
+                                ? stream::GroupingType::kShuffle
+                                : stream::GroupingType::kFields,
+                            {0}};
+        break;
+      case 3: {
+        req.kind = ReconfigRequest::Kind::kRelocate;
+        req.task_index = static_cast<int>(rng.below(par));
+        req.target_host =
+            cluster.hosts()[rng.below(cluster.hosts().size())];
+        break;
+      }
+      case 4:
+        req.kind = ReconfigRequest::Kind::kSwapLogic;
+        break;
+    }
+    const auto st = cluster.reconfigure(req);
+    ASSERT_TRUE(st.ok()) << "step " << step << ": " << st.str();
+    ++applied;
+    common::SleepMillis(80);
+  }
+  EXPECT_GE(applied, 8);
+
+  ASSERT_TRUE(WaitFor([&] { return state->received.load() >= kLimit; }, 60s))
+      << "received " << state->received.load() << " of " << kLimit;
+  EXPECT_EQ(state->duplicates.load(), 0);
+  {
+    std::lock_guard lk(state->mu);
+    EXPECT_EQ(state->seen.size(), static_cast<std::size_t>(kLimit));
+  }
+  cluster.stop();
+}
+
+// A whole host dies: the manager must reschedule its workers onto hosts
+// whose agents are still alive (ephemeral registry), and in Typhoon mode
+// the fault detector bridges the gap for multi-worker nodes.
+TEST(Stress, HostFailureReschedulesOntoSurvivors) {
+  ClusterConfig cfg;
+  cfg.num_hosts = 3;
+  cfg.heartbeat_timeout = 600ms;
+  cfg.manager_monitor_interval = 50ms;
+  Cluster cluster(cfg);
+  cluster.start();
+
+  auto state = std::make_shared<SinkState>();
+  TopologyBuilder b("hostfail");
+  const NodeId src = b.add_spout(
+      "src",
+      [] { return std::make_unique<SequenceSpout>(0, 8, 0, 30000.0); }, 1);
+  const NodeId mid = b.add_bolt(
+      "mid", [] { return std::make_unique<ForwardBolt>(); }, 3);
+  const NodeId sink = b.add_bolt(
+      "sink", [state] { return std::make_unique<CollectingSink>(state); },
+      1);
+  b.shuffle(src, mid);
+  b.shuffle(mid, sink);
+  ASSERT_TRUE(cluster.submit(b.build().value()).ok());
+  ASSERT_TRUE(WaitFor([&] { return state->received.load() > 2000; }, 10s));
+
+  // Pick a host that runs neither the source nor the sink.
+  const HostId src_host = cluster.find_worker("hostfail", "src", 0)
+                              ->context()
+                              .host;
+  const HostId sink_host = cluster.find_worker("hostfail", "sink", 0)
+                               ->context()
+                               .host;
+  HostId victim = 0;
+  for (HostId h : cluster.hosts()) {
+    if (h != src_host && h != sink_host) victim = h;
+  }
+  ASSERT_NE(victim, 0u);
+
+  cluster.fail_host(victim);
+
+  // All workers come back on surviving hosts.
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        auto phys = cluster.manager().physical("hostfail");
+        if (!phys.ok()) return false;
+        for (const auto& w : phys.value().workers) {
+          if (w.host == victim) return false;
+          if (cluster.find_worker_by_id(w.id) == nullptr) return false;
+        }
+        return true;
+      },
+      15s));
+  EXPECT_GE(cluster.manager().reschedules(), 1);
+
+  // Traffic still flows end to end.
+  const std::int64_t mark = state->received.load();
+  EXPECT_TRUE(
+      WaitFor([&] { return state->received.load() > mark + 10000; }, 15s));
+  cluster.stop();
+}
+
+// At-least-once delivery across worker crashes: a reliable topology with a
+// replaying source and a bolt that crashes periodically (and is restarted
+// by its supervisor). Tuples lost in crashes time out, get replayed, and
+// every sequence number eventually reaches the sink.
+TEST(Stress, ReliableReplayDeliversEverythingDespiteCrashes) {
+  ClusterConfig cfg;
+  cfg.num_hosts = 2;
+  cfg.agent_max_local_restarts = 100;
+  cfg.agent_restart_delay = 100ms;
+  Cluster cluster(cfg);
+  cluster.start();
+
+  // Crashes every ~4000th tuple, three times total.
+  class FlakyForward : public stream::Bolt {
+   public:
+    explicit FlakyForward(std::shared_ptr<std::atomic<int>> crashes_left)
+        : crashes_left_(std::move(crashes_left)) {}
+    void execute(const stream::Tuple& t, const stream::TupleMeta&,
+                 stream::Emitter& out) override {
+      if (++n_ % 4000 == 0 && crashes_left_->load() > 0) {
+        crashes_left_->fetch_sub(1);
+        throw std::runtime_error("injected crash");
+      }
+      out.emit(stream::Tuple{t});
+    }
+    std::shared_ptr<std::atomic<int>> crashes_left_;
+    std::int64_t n_ = 0;
+  };
+
+  auto crashes_left = std::make_shared<std::atomic<int>>(3);
+  auto state = std::make_shared<SinkState>();
+  constexpr std::int64_t kLimit = 20000;
+
+  auto probe =
+      std::make_shared<std::atomic<testutil::ReplayableSpout*>>(nullptr);
+  TopologyBuilder b("replay");
+  const NodeId src = b.add_spout(
+      "src",
+      [probe, kLimit]() -> std::unique_ptr<stream::Spout> {
+        auto s = std::make_unique<testutil::ReplayableSpout>(kLimit, 8,
+                                                             20000.0);
+        probe->store(s.get());
+        return s;
+      },
+      1);
+  const NodeId mid = b.add_bolt(
+      "mid",
+      [crashes_left] { return std::make_unique<FlakyForward>(crashes_left); },
+      1);
+  const NodeId sink = b.add_bolt(
+      "sink",
+      [state] { return std::make_unique<CollectingSink>(state, true); }, 1);
+  b.shuffle(src, mid);
+  b.shuffle(mid, sink);
+
+  stream::SubmitOptions opts;
+  opts.reliable = true;
+  opts.max_pending = 512;
+  ASSERT_TRUE(cluster.submit(b.build().value(), opts).ok());
+
+  // Every sequence number arrives at least once; duplicates are legal.
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        std::lock_guard lk(state->mu);
+        return state->seen.size() >= static_cast<std::size_t>(kLimit);
+      },
+      90s))
+      << "distinct sequences: " << [&] {
+           std::lock_guard lk(state->mu);
+           return state->seen.size();
+         }();
+  EXPECT_EQ(crashes_left->load(), 0) << "crashes never triggered";
+  testutil::ReplayableSpout* s = probe->load();
+  ASSERT_NE(s, nullptr);
+  EXPECT_GT(s->replays(), 0) << "no tuple was ever replayed";
+  EXPECT_GE(cluster.agent_restarts(), 3);
+  cluster.stop();
+}
+
+// Sustained soak at a fixed rate: counters stay consistent between source
+// emission and sink reception under multi-minute-equivalent load.
+TEST(Stress, SoakCountersStayConsistent) {
+  ClusterConfig cfg;
+  cfg.num_hosts = 2;
+  Cluster cluster(cfg);
+  cluster.start();
+
+  auto state = std::make_shared<SinkState>();
+  constexpr std::int64_t kLimit = 150000;
+  TopologyBuilder b("soak");
+  const NodeId src = b.add_spout(
+      "src",
+      [kLimit] { return std::make_unique<SequenceSpout>(kLimit, 16, 0, 120000.0); },
+      1);
+  const NodeId sink = b.add_bolt(
+      "sink",
+      [state] { return std::make_unique<CollectingSink>(state, true); }, 2);
+  b.fields(src, sink, {0});
+  ASSERT_TRUE(cluster.submit(b.build().value()).ok());
+
+  ASSERT_TRUE(WaitFor([&] { return state->received.load() >= kLimit; }, 30s))
+      << "received " << state->received.load();
+  EXPECT_EQ(state->duplicates.load(), 0);
+  std::int64_t sink_received = 0;
+  for (stream::Worker* w : cluster.workers_of_node("soak", "sink")) {
+    sink_received += w->received();
+  }
+  EXPECT_EQ(sink_received, kLimit);
+  std::int64_t src_emitted = 0;
+  for (stream::Worker* w : cluster.workers_of_node("soak", "src")) {
+    src_emitted += w->emitted();
+  }
+  EXPECT_EQ(src_emitted, kLimit);
+  cluster.stop();
+}
+
+}  // namespace
+}  // namespace typhoon

@@ -1,0 +1,182 @@
+// Tuple values, field hashing, and the two serialization envelopes (Storm
+// per-destination vs Typhoon destination-independent).
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "stream/control_tuple.h"
+#include "stream/tuple.h"
+
+namespace typhoon::stream {
+namespace {
+
+TEST(Tuple, AccessorsAndTypes) {
+  Tuple t{std::int64_t{42}, 2.5, std::string("hi"), common::Bytes{1, 2},
+          true};
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.i64(0), 42);
+  EXPECT_DOUBLE_EQ(t.f64(1), 2.5);
+  EXPECT_EQ(t.str(2), "hi");
+  EXPECT_EQ(t.bytes(3), (common::Bytes{1, 2}));
+  EXPECT_TRUE(t.boolean(4));
+  EXPECT_THROW((void)t.i64(2), std::bad_variant_access);
+  EXPECT_THROW((void)t.at(9), std::out_of_range);
+}
+
+TEST(Tuple, StrReprIsHumanReadable) {
+  Tuple t{std::int64_t{1}, std::string("x"), false};
+  EXPECT_EQ(t.str_repr(), "(1, \"x\", false)");
+}
+
+TEST(Tuple, HashFieldsSelectsIndices) {
+  Tuple a{std::string("key"), std::int64_t{1}};
+  Tuple b{std::string("key"), std::int64_t{2}};
+  Tuple c{std::string("other"), std::int64_t{1}};
+  EXPECT_EQ(a.hash_fields({0}), b.hash_fields({0}));
+  EXPECT_NE(a.hash_fields({0}), c.hash_fields({0}));
+  EXPECT_NE(a.hash_fields({0, 1}), b.hash_fields({0, 1}));
+  // Out-of-range indices are ignored, not fatal.
+  EXPECT_EQ(a.hash_fields({9}), b.hash_fields({9}));
+}
+
+TEST(Tuple, TyphoonEnvelopeRoundTrips) {
+  Tuple t{std::int64_t{-7}, std::string("abc"), 1.5};
+  const common::Bytes data = SerializeTyphoon(t, 111, 222);
+  Tuple out;
+  std::uint64_t root = 0;
+  std::uint64_t edge = 0;
+  ASSERT_TRUE(DeserializeTyphoon(data, out, root, edge));
+  EXPECT_EQ(out, t);
+  EXPECT_EQ(root, 111u);
+  EXPECT_EQ(edge, 222u);
+}
+
+TEST(Tuple, StormEnvelopeCarriesDestinationMetadata) {
+  Tuple t{std::string("payload")};
+  StormEnvelope env;
+  env.src = 5;
+  env.dst = 9;
+  env.stream = 3;
+  env.root_id = 77;
+  env.edge_id = 88;
+  const common::Bytes data = SerializeStorm(t, env);
+
+  StormEnvelope out;
+  ASSERT_TRUE(DeserializeStorm(data, out));
+  EXPECT_EQ(out.src, 5u);
+  EXPECT_EQ(out.dst, 9u);
+  EXPECT_EQ(out.stream, 3);
+  EXPECT_EQ(out.root_id, 77u);
+  EXPECT_EQ(out.edge_id, 88u);
+  EXPECT_EQ(out.tuple, t);
+
+  // Different destinations yield different bytes — the reason Storm must
+  // re-serialize per destination.
+  env.dst = 10;
+  EXPECT_NE(SerializeStorm(t, env), data);
+}
+
+TEST(Tuple, TyphoonEnvelopeIsDestinationIndependent) {
+  Tuple t{std::string("same")};
+  EXPECT_EQ(SerializeTyphoon(t, 1, 2), SerializeTyphoon(t, 1, 2));
+}
+
+TEST(Tuple, DeserializeRejectsCorruptData) {
+  Tuple t{std::int64_t{1}};
+  common::Bytes data = SerializeTyphoon(t, 0, 0);
+  data.resize(data.size() - 3);
+  Tuple out;
+  std::uint64_t root = 0;
+  std::uint64_t edge = 0;
+  EXPECT_FALSE(DeserializeTyphoon(data, out, root, edge));
+
+  common::Bytes junk{0xff, 0xff, 0xff};
+  EXPECT_FALSE(DeserializeTyphoon(junk, out, root, edge));
+}
+
+TEST(Tuple, EmptyTupleRoundTrips) {
+  Tuple t;
+  const common::Bytes data = SerializeTyphoon(t, 0, 0);
+  Tuple out{std::int64_t{5}};
+  std::uint64_t r = 0;
+  std::uint64_t e = 0;
+  ASSERT_TRUE(DeserializeTyphoon(data, out, r, e));
+  EXPECT_TRUE(out.empty());
+}
+
+// ---- control tuples (Table 2) ----
+
+TEST(ControlTuple, RoutingUpdateRoundTrips) {
+  ControlTuple ct;
+  ct.type = ControlType::kRouting;
+  RoutingUpdate ru;
+  ru.to_node = 4;
+  ru.state.type = GroupingType::kFields;
+  ru.state.next_hops = {10, 11, 12};
+  ru.state.key_indices = {0, 2};
+  ct.routing = ru;
+
+  ControlTuple out;
+  ASSERT_TRUE(DecodeControl(EncodeControl(ct), out));
+  EXPECT_EQ(out.type, ControlType::kRouting);
+  ASSERT_TRUE(out.routing.has_value());
+  EXPECT_EQ(out.routing->to_node, 4u);
+  EXPECT_EQ(out.routing->state.type, GroupingType::kFields);
+  EXPECT_EQ(out.routing->state.next_hops, (std::vector<WorkerId>{10, 11, 12}));
+  EXPECT_EQ(out.routing->state.key_indices,
+            (std::vector<std::uint32_t>{0, 2}));
+}
+
+TEST(ControlTuple, MetricRespRoundTrips) {
+  ControlTuple ct;
+  ct.type = ControlType::kMetricResp;
+  MetricReport mr;
+  mr.worker = 42;
+  mr.request_id = 9;
+  mr.metrics = {{"emitted", 100}, {"queue_depth", 3}};
+  ct.report = mr;
+
+  ControlTuple out;
+  ASSERT_TRUE(DecodeControl(EncodeControl(ct), out));
+  ASSERT_TRUE(out.report.has_value());
+  EXPECT_EQ(out.report->worker, 42u);
+  EXPECT_EQ(out.report->request_id, 9u);
+  EXPECT_EQ(out.report->metrics.size(), 2u);
+  EXPECT_EQ(out.report->metrics[0].first, "emitted");
+  EXPECT_EQ(out.report->metrics[0].second, 100);
+}
+
+TEST(ControlTuple, ScalarPayloadsRoundTrip) {
+  for (auto type : {ControlType::kInputRate, ControlType::kBatchSize,
+                    ControlType::kSignal, ControlType::kActivate,
+                    ControlType::kDeactivate, ControlType::kMetricReq}) {
+    ControlTuple ct;
+    ct.type = type;
+    ct.request_id = 5;
+    ct.input_rate = 1234.5;
+    ct.batch_size = 250;
+    ct.signal_tag = "flush";
+    ControlTuple out;
+    ASSERT_TRUE(DecodeControl(EncodeControl(ct), out))
+        << ControlTypeName(type);
+    EXPECT_EQ(out.type, type);
+    EXPECT_EQ(out.request_id, 5u);
+    if (type == ControlType::kInputRate) {
+      EXPECT_DOUBLE_EQ(out.input_rate, 1234.5);
+    }
+    if (type == ControlType::kBatchSize) {
+      EXPECT_EQ(out.batch_size, 250u);
+    }
+    if (type == ControlType::kSignal) {
+      EXPECT_EQ(out.signal_tag, "flush");
+    }
+  }
+}
+
+TEST(ControlTuple, DecodeRejectsGarbage) {
+  ControlTuple out;
+  EXPECT_FALSE(DecodeControl(common::Bytes{}, out));
+  EXPECT_FALSE(DecodeControl(common::Bytes{0x01}, out));
+}
+
+}  // namespace
+}  // namespace typhoon::stream

@@ -1,0 +1,157 @@
+// Window-operator library tests: tumbling (time/count) windows, keyed
+// count windows with SIGNAL flush, and sliding numeric aggregates.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "stream/windows.h"
+
+namespace typhoon::stream {
+namespace {
+
+class CaptureEmitter : public Emitter {
+ public:
+  void emit(Tuple t) override { tuples.push_back(std::move(t)); }
+  void emit(StreamId, Tuple t) override { tuples.push_back(std::move(t)); }
+  void emit_direct(WorkerId, StreamId, Tuple t) override {
+    tuples.push_back(std::move(t));
+  }
+  std::vector<Tuple> tuples;
+};
+
+TupleMeta Meta() { return {}; }
+
+TEST(WindowBolt, CountBoundClosesWindow) {
+  std::vector<std::vector<Tuple>> windows;
+  WindowBolt::Config cfg;
+  cfg.window = std::chrono::hours(1);  // time never triggers here
+  cfg.max_count = 3;
+  WindowBolt bolt(cfg, [&](std::vector<Tuple>&& w, Emitter&) {
+    windows.push_back(std::move(w));
+  });
+  CaptureEmitter out;
+  bolt.prepare({});
+  for (int i = 0; i < 7; ++i) {
+    bolt.execute(Tuple{std::int64_t{i}}, Meta(), out);
+  }
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].size(), 3u);
+  EXPECT_EQ(windows[1].size(), 3u);
+  EXPECT_EQ(bolt.buffered(), 1u);
+  EXPECT_EQ(windows[0][2].i64(0), 2);
+}
+
+TEST(WindowBolt, TimeBoundClosesWindow) {
+  std::vector<std::size_t> window_sizes;
+  WindowBolt::Config cfg;
+  cfg.window = std::chrono::milliseconds(30);
+  WindowBolt bolt(cfg, [&](std::vector<Tuple>&& w, Emitter&) {
+    window_sizes.push_back(w.size());
+  });
+  CaptureEmitter out;
+  bolt.prepare({});
+  bolt.execute(Tuple{std::int64_t{1}}, Meta(), out);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  bolt.execute(Tuple{std::int64_t{2}}, Meta(), out);  // closes window
+  ASSERT_EQ(window_sizes.size(), 1u);
+  EXPECT_EQ(window_sizes[0], 2u);
+}
+
+TEST(WindowBolt, SignalFlushesEarlyAndCloseFlushesRemainder) {
+  std::vector<std::size_t> window_sizes;
+  WindowBolt::Config cfg;
+  cfg.window = std::chrono::hours(1);
+  WindowBolt bolt(cfg, [&](std::vector<Tuple>&& w, Emitter&) {
+    window_sizes.push_back(w.size());
+  });
+  CaptureEmitter out;
+  bolt.prepare({});
+  bolt.execute(Tuple{std::int64_t{1}}, Meta(), out);
+  bolt.execute(Tuple{std::int64_t{2}}, Meta(), out);
+  bolt.on_signal("flush", out);
+  ASSERT_EQ(window_sizes.size(), 1u);
+  EXPECT_EQ(window_sizes[0], 2u);
+
+  bolt.execute(Tuple{std::int64_t{3}}, Meta(), out);
+  bolt.close();
+  ASSERT_EQ(window_sizes.size(), 2u);
+  EXPECT_EQ(window_sizes[1], 1u);
+}
+
+TEST(WindowBolt, EmptySignalEmitsNothing) {
+  int flushes = 0;
+  WindowBolt bolt({}, [&](std::vector<Tuple>&&, Emitter&) { ++flushes; });
+  CaptureEmitter out;
+  bolt.prepare({});
+  bolt.on_signal("flush", out);
+  bolt.close();
+  EXPECT_EQ(flushes, 0);
+}
+
+TEST(KeyedCountWindow, CountsPerKeyAndFlushesOnSignal) {
+  KeyedCountWindowBolt bolt(0, std::chrono::hours(1));
+  CaptureEmitter out;
+  bolt.prepare({});
+  for (const char* w : {"a", "b", "a", "c", "a", "b"}) {
+    bolt.execute(Tuple{std::string(w)}, Meta(), out);
+  }
+  EXPECT_EQ(bolt.distinct_keys(), 3u);
+  bolt.on_signal("", out);
+  ASSERT_EQ(out.tuples.size(), 3u);
+  std::map<std::string, std::int64_t> got;
+  for (const Tuple& t : out.tuples) got[t.str(0)] = t.i64(1);
+  EXPECT_EQ(got["a"], 3);
+  EXPECT_EQ(got["b"], 2);
+  EXPECT_EQ(got["c"], 1);
+  EXPECT_EQ(bolt.distinct_keys(), 0u);  // cache cleared (Listing 2)
+}
+
+TEST(KeyedCountWindow, TimeWindowEmitsPeriodically) {
+  KeyedCountWindowBolt bolt(0, std::chrono::milliseconds(25));
+  CaptureEmitter out;
+  bolt.prepare({});
+  bolt.execute(Tuple{std::string("x")}, Meta(), out);
+  std::this_thread::sleep_for(std::chrono::milliseconds(35));
+  bolt.execute(Tuple{std::string("x")}, Meta(), out);
+  ASSERT_EQ(out.tuples.size(), 1u);
+  EXPECT_EQ(out.tuples[0].i64(1), 2);
+}
+
+TEST(KeyedCountWindow, IgnoresMalformedTuples) {
+  KeyedCountWindowBolt bolt(2, std::chrono::hours(1));
+  CaptureEmitter out;
+  bolt.prepare({});
+  bolt.execute(Tuple{std::string("short")}, Meta(), out);  // no field 2
+  bolt.on_signal("", out);
+  EXPECT_TRUE(out.tuples.empty());
+}
+
+TEST(SlidingAggregate, EmitsStatsEveryStride) {
+  SlidingAggregateBolt bolt(0, /*size=*/4, /*stride=*/2);
+  CaptureEmitter out;
+  for (int i = 1; i <= 8; ++i) {
+    bolt.execute(Tuple{std::int64_t{i * 10}}, Meta(), out);
+  }
+  // Emits after inputs 2, 4, 6, 8.
+  ASSERT_EQ(out.tuples.size(), 4u);
+  // Last window: {50, 60, 70, 80}.
+  const Tuple& last = out.tuples.back();
+  EXPECT_EQ(last.i64(0), 4);
+  EXPECT_DOUBLE_EQ(last.f64(1), 50.0);
+  EXPECT_DOUBLE_EQ(last.f64(2), 80.0);
+  EXPECT_DOUBLE_EQ(last.f64(3), 260.0);
+  EXPECT_DOUBLE_EQ(last.f64(4), 65.0);
+}
+
+TEST(SlidingAggregate, HandlesDoublesAndSkipsNonNumeric) {
+  SlidingAggregateBolt bolt(0, 8, 1);
+  CaptureEmitter out;
+  bolt.execute(Tuple{2.5}, Meta(), out);
+  bolt.execute(Tuple{std::string("junk")}, Meta(), out);  // ignored
+  bolt.execute(Tuple{7.5}, Meta(), out);
+  ASSERT_EQ(out.tuples.size(), 2u);
+  EXPECT_DOUBLE_EQ(out.tuples.back().f64(4), 5.0);  // mean of 2.5, 7.5
+}
+
+}  // namespace
+}  // namespace typhoon::stream

@@ -1,0 +1,152 @@
+// Yahoo streaming-benchmark pipeline (Fig 13) end-to-end over KafkaLite and
+// RedisLite, plus the Fig 14 runtime filter-logic swap.
+#include <gtest/gtest.h>
+
+#include "typhoon/cluster.h"
+#include "typhoon/yahoo_benchmark.h"
+
+namespace typhoon {
+namespace {
+
+using namespace std::chrono_literals;
+
+template <typename F>
+bool WaitFor(F&& pred, std::chrono::milliseconds timeout) {
+  const auto deadline = common::Now() + timeout;
+  while (common::Now() < deadline) {
+    if (pred()) return true;
+    common::SleepMillis(10);
+  }
+  return pred();
+}
+
+TEST(Yahoo, GeneratorPopulatesBrokerAndCampaigns) {
+  kafkalite::Broker broker;
+  redislite::Store store;
+  yahoo::GenerateEvents(&broker, "ads", 1000, 50);
+  std::int64_t total = 0;
+  for (std::uint32_t p = 0; p < broker.partition_count("ads"); ++p) {
+    total += broker.end_offset("ads", p);
+  }
+  EXPECT_EQ(total, 1000);
+
+  yahoo::PopulateCampaigns(&store, 50, 10);
+  EXPECT_TRUE(store.hget("ads", "ad0").has_value());
+  EXPECT_TRUE(store.hget("ads", "ad49").has_value());
+  EXPECT_FALSE(store.hget("ads", "ad50").has_value());
+}
+
+TEST(Yahoo, PipelineCountsOnlyViewEvents) {
+  kafkalite::Broker broker;
+  redislite::Store store;
+  constexpr std::int64_t kEvents = 30000;
+  constexpr int kAds = 100;
+  constexpr int kCampaigns = 10;
+  yahoo::GenerateEvents(&broker, "ad-events", kEvents, kAds);
+  yahoo::PopulateCampaigns(&store, kAds, kCampaigns);
+
+  ClusterConfig cfg;
+  cfg.num_hosts = 3;
+  Cluster cluster(cfg);
+  cluster.start();
+
+  yahoo::PipelineConfig pcfg;
+  pcfg.broker = &broker;
+  pcfg.store = &store;
+  ASSERT_TRUE(cluster.submit(yahoo::BuildPipeline(pcfg)).ok());
+
+  // Events split evenly across view/click/purchase; only views count.
+  // The generator draws types pseudo-randomly, so allow ±10%.
+  const std::int64_t expect_min = kEvents / 3 * 9 / 10;
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        return yahoo::TotalStoredCount(&store, kCampaigns,
+                                       kEvents / 1000 + 1) >= expect_min;
+      },
+      30s))
+      << "stored " << yahoo::TotalStoredCount(&store, kCampaigns, 1000);
+
+  const std::int64_t stored =
+      yahoo::TotalStoredCount(&store, kCampaigns, kEvents / 1000 + 1);
+  EXPECT_LT(stored, kEvents / 2) << "non-view events leaked through filter";
+  cluster.stop();
+}
+
+TEST(Yahoo, FilterSwapAdmitsClicksAtRuntime) {
+  kafkalite::Broker broker;
+  redislite::Store store;
+  constexpr int kAds = 60;
+  constexpr int kCampaigns = 6;
+  broker.create_topic("ad-events", 4);
+  yahoo::PopulateCampaigns(&store, kAds, kCampaigns);
+
+  ClusterConfig cfg;
+  cfg.num_hosts = 3;
+  Cluster cluster(cfg);
+  cluster.start();
+
+  yahoo::PipelineConfig pcfg;
+  pcfg.broker = &broker;
+  pcfg.store = &store;
+  ASSERT_TRUE(cluster.submit(yahoo::BuildPipeline(pcfg)).ok());
+
+  // Phase 1: views only.
+  yahoo::GenerateEvents(&broker, "ad-events", 9000, kAds, /*seed=*/11);
+  ASSERT_TRUE(WaitFor(
+      [&] { return yahoo::TotalStoredCount(&store, kCampaigns, 100) > 2000; },
+      20s));
+  auto store_workers = cluster.workers_of_node("yahoo", "store");
+  ASSERT_EQ(store_workers.size(), 1u);
+  // Let the pipeline drain, then measure phase-1 pass-through ratio.
+  common::SleepMillis(500);
+  const std::int64_t phase1_stored =
+      yahoo::TotalStoredCount(&store, kCampaigns, 100);
+  EXPECT_LT(phase1_stored, 4500);  // only ~1/3 of 9000
+
+  // Swap filter logic: admit view + click (Fig 14).
+  cluster.registry().update_bolt(
+      "yahoo", "filter", yahoo::MakeFilterFactory({"view", "click"}));
+  stream::ReconfigRequest req;
+  req.kind = stream::ReconfigRequest::Kind::kSwapLogic;
+  req.topology = "yahoo";
+  req.node = "filter";
+  auto st = cluster.reconfigure(req);
+  ASSERT_TRUE(st.ok()) << st.str();
+
+  // The predecessor (parse) must have absorbed a ROUTING control tuple and
+  // the replacement workers must be the live ones.
+  auto parse_workers = cluster.workers_of_node("yahoo", "parse");
+  ASSERT_EQ(parse_workers.size(), 1u);
+  EXPECT_GE(parse_workers[0]->metrics().value("routing_updates"), 1)
+      << "parse never received the ROUTING update";
+  auto filters = cluster.workers_of_node("yahoo", "filter");
+  ASSERT_EQ(filters.size(), 3u);
+  for (stream::Worker* w : filters) {
+    EXPECT_GE(w->context().task_index, 3) << "old filter worker still live";
+  }
+
+  // Phase 2: same volume, ~2/3 should now pass.
+  yahoo::GenerateEvents(&broker, "ad-events", 9000, kAds, /*seed=*/22);
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        std::int64_t got = 0;
+        for (stream::Worker* w : cluster.workers_of_node("yahoo", "filter")) {
+          got += w->received();
+        }
+        return got >= 8500;
+      },
+      20s))
+      << "new filter workers not receiving phase-2 traffic";
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        return yahoo::TotalStoredCount(&store, kCampaigns, 100) >
+               phase1_stored + 4500;
+      },
+      30s))
+      << "after swap stored only "
+      << yahoo::TotalStoredCount(&store, kCampaigns, 100) - phase1_stored;
+  cluster.stop();
+}
+
+}  // namespace
+}  // namespace typhoon
