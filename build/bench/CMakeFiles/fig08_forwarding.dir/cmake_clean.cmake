@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_forwarding.dir/fig08_forwarding.cc.o"
+  "CMakeFiles/fig08_forwarding.dir/fig08_forwarding.cc.o.d"
+  "fig08_forwarding"
+  "fig08_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

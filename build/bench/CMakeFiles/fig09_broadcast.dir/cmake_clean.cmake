@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_broadcast.dir/fig09_broadcast.cc.o"
+  "CMakeFiles/fig09_broadcast.dir/fig09_broadcast.cc.o.d"
+  "fig09_broadcast"
+  "fig09_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_fault.dir/fig10_fault.cc.o"
+  "CMakeFiles/fig10_fault.dir/fig10_fault.cc.o.d"
+  "fig10_fault"
+  "fig10_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

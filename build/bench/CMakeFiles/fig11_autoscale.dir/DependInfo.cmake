@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_autoscale.cc" "bench/CMakeFiles/fig11_autoscale.dir/fig11_autoscale.cc.o" "gcc" "bench/CMakeFiles/fig11_autoscale.dir/fig11_autoscale.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/typhoon/CMakeFiles/typhoon_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/typhoon_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/typhoon_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchd/CMakeFiles/typhoon_switchd.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/typhoon_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/typhoon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/coordinator/CMakeFiles/typhoon_coordinator.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/typhoon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kafkalite/CMakeFiles/typhoon_kafkalite.dir/DependInfo.cmake"
+  "/root/repo/build/src/redislite/CMakeFiles/typhoon_redislite.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_autoscale.dir/fig11_autoscale.cc.o"
+  "CMakeFiles/fig11_autoscale.dir/fig11_autoscale.cc.o.d"
+  "fig11_autoscale"
+  "fig11_autoscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_autoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

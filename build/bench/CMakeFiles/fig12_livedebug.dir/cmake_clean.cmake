@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_livedebug.dir/fig12_livedebug.cc.o"
+  "CMakeFiles/fig12_livedebug.dir/fig12_livedebug.cc.o.d"
+  "fig12_livedebug"
+  "fig12_livedebug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_livedebug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_reconfig.dir/fig14_reconfig.cc.o"
+  "CMakeFiles/fig14_reconfig.dir/fig14_reconfig.cc.o.d"
+  "fig14_reconfig"
+  "fig14_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_flowrules.dir/table3_flowrules.cc.o"
+  "CMakeFiles/table3_flowrules.dir/table3_flowrules.cc.o.d"
+  "table3_flowrules"
+  "table3_flowrules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_flowrules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

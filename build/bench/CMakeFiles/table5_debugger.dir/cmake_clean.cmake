@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_debugger.dir/table5_debugger.cc.o"
+  "CMakeFiles/table5_debugger.dir/table5_debugger.cc.o.d"
+  "table5_debugger"
+  "table5_debugger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_debugger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_pipeline.dir/dynamic_pipeline.cpp.o"
+  "CMakeFiles/dynamic_pipeline.dir/dynamic_pipeline.cpp.o.d"
+  "dynamic_pipeline"
+  "dynamic_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

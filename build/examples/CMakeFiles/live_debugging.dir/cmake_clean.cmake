@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_debugging.dir/live_debugging.cpp.o"
+  "CMakeFiles/live_debugging.dir/live_debugging.cpp.o.d"
+  "live_debugging"
+  "live_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typhoon_common.dir/bytes.cc.o"
+  "CMakeFiles/typhoon_common.dir/bytes.cc.o.d"
+  "CMakeFiles/typhoon_common.dir/latency_recorder.cc.o"
+  "CMakeFiles/typhoon_common.dir/latency_recorder.cc.o.d"
+  "CMakeFiles/typhoon_common.dir/log.cc.o"
+  "CMakeFiles/typhoon_common.dir/log.cc.o.d"
+  "CMakeFiles/typhoon_common.dir/metrics.cc.o"
+  "CMakeFiles/typhoon_common.dir/metrics.cc.o.d"
+  "CMakeFiles/typhoon_common.dir/rate_limiter.cc.o"
+  "CMakeFiles/typhoon_common.dir/rate_limiter.cc.o.d"
+  "libtyphoon_common.a"
+  "libtyphoon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typhoon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/controller/apps/auto_scaler.cc" "src/controller/CMakeFiles/typhoon_controller.dir/apps/auto_scaler.cc.o" "gcc" "src/controller/CMakeFiles/typhoon_controller.dir/apps/auto_scaler.cc.o.d"
+  "/root/repo/src/controller/apps/fault_detector.cc" "src/controller/CMakeFiles/typhoon_controller.dir/apps/fault_detector.cc.o" "gcc" "src/controller/CMakeFiles/typhoon_controller.dir/apps/fault_detector.cc.o.d"
+  "/root/repo/src/controller/apps/live_debugger.cc" "src/controller/CMakeFiles/typhoon_controller.dir/apps/live_debugger.cc.o" "gcc" "src/controller/CMakeFiles/typhoon_controller.dir/apps/live_debugger.cc.o.d"
+  "/root/repo/src/controller/apps/load_balancer.cc" "src/controller/CMakeFiles/typhoon_controller.dir/apps/load_balancer.cc.o" "gcc" "src/controller/CMakeFiles/typhoon_controller.dir/apps/load_balancer.cc.o.d"
+  "/root/repo/src/controller/controller.cc" "src/controller/CMakeFiles/typhoon_controller.dir/controller.cc.o" "gcc" "src/controller/CMakeFiles/typhoon_controller.dir/controller.cc.o.d"
+  "/root/repo/src/controller/cross_layer.cc" "src/controller/CMakeFiles/typhoon_controller.dir/cross_layer.cc.o" "gcc" "src/controller/CMakeFiles/typhoon_controller.dir/cross_layer.cc.o.d"
+  "/root/repo/src/controller/rule_compiler.cc" "src/controller/CMakeFiles/typhoon_controller.dir/rule_compiler.cc.o" "gcc" "src/controller/CMakeFiles/typhoon_controller.dir/rule_compiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stream/CMakeFiles/typhoon_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchd/CMakeFiles/typhoon_switchd.dir/DependInfo.cmake"
+  "/root/repo/build/src/coordinator/CMakeFiles/typhoon_coordinator.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/typhoon_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/typhoon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/typhoon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

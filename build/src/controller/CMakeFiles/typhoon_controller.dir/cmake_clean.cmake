@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typhoon_controller.dir/apps/auto_scaler.cc.o"
+  "CMakeFiles/typhoon_controller.dir/apps/auto_scaler.cc.o.d"
+  "CMakeFiles/typhoon_controller.dir/apps/fault_detector.cc.o"
+  "CMakeFiles/typhoon_controller.dir/apps/fault_detector.cc.o.d"
+  "CMakeFiles/typhoon_controller.dir/apps/live_debugger.cc.o"
+  "CMakeFiles/typhoon_controller.dir/apps/live_debugger.cc.o.d"
+  "CMakeFiles/typhoon_controller.dir/apps/load_balancer.cc.o"
+  "CMakeFiles/typhoon_controller.dir/apps/load_balancer.cc.o.d"
+  "CMakeFiles/typhoon_controller.dir/controller.cc.o"
+  "CMakeFiles/typhoon_controller.dir/controller.cc.o.d"
+  "CMakeFiles/typhoon_controller.dir/cross_layer.cc.o"
+  "CMakeFiles/typhoon_controller.dir/cross_layer.cc.o.d"
+  "CMakeFiles/typhoon_controller.dir/rule_compiler.cc.o"
+  "CMakeFiles/typhoon_controller.dir/rule_compiler.cc.o.d"
+  "libtyphoon_controller.a"
+  "libtyphoon_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typhoon_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typhoon_coordinator.dir/coordinator.cc.o"
+  "CMakeFiles/typhoon_coordinator.dir/coordinator.cc.o.d"
+  "libtyphoon_coordinator.a"
+  "libtyphoon_coordinator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typhoon_coordinator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

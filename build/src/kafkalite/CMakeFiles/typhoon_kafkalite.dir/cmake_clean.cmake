@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typhoon_kafkalite.dir/broker.cc.o"
+  "CMakeFiles/typhoon_kafkalite.dir/broker.cc.o.d"
+  "libtyphoon_kafkalite.a"
+  "libtyphoon_kafkalite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typhoon_kafkalite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

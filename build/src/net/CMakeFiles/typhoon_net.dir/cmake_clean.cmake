@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typhoon_net.dir/packet.cc.o"
+  "CMakeFiles/typhoon_net.dir/packet.cc.o.d"
+  "CMakeFiles/typhoon_net.dir/packetizer.cc.o"
+  "CMakeFiles/typhoon_net.dir/packetizer.cc.o.d"
+  "CMakeFiles/typhoon_net.dir/tunnel.cc.o"
+  "CMakeFiles/typhoon_net.dir/tunnel.cc.o.d"
+  "libtyphoon_net.a"
+  "libtyphoon_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typhoon_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/openflow/flow.cc" "src/openflow/CMakeFiles/typhoon_openflow.dir/flow.cc.o" "gcc" "src/openflow/CMakeFiles/typhoon_openflow.dir/flow.cc.o.d"
+  "/root/repo/src/openflow/flow_table.cc" "src/openflow/CMakeFiles/typhoon_openflow.dir/flow_table.cc.o" "gcc" "src/openflow/CMakeFiles/typhoon_openflow.dir/flow_table.cc.o.d"
+  "/root/repo/src/openflow/group_table.cc" "src/openflow/CMakeFiles/typhoon_openflow.dir/group_table.cc.o" "gcc" "src/openflow/CMakeFiles/typhoon_openflow.dir/group_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/typhoon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/typhoon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typhoon_openflow.dir/flow.cc.o"
+  "CMakeFiles/typhoon_openflow.dir/flow.cc.o.d"
+  "CMakeFiles/typhoon_openflow.dir/flow_table.cc.o"
+  "CMakeFiles/typhoon_openflow.dir/flow_table.cc.o.d"
+  "CMakeFiles/typhoon_openflow.dir/group_table.cc.o"
+  "CMakeFiles/typhoon_openflow.dir/group_table.cc.o.d"
+  "libtyphoon_openflow.a"
+  "libtyphoon_openflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typhoon_openflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

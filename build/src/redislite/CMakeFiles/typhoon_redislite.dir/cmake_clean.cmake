@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typhoon_redislite.dir/store.cc.o"
+  "CMakeFiles/typhoon_redislite.dir/store.cc.o.d"
+  "libtyphoon_redislite.a"
+  "libtyphoon_redislite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typhoon_redislite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for typhoon_redislite.
+# This may be replaced when dependencies are built.

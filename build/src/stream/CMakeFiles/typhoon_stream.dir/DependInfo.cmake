@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/acker.cc" "src/stream/CMakeFiles/typhoon_stream.dir/acker.cc.o" "gcc" "src/stream/CMakeFiles/typhoon_stream.dir/acker.cc.o.d"
+  "/root/repo/src/stream/app_registry.cc" "src/stream/CMakeFiles/typhoon_stream.dir/app_registry.cc.o" "gcc" "src/stream/CMakeFiles/typhoon_stream.dir/app_registry.cc.o.d"
+  "/root/repo/src/stream/control_tuple.cc" "src/stream/CMakeFiles/typhoon_stream.dir/control_tuple.cc.o" "gcc" "src/stream/CMakeFiles/typhoon_stream.dir/control_tuple.cc.o.d"
+  "/root/repo/src/stream/physical.cc" "src/stream/CMakeFiles/typhoon_stream.dir/physical.cc.o" "gcc" "src/stream/CMakeFiles/typhoon_stream.dir/physical.cc.o.d"
+  "/root/repo/src/stream/routing.cc" "src/stream/CMakeFiles/typhoon_stream.dir/routing.cc.o" "gcc" "src/stream/CMakeFiles/typhoon_stream.dir/routing.cc.o.d"
+  "/root/repo/src/stream/scheduler.cc" "src/stream/CMakeFiles/typhoon_stream.dir/scheduler.cc.o" "gcc" "src/stream/CMakeFiles/typhoon_stream.dir/scheduler.cc.o.d"
+  "/root/repo/src/stream/streaming_manager.cc" "src/stream/CMakeFiles/typhoon_stream.dir/streaming_manager.cc.o" "gcc" "src/stream/CMakeFiles/typhoon_stream.dir/streaming_manager.cc.o.d"
+  "/root/repo/src/stream/topology.cc" "src/stream/CMakeFiles/typhoon_stream.dir/topology.cc.o" "gcc" "src/stream/CMakeFiles/typhoon_stream.dir/topology.cc.o.d"
+  "/root/repo/src/stream/transport_storm.cc" "src/stream/CMakeFiles/typhoon_stream.dir/transport_storm.cc.o" "gcc" "src/stream/CMakeFiles/typhoon_stream.dir/transport_storm.cc.o.d"
+  "/root/repo/src/stream/transport_typhoon.cc" "src/stream/CMakeFiles/typhoon_stream.dir/transport_typhoon.cc.o" "gcc" "src/stream/CMakeFiles/typhoon_stream.dir/transport_typhoon.cc.o.d"
+  "/root/repo/src/stream/tuple.cc" "src/stream/CMakeFiles/typhoon_stream.dir/tuple.cc.o" "gcc" "src/stream/CMakeFiles/typhoon_stream.dir/tuple.cc.o.d"
+  "/root/repo/src/stream/windows.cc" "src/stream/CMakeFiles/typhoon_stream.dir/windows.cc.o" "gcc" "src/stream/CMakeFiles/typhoon_stream.dir/windows.cc.o.d"
+  "/root/repo/src/stream/worker.cc" "src/stream/CMakeFiles/typhoon_stream.dir/worker.cc.o" "gcc" "src/stream/CMakeFiles/typhoon_stream.dir/worker.cc.o.d"
+  "/root/repo/src/stream/worker_agent.cc" "src/stream/CMakeFiles/typhoon_stream.dir/worker_agent.cc.o" "gcc" "src/stream/CMakeFiles/typhoon_stream.dir/worker_agent.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/typhoon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/typhoon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchd/CMakeFiles/typhoon_switchd.dir/DependInfo.cmake"
+  "/root/repo/build/src/coordinator/CMakeFiles/typhoon_coordinator.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/typhoon_openflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

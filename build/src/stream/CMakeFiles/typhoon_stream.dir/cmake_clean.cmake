@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typhoon_stream.dir/acker.cc.o"
+  "CMakeFiles/typhoon_stream.dir/acker.cc.o.d"
+  "CMakeFiles/typhoon_stream.dir/app_registry.cc.o"
+  "CMakeFiles/typhoon_stream.dir/app_registry.cc.o.d"
+  "CMakeFiles/typhoon_stream.dir/control_tuple.cc.o"
+  "CMakeFiles/typhoon_stream.dir/control_tuple.cc.o.d"
+  "CMakeFiles/typhoon_stream.dir/physical.cc.o"
+  "CMakeFiles/typhoon_stream.dir/physical.cc.o.d"
+  "CMakeFiles/typhoon_stream.dir/routing.cc.o"
+  "CMakeFiles/typhoon_stream.dir/routing.cc.o.d"
+  "CMakeFiles/typhoon_stream.dir/scheduler.cc.o"
+  "CMakeFiles/typhoon_stream.dir/scheduler.cc.o.d"
+  "CMakeFiles/typhoon_stream.dir/streaming_manager.cc.o"
+  "CMakeFiles/typhoon_stream.dir/streaming_manager.cc.o.d"
+  "CMakeFiles/typhoon_stream.dir/topology.cc.o"
+  "CMakeFiles/typhoon_stream.dir/topology.cc.o.d"
+  "CMakeFiles/typhoon_stream.dir/transport_storm.cc.o"
+  "CMakeFiles/typhoon_stream.dir/transport_storm.cc.o.d"
+  "CMakeFiles/typhoon_stream.dir/transport_typhoon.cc.o"
+  "CMakeFiles/typhoon_stream.dir/transport_typhoon.cc.o.d"
+  "CMakeFiles/typhoon_stream.dir/tuple.cc.o"
+  "CMakeFiles/typhoon_stream.dir/tuple.cc.o.d"
+  "CMakeFiles/typhoon_stream.dir/windows.cc.o"
+  "CMakeFiles/typhoon_stream.dir/windows.cc.o.d"
+  "CMakeFiles/typhoon_stream.dir/worker.cc.o"
+  "CMakeFiles/typhoon_stream.dir/worker.cc.o.d"
+  "CMakeFiles/typhoon_stream.dir/worker_agent.cc.o"
+  "CMakeFiles/typhoon_stream.dir/worker_agent.cc.o.d"
+  "libtyphoon_stream.a"
+  "libtyphoon_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typhoon_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/switchd/soft_switch.cc" "src/switchd/CMakeFiles/typhoon_switchd.dir/soft_switch.cc.o" "gcc" "src/switchd/CMakeFiles/typhoon_switchd.dir/soft_switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/openflow/CMakeFiles/typhoon_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/typhoon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/typhoon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typhoon_switchd.dir/soft_switch.cc.o"
+  "CMakeFiles/typhoon_switchd.dir/soft_switch.cc.o.d"
+  "libtyphoon_switchd.a"
+  "libtyphoon_switchd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typhoon_switchd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

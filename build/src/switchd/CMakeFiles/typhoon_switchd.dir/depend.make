@@ -1,0 +1,2 @@
+# Empty dependencies file for typhoon_switchd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typhoon_cluster.dir/cluster.cc.o"
+  "CMakeFiles/typhoon_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/typhoon_cluster.dir/dot_export.cc.o"
+  "CMakeFiles/typhoon_cluster.dir/dot_export.cc.o.d"
+  "CMakeFiles/typhoon_cluster.dir/yahoo_benchmark.cc.o"
+  "CMakeFiles/typhoon_cluster.dir/yahoo_benchmark.cc.o.d"
+  "libtyphoon_cluster.a"
+  "libtyphoon_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typhoon_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acker.dir/test_acker.cc.o"
+  "CMakeFiles/test_acker.dir/test_acker.cc.o.d"
+  "test_acker"
+  "test_acker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

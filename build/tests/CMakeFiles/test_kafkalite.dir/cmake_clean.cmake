@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kafkalite.dir/test_kafkalite.cc.o"
+  "CMakeFiles/test_kafkalite.dir/test_kafkalite.cc.o.d"
+  "test_kafkalite"
+  "test_kafkalite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kafkalite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_redislite.dir/test_redislite.cc.o"
+  "CMakeFiles/test_redislite.dir/test_redislite.cc.o.d"
+  "test_redislite"
+  "test_redislite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_redislite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_redislite.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rule_compiler.dir/test_rule_compiler.cc.o"
+  "CMakeFiles/test_rule_compiler.dir/test_rule_compiler.cc.o.d"
+  "test_rule_compiler"
+  "test_rule_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rule_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_switchd.dir/test_switchd.cc.o"
+  "CMakeFiles/test_switchd.dir/test_switchd.cc.o.d"
+  "test_switchd"
+  "test_switchd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_switchd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_windows.dir/test_windows.cc.o"
+  "CMakeFiles/test_windows.dir/test_windows.cc.o.d"
+  "test_windows"
+  "test_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

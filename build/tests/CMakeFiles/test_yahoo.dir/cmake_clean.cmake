@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_yahoo.dir/test_yahoo.cc.o"
+  "CMakeFiles/test_yahoo.dir/test_yahoo.cc.o.d"
+  "test_yahoo"
+  "test_yahoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_yahoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
