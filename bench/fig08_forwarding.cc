@@ -6,8 +6,18 @@
 // Expected shape (paper): Typhoon ~= Storm in both placements; batch size
 // has minimal effect at max input speed; enabling the acker roughly halves
 // throughput for both systems.
+//
+// `--smoke` instead runs the raw soft-switch fast-path benchmark (~2s):
+// single-flow pps, multi-flow pps, broadcast fanout pps, and microflow-cache
+// hit rate, written to BENCH_fastpath.json next to the binary alongside the
+// pre-PR baseline for the ≥2x speedup check (DESIGN.md "Forwarding fast
+// path").
+#include <atomic>
 #include <cstdio>
+#include <cstring>
+#include <thread>
 
+#include "switchd/soft_switch.h"
 #include "util/components.h"
 #include "util/harness.h"
 
@@ -74,11 +84,172 @@ void RunTable(bool reliable) {
   row("TYPHOON (1000)", TransportMode::kTyphoon, 1000);
 }
 
+// ---- fast-path smoke benchmark (--smoke) ----------------------------------
+
+// Pre-PR single-flow throughput of this benchmark on the reference machine,
+// measured at the seed commit before the microflow cache / snapshot rework.
+constexpr double kBaselineSingleFlowPps = 4.69e6;
+
+net::PacketPtr MakeProto(WorkerAddress src, WorkerAddress dst) {
+  net::Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.payload = common::Bytes(64, 0xab);
+  return net::MakePacket(std::move(p));
+}
+
+openflow::FlowRule ExactRule(PortId in_port, WorkerAddress src,
+                             WorkerAddress dst,
+                             std::vector<openflow::FlowAction> actions) {
+  openflow::FlowRule r;
+  r.match.in_port = in_port;
+  r.match.dl_src = src.packed();
+  r.match.dl_dst = dst.packed();
+  r.match.ether_type = net::kTyphoonEtherType;
+  r.actions = openflow::SharedActions(std::move(actions));
+  return r;
+}
+
+// Drives `protos` round-robin into `src` for `secs`, draining every handle
+// in `sinks` on one collector thread. Returns delivered packets per second.
+double DrivePps(const std::shared_ptr<switchd::PortHandle>& src,
+                const std::vector<std::shared_ptr<switchd::PortHandle>>& sinks,
+                const std::vector<net::PacketPtr>& protos, double secs) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> received{0};
+  std::thread drainer([&] {
+    std::vector<net::PacketPtr> burst;
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::size_t n = 0;
+      for (const auto& s : sinks) {
+        burst.clear();
+        n += s->recv_bulk(burst, 256);
+      }
+      received.fetch_add(n, std::memory_order_relaxed);
+      if (n == 0) std::this_thread::yield();
+    }
+  });
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline =
+      t0 + std::chrono::microseconds(static_cast<std::int64_t>(secs * 1e6));
+  std::size_t next = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 64; ++i) {
+      if (!src->send(protos[next])) {
+        std::this_thread::yield();
+        break;
+      }
+      next = (next + 1) % protos.size();
+    }
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop.store(true);
+  drainer.join();
+  return static_cast<double>(received.load()) / elapsed;
+}
+
+int RunSmoke() {
+  // One switch instance for all three scenarios; the cache hit rate at the
+  // end covers the whole run.
+  switchd::SoftSwitchConfig cfg;
+  cfg.host = 1;
+  switchd::SoftSwitch sw(cfg);
+  sw.start();
+
+  auto src = sw.attach_port();
+  const WorkerAddress producer{1, 1};
+
+  // Scenario 1: one exact-match flow, one output port.
+  auto d0 = sw.attach_port();
+  sw.handle_flow_mod({openflow::FlowModCommand::kAdd,
+                      ExactRule(src->id(), producer, WorkerAddress{1, 100},
+                                {openflow::ActionOutput{d0->id()}})});
+  const double single = DrivePps(
+      src, {d0}, {MakeProto(producer, WorkerAddress{1, 100})}, 0.7);
+
+  // Scenario 2: 16 distinct flows round-robin (exercises cache set
+  // associativity and multi-entry hits).
+  std::vector<std::shared_ptr<switchd::PortHandle>> multi_sinks;
+  std::vector<net::PacketPtr> multi_protos;
+  for (std::uint16_t i = 0; i < 16; ++i) {
+    auto d = sw.attach_port();
+    const WorkerAddress dst{1, static_cast<std::uint16_t>(200 + i)};
+    sw.handle_flow_mod({openflow::FlowModCommand::kAdd,
+                        ExactRule(src->id(), producer, dst,
+                                  {openflow::ActionOutput{d->id()}})});
+    multi_sinks.push_back(std::move(d));
+    multi_protos.push_back(MakeProto(producer, dst));
+  }
+  const double multi = DrivePps(src, multi_sinks, multi_protos, 0.7);
+
+  // Scenario 3: broadcast fanout — one flow replicating to 4 ports.
+  std::vector<std::shared_ptr<switchd::PortHandle>> fan_sinks;
+  std::vector<openflow::FlowAction> fan_actions;
+  for (int i = 0; i < 4; ++i) {
+    auto d = sw.attach_port();
+    fan_actions.push_back(openflow::ActionOutput{d->id()});
+    fan_sinks.push_back(std::move(d));
+  }
+  sw.handle_flow_mod({openflow::FlowModCommand::kAdd,
+                      ExactRule(src->id(), producer, WorkerAddress{1, 300},
+                                std::move(fan_actions))});
+  const double fanout = DrivePps(
+      src, fan_sinks, {MakeProto(producer, WorkerAddress{1, 300})}, 0.6);
+
+  const std::uint64_t hits = sw.cache_hits();
+  const std::uint64_t misses = sw.cache_misses();
+  const double hit_rate =
+      hits + misses == 0 ? 0.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(hits + misses);
+  sw.stop();
+
+  const double speedup = single / kBaselineSingleFlowPps;
+  std::printf("\nSoft-switch fast-path smoke (~2s)\n");
+  std::printf("  single-flow        %12.0f pps\n", single);
+  std::printf("  multi-flow (16)    %12.0f pps\n", multi);
+  std::printf("  broadcast fanout   %12.0f pps (4-way, delivered)\n", fanout);
+  std::printf("  cache hit rate     %12.4f  (%llu hits / %llu misses)\n",
+              hit_rate, static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(misses));
+  std::printf("  speedup vs pre-PR  %12.2fx (baseline %.0f pps)\n", speedup,
+              kBaselineSingleFlowPps);
+
+  std::FILE* f = std::fopen("BENCH_fastpath.json", "w");
+  if (f == nullptr) {
+    std::perror("BENCH_fastpath.json");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"baseline_single_flow_pps\": %.0f,\n"
+               "  \"single_flow_pps\": %.0f,\n"
+               "  \"multi_flow_pps\": %.0f,\n"
+               "  \"broadcast_fanout_pps\": %.0f,\n"
+               "  \"cache_hit_rate\": %.4f,\n"
+               "  \"speedup_single_flow\": %.2f\n"
+               "}\n",
+               kBaselineSingleFlowPps, single, multi, fanout, hit_rate,
+               speedup);
+  std::fclose(f);
+  std::printf("  wrote BENCH_fastpath.json\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace typhoon::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace typhoon::bench;
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
+    PrintBanner("Soft-switch fast-path smoke benchmark",
+                "microflow cache + lock-free table snapshots");
+    return RunSmoke();
+  }
   PrintBanner("Tuple forwarding throughput, 2-worker topology",
               "Typhoon (CoNEXT'17) Figure 8(a) and 8(b)");
   RunTable(/*reliable=*/false);

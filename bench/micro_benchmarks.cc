@@ -12,6 +12,7 @@
 #include "openflow/group_table.h"
 #include "redislite/store.h"
 #include "stream/tuple.h"
+#include "switchd/microflow_cache.h"
 
 namespace typhoon {
 namespace {
@@ -123,6 +124,77 @@ void BM_FlowTableLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FlowTableLookup)->Arg(8)->Arg(64)->Arg(512);
+
+// Reusing the caller-owned buffer skips the per-tuple Bytes allocation that
+// SerializeTyphoon pays (the transport send-scratch path).
+void BM_SerializeTyphoonReuse(benchmark::State& state) {
+  const stream::Tuple t = SampleTuple();
+  common::Bytes out;
+  for (auto _ : state) {
+    stream::SerializeTyphoonInto(t, 1, 2, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_SerializeTyphoonReuse);
+
+openflow::FlowTable BuildExactTable(int rules) {
+  openflow::FlowTable table;
+  for (int i = 0; i < rules; ++i) {
+    openflow::FlowRule r;
+    r.match.in_port = static_cast<PortId>(100 + i);
+    r.match.dl_src = WorkerAddress{1, static_cast<WorkerId>(i)}.packed();
+    r.match.dl_dst =
+        WorkerAddress{1, static_cast<WorkerId>(i + 1)}.packed();
+    r.match.ether_type = net::kTyphoonEtherType;
+    r.actions = {openflow::ActionOutput{1}};
+    table.add(r);
+  }
+  return table;
+}
+
+// Cost of publishing a new immutable snapshot — paid once per FlowMod, off
+// the forwarding path.
+void BM_FlowTableSnapshotBuild(benchmark::State& state) {
+  openflow::FlowTable table =
+      BuildExactTable(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.snapshot());
+  }
+}
+BENCHMARK(BM_FlowTableSnapshotBuild)->Arg(8)->Arg(64)->Arg(512);
+
+// Lock-free scan of the published snapshot (the microflow-cache miss path).
+void BM_FlowSnapshotLookup(benchmark::State& state) {
+  const int rules = static_cast<int>(state.range(0));
+  openflow::FlowTable table = BuildExactTable(rules);
+  auto snap = table.snapshot();
+  net::Packet pkt;
+  pkt.src = WorkerAddress{1, static_cast<WorkerId>(rules - 1)};
+  pkt.dst = WorkerAddress{1, static_cast<WorkerId>(rules)};
+  const PortId in_port = static_cast<PortId>(100 + rules - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snap->lookup(pkt, in_port));  // worst case
+  }
+}
+BENCHMARK(BM_FlowSnapshotLookup)->Arg(8)->Arg(64)->Arg(512);
+
+// The tier-1 hit path: one hash, one generation compare, one key compare.
+void BM_MicroflowCacheHit(benchmark::State& state) {
+  switchd::MicroflowCache cache(switchd::MicroflowCache::kDefaultEntries);
+  switchd::MicroflowKey key;
+  key.in_port = 3;
+  key.ether_type = net::kTyphoonEtherType;
+  key.src = WorkerAddress{1, 1}.packed();
+  key.dst = WorkerAddress{1, 2}.packed();
+  auto actions = std::make_shared<const std::vector<openflow::FlowAction>>(
+      std::vector<openflow::FlowAction>{openflow::ActionOutput{7}});
+  auto stats = std::make_shared<openflow::RuleStats>();
+  cache.insert(key, /*generation=*/1, actions, stats, /*track_idle=*/false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(key, /*generation=*/1));
+  }
+}
+BENCHMARK(BM_MicroflowCacheHit);
 
 void BM_GroupSelectWrr(benchmark::State& state) {
   openflow::GroupTable groups;

@@ -26,20 +26,33 @@ class SpscRing {
   SpscRing& operator=(const SpscRing&) = delete;
 
   // Producer side. Returns false when the ring is full (packet drop).
-  bool try_push(T value) {
+  // The consumer's index is re-read only when the cached copy says full,
+  // so a streaming producer touches the shared tail line once per
+  // ring-capacity pushes instead of once per push.
+  // Moves from `value` only on success: a rejected push leaves the
+  // caller's object intact so hold-and-retry paths don't lose it.
+  bool try_push(T&& value) {
     const std::size_t head = head_.load(std::memory_order_relaxed);
-    const std::size_t tail = tail_.load(std::memory_order_acquire);
-    if (head - tail > mask_) return false;
+    if (head - tail_cache_ > mask_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head - tail_cache_ > mask_) return false;
+    }
     slots_[head & mask_] = std::move(value);
     head_.store(head + 1, std::memory_order_release);
     return true;
   }
+  bool try_push(const T& value) {
+    T copy(value);
+    return try_push(std::move(copy));
+  }
 
-  // Consumer side.
+  // Consumer side (same cached-index scheme against the producer's head).
   std::optional<T> try_pop() {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
-    const std::size_t head = head_.load(std::memory_order_acquire);
-    if (tail == head) return std::nullopt;
+    if (tail == head_cache_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail == head_cache_) return std::nullopt;
+    }
     T v = std::move(slots_[tail & mask_]);
     tail_.store(tail + 1, std::memory_order_release);
     return v;
@@ -49,8 +62,10 @@ class SpscRing {
   template <typename OutIt>
   std::size_t pop_bulk(OutIt out, std::size_t max) {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
-    const std::size_t head = head_.load(std::memory_order_acquire);
-    std::size_t n = head - tail;
+    if (tail == head_cache_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+    }
+    std::size_t n = head_cache_ - tail;
     if (n > max) n = max;
     for (std::size_t i = 0; i < n; ++i) {
       *out++ = std::move(slots_[(tail + i) & mask_]);
@@ -70,7 +85,9 @@ class SpscRing {
   const std::size_t mask_;
   std::vector<T> slots_;
   alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::size_t tail_cache_ = 0;  // producer-private
   alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::size_t head_cache_ = 0;  // consumer-private
 };
 
 }  // namespace typhoon::common

@@ -1,5 +1,7 @@
 #include "net/packetizer.h"
 
+#include <algorithm>
+
 #include "common/hash.h"
 
 namespace typhoon::net {
@@ -16,11 +18,13 @@ void Packetizer::append_chunk(DstBuffer& buf, const ChunkHeader& h,
 
 void Packetizer::emit(const WorkerAddress& dst, DstBuffer& buf) {
   if (buf.payload.empty()) return;
+  buf.high_water = std::max(buf.high_water, buf.payload.size());
   Packet p;
   p.dst = dst;
   p.src = self_;
   p.payload = std::move(buf.payload);
-  buf.payload.clear();
+  buf.payload = common::Bytes();
+  buf.payload.reserve(buf.high_water);
   buf.tuple_count = 0;
   ++packets_;
   sink_(MakePacket(std::move(p)));

@@ -59,6 +59,10 @@ class Packetizer {
   struct DstBuffer {
     common::Bytes payload;
     std::size_t tuple_count = 0;
+    // Largest payload ever emitted for this destination; the next buffer is
+    // pre-reserved to it, so filling a packet costs one allocation instead
+    // of a realloc-and-copy ladder after every emit.
+    std::size_t high_water = 0;
   };
 
   void append_chunk(DstBuffer& buf, const ChunkHeader& h,

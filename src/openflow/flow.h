@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
+#include <memory>
 #include <optional>
 #include <string>
 #include <variant>
@@ -72,9 +74,59 @@ using FlowAction = std::variant<ActionOutput, ActionOutputController,
 
 std::string ActionStr(const FlowAction& a);
 
+// Copy-on-write action list. A rule's actions are immutable once installed,
+// so the forwarding path (and the microflow cache) can hold the underlying
+// shared_ptr and execute actions without deep-copying the vector per packet.
+// Mutation (push_back / assignment) replaces the shared list, never edits it
+// in place — readers holding an old pointer keep a consistent view.
+class SharedActions {
+ public:
+  using List = std::vector<FlowAction>;
+  using Ptr = std::shared_ptr<const List>;
+
+  SharedActions() = default;
+  SharedActions(std::initializer_list<FlowAction> il)
+      : list_(std::make_shared<const List>(il)) {}
+  SharedActions(List v)  // NOLINT: implicit, vector call sites predate COW
+      : list_(std::make_shared<const List>(std::move(v))) {}
+
+  void push_back(FlowAction a) {
+    List copy = list_ ? *list_ : List{};
+    copy.push_back(std::move(a));
+    list_ = std::make_shared<const List>(std::move(copy));
+  }
+
+  [[nodiscard]] std::size_t size() const { return list_ ? list_->size() : 0; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  const FlowAction& operator[](std::size_t i) const { return (*list_)[i]; }
+  [[nodiscard]] List::const_iterator begin() const { return view().begin(); }
+  [[nodiscard]] List::const_iterator end() const { return view().end(); }
+
+  // The immutable list; empty singleton when unset. `shared()` is what the
+  // flow-table snapshot and microflow cache hold onto.
+  [[nodiscard]] const List& view() const {
+    return list_ ? *list_ : *empty_list();
+  }
+  [[nodiscard]] const Ptr& shared() const {
+    return list_ ? list_ : empty_list();
+  }
+  operator const List&() const { return view(); }  // NOLINT: drop-in for vector
+
+  friend bool operator==(const SharedActions& a, const SharedActions& b) {
+    return a.list_ == b.list_ || a.view() == b.view();
+  }
+
+ private:
+  static const Ptr& empty_list() {
+    static const Ptr kEmpty = std::make_shared<const List>();
+    return kEmpty;
+  }
+  Ptr list_;
+};
+
 struct FlowRule {
   FlowMatch match;
-  std::vector<FlowAction> actions;
+  SharedActions actions;
   std::uint16_t priority = 100;
   // Seconds of inactivity after which the rule is evicted; 0 = permanent.
   // (Stale rules from removed workers lapse this way, Sec 3.5.)

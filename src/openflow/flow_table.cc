@@ -4,6 +4,22 @@
 
 namespace typhoon::openflow {
 
+namespace {
+std::int64_t ToMicros(common::TimePoint tp) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             tp.time_since_epoch())
+      .count();
+}
+}  // namespace
+
+const FlowSnapshotEntry* FlowSnapshot::lookup(const net::Packet& p,
+                                              PortId in_port) const {
+  for (const FlowSnapshotEntry& e : entries) {
+    if (e.match.matches(p, in_port)) return &e;
+  }
+  return nullptr;
+}
+
 void FlowTable::sort_entries() {
   std::stable_sort(entries_.begin(), entries_.end(),
                    [](const Entry& a, const Entry& b) {
@@ -19,25 +35,28 @@ void FlowTable::add(FlowRule rule) {
   for (Entry& e : entries_) {
     if (e.rule.match == rule.match && e.rule.priority == rule.priority) {
       e.rule = std::move(rule);
-      e.last_used = common::Now();
+      e.stats->last_used_us.store(ToMicros(common::Now()),
+                                  std::memory_order_relaxed);
       return;
     }
   }
   Entry e;
   e.rule = std::move(rule);
-  e.last_used = common::Now();
+  e.stats = std::make_shared<RuleStats>();
+  e.stats->last_used_us.store(ToMicros(common::Now()),
+                              std::memory_order_relaxed);
   e.seq = next_seq_++;
   entries_.push_back(std::move(e));
   sort_entries();
 }
 
-bool FlowTable::modify(const FlowMatch& match,
-                       std::vector<FlowAction> actions) {
+bool FlowTable::modify(const FlowMatch& match, SharedActions actions) {
   bool any = false;
   for (Entry& e : entries_) {
     if (e.rule.match == match) {
       e.rule.actions = actions;
-      e.last_used = common::Now();
+      e.stats->last_used_us.store(ToMicros(common::Now()),
+                                  std::memory_order_relaxed);
       any = true;
     }
   }
@@ -72,9 +91,10 @@ std::size_t FlowTable::erase_mentioning(std::uint64_t addr) {
 const FlowRule* FlowTable::lookup(const net::Packet& p, PortId in_port) {
   for (Entry& e : entries_) {
     if (e.rule.match.matches(p, in_port)) {
-      ++e.packets;
-      e.bytes += p.wire_size();
-      e.last_used = common::Now();
+      e.stats->packets.fetch_add(1, std::memory_order_relaxed);
+      e.stats->bytes.fetch_add(p.wire_size(), std::memory_order_relaxed);
+      e.stats->last_used_us.store(ToMicros(common::Now()),
+                                  std::memory_order_relaxed);
       return &e.rule;
     }
   }
@@ -84,13 +104,15 @@ const FlowRule* FlowTable::lookup(const net::Packet& p, PortId in_port) {
 std::size_t FlowTable::sweep_idle(
     common::TimePoint now,
     const std::function<void(const FlowRule&)>& on_removed) {
+  const std::int64_t now_us = ToMicros(now);
   std::size_t evicted = 0;
   std::erase_if(entries_, [&](const Entry& e) {
     if (e.rule.idle_timeout_s == 0) return false;
-    const auto idle = std::chrono::duration_cast<std::chrono::seconds>(
-                          now - e.last_used)
-                          .count();
-    if (idle < static_cast<std::int64_t>(e.rule.idle_timeout_s)) return false;
+    const std::int64_t idle_us =
+        now_us - e.stats->last_used_us.load(std::memory_order_relaxed);
+    if (idle_us < std::int64_t{e.rule.idle_timeout_s} * 1'000'000) {
+      return false;
+    }
     if (on_removed) on_removed(e.rule);
     ++evicted;
     return true;
@@ -98,12 +120,23 @@ std::size_t FlowTable::sweep_idle(
   return evicted;
 }
 
+std::shared_ptr<const FlowSnapshot> FlowTable::snapshot() const {
+  auto snap = std::make_shared<FlowSnapshot>();
+  snap->entries.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    snap->entries.push_back({e.rule.match, e.rule.actions.shared(), e.stats,
+                             e.rule.idle_timeout_s});
+  }
+  return snap;
+}
+
 std::vector<FlowStats> FlowTable::stats(
     std::optional<std::uint64_t> cookie) const {
   std::vector<FlowStats> out;
   for (const Entry& e : entries_) {
     if (cookie && e.rule.cookie != *cookie) continue;
-    out.push_back({e.rule, e.packets, e.bytes});
+    out.push_back({e.rule, e.stats->packets.load(std::memory_order_relaxed),
+                   e.stats->bytes.load(std::memory_order_relaxed)});
   }
   return out;
 }

@@ -1,10 +1,14 @@
 // Priority-ordered flow table with wildcard matching, per-rule counters,
-// and idle-timeout eviction. Single-threaded from the owning switch's
-// perspective; the switch serializes pipeline and FlowMod processing.
+// and idle-timeout eviction. Mutations are serialized by the owning switch
+// (under its table mutex); the forwarding path never touches this class
+// directly — it reads an immutable FlowSnapshot published after every
+// mutation and bumps the rule's shared atomic counters on a hit.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -13,13 +17,43 @@
 
 namespace typhoon::openflow {
 
+// Hit counters shared between a table entry and every snapshot that names
+// it. Plain atomics so lock-free forwarding threads can account while
+// control threads read stats; last_used drives the idle-timeout sweep.
+struct RuleStats {
+  std::atomic<std::uint64_t> packets{0};
+  std::atomic<std::uint64_t> bytes{0};
+  // Microseconds on the steady clock of the most recent hit.
+  std::atomic<std::int64_t> last_used_us{0};
+};
+
+// One row of the immutable, priority-ordered table view consumed by the
+// lock-free forwarding path. Shares the rule's action list and stat block
+// with the master table; the row itself is never mutated after publication.
+struct FlowSnapshotEntry {
+  FlowMatch match;
+  SharedActions::Ptr actions;
+  std::shared_ptr<RuleStats> stats;
+  std::uint32_t idle_timeout_s = 0;
+};
+
+struct FlowSnapshot {
+  std::vector<FlowSnapshotEntry> entries;  // priority desc, specificity desc
+
+  // Highest-priority matching entry, or nullptr. Pure read — callers
+  // account via the entry's stats block.
+  [[nodiscard]] const FlowSnapshotEntry* lookup(const net::Packet& p,
+                                                PortId in_port) const;
+};
+
 class FlowTable {
  public:
-  // Install or replace (same match + priority) a rule.
+  // Install or replace (same match + priority) a rule. A replace keeps the
+  // existing counters but swaps the action list.
   void add(FlowRule rule);
 
   // Modify actions of rules whose match equals `match`; true if any changed.
-  bool modify(const FlowMatch& match, std::vector<FlowAction> actions);
+  bool modify(const FlowMatch& match, SharedActions actions);
 
   // Delete rules matching the given match exactly (and cookie, if nonzero).
   // Returns the number of removed rules.
@@ -31,13 +65,18 @@ class FlowTable {
 
   // Highest-priority rule matching the packet as received on `in_port`
   // (ties broken by match specificity, then insertion order). Updates match
-  // counters.
+  // counters. Serialized-caller slow path; the switch forwards via
+  // snapshot() + FlowSnapshot::lookup instead.
   const FlowRule* lookup(const net::Packet& p, PortId in_port);
 
   // Evict rules idle longer than their timeout; invokes `on_removed` for
   // each. Returns the number evicted.
   std::size_t sweep_idle(common::TimePoint now,
                          const std::function<void(const FlowRule&)>& on_removed);
+
+  // Immutable ordered view sharing action lists and stat blocks with this
+  // table. O(n) to build; call once per mutation, not per packet.
+  [[nodiscard]] std::shared_ptr<const FlowSnapshot> snapshot() const;
 
   [[nodiscard]] std::vector<FlowStats> stats(
       std::optional<std::uint64_t> cookie = std::nullopt) const;
@@ -47,9 +86,7 @@ class FlowTable {
  private:
   struct Entry {
     FlowRule rule;
-    std::uint64_t packets = 0;
-    std::uint64_t bytes = 0;
-    common::TimePoint last_used;
+    std::shared_ptr<RuleStats> stats;
     std::uint64_t seq = 0;  // insertion order for stable tie-breaking
   };
 

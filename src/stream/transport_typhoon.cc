@@ -18,6 +18,16 @@ TyphoonTransport::TyphoonTransport(WorkerAddress self,
                         ++drops_;
                         return;
                       }
+                      // While blocked, keep draining our own RX ring so the
+                      // switch can always deliver to us — otherwise two full
+                      // rings in opposite directions deadlock until the
+                      // switch's egress hold expires.
+                      if (inbound_.size() < kBlockedStageCap) {
+                        if (auto rp = port_->recv()) {
+                          depacketizer_.consume(**rp);
+                          continue;
+                        }
+                      }
                       std::this_thread::sleep_for(
                           std::chrono::microseconds(20));
                     }
@@ -32,12 +42,13 @@ void TyphoonTransport::send(const Tuple& t, StreamId stream,
                             bool broadcast) {
   if (dests.empty()) return;
   // The single serialization: the payload carries no destination metadata,
-  // so one buffer serves every copy (Sec 3.3.1).
-  net::TupleRecord rec;
+  // so one buffer serves every copy (Sec 3.3.1). The scratch record's
+  // buffer capacity is recycled across sends.
+  net::TupleRecord& rec = send_scratch_;
   rec.src = self_;
   rec.stream_id = stream;
   rec.control = false;
-  rec.data = SerializeTyphoon(t, root_id, edge_id);
+  SerializeTyphoonInto(t, root_id, edge_id, rec.data);
 
   if (broadcast) {
     rec.dst = BroadcastAddress(self_.topology);
@@ -71,10 +82,15 @@ std::size_t TyphoonTransport::poll(std::vector<ReceivedItem>& out,
       injected_.pop_front();
     }
   }
-  pkt_burst_.clear();
-  port_->recv_bulk(pkt_burst_, max);
-  for (const net::PacketPtr& p : pkt_burst_) {
-    depacketizer_.consume(*p);
+  // Drain only enough packets to cover this poll's delivery budget. The
+  // surplus stays in the RX ring, where the switch sees it as pressure and
+  // holds further deliveries — that is what propagates back-pressure to
+  // senders. An unconditional bulk drain would stage unbounded tuples here
+  // and absorb congestion invisibly.
+  while (inbound_.size() < max) {
+    auto p = port_->recv();
+    if (!p) break;
+    depacketizer_.consume(**p);
   }
   std::size_t n = 0;
   while (!inbound_.empty() && n < max) {

@@ -46,8 +46,15 @@ class TyphoonTransport : public Transport {
   std::shared_ptr<switchd::PortHandle> port_;
   net::Packetizer packetizer_;
   net::Depacketizer depacketizer_;
+  // Tuples staged between RX-ring drain and delivery to the worker. Kept
+  // near the per-poll budget by poll(); only the blocked-send drain may
+  // grow it, up to kBlockedStageCap.
+  static constexpr std::size_t kBlockedStageCap = 65536;
   std::deque<net::TupleRecord> inbound_;
-  std::vector<net::PacketPtr> pkt_burst_;
+  // Scratch record reused across send() calls (send is only invoked from
+  // the owning worker thread): the serialization buffer keeps its capacity,
+  // so steady-state emission allocates nothing per tuple.
+  net::TupleRecord send_scratch_;
   std::uint64_t drops_ = 0;
 
   std::mutex injected_mu_;

@@ -146,11 +146,17 @@ bool DecodeTupleBody(common::BufReader& r, Tuple& t) {
 common::Bytes SerializeTyphoon(const Tuple& t, std::uint64_t root_id,
                                std::uint64_t edge_id) {
   common::Bytes out;
+  SerializeTyphoonInto(t, root_id, edge_id, out);
+  return out;
+}
+
+void SerializeTyphoonInto(const Tuple& t, std::uint64_t root_id,
+                          std::uint64_t edge_id, common::Bytes& out) {
+  out.clear();
   common::BufWriter w(out);
   w.u64(root_id);
   w.u64(edge_id);
   EncodeTupleBody(t, w);
-  return out;
 }
 
 bool DeserializeTyphoon(std::span<const std::uint8_t> data, Tuple& t,

@@ -91,6 +91,11 @@ bool DecodeTupleBody(common::BufReader& r, Tuple& t);
 // ---- Typhoon envelope: [root u64][edge u64][body] ----
 common::Bytes SerializeTyphoon(const Tuple& t, std::uint64_t root_id,
                                std::uint64_t edge_id);
+// Allocation-free variant: clears `out` and serializes into it, reusing its
+// capacity. The transport send path calls this with a per-worker scratch
+// buffer so steady-state emission performs no heap allocation per tuple.
+void SerializeTyphoonInto(const Tuple& t, std::uint64_t root_id,
+                          std::uint64_t edge_id, common::Bytes& out);
 bool DeserializeTyphoon(std::span<const std::uint8_t> data, Tuple& t,
                         std::uint64_t& root_id, std::uint64_t& edge_id);
 

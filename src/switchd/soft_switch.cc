@@ -45,7 +45,10 @@ std::size_t PortHandle::rx_queue_depth() const {
 }
 
 SoftSwitch::SoftSwitch(SoftSwitchConfig cfg)
-    : cfg_(cfg), injected_(4096) {}
+    : cfg_(cfg), mcache_(cfg.microflow_entries), injected_(4096) {
+  std::lock_guard lk(table_mu_);
+  publish_tables_locked();  // readers always find a (possibly empty) snapshot
+}
 
 SoftSwitch::~SoftSwitch() { stop(); }
 
@@ -70,6 +73,7 @@ std::shared_ptr<PortHandle> SoftSwitch::attach_port() {
   const PortId id = next_port_++;
   auto port = std::make_shared<PortHandle::Port>(cfg_.ring_capacity);
   ports_[id] = port;
+  ports_gen_.fetch_add(1, std::memory_order_release);
   lk.unlock();
   emit_event(openflow::PortStatus{id, openflow::PortReason::kAdd});
   return std::shared_ptr<PortHandle>(new PortHandle(id, std::move(port)));
@@ -83,6 +87,7 @@ std::shared_ptr<PortHandle> SoftSwitch::attach_port(PortId requested) {
   }
   auto port = std::make_shared<PortHandle::Port>(cfg_.ring_capacity);
   ports_[requested] = port;
+  ports_gen_.fetch_add(1, std::memory_order_release);
   lk.unlock();
   emit_event(openflow::PortStatus{requested, openflow::PortReason::kAdd});
   return std::shared_ptr<PortHandle>(new PortHandle(requested, std::move(port)));
@@ -96,6 +101,7 @@ void SoftSwitch::detach_port(PortId port) {
     if (it == ports_.end()) return;
     p = it->second;
     ports_.erase(it);
+    ports_gen_.fetch_add(1, std::memory_order_release);
   }
   p->open.store(false, std::memory_order_relaxed);
   emit_event(openflow::PortStatus{port, openflow::PortReason::kDelete});
@@ -105,6 +111,65 @@ void SoftSwitch::add_tunnel(HostId peer,
                             std::shared_ptr<net::TunnelEndpoint> ep) {
   std::lock_guard lk(tunnels_mu_);
   tunnels_.push_back({peer, std::move(ep)});
+  tunnels_gen_.fetch_add(1, std::memory_order_release);
+}
+
+void SoftSwitch::publish_tables_locked() {
+  auto snap = std::make_shared<TableSnapshot>();
+  snap->generation = table_gen_.load(std::memory_order_relaxed) + 1;
+  snap->flows = flow_table_.snapshot();
+  snap->groups = group_table_;
+  published_ = std::move(snap);
+  // Release point: a reader that observes the new generation also observes
+  // the snapshot published above (it re-reads published_ under table_mu_).
+  table_gen_.store(published_->generation, std::memory_order_release);
+}
+
+SoftSwitch::TableSnapshot& SoftSwitch::active_snapshot() {
+  const std::uint64_t gen = table_gen_.load(std::memory_order_acquire);
+  if (snap_ == nullptr || snap_->generation != gen) {
+    std::lock_guard lk(table_mu_);
+    snap_ = published_;
+  }
+  return *snap_;
+}
+
+void SoftSwitch::refresh_port_cache() {
+  const std::uint64_t gen = ports_gen_.load(std::memory_order_acquire);
+  if (gen == port_cache_gen_) return;
+  auto poll = std::make_shared<PollList>();
+  port_out_dense_.clear();
+  port_out_sparse_.clear();
+  std::shared_lock lk(ports_mu_);
+  poll->reserve(ports_.size());
+  for (const auto& [id, port] : ports_) {
+    poll->emplace_back(id, port);
+    if (id < kDensePortLimit) {
+      if (port_out_dense_.size() <= id) port_out_dense_.resize(id + 1);
+      port_out_dense_[id] = port.get();
+    } else {
+      port_out_sparse_.emplace(id, port.get());
+    }
+  }
+  port_poll_cache_ = std::move(poll);
+  // Re-read under the lock: attach/detach bump the counter while holding
+  // ports_mu_, so this pairs the cached view with its exact generation.
+  port_cache_gen_ = ports_gen_.load(std::memory_order_acquire);
+}
+
+PortHandle::Port* SoftSwitch::find_out_port(PortId port) {
+  refresh_port_cache();
+  if (port < port_out_dense_.size()) return port_out_dense_[port];
+  auto it = port_out_sparse_.find(port);
+  return it == port_out_sparse_.end() ? nullptr : it->second;
+}
+
+void SoftSwitch::refresh_tunnel_cache() {
+  const std::uint64_t gen = tunnels_gen_.load(std::memory_order_acquire);
+  if (gen == tunnel_cache_gen_) return;
+  std::lock_guard lk(tunnels_mu_);
+  tunnel_cache_ = std::make_shared<std::vector<TunnelRef>>(tunnels_);
+  tunnel_cache_gen_ = tunnels_gen_.load(std::memory_order_acquire);
 }
 
 void SoftSwitch::handle_flow_mod(const openflow::FlowMod& mod) {
@@ -120,11 +185,13 @@ void SoftSwitch::handle_flow_mod(const openflow::FlowMod& mod) {
       flow_table_.erase(mod.rule.match, mod.rule.cookie);
       break;
   }
+  publish_tables_locked();
 }
 
 void SoftSwitch::handle_group_mod(const openflow::GroupMod& mod) {
   std::lock_guard lk(table_mu_);
   group_table_.apply(mod);
+  publish_tables_locked();
 }
 
 void SoftSwitch::handle_packet_out(const openflow::PacketOut& po) {
@@ -133,12 +200,16 @@ void SoftSwitch::handle_packet_out(const openflow::PacketOut& po) {
 
 std::size_t SoftSwitch::remove_rules_mentioning(std::uint64_t addr) {
   std::lock_guard lk(table_mu_);
-  return flow_table_.erase_mentioning(addr);
+  const std::size_t n = flow_table_.erase_mentioning(addr);
+  if (n != 0) publish_tables_locked();
+  return n;
 }
 
 std::size_t SoftSwitch::remove_rules_by_cookie(std::uint64_t cookie) {
   std::lock_guard lk(table_mu_);
-  return flow_table_.erase_by_cookie(cookie);
+  const std::size_t n = flow_table_.erase_by_cookie(cookie);
+  if (n != 0) publish_tables_locked();
+  return n;
 }
 
 std::vector<openflow::PortStats> SoftSwitch::port_stats() const {
@@ -191,25 +262,73 @@ void SoftSwitch::emit_event(SwitchEvent ev) {
   if (sink) sink(cfg_.host, std::move(ev));
 }
 
-void SoftSwitch::output_to_port(const net::PacketPtr& p, PortId port) {
-  std::shared_ptr<PortHandle::Port> target;
-  {
-    std::shared_lock lk(ports_mu_);
-    auto it = ports_.find(port);
-    if (it == ports_.end()) return;  // port vanished; silently dropped
-    target = it->second;
+void SoftSwitch::output_to_port(net::PacketPtr p, PortId port) {
+  PortHandle::Port* target = find_out_port(port);
+  if (target == nullptr) return;  // port vanished; silently dropped
+  if (!target->open.load(std::memory_order_relaxed)) return;
+  // A non-empty backlog means some ring is full: enqueue behind it to keep
+  // delivery ordering and let run() pause ingress until pressure clears.
+  if (egress_pending_.empty()) {
+    const std::size_t wire = p->wire_size();
+    if (target->from_switch.try_push(std::move(p))) {
+      target->tx_packets.fetch_add(1, std::memory_order_relaxed);
+      target->tx_bytes.fetch_add(wire, std::memory_order_relaxed);
+      return;
+    }
+    egress_block_since_ = common::Now();  // p survives a rejected push
   }
-  if (target->from_switch.try_push(p)) {
-    target->tx_packets.fetch_add(1, std::memory_order_relaxed);
-    target->tx_bytes.fetch_add(p->wire_size(), std::memory_order_relaxed);
-  } else {
+  if (egress_pending_.size() >= kEgressPendingCap) {
     target->tx_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
   }
+  egress_pending_.emplace_back(std::move(p), port);
+}
+
+std::size_t SoftSwitch::drain_egress_backlog() {
+  std::size_t resolved = 0;
+  while (!egress_pending_.empty()) {
+    auto& [pkt, port] = egress_pending_.front();
+    PortHandle::Port* target = find_out_port(port);
+    if (target == nullptr || !target->open.load(std::memory_order_relaxed)) {
+      egress_pending_.pop_front();  // port vanished with its packets
+      ++resolved;
+      continue;
+    }
+    const std::size_t wire = pkt->wire_size();
+    if (target->from_switch.try_push(std::move(pkt))) {
+      target->tx_packets.fetch_add(1, std::memory_order_relaxed);
+      target->tx_bytes.fetch_add(wire, std::memory_order_relaxed);
+      egress_pending_.pop_front();
+      egress_block_since_ = common::Now();
+      ++resolved;
+      continue;
+    }
+    if (common::Now() - egress_block_since_ >= cfg_.egress_hold) {
+      // The receiver is wedged (paused or dead consumer): revert to the
+      // at-most-once drop for the whole backlog so one port cannot stall
+      // the host's forwarding indefinitely.
+      for (auto& [hp, hport] : egress_pending_) {
+        PortHandle::Port* t = find_out_port(hport);
+        if (t == nullptr) continue;
+        const std::size_t hw = hp->wire_size();
+        if (t->from_switch.try_push(std::move(hp))) {
+          t->tx_packets.fetch_add(1, std::memory_order_relaxed);
+          t->tx_bytes.fetch_add(hw, std::memory_order_relaxed);
+        } else {
+          t->tx_dropped.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      resolved += egress_pending_.size();
+      egress_pending_.clear();
+    }
+    break;
+  }
+  return resolved;
 }
 
 void SoftSwitch::apply_actions(
     const net::PacketPtr& p, PortId in_port,
-    const std::vector<openflow::FlowAction>& actions) {
+    const std::vector<openflow::FlowAction>& actions, TableSnapshot& snap) {
   net::PacketPtr current = p;
   HostId pending_tun_dst = 0;
   bool has_tun_dst = false;
@@ -217,14 +336,12 @@ void SoftSwitch::apply_actions(
   for (const openflow::FlowAction& a : actions) {
     if (const auto* out = std::get_if<openflow::ActionOutput>(&a)) {
       if (out->port == kTunnelPort) {
+        refresh_tunnel_cache();
         std::shared_ptr<net::TunnelEndpoint> ep;
-        {
-          std::lock_guard lk(tunnels_mu_);
-          for (const TunnelRef& t : tunnels_) {
-            if (!has_tun_dst || t.peer == pending_tun_dst) {
-              ep = t.ep;
-              break;
-            }
+        for (const TunnelRef& t : *tunnel_cache_) {
+          if (!has_tun_dst || t.peer == pending_tun_dst) {
+            ep = t.ep;
+            break;
           }
         }
         if (ep) ep->send(*current);
@@ -237,22 +354,19 @@ void SoftSwitch::apply_actions(
       pending_tun_dst = tun->host;
       has_tun_dst = true;
     } else if (const auto* grp = std::get_if<openflow::ActionGroup>(&a)) {
-      std::optional<openflow::GroupType> type;
-      std::vector<openflow::GroupBucket> buckets;
-      {
-        std::lock_guard lk(table_mu_);
-        type = group_table_.type(grp->group_id);
-        if (!type) continue;
-        if (*type == openflow::GroupType::kSelect) {
-          if (const auto* b = group_table_.select(grp->group_id)) {
-            buckets.push_back(*b);
-          }
-        } else if (const auto* bs = group_table_.buckets(grp->group_id)) {
-          buckets = *bs;
+      // Group state comes from the adopted snapshot — no table lock, no
+      // bucket copies. Select-group WRR credit lives in the snapshot and is
+      // only advanced here, on the switch thread.
+      const auto type = snap.groups.type(grp->group_id);
+      if (!type) continue;
+      if (*type == openflow::GroupType::kSelect) {
+        if (const auto* b = snap.groups.select(grp->group_id)) {
+          apply_actions(current, in_port, b->actions, snap);
         }
-      }
-      for (const openflow::GroupBucket& b : buckets) {
-        apply_actions(current, in_port, b.actions);
+      } else if (const auto* bs = snap.groups.buckets(grp->group_id)) {
+        for (const openflow::GroupBucket& b : *bs) {
+          apply_actions(current, in_port, b.actions, snap);
+        }
       }
     } else if (const auto* rw = std::get_if<openflow::ActionSetDlDst>(&a)) {
       // Copy-on-write header rewrite.
@@ -263,72 +377,114 @@ void SoftSwitch::apply_actions(
   }
 }
 
-void SoftSwitch::process(const net::PacketPtr& p, PortId in_port) {
-  std::vector<openflow::FlowAction> actions;
-  {
-    std::lock_guard lk(table_mu_);
-    const openflow::FlowRule* rule = flow_table_.lookup(*p, in_port);
-    if (rule == nullptr) return;  // table miss: drop
-    actions = rule->actions;
+bool SoftSwitch::process(net::PacketPtr p, PortId in_port) {
+  TableSnapshot& snap = active_snapshot();
+  const MicroflowKey key{in_port, p->ether_type, p->src.packed(),
+                         p->dst.packed()};
+  MicroflowCache::Entry* e = mcache_.lookup(key, snap.generation);
+  if (e == nullptr) {
+    // Miss: one wildcard scan over the immutable snapshot, then install the
+    // microflow (including negative entries — known drops are cached too).
+    const openflow::FlowSnapshotEntry* hit = snap.flows->lookup(*p, in_port);
+    e = mcache_.insert(key, snap.generation,
+                       hit ? hit->actions : openflow::SharedActions::Ptr{},
+                       hit ? hit->stats : nullptr,
+                       hit != nullptr && hit->idle_timeout_s != 0);
   }
-  forwarded_.fetch_add(1, std::memory_order_relaxed);
-  apply_actions(p, in_port, actions);
+  if (e->actions == nullptr) return false;  // table miss: drop
+  if (e->stats != nullptr) {
+    e->stats->packets.fetch_add(1, std::memory_order_relaxed);
+    e->stats->bytes.fetch_add(p->wire_size(), std::memory_order_relaxed);
+    if (e->track_idle) {
+      e->stats->last_used_us.store(common::NowMicros(),
+                                   std::memory_order_relaxed);
+    }
+  }
+  // The entry's own shared_ptr keeps the action list alive for the rest of
+  // this call: only this thread overwrites cache entries, and a concurrent
+  // snapshot republish cannot drop the list's refcount below the cache's.
+  const auto& actions = *e->actions;
+  // Fast path for the dominant rule shape (single output to a local port):
+  // move the packet straight into the destination ring — zero refcount ops.
+  if (actions.size() == 1) {
+    if (const auto* out = std::get_if<openflow::ActionOutput>(&actions[0]);
+        out != nullptr && out->port != kTunnelPort) {
+      output_to_port(std::move(p), out->port);
+      return true;
+    }
+  }
+  apply_actions(p, in_port, actions, snap);
+  return true;
 }
 
 void SoftSwitch::run() {
   common::TimePoint last_sweep = common::Now();
-  std::vector<std::pair<PortId, std::shared_ptr<PortHandle::Port>>> snapshot;
   std::vector<net::PacketPtr> burst;
   burst.reserve(cfg_.poll_burst);
+  std::uint32_t idle_streak = 0;
 
   while (running_.load(std::memory_order_relaxed)) {
     std::size_t work = 0;
+    std::uint64_t forwarded = 0;
 
-    // Snapshot attached ports, then poll without holding the lock.
-    snapshot.clear();
-    {
-      std::shared_lock lk(ports_mu_);
-      snapshot.reserve(ports_.size());
-      for (const auto& [id, port] : ports_) snapshot.emplace_back(id, port);
-    }
-    for (auto& [id, port] : snapshot) {
-      burst.clear();
-      const std::size_t n =
-          port->to_switch.pop_bulk(std::back_inserter(burst), cfg_.poll_burst);
-      for (std::size_t i = 0; i < n; ++i) {
-        port->rx_packets.fetch_add(1, std::memory_order_relaxed);
-        port->rx_bytes.fetch_add(burst[i]->wire_size(),
-                                 std::memory_order_relaxed);
-        process(burst[i], id);
+    // Held egress goes first; while any remains, ingress polling stays
+    // paused so a full downstream ring turns into upstream ring pressure
+    // (the sender's back-pressure loop) instead of silent drops.
+    if (!egress_pending_.empty()) work += drain_egress_backlog();
+
+    if (egress_pending_.empty()) {
+      // Poll attached ports through the generation-cached snapshot; the
+      // ports lock is only taken when a port attached or detached. Port and
+      // pipeline counters are flushed once per burst, not once per packet.
+      refresh_port_cache();
+      // Pin this round's poll list: process() can trigger a refresh that
+      // swaps port_poll_cache_ out from under us mid-iteration.
+      const std::shared_ptr<const PollList> poll = port_poll_cache_;
+      for (const auto& [id, port] : *poll) {
+        burst.clear();
+        const std::size_t n = port->to_switch.pop_bulk(
+            std::back_inserter(burst), cfg_.poll_burst);
+        if (n == 0) continue;
+        std::uint64_t bytes = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          bytes += burst[i]->wire_size();
+          forwarded += process(std::move(burst[i]), id) ? 1 : 0;
+        }
+        port->rx_packets.fetch_add(n, std::memory_order_relaxed);
+        port->rx_bytes.fetch_add(bytes, std::memory_order_relaxed);
+        work += n;
       }
-      work += n;
+
+      // Tunnel ingress, through the generation-cached endpoint list (pinned
+      // for the same reason as the poll list above).
+      refresh_tunnel_cache();
+      const std::shared_ptr<const std::vector<TunnelRef>> tuns =
+          tunnel_cache_;
+      for (const TunnelRef& t : *tuns) {
+        for (std::size_t i = 0; i < cfg_.poll_burst; ++i) {
+          auto pkt = t.ep->try_recv();
+          if (!pkt) break;
+          forwarded +=
+              process(net::MakePacket(std::move(*pkt)), kTunnelPort) ? 1 : 0;
+          ++work;
+        }
+      }
     }
 
-    // Controller-injected packets (PacketOut).
+    // Controller-injected packets (PacketOut) bypass the ingress pause:
+    // control traffic is sparse and the backlog cap bounds the stash.
     for (std::size_t i = 0; i < cfg_.poll_burst; ++i) {
       auto item = injected_.try_pop();
       if (!item) break;
-      process(item->first, item->second);
+      forwarded += process(std::move(item->first), item->second) ? 1 : 0;
       ++work;
     }
-
-    // Tunnel ingress.
-    std::vector<std::shared_ptr<net::TunnelEndpoint>> eps;
-    {
-      std::lock_guard lk(tunnels_mu_);
-      eps.reserve(tunnels_.size());
-      for (const TunnelRef& t : tunnels_) eps.push_back(t.ep);
-    }
-    for (const auto& ep : eps) {
-      for (std::size_t i = 0; i < cfg_.poll_burst; ++i) {
-        auto pkt = ep->try_recv();
-        if (!pkt) break;
-        process(net::MakePacket(std::move(*pkt)), kTunnelPort);
-        ++work;
-      }
+    if (forwarded != 0) {
+      forwarded_.fetch_add(forwarded, std::memory_order_relaxed);
     }
 
-    // Idle-timeout sweep.
+    // Idle-timeout sweep. Evictions republish the snapshot so stale
+    // microflow entries can never resurrect a removed rule.
     const common::TimePoint now = common::Now();
     if (now - last_sweep >= cfg_.idle_sweep_interval) {
       last_sweep = now;
@@ -338,6 +494,7 @@ void SoftSwitch::run() {
         flow_table_.sweep_idle(now, [&](const openflow::FlowRule& r) {
           removed.push_back(r);
         });
+        if (!removed.empty()) publish_tables_locked();
       }
       for (auto& r : removed) {
         emit_event(openflow::FlowRemoved{
@@ -345,8 +502,24 @@ void SoftSwitch::run() {
       }
     }
 
+    // Idle strategy: spin briefly (traffic is bursty — the next packet
+    // usually follows immediately), then back off exponentially to a 250µs
+    // cap so an idle switch stops burning a core without adding meaningful
+    // wake-up latency under load. A blocked egress backlog skips the spin
+    // phase entirely: the receiver needs the CPU more than we need latency.
     if (work == 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      ++idle_streak;
+      if (idle_streak <= 16 && egress_pending_.empty()) {
+        common::SpinFor(std::chrono::nanoseconds(250));
+      } else {
+        const std::uint32_t streak = idle_streak > 16 ? idle_streak - 17 : 0;
+        const std::uint32_t shift = std::min(streak, 6u);
+        const std::int64_t us =
+            std::min<std::int64_t>(250, std::int64_t{4} << shift);
+        std::this_thread::sleep_for(std::chrono::microseconds(us));
+      }
+    } else {
+      idle_streak = 0;
     }
   }
 }

@@ -8,13 +8,29 @@
 // set_tun_dst + output-to-tunnel for remote hosts, output-to-controller
 // (PacketIn), select/all groups, and destination rewrite.
 //
+// Forwarding fast path (DESIGN.md "Forwarding fast path"): the per-packet
+// pipeline is two-tier and lock-free. Tier 1 is an exact-match microflow
+// cache mapping the header tuple straight to the rule's shared action list.
+// Tier 2 is an immutable table snapshot (flow + group tables) published
+// RCU-style by control-plane writers under `table_mu_`; the switch thread
+// adopts it by comparing one atomic generation counter and scans it without
+// locks on a cache miss. Every mutation bumps the generation, invalidating
+// all cached microflows at once. Per-rule counters are shared atomics so the
+// lock-free path still accounts packets/bytes/idle timestamps.
+//
+// A full egress ring does not drop: the switch holds the packet and
+// pauses ingress polling so the pressure reaches senders' back-pressure
+// loops; only a backlog older than `egress_hold` reverts to the
+// at-most-once drop (see DESIGN.md "End-to-end back-pressure").
+//
 // Control-plane calls (FlowMod, GroupMod, PacketOut, stats) may come from
-// any thread; table state is guarded by a mutex that the pipeline holds per
-// packet batch.
+// any thread; they serialize on `table_mu_`, which the forwarding path
+// never takes on the hit path.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -25,6 +41,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/ids.h"
 #include "common/mpmc_queue.h"
 #include "common/spsc_ring.h"
@@ -33,6 +50,7 @@
 #include "openflow/flow.h"
 #include "openflow/flow_table.h"
 #include "openflow/group_table.h"
+#include "switchd/microflow_cache.h"
 
 namespace typhoon::switchd {
 
@@ -73,6 +91,12 @@ struct SoftSwitchConfig {
   std::chrono::milliseconds idle_sweep_interval{100};
   // Max packets drained per port per poll round.
   std::size_t poll_burst = 64;
+  // Exact-match microflow cache slots (rounded up to a power of two).
+  std::size_t microflow_entries = MicroflowCache::kDefaultEntries;
+  // How long the switch holds packets for a full egress ring (pausing
+  // ingress so the pressure reaches senders) before falling back to the
+  // at-most-once drop. Keeps a wedged receiver from stalling the host.
+  std::chrono::milliseconds egress_hold{5};
 };
 
 class SoftSwitch {
@@ -125,35 +149,109 @@ class SoftSwitch {
   [[nodiscard]] std::uint64_t packets_forwarded() const {
     return forwarded_.load(std::memory_order_relaxed);
   }
+  // Microflow-cache accounting (hits include cached drop decisions).
+  [[nodiscard]] std::uint64_t cache_hits() const { return mcache_.hits(); }
+  [[nodiscard]] std::uint64_t cache_misses() const {
+    return mcache_.misses();
+  }
+  // Table-snapshot generation; bumped by every flow/group mutation.
+  [[nodiscard]] std::uint64_t table_generation() const {
+    return table_gen_.load(std::memory_order_acquire);
+  }
 
   // The well-known logical tunnel port number.
   static constexpr PortId kTunnelPort = 0xfffe;
 
  private:
+  // Port ids below this use the direct-index output table.
+  static constexpr PortId kDensePortLimit = 8192;
+
   struct TunnelRef {
     HostId peer;
     std::shared_ptr<net::TunnelEndpoint> ep;
   };
 
+  // Immutable flow/group view adopted wholesale by the forwarding thread.
+  // `groups` carries the WRR scheduling credit, advanced only by the switch
+  // thread; writers always copy from the master tables, never from a
+  // published snapshot.
+  struct TableSnapshot {
+    std::uint64_t generation = 0;
+    std::shared_ptr<const openflow::FlowSnapshot> flows;
+    openflow::GroupTable groups;
+  };
+
   void run();
-  void process(const net::PacketPtr& p, PortId in_port);
+  // Takes the packet by value so the single-output common case can move it
+  // straight into the destination ring with no refcount traffic. Returns
+  // true when the packet matched a rule (counted as forwarded).
+  bool process(net::PacketPtr p, PortId in_port);
   void apply_actions(const net::PacketPtr& p, PortId in_port,
-                     const std::vector<openflow::FlowAction>& actions);
-  void output_to_port(const net::PacketPtr& p, PortId port);
+                     const std::vector<openflow::FlowAction>& actions,
+                     TableSnapshot& snap);
+  void output_to_port(net::PacketPtr p, PortId port);
+  // Retry packets held for a full egress ring; returns how many were
+  // resolved (delivered, dropped on timeout, or dropped with their port).
+  std::size_t drain_egress_backlog();
+  PortHandle::Port* find_out_port(PortId port);
   void emit_event(SwitchEvent ev);
+
+  // Rebuild + publish the snapshot; call with table_mu_ held after any
+  // flow/group mutation. The generation store is the release point readers
+  // synchronize on.
+  void publish_tables_locked();
+  // Switch-thread only: adopt the latest snapshot if the generation moved.
+  TableSnapshot& active_snapshot();
+  // Switch-thread only: refresh the cached port / tunnel views if their
+  // generation counters moved (attach/detach/add_tunnel bump them).
+  void refresh_port_cache();
+  void refresh_tunnel_cache();
 
   SoftSwitchConfig cfg_;
 
   mutable std::shared_mutex ports_mu_;
   std::unordered_map<PortId, std::shared_ptr<PortHandle::Port>> ports_;
   PortId next_port_ = 1;
+  std::atomic<std::uint64_t> ports_gen_{1};  // bumped under ports_mu_
 
   mutable std::mutex table_mu_;
-  openflow::FlowTable flow_table_;
+  openflow::FlowTable flow_table_;    // master copies; guarded by table_mu_
   openflow::GroupTable group_table_;
+  std::shared_ptr<TableSnapshot> published_;  // guarded by table_mu_
+  std::atomic<std::uint64_t> table_gen_{0};
 
   mutable std::mutex tunnels_mu_;
   std::vector<TunnelRef> tunnels_;
+  std::atomic<std::uint64_t> tunnels_gen_{1};  // bumped under tunnels_mu_
+
+  // ---- forwarding-thread state (no locks; switch thread only) ----
+  std::shared_ptr<TableSnapshot> snap_;
+  MicroflowCache mcache_;
+  // Immutable poll-list snapshot: a refresh replaces the pointer instead of
+  // mutating the vector, so run() can keep iterating the old list while a
+  // nested find_out_port() (reached through process()) refreshes mid-burst.
+  using PollList =
+      std::vector<std::pair<PortId, std::shared_ptr<PortHandle::Port>>>;
+  std::shared_ptr<const PollList> port_poll_cache_ =
+      std::make_shared<PollList>();
+  // Output lookup: dense direct-index table for small port ids (the common
+  // case — scheduler-assigned worker ports), map fallback for the rest.
+  // Raw pointers are backed by the poll list built in the same refresh.
+  std::vector<PortHandle::Port*> port_out_dense_;
+  std::unordered_map<PortId, PortHandle::Port*> port_out_sparse_;
+  std::uint64_t port_cache_gen_ = 0;
+  // Same replace-not-mutate scheme: apply_actions() may refresh while run()
+  // iterates the old list for tunnel ingress.
+  std::shared_ptr<const std::vector<TunnelRef>> tunnel_cache_ =
+      std::make_shared<std::vector<TunnelRef>>();
+  std::uint64_t tunnel_cache_gen_ = 0;
+  // Egress holdover: packets whose destination ring was full. While this
+  // backlog exists, run() pauses ingress polling so full downstream rings
+  // become upstream ring pressure (end-to-end back-pressure) instead of
+  // silent drops. Entries older than cfg_.egress_hold revert to drops.
+  std::deque<std::pair<net::PacketPtr, PortId>> egress_pending_;
+  common::TimePoint egress_block_since_{};
+  static constexpr std::size_t kEgressPendingCap = 4096;
 
   common::MpmcQueue<std::pair<net::PacketPtr, PortId>> injected_;
 

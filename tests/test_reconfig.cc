@@ -247,8 +247,10 @@ TEST(Reconfig, SwapLogicReplacesComputation) {
   // and inspect mid workers' identity changed.
   EXPECT_EQ(cluster.workers_of_node("swap", "mid").size(), 2u);
   auto phys = cluster.manager().physical("swap").value();
-  const stream::NodeSpec* mid_spec =
-      cluster.manager().spec("swap").value().node_by_name("mid");
+  // Keep the spec Result alive: node_by_name returns a pointer into it.
+  const auto spec = cluster.manager().spec("swap");
+  ASSERT_TRUE(spec.ok());
+  const stream::NodeSpec* mid_spec = spec.value().node_by_name("mid");
   for (const auto& w : phys.workers_of(mid_spec->id)) {
     EXPECT_GE(w.task_index, 2) << "old workers should be gone";
   }
