@@ -11,8 +11,13 @@
 //
 // Timeline compression: 1 reported "paper second" = 100 ms wall time
 // (paper x-axis 0..70 s -> ~7 s wall per system).
+//
+// The fault is scripted as a FaultPlan (src/faultinject): a crash of
+// split/0 at the fault bucket, repeating every 300 ms — the paper's
+// persistent code bug that kills the worker again after every restart.
 #include <cstdio>
 
+#include "typhoon/fault_runner.h"
 #include "util/components.h"
 #include "util/harness.h"
 
@@ -64,21 +69,37 @@ void RunOnce(TransportMode mode) {
     return;
   }
 
+  // Crash split/0 at the fault bucket and keep crashing it after every
+  // restart (repeat_ms) — the persistent fault of Sec 6.2.
+  const std::string plan_text =
+      "at_ms=" +
+      std::to_string(kFaultBucket * kBucket.count()) +
+      " fault=crash worker=wc/split/0 repeat_ms=300\n";
+  auto plan = faultinject::FaultPlan::Parse(plan_text);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "fault plan parse failed: %s\n",
+                 plan.status().message().c_str());
+    return;
+  }
+  FaultPlanRunner faults(&cluster, std::move(plan.value()));
+  faults.start();
+
   const char* fig = mode == TransportMode::kTyphoon ? "10(b)" : "10(a)";
   PrintTimelineHeader(std::string("Fig ") + fig + " — " + ModeName(mode) +
                           ": count-worker throughput (tuples/s)",
                       4, "COUNT");
   TimelineSampler sampler(cluster, "wc", "count", 4, kScale);
+  bool announced = false;
   for (int bucket = 0; bucket < kBuckets; ++bucket) {
     common::SleepFor(kBucket);
-    if (bucket == kFaultBucket) {
-      flags->crash_split.store(true);
-      flags->crash_task_index.store(0);
+    if (!announced && faults.fired() > 0) {
+      announced = true;
       std::printf("%8s  *** split worker fault injected ***\n", "");
     }
     TimelineRow row = sampler.sample();
     if (bucket % 2 == 1) PrintTimelineRow(row, 4);  // print every 0.2 s
   }
+  faults.stop();
 
   std::printf("  manager reschedules: %lld, agent local restarts: %lld",
               static_cast<long long>(cluster.manager().reschedules()),

@@ -1,7 +1,9 @@
 #include "controller/apps/fault_detector.h"
 
 #include <algorithm>
+#include <cstdlib>
 
+#include "common/clock.h"
 #include "common/log.h"
 
 namespace typhoon::controller {
@@ -62,9 +64,84 @@ void FaultDetector::on_port_status(HostId host,
       std::lock_guard lk(mu_);
       auto it = down_.find(ref->topology);
       if (it == down_.end() || it->second.erase(ref->worker.id) == 0) return;
+      auto hb = hb_down_.find(ref->topology);
+      if (hb != hb_down_.end()) hb->second.erase(ref->worker.id);
     }
     recovered_.fetch_add(1);
     push_routing(ref->topology, ref->worker);
+  }
+}
+
+void FaultDetector::tick() {
+  if (ctl_ == nullptr) return;
+  auto* coord = ctl_->coord();
+  if (coord == nullptr) return;
+
+  const std::int64_t now_us = common::NowMicros();
+  const std::int64_t stale_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(cfg_.stale_after)
+          .count();
+
+  for (TopologyId id : ctl_->topology_ids()) {
+    auto spec = ctl_->spec(id);
+    auto phys = ctl_->physical(id);
+    if (!spec || !phys) continue;
+
+    for (const stream::PhysicalWorker& w : phys->workers) {
+      auto hb = coord->get_str(stream::WorkerHeartbeatPath(spec->name, w.id));
+      if (!hb) continue;  // not yet launched — the manager owns that window
+      const std::int64_t last = std::strtoll(hb->c_str(), nullptr, 10);
+      const std::pair<TopologyId, WorkerId> key{id, w.id};
+
+      if (now_us - last < stale_us) {
+        hb_misses_.erase(key);
+        // Fresh heartbeat from a worker we rerouted around: re-include it.
+        bool was_down = false;
+        {
+          std::lock_guard lk(mu_);
+          auto it = hb_down_.find(id);
+          if (it != hb_down_.end() && it->second.erase(w.id) != 0) {
+            was_down = true;
+            down_[id].erase(w.id);
+          }
+        }
+        if (was_down) {
+          recovered_.fetch_add(1);
+          LOG_INFO("fault-detector")
+              << "heartbeat resumed for w" << w.id << " (" << spec->name
+              << "); re-including";
+          push_routing(id, w);
+        }
+        continue;
+      }
+
+      int& misses = hb_misses_[key];
+      ++misses;
+      if (misses == cfg_.suspect_misses) {
+        suspects_.fetch_add(1);
+        LOG_WARN("fault-detector")
+            << "worker w" << w.id << " (" << spec->name << ") heartbeat "
+            << (now_us - last) / 1000 << "ms stale — slow, watching";
+      }
+      if (misses < cfg_.dead_misses) continue;
+      hb_misses_.erase(key);
+
+      bool newly_down = false;
+      {
+        std::lock_guard lk(mu_);
+        if (down_[id].insert(w.id).second) {
+          hb_down_[id].insert(w.id);
+          newly_down = true;
+        }
+      }
+      if (!newly_down) continue;
+      detected_.fetch_add(1);
+      hb_faults_.fetch_add(1);
+      LOG_WARN("fault-detector")
+          << "worker w" << w.id << " (" << spec->name
+          << ") heartbeat silent past dead threshold; rerouting predecessors";
+      push_routing(id, w);
+    }
   }
 }
 

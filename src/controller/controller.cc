@@ -37,6 +37,16 @@ void TyphoonController::add_switch(HostId host, switchd::SoftSwitch* sw) {
   }
   sw->set_event_sink([this](HostId h, switchd::SwitchEvent ev) {
     events_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard lk(part_mu_);
+      if (partitioned_.contains(h)) {
+        // Control channel to this host is down: hold the event until heal.
+        if (deferred_.size() < kDeferredCap) {
+          deferred_.emplace_back(h, std::move(ev));
+        }
+        return;
+      }
+    }
     events_q_.try_push({h, std::move(ev)});
   });
 }
@@ -128,7 +138,7 @@ void TyphoonController::send_routing_update(
   stream::ControlTuple ct;
   ct.type = stream::ControlType::kRouting;
   ct.routing = update;
-  (void)send_control(phys.id, target, ct);
+  (void)send_control(phys.id, target, ct, /*reliable=*/true);
 }
 
 void TyphoonController::send_signal(const stream::PhysicalTopology& phys,
@@ -136,13 +146,13 @@ void TyphoonController::send_signal(const stream::PhysicalTopology& phys,
   stream::ControlTuple ct;
   ct.type = stream::ControlType::kSignal;
   ct.signal_tag = tag;
-  (void)send_control(phys.id, target, ct);
+  (void)send_control(phys.id, target, ct, /*reliable=*/true);
 }
 
 void TyphoonController::send_control_tuple(
     const stream::PhysicalTopology& phys, WorkerId target,
     const stream::ControlTuple& ct) {
-  (void)send_control(phys.id, target, ct);
+  (void)send_control(phys.id, target, ct, /*reliable=*/true);
 }
 
 void TyphoonController::on_topology_killed(TopologyId id) {
@@ -155,9 +165,8 @@ void TyphoonController::on_topology_killed(TopologyId id) {
   for (switchd::SoftSwitch* sw : sws) sw->remove_rules_by_cookie(id);
 }
 
-common::Status TyphoonController::send_control(TopologyId topology,
-                                               WorkerId dst,
-                                               const stream::ControlTuple& ct) {
+common::Status TyphoonController::transmit_control(
+    TopologyId topology, WorkerId dst, const stream::ControlTuple& ct) {
   stream::PhysicalTopology phys;
   {
     std::lock_guard lk(mu_);
@@ -171,11 +180,117 @@ common::Status TyphoonController::send_control(TopologyId topology,
   if (w == nullptr) {
     return common::NotFound("worker w" + std::to_string(dst));
   }
+  if (is_partitioned(w->host)) {
+    return common::Unavailable("controller partitioned from host " +
+                               std::to_string(w->host));
+  }
   switchd::SoftSwitch* sw = switch_at(w->host);
   if (sw == nullptr) return common::NotFound("switch for host");
   sw->handle_packet_out({BuildControlPacket(topology, dst, ct),
                          kPortController});
   return common::Status::Ok();
+}
+
+common::Status TyphoonController::send_control(TopologyId topology,
+                                               WorkerId dst,
+                                               const stream::ControlTuple& ct,
+                                               bool reliable) {
+  if (!reliable) return transmit_control(topology, dst, ct);
+
+  stream::ControlTuple seqd = ct;
+  if (seqd.seq == 0) seqd.seq = next_ctl_seq_.fetch_add(1);
+  {
+    std::lock_guard lk(mu_);
+    if (!topologies_.contains(topology)) {
+      return common::NotFound("topology " + std::to_string(topology));
+    }
+    PendingCtl p;
+    p.topology = topology;
+    p.dst = dst;
+    p.ct = seqd;
+    p.attempts = 1;
+    p.backoff = opts_.control_retry_initial;
+    p.next_retry = common::Now() + p.backoff;
+    pending_ctl_[seqd.seq] = std::move(p);
+  }
+  // First attempt inline; failures (partition, mid-reschedule routing gaps)
+  // are retried from the controller loop, so the caller — often an app on
+  // the controller thread itself — never blocks waiting for the ack.
+  (void)transmit_control(topology, dst, seqd);
+  return common::Status::Ok();
+}
+
+void TyphoonController::retry_pending_controls() {
+  std::vector<PendingCtl> to_send;
+  std::size_t abandoned = 0;
+  const common::TimePoint now = common::Now();
+  {
+    std::lock_guard lk(mu_);
+    for (auto it = pending_ctl_.begin(); it != pending_ctl_.end();) {
+      PendingCtl& p = it->second;
+      if (now < p.next_retry) {
+        ++it;
+        continue;
+      }
+      if (p.attempts >= opts_.control_max_attempts ||
+          !topologies_.contains(p.topology)) {
+        it = pending_ctl_.erase(it);
+        ++abandoned;
+        continue;
+      }
+      ++p.attempts;
+      p.backoff = std::min(p.backoff * 2, opts_.control_retry_max);
+      p.next_retry = now + p.backoff;
+      to_send.push_back(p);
+      ++it;
+    }
+  }
+  for (const PendingCtl& p : to_send) {
+    ctl_retransmits_.fetch_add(1, std::memory_order_relaxed);
+    (void)transmit_control(p.topology, p.dst, p.ct);
+  }
+  if (abandoned != 0) {
+    ctl_abandoned_.fetch_add(static_cast<std::int64_t>(abandoned),
+                             std::memory_order_relaxed);
+    LOG_WARN("controller") << abandoned
+                           << " control tuple(s) abandoned after max retries";
+  }
+}
+
+void TyphoonController::set_partitioned(HostId host, bool partitioned) {
+  std::deque<std::pair<HostId, switchd::SwitchEvent>> flush;
+  {
+    std::lock_guard lk(part_mu_);
+    if (partitioned) {
+      partitioned_.insert(host);
+      return;
+    }
+    partitioned_.erase(host);
+    std::deque<std::pair<HostId, switchd::SwitchEvent>> rest;
+    while (!deferred_.empty()) {
+      auto& e = deferred_.front();
+      (e.first == host ? flush : rest).push_back(std::move(e));
+      deferred_.pop_front();
+    }
+    deferred_.swap(rest);
+  }
+  // Heal: buffered events reach the loop in their original arrival order.
+  for (auto& e : flush) events_q_.try_push(std::move(e));
+}
+
+bool TyphoonController::is_partitioned(HostId host) const {
+  std::lock_guard lk(part_mu_);
+  return partitioned_.contains(host);
+}
+
+std::int64_t TyphoonController::deferred_events() const {
+  std::lock_guard lk(part_mu_);
+  return static_cast<std::int64_t>(deferred_.size());
+}
+
+std::size_t TyphoonController::control_in_flight() const {
+  std::lock_guard lk(mu_);
+  return pending_ctl_.size();
 }
 
 common::Result<stream::MetricReport> TyphoonController::query_worker_metrics(
@@ -283,17 +398,25 @@ void TyphoonController::handle_event(HostId host, switchd::SwitchEvent ev) {
     if (net::DecodeChunkHeader(r, h) && r.view(h.chunk_len, body) &&
         h.control()) {
       stream::ControlTuple ct;
-      if (stream::DecodeControl(body, ct) &&
-          ct.type == stream::ControlType::kMetricResp && ct.report) {
-        std::shared_ptr<PendingQuery> pending;
-        {
+      if (stream::DecodeControl(body, ct)) {
+        if (ct.type == stream::ControlType::kMetricResp && ct.report) {
+          std::shared_ptr<PendingQuery> pending;
+          {
+            std::lock_guard lk(mu_);
+            auto it = pending_.find(ct.report->request_id);
+            if (it != pending_.end()) pending = it->second;
+          }
+          if (pending) {
+            pending->report = *ct.report;
+            pending->done.store(true, std::memory_order_release);
+          }
+        } else if (ct.type == stream::ControlType::kControlAck) {
+          // request_id carries the acked sequence number; duplicate acks
+          // (from retransmitted copies) find nothing and are ignored.
           std::lock_guard lk(mu_);
-          auto it = pending_.find(ct.report->request_id);
-          if (it != pending_.end()) pending = it->second;
-        }
-        if (pending) {
-          pending->report = *ct.report;
-          pending->done.store(true, std::memory_order_release);
+          if (pending_ctl_.erase(ct.request_id) != 0) {
+            ctl_acked_.fetch_add(1, std::memory_order_relaxed);
+          }
         }
       }
     }
@@ -326,6 +449,8 @@ void TyphoonController::run() {
   while (running_.load(std::memory_order_relaxed)) {
     auto item = events_q_.pop_for(std::chrono::milliseconds(5));
     if (item) handle_event(item->first, std::move(item->second));
+
+    retry_pending_controls();
 
     const common::TimePoint now = common::Now();
     if (now - last_tick >= opts_.tick_interval) {

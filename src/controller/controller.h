@@ -12,11 +12,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -34,6 +36,12 @@ namespace typhoon::controller {
 struct ControllerOptions {
   std::chrono::milliseconds tick_interval{50};
   RuleCompilerConfig rules;
+  // Reliable control-channel retry policy: sequenced control tuples are
+  // retransmitted with bounded exponential backoff until acked (workers
+  // deduplicate by sequence number, so retries are idempotent).
+  int control_max_attempts = 8;
+  std::chrono::milliseconds control_retry_initial{25};
+  std::chrono::milliseconds control_retry_max{400};
 };
 
 // Build the Ethernet packet carrying one control tuple (controller ->
@@ -76,9 +84,35 @@ class TyphoonController final : public stream::SdnHooks {
   void on_topology_killed(TopologyId id) override;
 
   // ---- services for apps and harnesses ----
-  // Inject a control tuple to a worker of a registered topology.
+  // Inject a control tuple to a worker of a registered topology. With
+  // `reliable` the tuple gets a sequence number and is retransmitted with
+  // bounded exponential backoff until the worker acks it (or attempts run
+  // out); the call itself never blocks — delivery is asynchronous, driven
+  // by the controller loop. Stable-update traffic (ROUTING/SIGNAL) goes
+  // through this path; METRIC_REQ keeps its own request/timeout cycle.
   common::Status send_control(TopologyId topology, WorkerId dst,
-                              const stream::ControlTuple& ct);
+                              const stream::ControlTuple& ct,
+                              bool reliable = false);
+
+  // ---- fault injection: controller-channel partition ----
+  // While a host is partitioned its switch events are buffered instead of
+  // delivered, and control sends toward it fail (the reliable channel keeps
+  // retrying); healing flushes the buffered events in arrival order.
+  void set_partitioned(HostId host, bool partitioned);
+  [[nodiscard]] bool is_partitioned(HostId host) const;
+  [[nodiscard]] std::int64_t deferred_events() const;
+
+  // Reliable control-channel counters (tests/benches).
+  [[nodiscard]] std::int64_t control_retransmits() const {
+    return ctl_retransmits_.load();
+  }
+  [[nodiscard]] std::int64_t control_acked() const {
+    return ctl_acked_.load();
+  }
+  [[nodiscard]] std::int64_t control_abandoned() const {
+    return ctl_abandoned_.load();
+  }
+  [[nodiscard]] std::size_t control_in_flight() const;
   // Application-layer statistics via METRIC_REQ / METRIC_RESP round trip.
   common::Result<stream::MetricReport> query_worker_metrics(
       TopologyId topology, WorkerId worker,
@@ -121,6 +155,11 @@ class TyphoonController final : public stream::SdnHooks {
   void run();
   void handle_event(HostId host, switchd::SwitchEvent ev);
   void install(const RulesByHost& rules);
+  // One transmission attempt (no retry bookkeeping). Fails while the
+  // destination host is partitioned or mid-reschedule.
+  common::Status transmit_control(TopologyId topology, WorkerId dst,
+                                  const stream::ControlTuple& ct);
+  void retry_pending_controls();
 
   coordinator::Coordinator* coord_;
   ControllerOptions opts_;
@@ -143,6 +182,28 @@ class TyphoonController final : public stream::SdnHooks {
   std::map<std::uint64_t, std::shared_ptr<PendingQuery>> pending_;
   std::atomic<std::uint64_t> next_request_{1};
   std::atomic<std::uint32_t> next_group_{1};
+
+  // Reliable control-channel state (guarded by mu_).
+  struct PendingCtl {
+    TopologyId topology = 0;
+    WorkerId dst = 0;
+    stream::ControlTuple ct;
+    int attempts = 0;
+    common::TimePoint next_retry;
+    std::chrono::milliseconds backoff{0};
+  };
+  std::map<std::uint64_t, PendingCtl> pending_ctl_;  // by seq
+  std::atomic<std::uint64_t> next_ctl_seq_{1};
+  std::atomic<std::int64_t> ctl_retransmits_{0};
+  std::atomic<std::int64_t> ctl_acked_{0};
+  std::atomic<std::int64_t> ctl_abandoned_{0};
+
+  // Partition state. Separate lock: the event sink runs on switch threads
+  // and must not contend with mu_'s control-plane critical sections.
+  mutable std::mutex part_mu_;
+  std::set<HostId> partitioned_;
+  std::deque<std::pair<HostId, switchd::SwitchEvent>> deferred_;
+  static constexpr std::size_t kDeferredCap = 65536;
 
   common::MpmcQueue<std::pair<HostId, switchd::SwitchEvent>> events_q_;
   std::atomic<bool> running_{false};

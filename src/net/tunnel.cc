@@ -1,30 +1,129 @@
 #include "net/tunnel.h"
 
+#include <span>
+#include <vector>
+
+#include "common/hash.h"
+
 namespace typhoon::net {
+
+namespace {
+
+constexpr std::size_t kChecksumBytes = 8;
+
+void AppendChecksum(common::Bytes& frame) {
+  const std::uint64_t sum =
+      common::Fnv1a(std::span<const std::uint8_t>(frame.data(), frame.size()));
+  for (std::size_t i = 0; i < kChecksumBytes; ++i) {
+    frame.push_back(static_cast<std::uint8_t>(sum >> (i * 8)));
+  }
+}
+
+bool VerifyAndStripChecksum(common::Bytes& frame) {
+  if (frame.size() < kChecksumBytes) return false;
+  const std::size_t body = frame.size() - kChecksumBytes;
+  std::uint64_t stored = 0;
+  for (std::size_t i = 0; i < kChecksumBytes; ++i) {
+    stored |= static_cast<std::uint64_t>(frame[body + i]) << (i * 8);
+  }
+  const std::uint64_t sum =
+      common::Fnv1a(std::span<const std::uint8_t>(frame.data(), body));
+  if (sum != stored) return false;
+  frame.resize(body);
+  return true;
+}
+
+}  // namespace
 
 bool TunnelEndpoint::send(const Packet& p) {
   common::Bytes frame;
-  frame.reserve(p.wire_size());
+  frame.reserve(p.wire_size() + kChecksumBytes);
   EncodeFrame(p, frame);
+  // bytes_sent counts marshalled frame bytes; the checksum trailer is link
+  // overhead, excluded so throughput probes keep their pre-trailer meaning.
   bytes_ += frame.size();
   ++sent_;
+  AppendChecksum(frame);
+
+  if (impaired_.load(std::memory_order_acquire)) {
+    std::lock_guard lk(impair_mu_);
+    if (shaper_ != nullptr) {
+      // The corrupt action flips one wire byte; the receiver's checksum
+      // turns it into a counted drop rather than a garbage packet.
+      std::vector<common::Bytes> out;
+      shaper_->admit(std::move(frame), out,
+                     [](common::Bytes& f, std::uint32_t offset,
+                        std::uint8_t mask) {
+                       if (!f.empty()) f[offset % f.size()] ^= mask;
+                     });
+      bool ok = true;
+      for (common::Bytes& f : out) ok = tx_->push(std::move(f)) && ok;
+      return ok;
+    }
+  }
   return tx_->push(std::move(frame));
 }
 
+std::optional<Packet> TunnelEndpoint::decode_checked(common::Bytes frame) {
+  if (!VerifyAndStripChecksum(frame)) {
+    corrupt_rx_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  return DecodeFrame(frame);
+}
+
 std::optional<Packet> TunnelEndpoint::try_recv() {
-  auto frame = rx_->try_pop();
-  if (!frame) return std::nullopt;
-  return DecodeFrame(*frame);
+  // Corrupt frames are link drops: count them and keep draining so the
+  // caller never mistakes a mangled frame for an empty queue.
+  while (auto frame = rx_->try_pop()) {
+    if (auto p = decode_checked(std::move(*frame))) return p;
+  }
+  return std::nullopt;
 }
 
 std::optional<Packet> TunnelEndpoint::recv_for(
     std::chrono::milliseconds timeout) {
-  auto frame = rx_->pop_for(timeout);
-  if (!frame) return std::nullopt;
-  return DecodeFrame(*frame);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    auto frame = rx_->pop_for(remaining > std::chrono::milliseconds::zero()
+                                  ? remaining
+                                  : std::chrono::milliseconds::zero());
+    if (!frame) return std::nullopt;
+    if (auto p = decode_checked(std::move(*frame))) return p;
+    if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+  }
+}
+
+faultinject::Impairment* TunnelEndpoint::set_impairment(
+    const faultinject::ImpairmentConfig& cfg) {
+  std::lock_guard lk(impair_mu_);
+  shaper_ = std::make_unique<faultinject::Shaper<common::Bytes>>(cfg);
+  impaired_.store(true, std::memory_order_release);
+  return &shaper_->impairment();
+}
+
+void TunnelEndpoint::clear_impairment() {
+  std::lock_guard lk(impair_mu_);
+  if (shaper_ != nullptr) {
+    // Best-effort drain of held frames so a cleared link does not strand
+    // reordered traffic.
+    std::vector<common::Bytes> out;
+    shaper_->flush(out);
+    for (common::Bytes& f : out) (void)tx_->try_push(std::move(f));
+  }
+  impaired_.store(false, std::memory_order_release);
+  shaper_.reset();
+}
+
+faultinject::Impairment* TunnelEndpoint::impairment() {
+  std::lock_guard lk(impair_mu_);
+  return shaper_ == nullptr ? nullptr : &shaper_->impairment();
 }
 
 void TunnelEndpoint::close() {
+  clear_impairment();
   tx_->close();
   rx_->close();
 }

@@ -5,15 +5,21 @@
 // (Table 3, remote transfer rules).
 //
 // Frames are serialized to bytes on send and parsed on receive, preserving
-// the real marshaling cost of crossing a host boundary.
+// the real marshaling cost of crossing a host boundary. Every frame carries
+// an FNV-1a checksum trailer; a frame that fails verification on receive is
+// dropped and counted (`rx_corrupt_drops`) instead of surfacing garbage —
+// the wire can be corrupted by an attached fault-injection Impairment.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "common/mpmc_queue.h"
+#include "faultinject/impairment.h"
 #include "net/packet.h"
 
 namespace typhoon::net {
@@ -30,6 +36,20 @@ class TunnelEndpoint {
   void close();
   [[nodiscard]] std::uint64_t frames_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
+  // Frames discarded on receive because their checksum failed.
+  [[nodiscard]] std::uint64_t rx_corrupt_drops() const {
+    return corrupt_rx_.load(std::memory_order_relaxed);
+  }
+
+  // Attach a deterministic impairment stage to this endpoint's transmit
+  // side (frames admitted on send may be dropped, duplicated, reordered,
+  // delayed, or corrupted before reaching the peer). Returns the decision
+  // engine for counter/fingerprint probes; the pointer stays valid until
+  // clear_impairment() or endpoint destruction. Thread-safe.
+  faultinject::Impairment* set_impairment(
+      const faultinject::ImpairmentConfig& cfg);
+  void clear_impairment();
+  [[nodiscard]] faultinject::Impairment* impairment();
 
  private:
   friend std::pair<std::shared_ptr<TunnelEndpoint>,
@@ -38,10 +58,19 @@ class TunnelEndpoint {
 
   using Channel = common::MpmcQueue<common::Bytes>;
 
+  std::optional<Packet> decode_checked(common::Bytes frame);
+
   std::shared_ptr<Channel> tx_;
   std::shared_ptr<Channel> rx_;
   std::uint64_t sent_ = 0;
   std::uint64_t bytes_ = 0;
+  std::atomic<std::uint64_t> corrupt_rx_{0};
+
+  // Wire shaper, present only while impaired. The flag keeps the unimpaired
+  // send path lock-free; the mutex covers attach/detach racing the sender.
+  std::mutex impair_mu_;
+  std::unique_ptr<faultinject::Shaper<common::Bytes>> shaper_;
+  std::atomic<bool> impaired_{false};
 };
 
 // Create a bidirectional tunnel; returns the two endpoints.

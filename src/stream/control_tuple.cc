@@ -12,6 +12,7 @@ const char* ControlTypeName(ControlType t) {
     case ControlType::kActivate: return "ACTIVATE";
     case ControlType::kDeactivate: return "DEACTIVATE";
     case ControlType::kBatchSize: return "BATCH_SIZE";
+    case ControlType::kControlAck: return "CONTROL_ACK";
   }
   return "?";
 }
@@ -21,6 +22,7 @@ common::Bytes EncodeControl(const ControlTuple& ct) {
   common::BufWriter w(out);
   w.u8(static_cast<std::uint8_t>(ct.type));
   w.u64(ct.request_id);
+  w.u64(ct.seq);
   switch (ct.type) {
     case ControlType::kRouting: {
       const RoutingUpdate& ru = ct.routing.value();
@@ -59,7 +61,7 @@ common::Bytes EncodeControl(const ControlTuple& ct) {
 bool DecodeControl(std::span<const std::uint8_t> data, ControlTuple& ct) {
   common::BufReader r(data);
   std::uint8_t type = 0;
-  if (!r.u8(type) || !r.u64(ct.request_id)) return false;
+  if (!r.u8(type) || !r.u64(ct.request_id) || !r.u64(ct.seq)) return false;
   ct.type = static_cast<ControlType>(type);
   switch (ct.type) {
     case ControlType::kRouting: {
@@ -102,6 +104,7 @@ bool DecodeControl(std::span<const std::uint8_t> data, ControlTuple& ct) {
     case ControlType::kMetricReq:
     case ControlType::kActivate:
     case ControlType::kDeactivate:
+    case ControlType::kControlAck:
       break;
     default:
       return false;

@@ -24,6 +24,8 @@ enum class ControlType : std::uint8_t {
   kActivate = 6,     // unthrottle the first workers of a topology
   kDeactivate = 7,   // throttle them
   kBatchSize = 8,    // adjust I/O-layer tuple batch size
+  kControlAck = 9,   // worker -> controller: ack of a sequenced control
+                     // tuple (request_id carries the acked seq)
 };
 
 [[nodiscard]] const char* ControlTypeName(ControlType t);
@@ -51,8 +53,12 @@ struct ControlTuple {
   std::optional<RoutingUpdate> routing;
   // Set for kMetricResp.
   std::optional<MetricReport> report;
-  // kMetricReq correlation id.
+  // kMetricReq correlation id (kControlAck: the acked sequence number).
   std::uint64_t request_id = 0;
+  // Reliable-delivery sequence number. Zero means fire-and-forget; nonzero
+  // makes the receiving worker ack the tuple and apply it at most once,
+  // letting the controller retransmit safely (idempotent control channel).
+  std::uint64_t seq = 0;
   // kInputRate: tuples/sec (0 = unlimited).
   double input_rate = 0.0;
   // kBatchSize: new I/O batch size.

@@ -73,6 +73,9 @@ struct TopologySpec {
   std::uint32_t flush_interval_us = 200;
   // Cap on outstanding (un-acked) spout tuples in reliable mode.
   std::uint32_t max_pending = 2048;
+  // Un-acked spout tuples older than this are failed (and typically
+  // replayed) — the recovery latency knob for lossy links.
+  std::uint32_t pending_timeout_ms = 5000;
   std::vector<NodeSpec> nodes;
   std::vector<EdgeSpec> edges;
 

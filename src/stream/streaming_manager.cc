@@ -20,6 +20,7 @@ TopologySpec BuildSpec(const LogicalTopology& topo, TopologyId id,
   s.batch_size = options.batch_size;
   s.flush_interval_us = options.flush_interval_us;
   s.max_pending = options.max_pending;
+  s.pending_timeout_ms = options.pending_timeout_ms;
   for (const LogicalNode& n : topo.nodes()) {
     s.nodes.push_back(
         {n.id, n.name, n.parallelism, n.is_spout, n.stateful});
@@ -84,23 +85,50 @@ common::Status StreamingManager::wait_for_drain(
     const std::string& topology, const std::vector<WorkerId>& workers,
     std::chrono::milliseconds timeout) {
   const common::TimePoint deadline = common::Now() + timeout;
+  const std::int64_t freshness_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          opts_.drain_probe_freshness)
+          .count();
   for (WorkerId w : workers) {
     int consecutive_empty = 0;
-    while (consecutive_empty < 2) {
-      auto depth = coord_->get_str(WorkerStatsPath(topology, w, "queue_depth"));
+    for (;;) {
+      // A worker that can no longer emit has nothing left to drain.
+      auto state = coord_->get_str(WorkerStatePath(topology, w));
+      if (state && (*state == "DEAD" || *state == "STOPPED")) break;
+
+      // Trust a zero queue depth only when it was published recently: a
+      // hung worker's last report may be a stale zero while tuples pile up
+      // unobserved in its ring.
+      bool empty_probe = false;
+      auto depth =
+          coord_->get_str(WorkerStatsPath(topology, w, "queue_depth"));
       if (depth && *depth == "0") {
-        ++consecutive_empty;
-      } else {
+        auto hb = coord_->get_str(WorkerHeartbeatPath(topology, w));
+        if (hb) {
+          const std::int64_t age_us =
+              common::NowMicros() - std::strtoll(hb->c_str(), nullptr, 10);
+          empty_probe = age_us < freshness_us;
+        }
+      }
+      consecutive_empty = empty_probe ? consecutive_empty + 1 : 0;
+
+      if (consecutive_empty >= 2) {
+        // Settle, then re-probe once: an in-flight burst landing after the
+        // empty observations re-opens the wait instead of being stranded by
+        // the kill that follows a "drained" verdict.
+        common::SleepFor(opts_.drain_settle);
+        auto again =
+            coord_->get_str(WorkerStatsPath(topology, w, "queue_depth"));
+        if (!again || *again == "0") break;
         consecutive_empty = 0;
       }
       if (common::Now() > deadline) {
         return common::Unavailable("worker w" + std::to_string(w) +
-                                   " did not drain");
+                                   " did not drain within deadline");
       }
       common::SleepMillis(5);
     }
   }
-  common::SleepFor(opts_.drain_settle);
   return common::Status::Ok();
 }
 
@@ -690,7 +718,23 @@ void StreamingManager::failure_detector() {
         auto hb = coord_->get_str(WorkerHeartbeatPath(name, w.id));
         if (!hb) continue;
         const std::int64_t last = std::strtoll(hb->c_str(), nullptr, 10);
-        if (now_us - last < timeout_us) continue;
+        if (now_us - last < timeout_us) {
+          hb_misses_.erase({name, w.id});
+          continue;
+        }
+
+        // Consecutive-miss threshold: one stale round means "slow" (a long
+        // pause a future heartbeat can clear); only repeated misses mean
+        // "dead" and trigger the reschedule.
+        int& misses = hb_misses_[{name, w.id}];
+        if (++misses < opts_.dead_after_misses) {
+          LOG_WARN("manager") << "stale heartbeat for w" << w.id << " ("
+                              << name << "), miss " << misses << "/"
+                              << opts_.dead_after_misses
+                              << " — slow, not yet dead";
+          continue;
+        }
+        hb_misses_.erase({name, w.id});
 
         // Heartbeat timeout: re-schedule onto another host (Sec 2 "Any
         // worker failure is detected from periodic heartbeats...").

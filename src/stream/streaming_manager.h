@@ -37,6 +37,9 @@ struct SubmitOptions {
   std::uint32_t flush_interval_us = 200;
   // Outstanding-tuple cap for reliable spouts (max.spout.pending analog).
   std::uint32_t max_pending = 2048;
+  // Un-acked spout tuples older than this fail and replay (recovery-latency
+  // knob: chaos tests on lossy links lower it to converge quickly).
+  std::uint32_t pending_timeout_ms = 5000;
   std::chrono::milliseconds launch_timeout{5000};
 };
 
@@ -72,6 +75,14 @@ struct ManagerOptions {
   std::chrono::milliseconds heartbeat_timeout{1500};
   std::chrono::milliseconds monitor_interval{100};
   std::chrono::milliseconds drain_settle{30};
+  // A queue-depth "0" only counts toward drain while the worker's heartbeat
+  // is at most this old — a hung worker's last published zero must not pass
+  // for an empty queue.
+  std::chrono::milliseconds drain_probe_freshness{300};
+  // Consecutive stale-heartbeat monitor rounds before a worker is declared
+  // dead and rescheduled; earlier rounds only log it as slow. Distinguishes
+  // a long pause (GC-style hang) from an actual death.
+  int dead_after_misses = 3;
 };
 
 class StreamingManager {
@@ -142,6 +153,9 @@ class StreamingManager {
   // Rescheduled workers awaiting RUNNING before predecessors re-route to
   // them: (topology, worker).
   std::vector<std::pair<std::string, WorkerId>> pending_reinclude_;
+  // Consecutive stale-heartbeat counts per (topology, worker); guarded by
+  // mu_ (monitor thread only).
+  std::map<std::pair<std::string, WorkerId>, int> hb_misses_;
 
   std::atomic<bool> running_{false};
   std::atomic<std::int64_t> reschedules_{0};

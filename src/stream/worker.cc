@@ -98,6 +98,26 @@ void Worker::emit_direct(WorkerId dst, StreamId stream, Tuple t) {
 }
 
 void Worker::handle_control(const ControlTuple& ct) {
+  if (ct.type == ControlType::kControlAck) return;  // controller-bound only
+  if (ct.seq != 0) {
+    // Reliable control delivery: every copy is acked (the retransmitter
+    // needs the ack even when the original got through), but only the
+    // first copy is applied.
+    ControlTuple ack;
+    ack.type = ControlType::kControlAck;
+    ack.request_id = ct.seq;
+    opts_.transport->send_to_controller(ack);
+    if (seen_seq_.contains(ct.seq)) {
+      metrics_.counter("control_dups_dropped").inc();
+      return;
+    }
+    seen_seq_.insert(ct.seq);
+    seen_seq_order_.push_back(ct.seq);
+    if (seen_seq_order_.size() > kControlSeqWindow) {
+      seen_seq_.erase(seen_seq_order_.front());
+      seen_seq_order_.pop_front();
+    }
+  }
   switch (ct.type) {
     case ControlType::kRouting: {
       if (!ct.routing) return;
@@ -205,6 +225,10 @@ void Worker::handle_item(ReceivedItem& item) {
     handle_control(item.control);
     return;
   }
+  if (const std::int64_t slow = fault_slow_us_.load(std::memory_order_relaxed);
+      slow > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(slow));
+  }
   received_.inc();
   const bool is_acker = opts_.ctx.node_name == kAckerNodeName;
   if (item.meta.stream == kAckStream && opts_.is_spout) {
@@ -269,6 +293,16 @@ bool Worker::spout_turn() {
   return opts_.spout->next(*this);
 }
 
+// Publish DEAD before crashed_ flips: anything polling crashed() must
+// find the coordinator record already in place once it reads true.
+void Worker::mark_crashed() {
+  if (opts_.coord) {
+    opts_.coord->put_str(
+        WorkerStatePath(opts_.ctx.topology_name, opts_.ctx.worker), "DEAD");
+  }
+  crashed_.store(true);
+}
+
 void Worker::run() {
   const std::string& topo = opts_.ctx.topology_name;
   const WorkerId w = opts_.ctx.worker;
@@ -280,10 +314,9 @@ void Worker::run() {
       opts_.bolt->prepare(opts_.ctx);
     }
   } catch (const std::exception& e) {
-    crashed_.store(true);
     LOG_ERROR("worker") << "w" << w << " crashed in open/prepare: "
                         << e.what();
-    if (opts_.coord) opts_.coord->put_str(WorkerStatePath(topo, w), "DEAD");
+    mark_crashed();
     return;
   }
 
@@ -300,6 +333,23 @@ void Worker::run() {
 
   while (!stop_requested_.load(std::memory_order_relaxed)) {
     std::size_t work = 0;
+
+    if (fault_crash_.load(std::memory_order_relaxed)) {
+      LOG_WARN("worker") << "w" << w << " crashed (injected fault)";
+      mark_crashed();
+      break;
+    }
+    if (const std::int64_t hang_ms = fault_hang_ms_.exchange(0);
+        hang_ms > 0) {
+      // Stall with no processing and no heartbeats ("slow, not dead");
+      // stop() still interrupts promptly.
+      const common::TimePoint until =
+          common::Now() + std::chrono::milliseconds(hang_ms);
+      while (common::Now() < until &&
+             !stop_requested_.load(std::memory_order_relaxed)) {
+        common::SleepMillis(1);
+      }
+    }
 
     if (backlog.empty()) {
       buf.clear();
@@ -318,8 +368,8 @@ void Worker::run() {
       try {
         handle_item(item);
       } catch (const std::exception& e) {
-        crashed_.store(true);
         LOG_WARN("worker") << "w" << w << " crashed in execute: " << e.what();
+        mark_crashed();
         break;
       }
       backlog.pop_front();
@@ -331,8 +381,8 @@ void Worker::run() {
       try {
         if (spout_turn()) ++work;
       } catch (const std::exception& e) {
-        crashed_.store(true);
         LOG_WARN("worker") << "w" << w << " crashed in next: " << e.what();
+        mark_crashed();
         break;
       }
     }
@@ -359,10 +409,7 @@ void Worker::run() {
     }
   }
 
-  if (crashed_.load()) {
-    if (opts_.coord) opts_.coord->put_str(WorkerStatePath(topo, w), "DEAD");
-    return;
-  }
+  if (crashed_.load()) return;  // mark_crashed already published DEAD
 
   opts_.transport->flush();
   try {

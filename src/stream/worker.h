@@ -21,6 +21,7 @@
 #include <memory>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/clock.h"
@@ -100,8 +101,24 @@ class Worker final : public Emitter {
   [[nodiscard]] std::int64_t emitted() const { return emitted_.value(); }
   [[nodiscard]] std::int64_t received() const { return received_.value(); }
 
+  // ---- process-level fault injection (faultinject layer) ----
+  // Crash: the worker dies exactly as if user code threw (thread exits,
+  // coordinator state DEAD; the agent and switch-port teardown take the
+  // same path as a real crash).
+  void inject_crash() { fault_crash_.store(true, std::memory_order_relaxed); }
+  // Hang: the event loop stalls for `d` — no processing, no heartbeats —
+  // then resumes, modeling a long GC-style pause ("slow, not dead").
+  void inject_hang(std::chrono::milliseconds d) {
+    fault_hang_ms_.store(d.count(), std::memory_order_relaxed);
+  }
+  // Slow-down: stall this long per handled data tuple (zero clears it).
+  void inject_slowdown(std::chrono::microseconds per_tuple) {
+    fault_slow_us_.store(per_tuple.count(), std::memory_order_relaxed);
+  }
+
  private:
   void run();
+  void mark_crashed();
   void handle_item(ReceivedItem& item);
   void handle_control(const ControlTuple& ct);
   void handle_ack_stream(const Tuple& t);
@@ -127,6 +144,17 @@ class Worker final : public Emitter {
     common::TimePoint emitted_at;
   };
   std::unordered_map<std::uint64_t, PendingRoot> pending_;
+
+  // Idempotent-delivery window for reliable control tuples: every sequenced
+  // control tuple is acked, but only the first copy is applied (duplicates
+  // come from the controller's retransmit path).
+  static constexpr std::size_t kControlSeqWindow = 512;
+  std::deque<std::uint64_t> seen_seq_order_;
+  std::unordered_set<std::uint64_t> seen_seq_;
+
+  std::atomic<bool> fault_crash_{false};
+  std::atomic<std::int64_t> fault_hang_ms_{0};
+  std::atomic<std::int64_t> fault_slow_us_{0};
 
   std::atomic<bool> active_;
   std::atomic<bool> running_{false};

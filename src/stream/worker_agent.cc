@@ -74,6 +74,31 @@ Worker* WorkerAgent::find_worker(WorkerId id) const {
   return it == workers_.end() ? nullptr : it->second.worker.get();
 }
 
+bool WorkerAgent::inject_crash(WorkerId id) {
+  std::lock_guard lk(mu_);
+  auto it = workers_.find(id);
+  if (it == workers_.end() || !it->second.worker) return false;
+  it->second.worker->inject_crash();
+  return true;
+}
+
+bool WorkerAgent::inject_hang(WorkerId id, std::chrono::milliseconds d) {
+  std::lock_guard lk(mu_);
+  auto it = workers_.find(id);
+  if (it == workers_.end() || !it->second.worker) return false;
+  it->second.worker->inject_hang(d);
+  return true;
+}
+
+bool WorkerAgent::inject_slowdown(WorkerId id,
+                                  std::chrono::microseconds per_tuple) {
+  std::lock_guard lk(mu_);
+  auto it = workers_.find(id);
+  if (it == workers_.end() || !it->second.worker) return false;
+  it->second.worker->inject_slowdown(per_tuple);
+  return true;
+}
+
 std::vector<WorkerId> WorkerAgent::worker_ids() const {
   std::lock_guard lk(mu_);
   std::vector<WorkerId> out;
@@ -138,6 +163,8 @@ bool WorkerAgent::launch(WorkerId id, const std::string& topology,
   wo.flush_interval = std::chrono::microseconds(
       std::max<std::uint32_t>(spec.flush_interval_us, 1));
   wo.max_pending = spec.max_pending;
+  wo.pending_timeout = std::chrono::milliseconds(
+      std::max<std::uint32_t>(spec.pending_timeout_ms, 100));
 
   // "Fetch application binaries."
   if (node->is_spout) {

@@ -60,6 +60,15 @@ class WorkerAgent {
   [[nodiscard]] std::vector<WorkerId> worker_ids() const;
   [[nodiscard]] std::int64_t restarts() const { return restarts_.load(); }
 
+  // ---- process-level fault injection (faultinject layer) ----
+  // Inject a fault into a managed worker. False when the worker is not
+  // (or no longer) hosted here. A crash flows through the normal crash
+  // machinery: the monitor detaches the switch port (PortStatus kDelete)
+  // and applies the local-restart policy, like a real user-code crash.
+  bool inject_crash(WorkerId id);
+  bool inject_hang(WorkerId id, std::chrono::milliseconds d);
+  bool inject_slowdown(WorkerId id, std::chrono::microseconds per_tuple);
+
  private:
   struct Managed {
     std::unique_ptr<Worker> worker;

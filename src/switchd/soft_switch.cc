@@ -114,6 +114,61 @@ void SoftSwitch::add_tunnel(HostId peer,
   tunnels_gen_.fetch_add(1, std::memory_order_release);
 }
 
+namespace {
+
+// Corrupt action for in-switch packets: copy-on-write flip of one payload
+// byte (downstream depacketizers treat the malformed chunk as a drop).
+void CorruptPacket(net::PacketPtr& p, std::uint32_t offset,
+                   std::uint8_t mask) {
+  if (p->payload.empty()) return;
+  net::Packet copy = *p;
+  copy.payload[offset % copy.payload.size()] ^= mask;
+  p = net::MakePacket(std::move(copy));
+}
+
+}  // namespace
+
+faultinject::Impairment* SoftSwitch::set_port_ingress_impairment(
+    PortId port, const faultinject::ImpairmentConfig& cfg) {
+  std::lock_guard lk(impair_mu_);
+  auto shaper = std::make_shared<PacketShaper>(cfg);
+  faultinject::Impairment* probe = &shaper->impairment();
+  ingress_impair_master_[port] = std::move(shaper);
+  impaired_.store(true, std::memory_order_release);
+  impair_gen_.fetch_add(1, std::memory_order_release);
+  return probe;
+}
+
+faultinject::Impairment* SoftSwitch::set_port_egress_impairment(
+    PortId port, const faultinject::ImpairmentConfig& cfg) {
+  std::lock_guard lk(impair_mu_);
+  auto shaper = std::make_shared<PacketShaper>(cfg);
+  faultinject::Impairment* probe = &shaper->impairment();
+  egress_impair_master_[port] = std::move(shaper);
+  impaired_.store(true, std::memory_order_release);
+  impair_gen_.fetch_add(1, std::memory_order_release);
+  return probe;
+}
+
+void SoftSwitch::clear_port_impairments(PortId port) {
+  std::lock_guard lk(impair_mu_);
+  ingress_impair_master_.erase(port);
+  egress_impair_master_.erase(port);
+  if (ingress_impair_master_.empty() && egress_impair_master_.empty()) {
+    impaired_.store(false, std::memory_order_release);
+  }
+  impair_gen_.fetch_add(1, std::memory_order_release);
+}
+
+void SoftSwitch::refresh_impair_cache() {
+  const std::uint64_t gen = impair_gen_.load(std::memory_order_acquire);
+  if (gen == impair_cache_gen_) return;
+  std::lock_guard lk(impair_mu_);
+  ingress_impair_ = ingress_impair_master_;
+  egress_impair_ = egress_impair_master_;
+  impair_cache_gen_ = impair_gen_.load(std::memory_order_acquire);
+}
+
 void SoftSwitch::publish_tables_locked() {
   auto snap = std::make_shared<TableSnapshot>();
   snap->generation = table_gen_.load(std::memory_order_relaxed) + 1;
@@ -263,6 +318,23 @@ void SoftSwitch::emit_event(SwitchEvent ev) {
 }
 
 void SoftSwitch::output_to_port(net::PacketPtr p, PortId port) {
+  if (impaired_.load(std::memory_order_relaxed)) {
+    refresh_impair_cache();
+    auto it = egress_impair_.find(port);
+    if (it != egress_impair_.end()) {
+      egress_scratch_.clear();
+      it->second->admit(std::move(p), egress_scratch_, CorruptPacket);
+      for (net::PacketPtr& q : egress_scratch_) {
+        deliver_to_port(std::move(q), port);
+      }
+      egress_scratch_.clear();
+      return;
+    }
+  }
+  deliver_to_port(std::move(p), port);
+}
+
+void SoftSwitch::deliver_to_port(net::PacketPtr p, PortId port) {
   PortHandle::Port* target = find_out_port(port);
   if (target == nullptr) return;  // port vanished; silently dropped
   if (!target->open.load(std::memory_order_relaxed)) return;
@@ -440,15 +512,31 @@ void SoftSwitch::run() {
       // Pin this round's poll list: process() can trigger a refresh that
       // swaps port_poll_cache_ out from under us mid-iteration.
       const std::shared_ptr<const PollList> poll = port_poll_cache_;
+      const bool impaired = impaired_.load(std::memory_order_relaxed);
+      if (impaired) refresh_impair_cache();
       for (const auto& [id, port] : *poll) {
         burst.clear();
         const std::size_t n = port->to_switch.pop_bulk(
             std::back_inserter(burst), cfg_.poll_burst);
         if (n == 0) continue;
+        PacketShaper* shaper = nullptr;
+        if (impaired) {
+          auto it = ingress_impair_.find(id);
+          if (it != ingress_impair_.end()) shaper = it->second.get();
+        }
         std::uint64_t bytes = 0;
         for (std::size_t i = 0; i < n; ++i) {
           bytes += burst[i]->wire_size();
-          forwarded += process(std::move(burst[i]), id) ? 1 : 0;
+          if (shaper == nullptr) {
+            forwarded += process(std::move(burst[i]), id) ? 1 : 0;
+            continue;
+          }
+          ingress_scratch_.clear();
+          shaper->admit(std::move(burst[i]), ingress_scratch_, CorruptPacket);
+          for (net::PacketPtr& q : ingress_scratch_) {
+            forwarded += process(std::move(q), id) ? 1 : 0;
+          }
+          ingress_scratch_.clear();
         }
         port->rx_packets.fetch_add(n, std::memory_order_relaxed);
         port->rx_bytes.fetch_add(bytes, std::memory_order_relaxed);

@@ -45,6 +45,7 @@
 #include "common/ids.h"
 #include "common/mpmc_queue.h"
 #include "common/spsc_ring.h"
+#include "faultinject/impairment.h"
 #include "net/packet.h"
 #include "net/tunnel.h"
 #include "openflow/flow.h"
@@ -127,6 +128,19 @@ class SoftSwitch {
   void add_tunnel(HostId peer, std::shared_ptr<net::TunnelEndpoint> ep);
   [[nodiscard]] PortId tunnel_port() const { return kTunnelPort; }
 
+  // ---- fault injection ----
+  // Attach a deterministic impairment stage to one direction of a port:
+  // ingress shapes worker->switch traffic as it is polled, egress shapes
+  // switch->worker delivery (including controller PacketOut control
+  // tuples). Returns the decision engine for counter probes; valid until
+  // the impairment is cleared or the switch destroyed. Thread-safe; the
+  // forwarding path pays nothing while no impairment is configured.
+  faultinject::Impairment* set_port_ingress_impairment(
+      PortId port, const faultinject::ImpairmentConfig& cfg);
+  faultinject::Impairment* set_port_egress_impairment(
+      PortId port, const faultinject::ImpairmentConfig& cfg);
+  void clear_port_impairments(PortId port);
+
   // ---- OpenFlow control interface ----
   void handle_flow_mod(const openflow::FlowMod& mod);
   void handle_group_mod(const openflow::GroupMod& mod);
@@ -181,6 +195,9 @@ class SoftSwitch {
     openflow::GroupTable groups;
   };
 
+  using PacketShaper = faultinject::Shaper<net::PacketPtr>;
+  using ImpairMap = std::unordered_map<PortId, std::shared_ptr<PacketShaper>>;
+
   void run();
   // Takes the packet by value so the single-output common case can move it
   // straight into the destination ring with no refcount traffic. Returns
@@ -190,6 +207,10 @@ class SoftSwitch {
                      const std::vector<openflow::FlowAction>& actions,
                      TableSnapshot& snap);
   void output_to_port(net::PacketPtr p, PortId port);
+  // The ring-push half of output_to_port, after egress impairment.
+  void deliver_to_port(net::PacketPtr p, PortId port);
+  // Switch-thread only: adopt the latest impairment maps if changed.
+  void refresh_impair_cache();
   // Retry packets held for a full egress ring; returns how many were
   // resolved (delivered, dropped on timeout, or dropped with their port).
   std::size_t drain_egress_backlog();
@@ -224,6 +245,15 @@ class SoftSwitch {
   std::vector<TunnelRef> tunnels_;
   std::atomic<std::uint64_t> tunnels_gen_{1};  // bumped under tunnels_mu_
 
+  // Master impairment maps (any thread, guarded by impair_mu_); the switch
+  // thread works from generation-cached copies. `impaired_` gates the whole
+  // feature so the unimpaired fast path costs one relaxed load.
+  mutable std::mutex impair_mu_;
+  ImpairMap ingress_impair_master_;
+  ImpairMap egress_impair_master_;
+  std::atomic<std::uint64_t> impair_gen_{1};  // bumped under impair_mu_
+  std::atomic<bool> impaired_{false};
+
   // ---- forwarding-thread state (no locks; switch thread only) ----
   std::shared_ptr<TableSnapshot> snap_;
   MicroflowCache mcache_;
@@ -252,6 +282,14 @@ class SoftSwitch {
   std::deque<std::pair<net::PacketPtr, PortId>> egress_pending_;
   common::TimePoint egress_block_since_{};
   static constexpr std::size_t kEgressPendingCap = 4096;
+  // Switch-thread impairment state: cached shaper maps plus per-direction
+  // scratch vectors (distinct because an ingress-shaped packet's processing
+  // can reach the egress shaper).
+  ImpairMap ingress_impair_;
+  ImpairMap egress_impair_;
+  std::uint64_t impair_cache_gen_ = 0;
+  std::vector<net::PacketPtr> ingress_scratch_;
+  std::vector<net::PacketPtr> egress_scratch_;
 
   common::MpmcQueue<std::pair<net::PacketPtr, PortId>> injected_;
 

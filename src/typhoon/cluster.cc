@@ -1,5 +1,7 @@
 #include "typhoon/cluster.h"
 
+#include <algorithm>
+
 #include "net/tunnel.h"
 
 namespace typhoon {
@@ -25,6 +27,7 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
         auto [ea, eb] = net::CreateTunnel();
         hosts_[a]->sw->add_tunnel(hosts_[b]->id, ea);
         hosts_[b]->sw->add_tunnel(hosts_[a]->id, eb);
+        tunnels_[{hosts_[a]->id, hosts_[b]->id}] = {ea, eb};
       }
     }
     controller::ControllerOptions copts;
@@ -156,6 +159,62 @@ void Cluster::fail_host(HostId host) {
   for (const auto& h : hosts_) {
     if (h->id == host) h->agent->stop();
   }
+}
+
+std::pair<net::TunnelEndpoint*, net::TunnelEndpoint*> Cluster::tunnel_between(
+    HostId a, HostId b) const {
+  const auto key = std::minmax(a, b);
+  auto it = tunnels_.find({key.first, key.second});
+  if (it == tunnels_.end()) return {nullptr, nullptr};
+  net::TunnelEndpoint* lo = it->second.first.get();
+  net::TunnelEndpoint* hi = it->second.second.get();
+  return a <= b ? std::pair{lo, hi} : std::pair{hi, lo};
+}
+
+std::pair<faultinject::Impairment*, faultinject::Impairment*>
+Cluster::impair_tunnel(HostId a, HostId b,
+                       const faultinject::ImpairmentConfig& cfg) {
+  auto [side_a, side_b] = tunnel_between(a, b);
+  if (side_a == nullptr || side_b == nullptr) return {nullptr, nullptr};
+  faultinject::ImpairmentConfig reverse = cfg;
+  reverse.seed = cfg.seed + 1;
+  return {side_a->set_impairment(cfg), side_b->set_impairment(reverse)};
+}
+
+void Cluster::clear_tunnel_impairments(HostId a, HostId b) {
+  auto [side_a, side_b] = tunnel_between(a, b);
+  if (side_a != nullptr) side_a->clear_impairment();
+  if (side_b != nullptr) side_b->clear_impairment();
+}
+
+bool Cluster::inject_worker_crash(const std::string& topology,
+                                  const std::string& node, int task_index) {
+  stream::Worker* w = find_worker(topology, node, task_index);
+  if (w == nullptr) return false;
+  w->inject_crash();
+  return true;
+}
+
+bool Cluster::inject_worker_hang(const std::string& topology,
+                                 const std::string& node, int task_index,
+                                 std::chrono::milliseconds d) {
+  stream::Worker* w = find_worker(topology, node, task_index);
+  if (w == nullptr) return false;
+  w->inject_hang(d);
+  return true;
+}
+
+bool Cluster::inject_worker_slowdown(const std::string& topology,
+                                     const std::string& node, int task_index,
+                                     std::chrono::microseconds per_tuple) {
+  stream::Worker* w = find_worker(topology, node, task_index);
+  if (w == nullptr) return false;
+  w->inject_slowdown(per_tuple);
+  return true;
+}
+
+void Cluster::set_controller_partition(HostId host, bool partitioned) {
+  if (controller_) controller_->set_partitioned(host, partitioned);
 }
 
 std::int64_t Cluster::agent_restarts() const {

@@ -13,8 +13,10 @@
 //   cluster.stop();
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "controller/apps/auto_scaler.h"
@@ -23,6 +25,8 @@
 #include "controller/apps/load_balancer.h"
 #include "controller/controller.h"
 #include "coordinator/coordinator.h"
+#include "faultinject/impairment.h"
+#include "net/tunnel.h"
 #include "stream/app_registry.h"
 #include "stream/streaming_manager.h"
 #include "stream/worker_agent.h"
@@ -107,6 +111,32 @@ class Cluster {
   // host's workers onto surviving hosts once heartbeats go stale.
   void fail_host(HostId host);
 
+  // Fault injection: attach deterministic impairments to both directions of
+  // the a<->b tunnel (Typhoon mode only). The b-ward direction uses
+  // cfg.seed, the a-ward direction cfg.seed + 1, so a replay with the same
+  // config is bit-identical. Returns {a->b, b->a} decision engines, or
+  // {nullptr, nullptr} when no such tunnel exists.
+  std::pair<faultinject::Impairment*, faultinject::Impairment*> impair_tunnel(
+      HostId a, HostId b, const faultinject::ImpairmentConfig& cfg);
+  void clear_tunnel_impairments(HostId a, HostId b);
+  // The raw endpoints of the a<->b tunnel ({a-side, b-side}); harness probes.
+  [[nodiscard]] std::pair<net::TunnelEndpoint*, net::TunnelEndpoint*>
+  tunnel_between(HostId a, HostId b) const;
+
+  // Fault injection: worker-process faults, resolved by (topology, node,
+  // task index). False when the worker is not currently running.
+  bool inject_worker_crash(const std::string& topology,
+                           const std::string& node, int task_index);
+  bool inject_worker_hang(const std::string& topology, const std::string& node,
+                          int task_index, std::chrono::milliseconds d);
+  bool inject_worker_slowdown(const std::string& topology,
+                              const std::string& node, int task_index,
+                              std::chrono::microseconds per_tuple);
+
+  // Fault injection: controller-channel partition of one host (Typhoon
+  // mode; no-op otherwise).
+  void set_controller_partition(HostId host, bool partitioned);
+
   // Stock control-plane apps (Typhoon mode; nullptr otherwise).
   [[nodiscard]] controller::FaultDetector* fault_detector();
   [[nodiscard]] controller::LiveDebugger* live_debugger();
@@ -128,6 +158,11 @@ class Cluster {
   stream::StormFabric fabric_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<HostId> host_ids_;
+  // Tunnel mesh endpoints by (low host, high host): {low side, high side}.
+  std::map<std::pair<HostId, HostId>,
+           std::pair<std::shared_ptr<net::TunnelEndpoint>,
+                     std::shared_ptr<net::TunnelEndpoint>>>
+      tunnels_;
   std::unique_ptr<controller::TyphoonController> controller_;
   std::unique_ptr<stream::StreamingManager> manager_;
   bool started_ = false;

@@ -1,0 +1,180 @@
+#include "typhoon/fault_runner.h"
+
+#include "common/clock.h"
+#include "common/log.h"
+
+namespace typhoon {
+
+namespace fi = faultinject;
+
+FaultPlanRunner::FaultPlanRunner(Cluster* cluster, fi::FaultPlan plan,
+                                 FaultRunnerOptions opts)
+    : cluster_(cluster), opts_(opts) {
+  armed_.reserve(plan.events.size());
+  for (fi::FaultEvent& ev : plan.events) {
+    armed_.push_back(Armed{std::move(ev), /*is_reversal=*/false});
+  }
+}
+
+FaultPlanRunner::~FaultPlanRunner() { stop(); }
+
+void FaultPlanRunner::start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::thread([this] { run(); });
+}
+
+void FaultPlanRunner::stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+std::vector<fi::Impairment*> FaultPlanRunner::impairments() const {
+  std::lock_guard lk(mu_);
+  return impairments_;
+}
+
+bool FaultPlanRunner::done() const {
+  std::lock_guard lk(mu_);
+  return armed_.empty();
+}
+
+void FaultPlanRunner::run() {
+  const common::TimePoint t0 = common::Now();
+  while (running_.load(std::memory_order_relaxed)) {
+    const std::int64_t elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(common::Now() -
+                                                              t0)
+            .count();
+    const std::int64_t tuples = probe_ ? probe_() : -1;
+
+    std::vector<Armed> due;
+    {
+      std::lock_guard lk(mu_);
+      for (auto it = armed_.begin(); it != armed_.end();) {
+        const fi::FaultEvent& ev = it->ev;
+        const bool time_hit = ev.at_ms >= 0 && elapsed_ms >= ev.at_ms;
+        const bool tuple_hit =
+            ev.at_tuples >= 0 && tuples >= 0 && tuples >= ev.at_tuples;
+        if (time_hit || tuple_hit) {
+          due.push_back(std::move(*it));
+          it = armed_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+
+    std::vector<Armed> rearm;
+    for (const Armed& a : due) apply(a, elapsed_ms, rearm);
+    if (!rearm.empty()) {
+      std::lock_guard lk(mu_);
+      for (Armed& a : rearm) armed_.push_back(std::move(a));
+    }
+
+    common::SleepFor(opts_.poll_interval);
+  }
+}
+
+void FaultPlanRunner::apply(const Armed& armed, std::int64_t elapsed_ms,
+                            std::vector<Armed>& rearm) {
+  const fi::FaultEvent& ev = armed.ev;
+  bool applied = true;
+
+  switch (ev.kind) {
+    case fi::FaultKind::kImpairTunnel: {
+      if (armed.is_reversal) {
+        cluster_->clear_tunnel_impairments(ev.host_a, ev.host_b);
+        break;
+      }
+      auto [fwd, rev] = cluster_->impair_tunnel(ev.host_a, ev.host_b,
+                                                ev.impair);
+      applied = fwd != nullptr;
+      if (applied) {
+        std::lock_guard lk(mu_);
+        impairments_.push_back(fwd);
+        impairments_.push_back(rev);
+      }
+      break;
+    }
+    case fi::FaultKind::kImpairPort: {
+      switchd::SoftSwitch* sw = cluster_->switch_at(ev.host_a);
+      if (sw == nullptr) {
+        applied = false;
+        break;
+      }
+      if (armed.is_reversal) {
+        sw->clear_port_impairments(ev.port);
+        break;
+      }
+      fi::Impairment* imp = sw->set_port_ingress_impairment(ev.port,
+                                                            ev.impair);
+      applied = imp != nullptr;
+      if (applied) {
+        std::lock_guard lk(mu_);
+        impairments_.push_back(imp);
+      }
+      break;
+    }
+    case fi::FaultKind::kCrashWorker:
+      applied = cluster_->inject_worker_crash(ev.topology, ev.node,
+                                              ev.task_index);
+      break;
+    case fi::FaultKind::kHangWorker:
+      applied = cluster_->inject_worker_hang(
+          ev.topology, ev.node, ev.task_index,
+          std::chrono::milliseconds(ev.duration_ms > 0 ? ev.duration_ms
+                                                       : 1000));
+      break;
+    case fi::FaultKind::kSlowWorker:
+      applied = cluster_->inject_worker_slowdown(
+          ev.topology, ev.node, ev.task_index,
+          std::chrono::microseconds(armed.is_reversal ? 0 : ev.slow_us));
+      break;
+    case fi::FaultKind::kPartitionController:
+      cluster_->set_controller_partition(ev.host_a, !armed.is_reversal);
+      break;
+    case fi::FaultKind::kHealController:
+      cluster_->set_controller_partition(ev.host_a, false);
+      break;
+    case fi::FaultKind::kFailHost:
+      cluster_->fail_host(ev.host_a);
+      break;
+  }
+
+  if (applied) {
+    fired_.fetch_add(1);
+    LOG_INFO("fault-runner")
+        << (armed.is_reversal ? "reversed " : "fired ")
+        << fi::FaultKindName(ev.kind) << " at t+" << elapsed_ms << "ms";
+  } else {
+    misses_.fetch_add(1);
+    LOG_WARN("fault-runner") << "could not apply " << fi::FaultKindName(ev.kind)
+                             << " at t+" << elapsed_ms
+                             << "ms (target unresolved)";
+  }
+
+  // Auto-reversal: impairments, slowdowns, and partitions with a duration
+  // heal themselves that many ms after firing.
+  const bool reversible = ev.kind == fi::FaultKind::kImpairTunnel ||
+                          ev.kind == fi::FaultKind::kImpairPort ||
+                          ev.kind == fi::FaultKind::kSlowWorker ||
+                          ev.kind == fi::FaultKind::kPartitionController;
+  if (!armed.is_reversal && applied && reversible && ev.duration_ms > 0) {
+    Armed heal{ev, /*is_reversal=*/true};
+    heal.ev.at_tuples = -1;
+    heal.ev.at_ms = elapsed_ms + ev.duration_ms;
+    rearm.push_back(std::move(heal));
+  }
+
+  // Persistent faults: re-fire every repeat_ms (crash of a restarted worker
+  // being the canonical case). Misses re-arm too — the worker may simply be
+  // mid-restart.
+  if (!armed.is_reversal && ev.repeat_ms > 0) {
+    Armed again{ev, /*is_reversal=*/false};
+    again.ev.at_tuples = -1;
+    again.ev.at_ms = elapsed_ms + ev.repeat_ms;
+    rearm.push_back(std::move(again));
+  }
+}
+
+}  // namespace typhoon

@@ -1,0 +1,86 @@
+// FaultPlanRunner — executes a faultinject::FaultPlan against a live
+// Cluster. A background thread polls elapsed time and an optional progress
+// probe (e.g. "tuples emitted so far") every couple of milliseconds and
+// fires each event when its trigger is reached:
+//
+//   - impair_tunnel / impair_port attach deterministic wire impairments
+//     (auto-cleared after duration_ms when set);
+//   - crash / hang / slow are process-level worker faults, with repeat_ms
+//     re-arming a crash so restarted workers die again (the persistent code
+//     bug of Sec 6.2);
+//   - partition / heal toggle the controller channel of a host, partition
+//     auto-healing after duration_ms when set;
+//   - fail_host takes a whole host down.
+//
+// The runner only *applies* faults; the schedule itself is pure data
+// (faultinject/fault_plan.h) so benches and chaos tests share plans.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "faultinject/fault_plan.h"
+#include "typhoon/cluster.h"
+
+namespace typhoon {
+
+struct FaultRunnerOptions {
+  std::chrono::milliseconds poll_interval{2};
+};
+
+class FaultPlanRunner {
+ public:
+  // Progress probe for at_tuples triggers; called from the runner thread.
+  using TupleProbe = std::function<std::int64_t()>;
+
+  FaultPlanRunner(Cluster* cluster, faultinject::FaultPlan plan,
+                  FaultRunnerOptions opts = {});
+  ~FaultPlanRunner();
+
+  FaultPlanRunner(const FaultPlanRunner&) = delete;
+  FaultPlanRunner& operator=(const FaultPlanRunner&) = delete;
+
+  void set_tuple_probe(TupleProbe probe) { probe_ = std::move(probe); }
+
+  void start();
+  void stop();
+
+  // Events applied so far (repeats and auto-heals included).
+  [[nodiscard]] std::int64_t fired() const { return fired_.load(); }
+  // Events whose trigger fired but whose target could not be resolved
+  // (e.g. crash of a worker that is mid-restart).
+  [[nodiscard]] std::int64_t misses() const { return misses_.load(); }
+  // Decision engines of every impairment this runner attached, in firing
+  // order — chaos tests assert their counters moved.
+  [[nodiscard]] std::vector<faultinject::Impairment*> impairments() const;
+  // True once every armed event has fired (repeating events never finish).
+  [[nodiscard]] bool done() const;
+
+ private:
+  struct Armed {
+    faultinject::FaultEvent ev;
+    bool is_reversal = false;  // synthesized auto-heal / auto-clear
+  };
+
+  void run();
+  void apply(const Armed& armed, std::int64_t elapsed_ms,
+             std::vector<Armed>& rearm);
+
+  Cluster* cluster_;
+  FaultRunnerOptions opts_;
+  TupleProbe probe_;
+
+  mutable std::mutex mu_;
+  std::vector<Armed> armed_;
+  std::vector<faultinject::Impairment*> impairments_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<std::int64_t> fired_{0};
+  std::atomic<std::int64_t> misses_{0};
+  std::thread thread_;
+};
+
+}  // namespace typhoon

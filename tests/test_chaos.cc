@@ -1,0 +1,169 @@
+// Chaos test: a reliable word-count topology driven through a scripted
+// FaultPlan — 10% tunnel loss from the start, a split-worker crash at a
+// known emission point, and a 200 ms controller partition — must still
+// converge to exactly correct word counts. Exactly-once counting comes from
+// occurrence-id dedup in shared count state (the external-storage stand-in
+// of Sec 8); delivery under faults is at-least-once via ack/replay.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "stream/topology.h"
+#include "typhoon/cluster.h"
+#include "typhoon/fault_runner.h"
+#include "util/components.h"
+
+namespace typhoon {
+namespace {
+
+using namespace std::chrono_literals;
+using testutil::ChaosSentences;
+using testutil::DedupCountBolt;
+using testutil::DedupCountState;
+using testutil::DedupSplitBolt;
+using testutil::ReplayableSentenceSpout;
+
+template <typename F>
+bool WaitFor(F&& pred, std::chrono::milliseconds timeout) {
+  const auto deadline = common::Now() + timeout;
+  while (common::Now() < deadline) {
+    if (pred()) return true;
+    common::SleepMillis(10);
+  }
+  return pred();
+}
+
+// Ground truth: word counts for sentences [0, limit).
+std::map<std::string, std::int64_t> ExpectedCounts(std::int64_t limit) {
+  std::map<std::string, std::int64_t> expected;
+  const auto& sentences = ChaosSentences();
+  for (std::int64_t seq = 0; seq < limit; ++seq) {
+    std::istringstream is(sentences[seq % sentences.size()]);
+    std::string word;
+    while (is >> word) ++expected[word];
+  }
+  return expected;
+}
+
+std::int64_t TotalOccurrences(std::int64_t limit) {
+  std::int64_t total = 0;
+  for (const auto& [w, c] : ExpectedCounts(limit)) total += c;
+  return total;
+}
+
+TEST(Chaos, WordCountConvergesUnderScriptedFaults) {
+  ClusterConfig cfg;
+  cfg.num_hosts = 2;
+  Cluster cluster(cfg);
+  cluster.start();
+
+  constexpr std::int64_t kSentenceLimit = 3000;
+  auto progress = std::make_shared<std::atomic<std::int64_t>>(0);
+  auto counts = std::make_shared<DedupCountState>();
+
+  stream::TopologyBuilder b("chaos");
+  const NodeId src = b.add_spout(
+      "src",
+      [progress, kSentenceLimit] {
+        return std::make_unique<ReplayableSentenceSpout>(
+            kSentenceLimit, progress, 8, 15000.0);
+      },
+      1);
+  const NodeId split = b.add_bolt(
+      "split", [] { return std::make_unique<DedupSplitBolt>(); }, 2);
+  const NodeId count = b.add_bolt(
+      "count", [counts] { return std::make_unique<DedupCountBolt>(counts); },
+      2);
+  b.shuffle(src, split);
+  b.fields(split, count, {0});
+
+  stream::SubmitOptions sopts;
+  sopts.reliable = true;
+  sopts.pending_timeout_ms = 800;  // fast replay of tuples lost to the wire
+  ASSERT_TRUE(cluster.submit(b.build().value(), sopts).ok());
+
+  // The scripted schedule: lossy wire almost immediately, a split-worker
+  // crash once 1500 sentences have been emitted, and a controller partition
+  // of host 2 that heals itself after 200 ms.
+  auto plan = faultinject::FaultPlan::Parse(
+      "at_ms=10     fault=impair_tunnel hosts=1-2 drop=0.10 seed=99\n"
+      "at_tuples=1500 fault=crash worker=chaos/split/0\n"
+      "at_ms=2500   fault=partition host=2 duration_ms=200\n");
+  ASSERT_TRUE(plan.ok()) << plan.status().str();
+  ASSERT_EQ(plan.value().events.size(), 3u);
+
+  FaultPlanRunner faults(&cluster, std::move(plan.value()));
+  faults.set_tuple_probe([progress] { return progress->load(); });
+  faults.start();
+
+  // Convergence: every word occurrence of every sentence counted exactly
+  // once, within the deadline, despite loss + crash + partition.
+  const std::int64_t expected_total = TotalOccurrences(kSentenceLimit);
+  ASSERT_TRUE(WaitFor(
+      [&] { return counts->unique.load() >= expected_total; }, 90s))
+      << "counted " << counts->unique.load() << "/" << expected_total;
+  // Convergence can beat the partition's scheduled auto-heal; let the
+  // runner drain its remaining events before stopping it.
+  EXPECT_TRUE(WaitFor([&] { return faults.done(); }, 10s));
+  faults.stop();
+
+  {
+    std::lock_guard lk(counts->mu);
+    EXPECT_EQ(counts->counts, ExpectedCounts(kSentenceLimit));
+  }
+
+  // The faults genuinely happened: all three events fired (plus the
+  // partition's auto-heal), the wire dropped frames, the crashed split was
+  // locally restarted, and the SDN fault detector saw its port vanish.
+  EXPECT_GE(faults.fired(), 4);
+  EXPECT_EQ(faults.misses(), 0);
+  std::uint64_t wire_drops = 0;
+  for (const faultinject::Impairment* imp : faults.impairments()) {
+    wire_drops += imp->drops();
+  }
+  EXPECT_GT(wire_drops, 0u);
+  EXPECT_GE(cluster.agent_restarts(), 1);
+  ASSERT_NE(cluster.fault_detector(), nullptr);
+  EXPECT_GE(cluster.fault_detector()->faults_detected(), 1);
+  cluster.stop();
+}
+
+TEST(Chaos, ReplayIdenticalPlansFireIdentically) {
+  // Two runs of the same plan text over idle clusters produce the same
+  // impairment schedule — the determinism contract end to end.
+  auto run = [](std::uint64_t* fingerprint) {
+    ClusterConfig cfg;
+    cfg.num_hosts = 2;
+    Cluster cluster(cfg);
+    cluster.start();
+    auto plan = faultinject::FaultPlan::Parse(
+        "at_ms=5 fault=impair_tunnel hosts=1-2 drop=0.5 seed=31\n");
+    ASSERT_TRUE(plan.ok());
+    FaultPlanRunner faults(&cluster, std::move(plan.value()));
+    faults.start();
+    ASSERT_TRUE(WaitFor([&] { return faults.fired() >= 1; }, 5s));
+
+    auto [a, b] = cluster.tunnel_between(1, 2);
+    ASSERT_NE(a, nullptr);
+    net::Packet p;
+    p.src = WorkerAddress{1, 1};
+    p.dst = WorkerAddress{2, 2};
+    p.payload = {42};
+    for (int i = 0; i < 500; ++i) a->send(p);
+    ASSERT_EQ(faults.impairments().size(), 2u);
+    *fingerprint = faults.impairments()[0]->fingerprint();
+    faults.stop();
+    cluster.stop();
+  };
+
+  std::uint64_t fp1 = 0;
+  std::uint64_t fp2 = 0;
+  run(&fp1);
+  run(&fp2);
+  ASSERT_NE(fp1, 0u);
+  EXPECT_EQ(fp1, fp2);
+}
+
+}  // namespace
+}  // namespace typhoon

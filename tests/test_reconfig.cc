@@ -441,6 +441,130 @@ TEST(Reconfig, AttachQueryValidatesInputs) {
   cluster.stop();
 }
 
+TEST(Reconfig, DrainDeadlineExpiryReturnsErrorInsteadOfHanging) {
+  ClusterConfig cfg;
+  cfg.num_hosts = 2;
+  cfg.enable_failure_detector = false;  // keep the hung victim in place
+  cfg.default_apps = false;
+  Cluster cluster(cfg);
+  cluster.start();
+
+  auto state = std::make_shared<SinkState>();
+  stream::SubmitOptions sopts;
+  sopts.launch_timeout = 1500ms;  // doubles as the drain deadline
+  ASSERT_TRUE(
+      cluster.submit(ScalableTopo(state, 0, 2, 30000.0), sopts).ok());
+  ASSERT_TRUE(WaitFor([&] { return state->received.load() > 1000; }, 10s));
+
+  // Hang every mid worker well past the deadline. A hung worker stops
+  // heartbeating; its last published queue depth is a stale zero that
+  // wait_for_drain must refuse to trust.
+  auto mids = cluster.workers_of_node("scale", "mid");
+  ASSERT_EQ(mids.size(), 2u);
+  for (stream::Worker* w : mids) w->inject_hang(8000ms);
+  // Wait out the drain-probe freshness window so the victims' last
+  // pre-hang heartbeats (zero depth) are stale by the time we drain.
+  common::SleepMillis(400);
+
+  ReconfigRequest req;
+  req.kind = ReconfigRequest::Kind::kScaleDown;
+  req.topology = "scale";
+  req.node = "mid";
+  req.count = 1;
+  const auto t0 = common::Now();
+  auto st = cluster.reconfigure(req);
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(common::Now() -
+                                                            t0);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), common::ErrorCode::kUnavailable) << st.str();
+  // Bounded: the deadline fired, the call did not hang for the full hang.
+  EXPECT_LT(elapsed.count(), 6000) << "drain did not respect its deadline";
+  cluster.stop();  // hung workers honor stop_requested — no shutdown hang
+}
+
+TEST(Reconfig, DuplicatedControlFramesApplyOnce) {
+  ClusterConfig cfg;
+  cfg.num_hosts = 1;
+  Cluster cluster(cfg);
+  cluster.start();
+
+  auto state = std::make_shared<SinkState>();
+  auto tid = cluster.submit(ScalableTopo(state, 0, 1, 20000.0));
+  ASSERT_TRUE(tid.ok());
+  ASSERT_TRUE(WaitFor([&] { return state->received.load() > 500; }, 10s));
+
+  stream::Worker* mid = cluster.find_worker("scale", "mid", 0);
+  ASSERT_NE(mid, nullptr);
+  const WorkerId wid = mid->context().worker;
+
+  // The same sequenced control frame delivered twice (a retransmit race):
+  // the worker acks both copies but applies only the first.
+  stream::ControlTuple ct;
+  ct.type = stream::ControlType::kSignal;
+  ct.signal_tag = "noop";
+  ct.seq = 424242;
+  auto* ctl = cluster.controller();
+  ASSERT_NE(ctl, nullptr);
+  ASSERT_TRUE(ctl->send_control(tid.value(), wid, ct, /*reliable=*/true).ok());
+  ASSERT_TRUE(ctl->send_control(tid.value(), wid, ct, /*reliable=*/true).ok());
+
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        return mid->metrics().value("signals") >= 1 &&
+               mid->metrics().value("control_dups_dropped") >= 1;
+      },
+      10s))
+      << "signals=" << mid->metrics().value("signals")
+      << " dups=" << mid->metrics().value("control_dups_dropped");
+  // Applied exactly once no matter how many copies arrived.
+  EXPECT_EQ(mid->metrics().value("signals"), 1);
+  ASSERT_TRUE(WaitFor([&] { return ctl->control_in_flight() == 0; }, 10s));
+  EXPECT_GE(ctl->control_acked(), 1);
+  cluster.stop();
+}
+
+TEST(Reconfig, ReliableControlRetriesThroughPartition) {
+  ClusterConfig cfg;
+  cfg.num_hosts = 2;
+  Cluster cluster(cfg);
+  cluster.start();
+
+  auto state = std::make_shared<SinkState>();
+  auto tid = cluster.submit(ScalableTopo(state, 0, 2, 20000.0));
+  ASSERT_TRUE(tid.ok());
+  ASSERT_TRUE(WaitFor([&] { return state->received.load() > 500; }, 10s));
+
+  // A mid worker living on host 2, which we are about to partition.
+  stream::Worker* target = nullptr;
+  for (stream::Worker* w : cluster.workers_of_node("scale", "mid")) {
+    if (w->context().host == 2) target = w;
+  }
+  ASSERT_NE(target, nullptr);
+  auto* ctl = cluster.controller();
+  ASSERT_NE(ctl, nullptr);
+
+  ctl->set_partitioned(2, true);
+  EXPECT_TRUE(ctl->is_partitioned(2));
+  stream::ControlTuple ct;
+  ct.type = stream::ControlType::kSignal;
+  ct.signal_tag = "during-partition";
+  ASSERT_TRUE(ctl->send_control(tid.value(), target->context().worker, ct,
+                                /*reliable=*/true)
+                  .ok());  // async: accepted, not yet deliverable
+
+  common::SleepMillis(200);
+  EXPECT_EQ(target->metrics().value("signals"), 0);  // wire is cut
+  EXPECT_GE(ctl->control_in_flight(), 1u);
+
+  ctl->set_partitioned(2, false);  // heal: backoff retry gets through
+  ASSERT_TRUE(
+      WaitFor([&] { return target->metrics().value("signals") >= 1; }, 5s));
+  ASSERT_TRUE(WaitFor([&] { return ctl->control_in_flight() == 0; }, 5s));
+  EXPECT_GT(ctl->control_retransmits(), 0);
+  cluster.stop();
+}
+
 TEST(Reconfig, StormModeRefusesRuntimeReconfiguration) {
   ClusterConfig cfg;
   cfg.num_hosts = 2;

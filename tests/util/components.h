@@ -183,6 +183,125 @@ class ReplayableSpout : public Spout {
   std::atomic<std::int64_t> replays_{0};
 };
 
+// Fixed sentence table shared by the replayable word-count components so
+// tests can compute exact expected counts.
+inline const std::vector<std::string>& ChaosSentences() {
+  static const std::vector<std::string> kSentences = {
+      "the quick brown fox jumps over the lazy dog",
+      "a stream processing framework routes data tuples",
+      "typhoon integrates sdn into stream processing",
+      "the lazy dog sleeps while the fox runs",
+  };
+  return kSentences;
+}
+
+// Reliable sentence source for chaos tests: emits (sentence, seq) with
+// replay on failure (at-least-once), and publishes emission progress to a
+// shared counter so a FaultPlan's at_tuples triggers can key off it.
+class ReplayableSentenceSpout : public Spout {
+ public:
+  ReplayableSentenceSpout(std::int64_t limit,
+                          std::shared_ptr<std::atomic<std::int64_t>> progress,
+                          int batch = 8, double rate = 0.0)
+      : limit_(limit), progress_(std::move(progress)), batch_(batch),
+        rate_(rate) {}
+
+  bool next(Emitter& out) override {
+    if (!rate_.try_acquire(batch_)) return false;
+    const auto& sentences = ChaosSentences();
+    int emitted_now = 0;
+    while (!replay_.empty() && emitted_now < batch_) {
+      const std::int64_t seq = replay_.front();
+      replay_.pop_front();
+      current_seq_ = seq;
+      out.emit(Tuple{sentences[seq % sentences.size()], seq});
+      ++emitted_now;
+    }
+    while (next_seq_ < limit_ && emitted_now < batch_) {
+      current_seq_ = next_seq_;
+      out.emit(Tuple{sentences[next_seq_ % sentences.size()], next_seq_});
+      ++next_seq_;
+      ++emitted_now;
+      if (progress_) progress_->store(next_seq_);
+    }
+    return emitted_now > 0;
+  }
+
+  void anchored(std::uint64_t root) override {
+    in_flight_[root] = current_seq_;
+  }
+  void ack(std::uint64_t root, std::int64_t) override {
+    in_flight_.erase(root);
+    acked_.fetch_add(1);
+  }
+  void fail(std::uint64_t root) override {
+    auto it = in_flight_.find(root);
+    if (it == in_flight_.end()) return;
+    replay_.push_back(it->second);
+    in_flight_.erase(it);
+    replays_.fetch_add(1);
+  }
+
+  [[nodiscard]] std::int64_t acked() const { return acked_.load(); }
+  [[nodiscard]] std::int64_t replays() const { return replays_.load(); }
+
+ private:
+  std::int64_t limit_;
+  std::shared_ptr<std::atomic<std::int64_t>> progress_;
+  int batch_;
+  common::RateLimiter rate_;
+  std::int64_t next_seq_ = 0;
+  std::int64_t current_seq_ = 0;
+  std::deque<std::int64_t> replay_;
+  std::unordered_map<std::uint64_t, std::int64_t> in_flight_;
+  std::atomic<std::int64_t> acked_{0};
+  std::atomic<std::int64_t> replays_{0};
+};
+
+// Splits (sentence, seq) into (word, occurrence_id) where occurrence_id =
+// seq * 32 + word_index — globally unique per word occurrence, so a
+// downstream dedup stage can count exactly once under at-least-once replay.
+class DedupSplitBolt : public Bolt {
+ public:
+  void execute(const Tuple& input, const TupleMeta&, Emitter& out) override {
+    const std::string& sentence = input.str(0);
+    const std::int64_t seq = input.i64(1);
+    std::istringstream is(sentence);
+    std::string word;
+    std::int64_t index = 0;
+    while (is >> word) {
+      out.emit(Tuple{word, seq * 32 + index});
+      ++index;
+    }
+  }
+};
+
+// Shared exactly-once word-count state (the paper keeps reconfigurable
+// state in external storage, Sec 8; this is its in-process stand-in).
+struct DedupCountState {
+  std::mutex mu;
+  std::map<std::string, std::int64_t> counts;
+  std::set<std::int64_t> seen;
+  std::atomic<std::int64_t> unique{0};
+};
+
+class DedupCountBolt : public Bolt {
+ public:
+  explicit DedupCountBolt(std::shared_ptr<DedupCountState> state)
+      : state_(std::move(state)) {}
+
+  void execute(const Tuple& input, const TupleMeta&, Emitter&) override {
+    const std::int64_t occ = input.i64(1);
+    std::lock_guard lk(state_->mu);
+    if (!state_->seen.insert(occ).second) return;  // replayed occurrence
+    ++state_->counts[input.str(0)];
+    state_->unique.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<DedupCountState> state_;
+};
+
 // Splits sentences into words; fault-injectable (NullPointerException /
 // OutOfMemoryError analogs from Sec 6.2).
 class SplitBolt : public Bolt {
