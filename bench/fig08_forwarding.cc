@@ -63,6 +63,13 @@ double RunOnce(const Config& c) {
   const double rate = MeasureThroughput(cluster, "fwd", "sink",
                                         std::chrono::milliseconds(400),
                                         std::chrono::milliseconds(1200));
+  // One representative config prints the cross-layer trace summary — proof
+  // that the default 1/1024 sampling was live while the numbers above were
+  // taken, without flooding the table.
+  if (c.mode == TransportMode::kTyphoon && !c.remote && c.batch == 1000 &&
+      !c.reliable) {
+    PrintObservabilitySummary(cluster);
+  }
   cluster.stop();
   return rate;
 }

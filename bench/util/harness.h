@@ -137,6 +137,29 @@ inline void PrintTimelineRow(const TimelineRow& row, int tasks) {
   std::printf("  %12.0f\n", row.total_rate);
 }
 
+// One-line trace/observability summary after a measured run: chain
+// completeness plus per-stage p99s. The bench binaries run with the default
+// 1/1024 sampling, so this also doubles as a visible "tracing was on and did
+// not distort the numbers" check next to each figure's output.
+inline void PrintObservabilitySummary(Cluster& cluster) {
+  cluster.sample_observability();
+  trace::ClusterObservability& obs = cluster.observability();
+  trace::TraceCollector& col = obs.collector();
+  col.collect();
+  std::printf("trace: %zu chains (%zu complete, %zu incomplete, "
+              "%llu overwritten)\n",
+              col.chains(), col.complete(), col.incomplete(),
+              static_cast<unsigned long long>(
+                  obs.domain().total_overwritten()));
+  for (const std::string& stage : col.stage_names()) {
+    const common::LatencyRecorder* rec = col.stage_latency(stage);
+    if (rec == nullptr || rec->count() == 0) continue;
+    std::printf("trace: %-18s n=%-8lld p50=%.3fms p99=%.3fms\n",
+                stage.c_str(), static_cast<long long>(rec->count()),
+                rec->percentile_ms(0.50), rec->percentile_ms(0.99));
+  }
+}
+
 inline void PrintBanner(const std::string& what, const std::string& paper_ref) {
   // Keep harness stdout clean of framework log interleaving.
   common::SetLogLevel(common::LogLevel::kOff);

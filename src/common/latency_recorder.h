@@ -1,20 +1,59 @@
-// Latency histogram with CDF extraction, used by Fig 8(c,d) harnesses.
-// Log-bucketed (multiplicative buckets) so that microsecond-to-second
-// latencies fit in a fixed-size table with bounded relative error.
+// Latency histogram with CDF extraction, used by Fig 8(c,d) harnesses and
+// the trace collector's per-stage tables. Log-bucketed (multiplicative
+// buckets) so that microsecond-to-second latencies fit in a fixed-size
+// table with bounded relative error.
+//
+// The recording hot path is lock-free: each bucket is a relaxed atomic
+// counter, so concurrent record() calls from instrumented threads never
+// serialize on a mutex. Readers (cdf/percentile/mean) take one coherent
+// snapshot of the bucket array and derive the total from it, so a
+// percentile is always consistent with the counts it was computed from,
+// even while writers keep recording.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 namespace typhoon::common {
 
 class LatencyRecorder {
  public:
-  LatencyRecorder();
+  // ~1.07x geometric buckets covering [1us, ~100s] in a few hundred slots.
+  static constexpr std::size_t kBuckets = 400;
 
-  // Record one sample, in microseconds.
+  LatencyRecorder() = default;
+
+  // Record one sample, in microseconds. Wait-free; safe from any thread.
   void record(std::int64_t micros);
+
+  // Record many samples with one pass of atomic traffic: samples are
+  // bucketed into a local table first, then each non-empty bucket is
+  // published with a single fetch_add. For tight loops this turns N
+  // atomic RMWs into at most `distinct buckets` of them.
+  void record_batch(const std::int64_t* micros, std::size_t n);
+
+  // Accumulates samples locally and publishes them to the recorder on
+  // flush() (or destruction). Single-threaded use; the flush itself is
+  // safe against concurrent recorders and readers.
+  class Batch {
+   public:
+    explicit Batch(LatencyRecorder* target) : target_(target) {}
+    ~Batch() { flush(); }
+    Batch(const Batch&) = delete;
+    Batch& operator=(const Batch&) = delete;
+
+    void record(std::int64_t micros);
+    void flush();
+    [[nodiscard]] std::int64_t pending() const { return pending_; }
+
+   private:
+    LatencyRecorder* target_;
+    std::array<std::int64_t, kBuckets> counts_{};
+    std::int64_t sum_micros_ = 0;
+    std::int64_t pending_ = 0;
+  };
 
   struct CdfPoint {
     double latency_ms;
@@ -36,13 +75,11 @@ class LatencyRecorder {
   static std::size_t BucketFor(std::int64_t micros);
   static double BucketUpperMicros(std::size_t bucket);
 
-  // ~1.07x geometric buckets covering [1us, ~100s] in a few hundred slots.
-  static constexpr std::size_t kBuckets = 400;
+  // Copy the bucket array (relaxed loads) and return the summed total.
+  std::int64_t Snapshot(std::array<std::int64_t, kBuckets>& out) const;
 
-  mutable std::mutex mu_;
-  std::vector<std::int64_t> counts_;
-  std::int64_t total_ = 0;
-  std::int64_t sum_micros_ = 0;
+  std::array<std::atomic<std::int64_t>, kBuckets> counts_{};
+  std::atomic<std::int64_t> sum_micros_{0};
 };
 
 }  // namespace typhoon::common

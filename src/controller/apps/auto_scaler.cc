@@ -6,7 +6,12 @@
 namespace typhoon::controller {
 
 AutoScaler::AutoScaler(AutoScalerPolicy policy, ReconfigureFn reconfigure)
-    : policy_(std::move(policy)), reconfigure_(std::move(reconfigure)) {}
+    : policy_(std::move(policy)),
+      reconfigure_(std::move(reconfigure)),
+      queue_series_(trace::TimeSeriesConfig{
+          .window_us = 5'000'000,
+          .alpha = policy_.smoothing_alpha,
+          .max_samples = 256}) {}
 
 AutoScaler::~AutoScaler() { join_worker(); }
 
@@ -64,7 +69,11 @@ void AutoScaler::tick() {
     ++counted;
   }
   if (counted == 0) return;
-  const std::int64_t avg = total / counted;
+  // Thresholds compare against the windowed EWMA, not the raw sample: one
+  // momentary spike (or dip) cannot start a streak on its own.
+  queue_series_.observe(common::NowMicros(),
+                        static_cast<double>(total / counted));
+  const auto avg = static_cast<std::int64_t>(queue_series_.ewma());
   last_avg_queue_.store(avg);
 
   if (avg >= policy_.queue_high) {

@@ -13,6 +13,7 @@
 
 #include "controller/controller.h"
 #include "stream/streaming_manager.h"
+#include "trace/time_series.h"
 
 namespace typhoon::controller {
 
@@ -26,6 +27,10 @@ struct AutoScalerPolicy {
   int min_parallelism = 1;
   bool enable_scale_down = false;
   std::chrono::milliseconds cooldown{2000};
+  // EWMA weight for the queue-depth series the thresholds compare against
+  // (1.0 reproduces the old raw-sample behavior). Smoothing keeps one
+  // burst-y sample from starting a streak.
+  double smoothing_alpha = 0.5;
 };
 
 class AutoScaler final : public ControlPlaneApp {
@@ -57,6 +62,10 @@ class AutoScaler final : public ControlPlaneApp {
 
   AutoScalerPolicy policy_;
   ReconfigureFn reconfigure_;
+
+  // Smoothed cluster-wide queue depth for the watched node; thresholds act
+  // on its EWMA, not the instantaneous coordinator read.
+  trace::TimeSeries queue_series_;
 
   int high_streak_ = 0;
   int low_streak_ = 0;

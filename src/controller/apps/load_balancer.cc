@@ -1,5 +1,6 @@
 #include "controller/apps/load_balancer.h"
 
+#include "common/clock.h"
 #include "common/log.h"
 #include "net/packet.h"
 
@@ -171,13 +172,20 @@ void LoadBalancer::tick() {
     auto spec = ctl_->spec(key.topology);
     if (!spec) continue;
 
-    // Weight inversely proportional to each destination's queue depth.
+    // Weight inversely proportional to each destination's smoothed queue
+    // depth: the raw coordinator read feeds a per-destination EWMA first,
+    // so one noisy sample cannot swing the whole bucket distribution.
+    const std::int64_t now_us = common::NowMicros();
     std::int64_t max_q = 0;
     std::map<WorkerId, std::int64_t> depths;
     for (const stream::PhysicalWorker& d : session.dests) {
       auto s = ctl_->coord()->get_str(
           stream::WorkerStatsPath(spec->name, d.id, "queue_depth"));
-      const std::int64_t q = s ? std::strtoll(s->c_str(), nullptr, 10) : 0;
+      const std::int64_t raw = s ? std::strtoll(s->c_str(), nullptr, 10) : 0;
+      trace::TimeSeries& ts =
+          depth_series_.series("dest-" + std::to_string(d.id));
+      ts.observe(now_us, static_cast<double>(raw));
+      const auto q = static_cast<std::int64_t>(ts.ewma());
       depths[d.id] = q;
       max_q = std::max(max_q, q);
     }

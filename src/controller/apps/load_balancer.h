@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "controller/controller.h"
+#include "trace/time_series.h"
 
 namespace typhoon::controller {
 
@@ -69,6 +70,10 @@ class LoadBalancer final : public ControlPlaneApp {
   std::map<Key, Session> sessions_;
   std::atomic<bool> auto_rebalance_{false};
   std::atomic<std::int64_t> rebalances_{0};
+  // Per-destination smoothed queue depths (tick thread only): weights are
+  // computed from EWMAs, so one noisy coordinator read cannot swing the
+  // whole bucket distribution for a tick.
+  trace::SeriesSet depth_series_;
 };
 
 }  // namespace typhoon::controller

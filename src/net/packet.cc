@@ -7,6 +7,8 @@ void EncodeFrame(const Packet& p, common::Bytes& out) {
   w.u64(p.dst.packed());
   w.u64(p.src.packed());
   w.u16(p.ether_type);
+  w.u64(p.trace_id);
+  w.u8(p.trace_hop);
   w.raw(p.payload);
 }
 
@@ -15,11 +17,18 @@ std::optional<Packet> DecodeFrame(std::span<const std::uint8_t> frame) {
   std::uint64_t dst = 0;
   std::uint64_t src = 0;
   std::uint16_t ether_type = 0;
-  if (!r.u64(dst) || !r.u64(src) || !r.u16(ether_type)) return std::nullopt;
+  std::uint64_t trace_id = 0;
+  std::uint8_t trace_hop = 0;
+  if (!r.u64(dst) || !r.u64(src) || !r.u16(ether_type) || !r.u64(trace_id) ||
+      !r.u8(trace_hop)) {
+    return std::nullopt;
+  }
   Packet p;
   p.dst = WorkerAddress::unpack(dst);
   p.src = WorkerAddress::unpack(src);
   p.ether_type = ether_type;
+  p.trace_id = trace_id;
+  p.trace_hop = trace_hop;
   p.payload.assign(frame.begin() + static_cast<std::ptrdiff_t>(r.position()),
                    frame.end());
   return p;
@@ -32,11 +41,24 @@ void EncodeChunkHeader(const ChunkHeader& h, common::BufWriter& w) {
   w.u16(h.seg_index);
   w.u16(h.seg_count);
   w.u32(h.chunk_len);
+  if (h.traced()) {
+    w.u64(h.trace_id);
+    w.u8(h.trace_hop);
+  }
 }
 
 bool DecodeChunkHeader(common::BufReader& r, ChunkHeader& h) {
-  return r.u16(h.stream_id) && r.u8(h.flags) && r.u32(h.tuple_seq) &&
-         r.u16(h.seg_index) && r.u16(h.seg_count) && r.u32(h.chunk_len);
+  if (!(r.u16(h.stream_id) && r.u8(h.flags) && r.u32(h.tuple_seq) &&
+        r.u16(h.seg_index) && r.u16(h.seg_count) && r.u32(h.chunk_len))) {
+    return false;
+  }
+  if (h.traced()) {
+    if (!(r.u64(h.trace_id) && r.u8(h.trace_hop))) return false;
+  } else {
+    h.trace_id = 0;
+    h.trace_hop = 0;
+  }
+  return true;
 }
 
 }  // namespace typhoon::net

@@ -1,10 +1,17 @@
 // Typhoon custom transport packet (paper Fig 5).
 //
 // Wire layout (what EncodeFrame produces for tunnels):
-//   [dst worker addr u64][src worker addr u64][ether_type u16][payload ...]
+//   [dst worker addr u64][src worker addr u64][ether_type u16]
+//   [trace_id u64][trace_hop u8][payload ...]
+// trace_id/trace_hop carry the TraceContext of the first traced tuple in
+// the packet (0 = none), so remote switches can stamp switch-level spans
+// without parsing chunk payloads.
 // The payload is a sequence of tuple chunks:
 //   [stream_id u16][flags u8][tuple_seq u32][seg_index u16][seg_count u16]
 //   [chunk_len u32][chunk bytes ...]
+// A chunk with the 0x02 flag set carries a 9-byte trace extension
+// ([trace_id u64][hop u8]) between the header and the chunk bytes;
+// chunk_len still counts only the chunk bytes.
 // A chunk is either a whole serialized tuple (seg_count == 1) or one segment
 // of a large tuple (reassembled by the depacketizer). Multiple small tuples
 // with the same src/dst are multiplexed into one packet; one large tuple is
@@ -31,6 +38,10 @@ inline constexpr std::uint16_t kTyphoonEtherType = 0xffff;
 
 // Chunk flag bits.
 inline constexpr std::uint8_t kChunkFlagControl = 0x01;  // control tuple
+inline constexpr std::uint8_t kChunkFlagTraced = 0x02;   // trace ext follows
+
+// Wire size of the per-chunk trace extension ([trace_id u64][hop u8]).
+inline constexpr std::size_t kTraceExtWireSize = 8 + 1;
 
 struct ChunkHeader {
   StreamId stream_id = 0;
@@ -39,19 +50,28 @@ struct ChunkHeader {
   std::uint16_t seg_index = 0;
   std::uint16_t seg_count = 1;
   std::uint32_t chunk_len = 0;
+  // Populated from the trace extension when kChunkFlagTraced is set.
+  std::uint64_t trace_id = 0;
+  std::uint8_t trace_hop = 0;
 
   static constexpr std::size_t kWireSize = 2 + 1 + 4 + 2 + 2 + 4;
 
   [[nodiscard]] bool control() const { return flags & kChunkFlagControl; }
+  [[nodiscard]] bool traced() const { return flags & kChunkFlagTraced; }
 };
 
 struct Packet {
   WorkerAddress dst;
   WorkerAddress src;
   std::uint16_t ether_type = kTyphoonEtherType;
+  // TraceContext of the first traced tuple multiplexed into this packet
+  // (0 = packet carries no sampled tuple). Switch-level instrumentation
+  // reads these without touching the payload.
+  std::uint64_t trace_id = 0;
+  std::uint8_t trace_hop = 0;
   common::Bytes payload;
 
-  static constexpr std::size_t kHeaderWireSize = 8 + 8 + 2;
+  static constexpr std::size_t kHeaderWireSize = 8 + 8 + 2 + 8 + 1;
   [[nodiscard]] std::size_t wire_size() const {
     return kHeaderWireSize + payload.size();
   }

@@ -22,10 +22,14 @@ void Packetizer::emit(const WorkerAddress& dst, DstBuffer& buf) {
   Packet p;
   p.dst = dst;
   p.src = self_;
+  p.trace_id = buf.trace_id;
+  p.trace_hop = buf.trace_hop;
   p.payload = std::move(buf.payload);
   buf.payload = common::Bytes();
   buf.payload.reserve(buf.high_water);
   buf.tuple_count = 0;
+  buf.trace_id = 0;
+  buf.trace_hop = 0;
   ++packets_;
   sink_(MakePacket(std::move(p)));
 }
@@ -36,9 +40,16 @@ void Packetizer::add(const TupleRecord& rec) {
   ChunkHeader h;
   h.stream_id = rec.stream_id;
   h.flags = rec.control ? kChunkFlagControl : std::uint8_t{0};
+  if (rec.trace_id != 0) {
+    h.flags |= kChunkFlagTraced;
+    h.trace_id = rec.trace_id;
+    h.trace_hop = rec.trace_hop;
+  }
   h.tuple_seq = next_seq_++;
 
-  const std::size_t max_chunk = cfg_.max_payload - ChunkHeader::kWireSize;
+  const std::size_t chunk_overhead =
+      ChunkHeader::kWireSize + (h.traced() ? kTraceExtWireSize : 0);
+  const std::size_t max_chunk = cfg_.max_payload - chunk_overhead;
   if (rec.data.size() > max_chunk) {
     // Large tuple: flush what we have, then emit one packet per segment.
     emit(rec.dst, buf);
@@ -50,6 +61,8 @@ void Packetizer::add(const TupleRecord& rec) {
       h.seg_index = static_cast<std::uint16_t>(i);
       h.chunk_len = static_cast<std::uint32_t>(n);
       append_chunk(buf, h, std::span(rec.data).subspan(off, n));
+      buf.trace_id = rec.trace_id;
+      buf.trace_hop = rec.trace_hop;
       off += n;
       emit(rec.dst, buf);
     }
@@ -57,12 +70,16 @@ void Packetizer::add(const TupleRecord& rec) {
   }
 
   // Would this tuple overflow the packet? Flush first.
-  if (buf.payload.size() + ChunkHeader::kWireSize + rec.data.size() >
+  if (buf.payload.size() + chunk_overhead + rec.data.size() >
       cfg_.max_payload) {
     emit(rec.dst, buf);
   }
   h.chunk_len = static_cast<std::uint32_t>(rec.data.size());
   append_chunk(buf, h, rec.data);
+  if (rec.trace_id != 0 && buf.trace_id == 0) {
+    buf.trace_id = rec.trace_id;
+    buf.trace_hop = rec.trace_hop;
+  }
   ++buf.tuple_count;
   if (cfg_.batch_tuples != 0 && buf.tuple_count >= cfg_.batch_tuples) {
     emit(rec.dst, buf);
@@ -96,6 +113,8 @@ bool Depacketizer::consume(const Packet& p) {
     rec.dst = p.dst;
     rec.stream_id = h.stream_id;
     rec.control = h.control();
+    rec.trace_id = h.trace_id;
+    rec.trace_hop = h.trace_hop;
 
     if (h.seg_count <= 1) {
       rec.data.assign(data.begin(), data.end());
@@ -112,12 +131,16 @@ bool Depacketizer::consume(const Packet& p) {
       part.expected = h.seg_count;
       part.stream_id = h.stream_id;
       part.control = h.control();
+      part.trace_id = h.trace_id;
+      part.trace_hop = h.trace_hop;
     }
     part.data.insert(part.data.end(), data.begin(), data.end());
     ++part.received;
     if (part.received == part.expected) {
       rec.stream_id = part.stream_id;
       rec.control = part.control;
+      rec.trace_id = part.trace_id;
+      rec.trace_hop = part.trace_hop;
       rec.data = std::move(part.data);
       reassembly_.erase(key);
       sink_(std::move(rec));

@@ -24,6 +24,10 @@ struct TupleRecord {
   WorkerAddress dst;
   StreamId stream_id = 0;
   bool control = false;
+  // Trace context of a sampled tuple (trace_id != 0); travels as a chunk
+  // extension (kChunkFlagTraced) and survives reassembly.
+  std::uint64_t trace_id = 0;
+  std::uint8_t trace_hop = 0;
   common::Bytes data;
 };
 
@@ -59,6 +63,10 @@ class Packetizer {
   struct DstBuffer {
     common::Bytes payload;
     std::size_t tuple_count = 0;
+    // TraceContext of the first traced tuple buffered since the last emit;
+    // stamped into the packet header so switches see it without parsing.
+    std::uint64_t trace_id = 0;
+    std::uint8_t trace_hop = 0;
     // Largest payload ever emitted for this destination; the next buffer is
     // pre-reserved to it, so filling a packet costs one allocation instead
     // of a realloc-and-copy ladder after every emit.
@@ -99,6 +107,8 @@ class Depacketizer {
     std::uint16_t expected = 0;
     StreamId stream_id = 0;
     bool control = false;
+    std::uint64_t trace_id = 0;
+    std::uint8_t trace_hop = 0;
   };
 
   Sink sink_;

@@ -113,6 +113,7 @@ common::Bytes EncodeSpec(const TopologySpec& s) {
   w.u32(s.flush_interval_us);
   w.u32(s.max_pending);
   w.u32(s.pending_timeout_ms);
+  w.u32(s.trace_sample_every);
   w.u32(static_cast<std::uint32_t>(s.nodes.size()));
   for (const NodeSpec& n : s.nodes) {
     w.u32(n.id);
@@ -140,7 +141,8 @@ bool DecodeSpec(std::span<const std::uint8_t> data, TopologySpec& s) {
   if (!r.u16(s.id) || !r.str(s.name) || !r.u64(s.version) ||
       !r.u8(reliable) || !r.u32(s.batch_size) ||
       !r.u32(s.flush_interval_us) || !r.u32(s.max_pending) ||
-      !r.u32(s.pending_timeout_ms) || !r.u32(nn)) {
+      !r.u32(s.pending_timeout_ms) || !r.u32(s.trace_sample_every) ||
+      !r.u32(nn)) {
     return false;
   }
   s.reliable = reliable != 0;

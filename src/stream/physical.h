@@ -76,6 +76,8 @@ struct TopologySpec {
   // Un-acked spout tuples older than this are failed (and typically
   // replayed) — the recovery latency knob for lossy links.
   std::uint32_t pending_timeout_ms = 5000;
+  // Spouts stamp a TraceContext on 1-in-N emitted tuples (0 = tracing off).
+  std::uint32_t trace_sample_every = 1024;
   std::vector<NodeSpec> nodes;
   std::vector<EdgeSpec> edges;
 

@@ -21,6 +21,7 @@ TopologySpec BuildSpec(const LogicalTopology& topo, TopologyId id,
   s.flush_interval_us = options.flush_interval_us;
   s.max_pending = options.max_pending;
   s.pending_timeout_ms = options.pending_timeout_ms;
+  s.trace_sample_every = options.trace_sample_every;
   for (const LogicalNode& n : topo.nodes()) {
     s.nodes.push_back(
         {n.id, n.name, n.parallelism, n.is_spout, n.stateful});

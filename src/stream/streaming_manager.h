@@ -40,6 +40,9 @@ struct SubmitOptions {
   // Un-acked spout tuples older than this fail and replay (recovery-latency
   // knob: chaos tests on lossy links lower it to converge quickly).
   std::uint32_t pending_timeout_ms = 5000;
+  // Spouts trace 1-in-N emitted tuples end to end (0 disables tracing).
+  // Cheap enough to stay on by default at 1/1024.
+  std::uint32_t trace_sample_every = 1024;
   std::chrono::milliseconds launch_timeout{5000};
 };
 

@@ -14,6 +14,7 @@
 #include "common/ids.h"
 #include "stream/control_tuple.h"
 #include "stream/tuple.h"
+#include "trace/trace.h"
 
 namespace typhoon::stream {
 
@@ -31,10 +32,12 @@ class Transport {
   virtual ~Transport() = default;
 
   // Send one logical tuple to the given destinations. `broadcast` marks an
-  // all-grouping emission whose payload is destination-independent.
+  // all-grouping emission whose payload is destination-independent. A
+  // non-default `trace` context (sampled tuple) rides with the tuple so the
+  // receiver's TupleMeta carries it onward.
   virtual void send(const Tuple& t, StreamId stream, std::uint64_t root_id,
                     std::uint64_t edge_id, const std::vector<WorkerId>& dests,
-                    bool broadcast) = 0;
+                    bool broadcast, trace::TraceContext trace = {}) = 0;
 
   // Send a control tuple up to the SDN controller (METRIC_RESP). A no-op on
   // transports without a control plane.

@@ -1,12 +1,16 @@
 #include "stream/transport_typhoon.h"
 
+#include "common/clock.h"
+
 namespace typhoon::stream {
 
-TyphoonTransport::TyphoonTransport(WorkerAddress self,
-                                   std::shared_ptr<switchd::PortHandle> port,
-                                   net::PacketizerConfig cfg)
+TyphoonTransport::TyphoonTransport(
+    WorkerAddress self, std::shared_ptr<switchd::PortHandle> port,
+    net::PacketizerConfig cfg,
+    std::shared_ptr<trace::FlightRecorder> recorder)
     : self_(self),
       port_(std::move(port)),
+      recorder_(std::move(recorder)),
       packetizer_(self, cfg,
                   [this](net::PacketPtr p) {
                     // Back-pressure instead of drop while the TX ring is
@@ -39,7 +43,7 @@ TyphoonTransport::TyphoonTransport(WorkerAddress self,
 void TyphoonTransport::send(const Tuple& t, StreamId stream,
                             std::uint64_t root_id, std::uint64_t edge_id,
                             const std::vector<WorkerId>& dests,
-                            bool broadcast) {
+                            bool broadcast, trace::TraceContext trace) {
   if (dests.empty()) return;
   // The single serialization: the payload carries no destination metadata,
   // so one buffer serves every copy (Sec 3.3.1). The scratch record's
@@ -48,6 +52,8 @@ void TyphoonTransport::send(const Tuple& t, StreamId stream,
   rec.src = self_;
   rec.stream_id = stream;
   rec.control = false;
+  rec.trace_id = trace.id;
+  rec.trace_hop = trace.hop;
   SerializeTyphoonInto(t, root_id, edge_id, rec.data);
 
   if (broadcast) {
@@ -106,6 +112,13 @@ std::size_t TyphoonTransport::poll(std::vector<ReceivedItem>& out,
       if (!DeserializeTyphoon(rec.data, item.tuple, item.meta.root_id,
                               item.meta.edge_id)) {
         continue;
+      }
+      item.meta.trace_id = rec.trace_id;
+      item.meta.trace_hop = rec.trace_hop;
+      if (rec.trace_id != 0 && recorder_ != nullptr) {
+        recorder_->record({rec.trace_id, trace::Stage::kDeserialize,
+                           rec.trace_hop, self_.worker, common::NowMicros(),
+                           0});
       }
     }
     out.push_back(std::move(item));

@@ -17,18 +17,23 @@
 #include "net/packetizer.h"
 #include "stream/transport.h"
 #include "switchd/soft_switch.h"
+#include "trace/flight_recorder.h"
 
 namespace typhoon::stream {
 
 class TyphoonTransport : public Transport {
  public:
+  // `recorder` (optional) receives kDeserialize spans for sampled tuples;
+  // it must be the same single-writer ring as the owning worker's, since
+  // send/poll run on the worker thread.
   TyphoonTransport(WorkerAddress self,
                    std::shared_ptr<switchd::PortHandle> port,
-                   net::PacketizerConfig cfg);
+                   net::PacketizerConfig cfg,
+                   std::shared_ptr<trace::FlightRecorder> recorder = nullptr);
 
   void send(const Tuple& t, StreamId stream, std::uint64_t root_id,
             std::uint64_t edge_id, const std::vector<WorkerId>& dests,
-            bool broadcast) override;
+            bool broadcast, trace::TraceContext trace = {}) override;
   void send_to_controller(const ControlTuple& ct) override;
   std::size_t poll(std::vector<ReceivedItem>& out, std::size_t max) override;
   void flush() override;
@@ -44,6 +49,7 @@ class TyphoonTransport : public Transport {
  private:
   WorkerAddress self_;
   std::shared_ptr<switchd::PortHandle> port_;
+  std::shared_ptr<trace::FlightRecorder> recorder_;
   net::Packetizer packetizer_;
   net::Depacketizer depacketizer_;
   // Tuples staged between RX-ring drain and delivery to the worker. Kept

@@ -75,6 +75,10 @@ struct TupleMeta {
   // Guaranteed-processing anchors (0 when unanchored).
   std::uint64_t root_id = 0;
   std::uint64_t edge_id = 0;
+  // Trace context of a sampled tuple (trace_id != 0); trace_hop counts
+  // topology edges traversed so far.
+  std::uint64_t trace_id = 0;
+  std::uint8_t trace_hop = 0;
 };
 
 // The well-known stream carrying control tuples (Table 2). Data streams use

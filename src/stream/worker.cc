@@ -51,6 +51,30 @@ void Worker::emit(StreamId stream, Tuple t) {
     }
   }
 
+  // Sampling decision (spouts) or propagation (bolts, one hop further).
+  // The emit span is stamped here, before routing: a sampled tuple that
+  // parks on a paused edge or is dropped downstream still owns a chain —
+  // an incomplete one — so sampled counts and chain counts always agree.
+  trace::TraceContext trace;
+  if (opts_.trace_recorder != nullptr) {
+    if (opts_.is_spout) {
+      if (opts_.trace_sample_every != 0 &&
+          ++trace_seq_ % opts_.trace_sample_every == 0) {
+        trace.id = common::HashCombine(opts_.ctx.worker, trace_seq_) | 1;
+        trace.hop = 0;
+        metrics_.counter("trace_sampled").inc();
+      }
+    } else if (current_trace_.sampled()) {
+      trace.id = current_trace_.id;
+      trace.hop = static_cast<std::uint8_t>(current_trace_.hop + 1);
+    }
+    if (trace.sampled()) {
+      opts_.trace_recorder->record({trace.id, trace::Stage::kEmit, trace.hop,
+                                    opts_.ctx.worker, common::NowMicros(),
+                                    0});
+    }
+  }
+
   std::uint64_t init_xor = 0;
   bool sent_any = false;
   for (EdgeRuntime& e : opts_.out_edges) {
@@ -79,7 +103,8 @@ void Worker::emit(StreamId stream, Tuple t) {
         }
       }
     }
-    opts_.transport->send(t, stream, root, edge_id, d.dests, d.broadcast);
+    opts_.transport->send(t, stream, root, edge_id, d.dests, d.broadcast,
+                          trace);
     sent_any = true;
   }
   if (sent_any) emitted_.inc();
@@ -239,7 +264,18 @@ void Worker::handle_item(ReceivedItem& item) {
 
   current_root_ = item.meta.root_id;
   child_xor_ = 0;
+  current_trace_ = trace::TraceContext{item.meta.trace_id,
+                                       item.meta.trace_hop};
+  const bool traced =
+      current_trace_.sampled() && opts_.trace_recorder != nullptr;
+  const std::int64_t exec_t0 = traced ? common::NowMicros() : 0;
   opts_.bolt->execute(item.tuple, item.meta, *this);
+  if (traced) {
+    opts_.trace_recorder->record(
+        {current_trace_.id, trace::Stage::kExecute, current_trace_.hop,
+         opts_.ctx.worker, exec_t0, common::NowMicros() - exec_t0});
+  }
+  current_trace_ = trace::TraceContext{};
 
   if (!is_acker && opts_.reliable && opts_.acker != 0 &&
       item.meta.root_id != 0) {

@@ -32,6 +32,8 @@
 #include "stream/api.h"
 #include "stream/routing.h"
 #include "stream/transport.h"
+#include "trace/flight_recorder.h"
+#include "trace/trace.h"
 
 namespace typhoon::stream {
 
@@ -68,6 +70,13 @@ struct WorkerOptions {
   coordinator::Coordinator* coord = nullptr;
   std::chrono::milliseconds heartbeat_interval{25};
   std::chrono::microseconds flush_interval{200};
+
+  // Cross-layer tracing. The recorder is shared with this worker's
+  // transport (send/poll run on the worker thread, so the single-writer
+  // contract holds). Spouts sample 1-in-`trace_sample_every` emitted
+  // tuples; 0 disables sampling. Bolts only propagate contexts.
+  std::shared_ptr<trace::FlightRecorder> trace_recorder;
+  std::uint32_t trace_sample_every = 0;
 
   bool start_active = true;
 };
@@ -139,6 +148,12 @@ class Worker final : public Emitter {
   // the current execute()/next() call.
   std::uint64_t current_root_ = 0;
   std::uint64_t child_xor_ = 0;
+
+  // Trace context of the data tuple currently being executed; re-emits
+  // inherit it one hop further. Zero outside execute().
+  trace::TraceContext current_trace_;
+  // Spout emissions since start, the counter behind 1-in-N sampling.
+  std::uint64_t trace_seq_ = 0;
 
   struct PendingRoot {
     common::TimePoint emitted_at;

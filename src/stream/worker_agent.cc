@@ -166,6 +166,15 @@ bool WorkerAgent::launch(WorkerId id, const std::string& topology,
   wo.pending_timeout = std::chrono::milliseconds(
       std::max<std::uint32_t>(spec.pending_timeout_ms, 100));
 
+  // Cross-layer tracing: the worker and its transport share one
+  // single-writer ring (both run on the worker thread).
+  std::shared_ptr<trace::FlightRecorder> recorder;
+  if (opts_.trace != nullptr && spec.trace_sample_every != 0) {
+    recorder = opts_.trace->acquire("worker-" + std::to_string(id));
+    wo.trace_recorder = recorder;
+    wo.trace_sample_every = spec.trace_sample_every;
+  }
+
   // "Fetch application binaries."
   if (node->is_spout) {
     SpoutFactory f = opts_.registry->spout_factory(topology, node->name);
@@ -213,7 +222,7 @@ bool WorkerAgent::launch(WorkerId id, const std::string& topology,
     net::PacketizerConfig pcfg;
     pcfg.batch_tuples = spec.batch_size;
     wo.transport = std::make_unique<TyphoonTransport>(
-        WorkerAddress{spec.id, id}, port, pcfg);
+        WorkerAddress{spec.id, id}, port, pcfg, recorder);
     slot.port = std::move(port);
   } else {
     wo.transport = std::make_unique<StormTransport>(

@@ -23,6 +23,7 @@
 #include "stream/transport_storm.h"
 #include "stream/worker.h"
 #include "switchd/soft_switch.h"
+#include "trace/collector.h"
 
 namespace typhoon::stream {
 
@@ -43,6 +44,12 @@ struct AgentOptions {
   // Worker tuning passed through.
   std::chrono::milliseconds worker_heartbeat{25};
   std::chrono::microseconds worker_flush{200};
+
+  // Cross-layer tracing registry (usually the cluster's). Each launched
+  // worker acquires the "worker-<id>" recorder — a restart reuses its
+  // predecessor's ring, keeping the single-writer contract (writers are
+  // sequential across a restart). Null disables worker-side tracing.
+  trace::TraceDomain* trace = nullptr;
 };
 
 class WorkerAgent {

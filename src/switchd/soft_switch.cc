@@ -342,9 +342,14 @@ void SoftSwitch::deliver_to_port(net::PacketPtr p, PortId port) {
   // delivery ordering and let run() pause ingress until pressure clears.
   if (egress_pending_.empty()) {
     const std::size_t wire = p->wire_size();
+    const std::uint64_t tid = p->trace_id;
+    const std::uint8_t thop = p->trace_hop;
     if (target->from_switch.try_push(std::move(p))) {
       target->tx_packets.fetch_add(1, std::memory_order_relaxed);
       target->tx_bytes.fetch_add(wire, std::memory_order_relaxed);
+      if (tid != 0 && cfg_.trace_recorder != nullptr) {
+        record_span(tid, thop, trace::Stage::kSwitchOut);
+      }
       return;
     }
     egress_block_since_ = common::Now();  // p survives a rejected push
@@ -367,9 +372,14 @@ std::size_t SoftSwitch::drain_egress_backlog() {
       continue;
     }
     const std::size_t wire = pkt->wire_size();
+    const std::uint64_t tid = pkt->trace_id;
+    const std::uint8_t thop = pkt->trace_hop;
     if (target->from_switch.try_push(std::move(pkt))) {
       target->tx_packets.fetch_add(1, std::memory_order_relaxed);
       target->tx_bytes.fetch_add(wire, std::memory_order_relaxed);
+      if (tid != 0 && cfg_.trace_recorder != nullptr) {
+        record_span(tid, thop, trace::Stage::kSwitchOut);
+      }
       egress_pending_.pop_front();
       egress_block_since_ = common::Now();
       ++resolved;
@@ -383,9 +393,14 @@ std::size_t SoftSwitch::drain_egress_backlog() {
         PortHandle::Port* t = find_out_port(hport);
         if (t == nullptr) continue;
         const std::size_t hw = hp->wire_size();
+        const std::uint64_t htid = hp->trace_id;
+        const std::uint8_t hthop = hp->trace_hop;
         if (t->from_switch.try_push(std::move(hp))) {
           t->tx_packets.fetch_add(1, std::memory_order_relaxed);
           t->tx_bytes.fetch_add(hw, std::memory_order_relaxed);
+          if (htid != 0 && cfg_.trace_recorder != nullptr) {
+            record_span(htid, hthop, trace::Stage::kSwitchOut);
+          }
         } else {
           t->tx_dropped.fetch_add(1, std::memory_order_relaxed);
         }
@@ -416,7 +431,13 @@ void SoftSwitch::apply_actions(
             break;
           }
         }
-        if (ep) ep->send(*current);
+        if (ep) {
+          ep->send(*current);
+          if (current->trace_id != 0 && cfg_.trace_recorder != nullptr) {
+            record_span(current->trace_id, current->trace_hop,
+                        trace::Stage::kSwitchOut);
+          }
+        }
       } else {
         output_to_port(current, out->port);
       }
@@ -449,7 +470,16 @@ void SoftSwitch::apply_actions(
   }
 }
 
+void SoftSwitch::record_span(std::uint64_t trace_id, std::uint8_t hop,
+                             trace::Stage stage) {
+  cfg_.trace_recorder->record(
+      {trace_id, stage, hop, cfg_.host, common::NowMicros(), 0});
+}
+
 bool SoftSwitch::process(net::PacketPtr p, PortId in_port) {
+  if (p->trace_id != 0 && cfg_.trace_recorder != nullptr) {
+    record_span(p->trace_id, p->trace_hop, trace::Stage::kSwitchIn);
+  }
   TableSnapshot& snap = active_snapshot();
   const MicroflowKey key{in_port, p->ether_type, p->src.packed(),
                          p->dst.packed()};
@@ -552,6 +582,10 @@ void SoftSwitch::run() {
         for (std::size_t i = 0; i < cfg_.poll_burst; ++i) {
           auto pkt = t.ep->try_recv();
           if (!pkt) break;
+          if (pkt->trace_id != 0 && cfg_.trace_recorder != nullptr) {
+            record_span(pkt->trace_id, pkt->trace_hop,
+                        trace::Stage::kTunnelRx);
+          }
           forwarded +=
               process(net::MakePacket(std::move(*pkt)), kTunnelPort) ? 1 : 0;
           ++work;

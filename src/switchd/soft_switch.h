@@ -52,6 +52,7 @@
 #include "openflow/flow_table.h"
 #include "openflow/group_table.h"
 #include "switchd/microflow_cache.h"
+#include "trace/flight_recorder.h"
 
 namespace typhoon::switchd {
 
@@ -98,6 +99,10 @@ struct SoftSwitchConfig {
   // ingress so the pressure reaches senders) before falling back to the
   // at-most-once drop. Keeps a wedged receiver from stalling the host.
   std::chrono::milliseconds egress_hold{5};
+  // Cross-layer tracing ring for this switch thread (single writer: the
+  // forwarding loop). Null disables switch-level spans; the fast path then
+  // pays one branch per packet.
+  std::shared_ptr<trace::FlightRecorder> trace_recorder;
 };
 
 class SoftSwitch {
@@ -216,6 +221,10 @@ class SoftSwitch {
   std::size_t drain_egress_backlog();
   PortHandle::Port* find_out_port(PortId port);
   void emit_event(SwitchEvent ev);
+  // Stamp one switch-level span for a traced packet (switch thread only).
+  // Callers gate on a nonzero trace id so untraced packets pay one branch.
+  void record_span(std::uint64_t trace_id, std::uint8_t hop,
+                   trace::Stage stage);
 
   // Rebuild + publish the snapshot; call with table_mu_ held after any
   // flow/group mutation. The generation store is the release point readers

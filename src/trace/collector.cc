@@ -1,0 +1,160 @@
+#include "trace/collector.h"
+
+#include <algorithm>
+
+namespace typhoon::trace {
+
+std::shared_ptr<FlightRecorder> TraceDomain::acquire(
+    const std::string& name) {
+  std::lock_guard lk(mu_);
+  auto it = recorders_.find(name);
+  if (it != recorders_.end()) return it->second;
+  auto rec = std::make_shared<FlightRecorder>(ring_slots_);
+  recorders_.emplace(name, rec);
+  return rec;
+}
+
+std::size_t TraceDomain::drain_all(std::vector<Span>& out) {
+  std::vector<std::shared_ptr<FlightRecorder>> recs;
+  {
+    std::lock_guard lk(mu_);
+    recs.reserve(recorders_.size());
+    for (const auto& [name, r] : recorders_) recs.push_back(r);
+  }
+  std::size_t n = 0;
+  for (const auto& r : recs) n += r->drain(out);
+  return n;
+}
+
+std::size_t TraceDomain::recorder_count() const {
+  std::lock_guard lk(mu_);
+  return recorders_.size();
+}
+
+std::uint64_t TraceDomain::total_overwritten() const {
+  std::lock_guard lk(mu_);
+  std::uint64_t n = 0;
+  for (const auto& [name, r] : recorders_) n += r->overwritten();
+  return n;
+}
+
+bool HopChain::has(Stage stage, std::uint8_t hop) const {
+  return find(stage, hop) != nullptr;
+}
+
+const Span* HopChain::find(Stage stage, std::uint8_t hop) const {
+  for (const Span& s : spans) {
+    if (s.stage == stage && s.hop == hop) return &s;
+  }
+  return nullptr;
+}
+
+void TraceCollector::collect() {
+  scratch_.clear();
+  domain_->drain_all(scratch_);
+  std::lock_guard lk(mu_);
+  for (const Span& s : scratch_) fold(s);
+  for (auto& [id, chain] : chains_) finalize_chain_locked(chain);
+}
+
+void TraceCollector::fold(const Span& s) {
+  HopChain& c = chains_[s.trace_id];
+  c.trace_id = s.trace_id;
+  // Sorted insert by (timestamp, stage): spans from different recorders
+  // arrive interleaved and out of order, but each chain reads in causal
+  // order afterwards.
+  auto pos = std::upper_bound(
+      c.spans.begin(), c.spans.end(), s, [](const Span& a, const Span& b) {
+        if (a.t_us != b.t_us) return a.t_us < b.t_us;
+        return static_cast<int>(a.stage) < static_cast<int>(b.stage);
+      });
+  c.spans.insert(pos, s);
+}
+
+void TraceCollector::finalize_chain_locked(HopChain& c) {
+  const bool now_complete =
+      c.has(Stage::kEmit, 0) && c.has(Stage::kExecute, terminal_hop_);
+  if (!now_complete || c.complete) {
+    c.complete = c.complete || now_complete;
+    return;
+  }
+  c.complete = true;
+
+  // Histogram accounting happens exactly once, when the chain completes:
+  // each stage records its gap to the immediately preceding event in the
+  // chain (switch residency, ring queue wait, tunnel flight...), execute
+  // additionally records the user-code duration, and the whole chain
+  // records spout-emit-to-terminal-execute under "end_to_end".
+  auto rec = [this](const std::string& key) -> common::LatencyRecorder& {
+    auto it = stages_.find(key);
+    if (it == stages_.end()) {
+      it = stages_.emplace(key, std::make_unique<common::LatencyRecorder>())
+               .first;
+    }
+    return *it->second;
+  };
+  for (std::size_t i = 1; i < c.spans.size(); ++i) {
+    const Span& s = c.spans[i];
+    const std::int64_t gap =
+        std::max<std::int64_t>(0, s.t_us - c.spans[i - 1].t_us);
+    rec(StageName(s.stage)).record(gap);
+  }
+  if (const Span* ex = c.find(Stage::kExecute, terminal_hop_)) {
+    rec("execute_duration").record(std::max<std::int64_t>(0, ex->duration_us));
+    if (const Span* emit = c.find(Stage::kEmit, 0)) {
+      rec("end_to_end")
+          .record(std::max<std::int64_t>(
+              0, ex->t_us + ex->duration_us - emit->t_us));
+    }
+  }
+  // The chain's own emit span has no predecessor; give the emit stage a
+  // zero-latency sample so every stage present in a chain shows up in the
+  // histogram table (count parity with the other stages).
+  if (!c.spans.empty() && c.spans.front().stage == Stage::kEmit) {
+    rec(StageName(Stage::kEmit)).record(0);
+  }
+}
+
+std::size_t TraceCollector::chains() const {
+  std::lock_guard lk(mu_);
+  return chains_.size();
+}
+
+std::size_t TraceCollector::complete() const {
+  std::lock_guard lk(mu_);
+  std::size_t n = 0;
+  for (const auto& [id, c] : chains_) n += c.complete ? 1 : 0;
+  return n;
+}
+
+std::size_t TraceCollector::incomplete() const {
+  std::lock_guard lk(mu_);
+  std::size_t n = 0;
+  for (const auto& [id, c] : chains_) n += c.complete ? 0 : 1;
+  return n;
+}
+
+std::vector<HopChain> TraceCollector::snapshot() const {
+  std::lock_guard lk(mu_);
+  std::vector<HopChain> out;
+  out.reserve(chains_.size());
+  for (const auto& [id, c] : chains_) out.push_back(c);
+  return out;
+}
+
+const common::LatencyRecorder* TraceCollector::stage_latency(
+    const std::string& stage) const {
+  std::lock_guard lk(mu_);
+  auto it = stages_.find(stage);
+  return it == stages_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> TraceCollector::stage_names() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(stages_.size());
+  for (const auto& [name, r] : stages_) out.push_back(name);
+  return out;
+}
+
+}  // namespace typhoon::trace

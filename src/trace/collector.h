@@ -1,0 +1,109 @@
+// TraceDomain + TraceCollector (DESIGN.md Sec 11).
+//
+// TraceDomain is the registry tying the per-thread FlightRecorders of one
+// cluster together. Components acquire a recorder by name (a restarted
+// worker reuses its predecessor's ring — writers are sequential across a
+// restart, so the single-writer contract holds) and the collector drains
+// them all without knowing who they belong to.
+//
+// TraceCollector reassembles drained spans into per-tuple hop chains and
+// maintains stage-level latency histograms. A chain is complete once it
+// carries the spout's emit (hop 0) and a bolt execute at the expected
+// terminal hop; anything else — a tuple dropped on a lossy tunnel, parked
+// across a rebalance, or still in flight — stays incomplete rather than
+// leaking. complete() + incomplete() always equals chains().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/latency_recorder.h"
+#include "trace/flight_recorder.h"
+#include "trace/trace.h"
+
+namespace typhoon::trace {
+
+class TraceDomain {
+ public:
+  explicit TraceDomain(std::size_t ring_slots = FlightRecorder::kDefaultSlots)
+      : ring_slots_(ring_slots) {}
+
+  // Returns the recorder registered under `name`, creating it on first
+  // use. The domain keeps recorders alive for its own lifetime, so the
+  // returned pointer outlives any component holding it.
+  std::shared_ptr<FlightRecorder> acquire(const std::string& name);
+
+  // Drain every registered recorder into `out`; returns spans appended.
+  std::size_t drain_all(std::vector<Span>& out);
+
+  [[nodiscard]] std::size_t recorder_count() const;
+  [[nodiscard]] std::uint64_t total_overwritten() const;
+
+ private:
+  std::size_t ring_slots_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<FlightRecorder>> recorders_;
+};
+
+// One reassembled tuple journey. Spans are kept sorted by timestamp (ties
+// broken by stage order), so walking a chain reads as the tuple's history.
+struct HopChain {
+  std::uint64_t trace_id = 0;
+  std::vector<Span> spans;
+  bool complete = false;
+
+  [[nodiscard]] bool has(Stage stage, std::uint8_t hop) const;
+  [[nodiscard]] const Span* find(Stage stage, std::uint8_t hop) const;
+};
+
+class TraceCollector {
+ public:
+  // `terminal_hop` is the hop index of the final bolt's execute span — the
+  // number of edges between the spout and the sink (word count
+  // spout->split->count: the count bolt consumes edge 1, so terminal = 1).
+  explicit TraceCollector(TraceDomain* domain, std::uint8_t terminal_hop = 1)
+      : domain_(domain), terminal_hop_(terminal_hop) {}
+
+  // Drain the domain and fold the new spans into the chain map and the
+  // per-stage histograms. Idempotent between new traffic; callable
+  // repeatedly while the cluster runs.
+  void collect();
+
+  // Adjust the expected terminal hop (topology known only after submit).
+  // Only chains finalized after the change use the new value.
+  void set_terminal_hop(std::uint8_t hop) {
+    std::lock_guard lk(mu_);
+    terminal_hop_ = hop;
+  }
+
+  [[nodiscard]] std::size_t chains() const;
+  [[nodiscard]] std::size_t complete() const;
+  [[nodiscard]] std::size_t incomplete() const;
+  [[nodiscard]] std::vector<HopChain> snapshot() const;
+
+  // Per-stage event latency (microseconds between the previous causal
+  // stage and this one; kExecute uses its own duration). Keys are
+  // StageName() strings plus the derived "execute_duration" (time inside
+  // the bolt) and "end_to_end" (hop-0 emit -> terminal execute).
+  [[nodiscard]] const common::LatencyRecorder* stage_latency(
+      const std::string& stage) const;
+  [[nodiscard]] std::vector<std::string> stage_names() const;
+
+ private:
+  void fold(const Span& s);
+  void finalize_chain_locked(HopChain& c);
+
+  TraceDomain* domain_;
+  std::uint8_t terminal_hop_;
+
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, HopChain> chains_;
+  std::map<std::string, std::unique_ptr<common::LatencyRecorder>> stages_;
+  std::vector<Span> scratch_;
+};
+
+}  // namespace typhoon::trace

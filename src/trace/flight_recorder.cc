@@ -1,0 +1,62 @@
+#include "trace/flight_recorder.h"
+
+#include <algorithm>
+
+namespace typhoon::trace {
+
+namespace {
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 8;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t slots)
+    : slots_(RoundUpPow2(slots)), mask_(slots_.size() - 1) {}
+
+void FlightRecorder::record(const Span& s) {
+  const std::uint64_t i = head_.load(std::memory_order_relaxed);
+  Slot& slot = slots_[i & mask_];
+  // Odd sequence = in progress: a drainer that observes it skips the slot.
+  slot.seq.store(2 * i + 1, std::memory_order_release);
+  slot.span = s;
+  slot.seq.store(2 * i + 2, std::memory_order_release);
+  head_.store(i + 1, std::memory_order_release);
+}
+
+std::size_t FlightRecorder::drain(std::vector<Span>& out) {
+  std::lock_guard lk(drain_mu_);
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t cap = slots_.size();
+  std::uint64_t start = reader_pos_;
+  if (head > cap && start < head - cap) {
+    // The writer lapped us: everything below head - cap is gone.
+    overwritten_.fetch_add((head - cap) - start, std::memory_order_relaxed);
+    start = head - cap;
+  }
+  std::size_t appended = 0;
+  for (std::uint64_t i = start; i < head; ++i) {
+    Slot& slot = slots_[i & mask_];
+    if (slot.seq.load(std::memory_order_acquire) != 2 * i + 2) {
+      // Mid-write or already overwritten by a writer that raced ahead.
+      overwritten_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Span copy = slot.span;
+    // Validate after the copy: if the sequence moved, the copy may be torn.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != 2 * i + 2) {
+      overwritten_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    out.push_back(copy);
+    ++appended;
+  }
+  reader_pos_ = head;
+  return appended;
+}
+
+}  // namespace typhoon::trace

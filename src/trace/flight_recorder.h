@@ -1,0 +1,67 @@
+// FlightRecorder — a fixed-size, single-writer span ring with lock-free
+// recording (DESIGN.md Sec 11). Each instrumented thread (a worker, a
+// switch) owns one recorder and is its only writer; record() is wait-free
+// and never blocks the data path. A reader drains concurrently using
+// per-slot sequence numbers (seqlock style): a slot whose sequence moved
+// while it was being copied is simply skipped, so a torn read can never
+// surface. When the writer laps the reader the oldest spans are
+// overwritten — the newest spans always survive, which is the right bias
+// for a flight recorder.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace typhoon::trace {
+
+class FlightRecorder {
+ public:
+  // `slots` is rounded up to a power of two (min 8).
+  explicit FlightRecorder(std::size_t slots = kDefaultSlots);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Writer thread only. Wait-free; overwrites the oldest span when full.
+  void record(const Span& s);
+
+  // Any thread. Appends every span completed since the previous drain to
+  // `out` (oldest first) and returns how many were appended. Spans the
+  // writer overwrote before they could be read are counted in
+  // overwritten() instead. Concurrent drains serialize on an internal
+  // mutex; none of this touches the writer.
+  std::size_t drain(std::vector<Span>& out);
+
+  [[nodiscard]] std::uint64_t recorded() const {
+    return head_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t overwritten() const {
+    return overwritten_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  static constexpr std::size_t kDefaultSlots = 8192;
+
+ private:
+  struct Slot {
+    // 2*i+1 while logical index i is being written, 2*i+2 once complete.
+    std::atomic<std::uint64_t> seq{0};
+    Span span;
+  };
+
+  std::vector<Slot> slots_;
+  std::size_t mask_;
+  // Next logical write index; the release store in record() publishes the
+  // slot contents to drainers.
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> overwritten_{0};
+
+  std::mutex drain_mu_;
+  std::uint64_t reader_pos_ = 0;  // guarded by drain_mu_
+};
+
+}  // namespace typhoon::trace

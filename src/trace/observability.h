@@ -1,0 +1,54 @@
+// ClusterObservability — the aggregation point for everything this layer
+// produces: the TraceDomain's flight recorders, the TraceCollector's hop
+// chains and stage histograms, and the SeriesSet of windowed worker
+// metrics. dump_json() renders it all as one JSON document (the export the
+// live debugger and the bench harnesses consume); the schema is documented
+// in DESIGN.md Sec 11.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/collector.h"
+#include "trace/time_series.h"
+
+namespace typhoon::trace {
+
+struct ObservabilityConfig {
+  std::size_t ring_slots = FlightRecorder::kDefaultSlots;
+  // Terminal execute hop for chain completeness (edges from spout to sink).
+  std::uint8_t terminal_hop = 1;
+  TimeSeriesConfig series;
+};
+
+class ClusterObservability {
+ public:
+  explicit ClusterObservability(ObservabilityConfig cfg = {});
+
+  [[nodiscard]] TraceDomain& domain() { return domain_; }
+  [[nodiscard]] TraceCollector& collector() { return collector_; }
+  [[nodiscard]] SeriesSet& series() { return series_; }
+
+  void set_terminal_hop(std::uint8_t hop);
+
+  // Fold one worker's metrics snapshot into the time-series layer.
+  void observe_worker(
+      const std::string& worker_name, std::int64_t t_us,
+      const std::vector<std::pair<std::string, std::int64_t>>& snapshot);
+
+  // Drain recorders, fold chains, and render the whole state:
+  //   {"schema":"typhoon.observability.v1",
+  //    "chains":{"total":N,"complete":N,"incomplete":N,"overwritten":N},
+  //    "stages":{"<stage>":{"count":N,"p50_ms":X,"p99_ms":X,"mean_ms":X}},
+  //    "series":{"<name>":{"last":X,"ewma":X,"rate_per_sec":X}}}
+  [[nodiscard]] std::string dump_json();
+
+ private:
+  TraceDomain domain_;
+  TraceCollector collector_;
+  SeriesSet series_;
+};
+
+}  // namespace typhoon::trace

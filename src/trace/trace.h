@@ -1,0 +1,72 @@
+// Cross-layer tuple tracing (DESIGN.md Sec 11). A 1-in-N sampled tuple
+// carries a compact TraceContext — a nonzero trace id plus a hop counter —
+// through every layer the paper's cross-layer argument names (Sec 4):
+// worker emit, switch ingress/egress, tunnel receive, worker deserialize,
+// and bolt execute. Each instrumented component stamps monotonic
+// timestamps into its own single-writer FlightRecorder; a TraceCollector
+// later reassembles the spans into per-tuple hop chains.
+//
+// The context travels in two places:
+//  * per tuple, as a chunk-header extension (flag bit kChunkFlagTraced)
+//    so untraced tuples stay byte-identical on the wire;
+//  * per packet, as two always-present frame-header fields stamped by the
+//    packetizer from the first traced chunk, so the switch pays only one
+//    branch per packet to decide whether to record.
+#pragma once
+
+#include <cstdint>
+
+namespace typhoon::trace {
+
+// Rides with a sampled tuple. `id == 0` means "not sampled" everywhere;
+// sampled ids always have the low bit set so they can never collide with
+// the unsampled sentinel.
+struct TraceContext {
+  std::uint64_t id = 0;
+  // Edges traversed so far: a spout emits at hop 0; the bolt consuming
+  // that edge re-emits at hop 1, and so on.
+  std::uint8_t hop = 0;
+
+  [[nodiscard]] bool sampled() const { return id != 0; }
+
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+// Where in the pipeline a span was stamped. kExecute is the only stage
+// with a duration; the others are point events whose pairwise differences
+// yield the stage latencies (queue wait, switch residency, tunnel flight).
+enum class Stage : std::uint8_t {
+  kEmit = 0,         // worker framework layer, at transport->send
+  kSwitchIn = 1,     // soft switch, packet entering the pipeline
+  kSwitchOut = 2,    // soft switch, per successful delivery (incl. fan-out)
+  kTunnelRx = 3,     // remote switch, frame decoded off the tunnel
+  kDeserialize = 4,  // worker I/O layer, tuple decoded from its chunk
+  kExecute = 5,      // bolt execute() (duration_us covers the user code)
+};
+
+inline constexpr int kStageCount = 6;
+
+[[nodiscard]] inline const char* StageName(Stage s) {
+  switch (s) {
+    case Stage::kEmit: return "emit";
+    case Stage::kSwitchIn: return "switch_in";
+    case Stage::kSwitchOut: return "switch_out";
+    case Stage::kTunnelRx: return "tunnel_rx";
+    case Stage::kDeserialize: return "deserialize";
+    case Stage::kExecute: return "execute";
+  }
+  return "?";
+}
+
+// One stamped event. `where` identifies the recording component (worker id
+// or host id — disambiguated by the stage), purely for diagnostics.
+struct Span {
+  std::uint64_t trace_id = 0;
+  Stage stage = Stage::kEmit;
+  std::uint8_t hop = 0;
+  std::uint64_t where = 0;
+  std::int64_t t_us = 0;         // common::NowMicros() at the event
+  std::int64_t duration_us = 0;  // kExecute only; 0 elsewhere
+};
+
+}  // namespace typhoon::trace

@@ -2,11 +2,16 @@
 
 #include <algorithm>
 
+#include "common/clock.h"
 #include "net/tunnel.h"
 
 namespace typhoon {
 
-Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
+Cluster::Cluster(ClusterConfig cfg)
+    : cfg_(cfg),
+      obs_(trace::ObservabilityConfig{cfg.trace_ring_slots,
+                                      cfg.trace_terminal_hop,
+                                      {}}) {
   for (int i = 0; i < cfg_.num_hosts; ++i) {
     auto host = std::make_unique<Host>();
     host->id = static_cast<HostId>(i + 1);
@@ -15,6 +20,8 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
       switchd::SoftSwitchConfig scfg;
       scfg.host = host->id;
       scfg.ring_capacity = cfg_.ring_capacity;
+      scfg.trace_recorder = obs_.domain().acquire(
+          "switch-" + std::to_string(host->id));
       host->sw = std::make_unique<switchd::SoftSwitch>(scfg);
     }
     hosts_.push_back(std::move(host));
@@ -48,6 +55,7 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
     aopts.auto_restart = cfg_.agent_auto_restart;
     aopts.max_local_restarts = cfg_.agent_max_local_restarts;
     aopts.restart_delay = cfg_.agent_restart_delay;
+    aopts.trace = &obs_.domain();
     h->agent = std::make_unique<stream::WorkerAgent>(aopts);
   }
 
@@ -109,7 +117,36 @@ switchd::SoftSwitch* Cluster::switch_at(HostId host) const {
 
 common::Result<TopologyId> Cluster::submit(
     const stream::LogicalTopology& topology, stream::SubmitOptions options) {
-  return manager_->submit(topology, options);
+  auto r = manager_->submit(topology, options);
+  if (r.ok()) {
+    // Chain completeness is judged against the longest spout-to-sink path
+    // of the submitted DAG (terminal execute hop = edges - 1). With several
+    // live topologies the deepest submitted so far wins — a shallower one
+    // would mark deep chains complete too early.
+    std::map<NodeId, int> depth;  // edges traversed to reach the node
+    bool grew = true;
+    while (grew) {  // relaxation; topologies are validated acyclic
+      grew = false;
+      for (const stream::LogicalEdge& e : topology.edges()) {
+        const stream::LogicalNode* from = topology.node(e.from);
+        const int base = from != nullptr && from->is_spout
+                             ? 0
+                             : (depth.count(e.from) ? depth[e.from] : -1);
+        if (base < 0) continue;
+        if (!depth.count(e.to) || depth[e.to] < base + 1) {
+          depth[e.to] = base + 1;
+          grew = true;
+        }
+      }
+    }
+    int longest = 0;
+    for (const auto& [node, d] : depth) longest = std::max(longest, d);
+    if (longest > 0) {
+      terminal_hop_ = std::max(terminal_hop_, longest - 1);
+      obs_.set_terminal_hop(static_cast<std::uint8_t>(terminal_hop_));
+    }
+  }
+  return r;
 }
 
 common::Status Cluster::kill(const std::string& topology) {
@@ -215,6 +252,18 @@ bool Cluster::inject_worker_slowdown(const std::string& topology,
 
 void Cluster::set_controller_partition(HostId host, bool partitioned) {
   if (controller_) controller_->set_partitioned(host, partitioned);
+}
+
+void Cluster::sample_observability() {
+  const std::int64_t now = common::NowMicros();
+  for (const auto& h : hosts_) {
+    for (WorkerId id : h->agent->worker_ids()) {
+      stream::Worker* w = h->agent->find_worker(id);
+      if (w == nullptr) continue;
+      obs_.observe_worker("worker-" + std::to_string(id), now,
+                          w->metrics().snapshot());
+    }
+  }
 }
 
 std::int64_t Cluster::agent_restarts() const {

@@ -31,6 +31,7 @@
 #include "stream/streaming_manager.h"
 #include "stream/worker_agent.h"
 #include "switchd/soft_switch.h"
+#include "trace/observability.h"
 
 namespace typhoon {
 
@@ -62,6 +63,14 @@ struct ClusterConfig {
   // load balancer) at startup. The auto-scaler needs a policy, so it is
   // added explicitly via add_auto_scaler().
   bool default_apps = true;
+
+  // Cross-layer tracing (DESIGN.md Sec 11). Per-component flight-recorder
+  // ring slots; sampling itself is a per-topology SubmitOptions knob.
+  std::size_t trace_ring_slots = trace::FlightRecorder::kDefaultSlots;
+  // Terminal execute hop for chain completeness before any topology is
+  // submitted; submit() recomputes it from the submitted DAG's longest
+  // spout-to-sink path (deepest live topology wins).
+  std::uint8_t trace_terminal_hop = 1;
 };
 
 class Cluster {
@@ -145,6 +154,13 @@ class Cluster {
   controller::AutoScaler* add_auto_scaler(
       controller::AutoScalerPolicy policy);
 
+  // ---- observability (DESIGN.md Sec 11) ----
+  // The cluster-wide trace domain + collector + metrics time-series.
+  [[nodiscard]] trace::ClusterObservability& observability() { return obs_; }
+  // Fold every live worker's current metrics snapshot into the time-series
+  // layer, stamped at one common now. Call periodically (harness or app).
+  void sample_observability();
+
  private:
   struct Host {
     HostId id = 0;
@@ -156,6 +172,9 @@ class Cluster {
   coordinator::Coordinator coord_;
   stream::AppRegistry registry_;
   stream::StormFabric fabric_;
+  // Declared before hosts_: recorders handed to switches and agents must
+  // outlive them (members destroy in reverse declaration order).
+  trace::ClusterObservability obs_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<HostId> host_ids_;
   // Tunnel mesh endpoints by (low host, high host): {low side, high side}.
@@ -166,6 +185,9 @@ class Cluster {
   std::unique_ptr<controller::TyphoonController> controller_;
   std::unique_ptr<stream::StreamingManager> manager_;
   bool started_ = false;
+  // Deepest computed terminal hop across submitted topologies; -1 until
+  // the first submit (cfg.trace_terminal_hop applies until then).
+  int terminal_hop_ = -1;
 };
 
 }  // namespace typhoon

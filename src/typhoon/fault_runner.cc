@@ -30,7 +30,33 @@ void FaultPlanRunner::stop() {
 
 std::vector<fi::Impairment*> FaultPlanRunner::impairments() const {
   std::lock_guard lk(mu_);
-  return impairments_;
+  std::vector<fi::Impairment*> out;
+  out.reserve(attached_.size());
+  for (const Attached& a : attached_) out.push_back(a.imp);
+  return out;
+}
+
+std::uint64_t FaultPlanRunner::wire_drops() const {
+  std::lock_guard lk(mu_);
+  std::uint64_t total = healed_drops_;
+  for (const Attached& a : attached_) total += a.imp->drops();
+  return total;
+}
+
+void FaultPlanRunner::retire_impairments_locked(const fi::FaultEvent& ev) {
+  for (auto it = attached_.begin(); it != attached_.end();) {
+    const bool match =
+        it->kind == ev.kind &&
+        (ev.kind == fi::FaultKind::kImpairTunnel
+             ? it->host_a == ev.host_a && it->host_b == ev.host_b
+             : it->host_a == ev.host_a && it->port == ev.port);
+    if (match) {
+      healed_drops_ += it->imp->drops();
+      it = attached_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 bool FaultPlanRunner::done() const {
@@ -83,6 +109,11 @@ void FaultPlanRunner::apply(const Armed& armed, std::int64_t elapsed_ms,
   switch (ev.kind) {
     case fi::FaultKind::kImpairTunnel: {
       if (armed.is_reversal) {
+        // Bank the engines' counters before clear destroys them.
+        {
+          std::lock_guard lk(mu_);
+          retire_impairments_locked(ev);
+        }
         cluster_->clear_tunnel_impairments(ev.host_a, ev.host_b);
         break;
       }
@@ -91,8 +122,8 @@ void FaultPlanRunner::apply(const Armed& armed, std::int64_t elapsed_ms,
       applied = fwd != nullptr;
       if (applied) {
         std::lock_guard lk(mu_);
-        impairments_.push_back(fwd);
-        impairments_.push_back(rev);
+        attached_.push_back({fwd, ev.kind, ev.host_a, ev.host_b, 0});
+        attached_.push_back({rev, ev.kind, ev.host_a, ev.host_b, 0});
       }
       break;
     }
@@ -103,6 +134,10 @@ void FaultPlanRunner::apply(const Armed& armed, std::int64_t elapsed_ms,
         break;
       }
       if (armed.is_reversal) {
+        {
+          std::lock_guard lk(mu_);
+          retire_impairments_locked(ev);
+        }
         sw->clear_port_impairments(ev.port);
         break;
       }
@@ -111,7 +146,7 @@ void FaultPlanRunner::apply(const Armed& armed, std::int64_t elapsed_ms,
       applied = imp != nullptr;
       if (applied) {
         std::lock_guard lk(mu_);
-        impairments_.push_back(imp);
+        attached_.push_back({imp, ev.kind, ev.host_a, 0, ev.port});
       }
       break;
     }

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -53,9 +54,14 @@ class FaultPlanRunner {
   // Events whose trigger fired but whose target could not be resolved
   // (e.g. crash of a worker that is mid-restart).
   [[nodiscard]] std::int64_t misses() const { return misses_.load(); }
-  // Decision engines of every impairment this runner attached, in firing
-  // order — chaos tests assert their counters moved.
+  // Decision engines of every impairment this runner currently has
+  // attached, in firing order — chaos tests assert their counters moved.
+  // An auto-heal (duration_ms) destroys the engine, so healed entries are
+  // dropped from this list; their drop totals live on in wire_drops().
   [[nodiscard]] std::vector<faultinject::Impairment*> impairments() const;
+  // Frames dropped across every impairment this runner attached, including
+  // ones already auto-healed.
+  [[nodiscard]] std::uint64_t wire_drops() const;
   // True once every armed event has fired (repeating events never finish).
   [[nodiscard]] bool done() const;
 
@@ -73,9 +79,23 @@ class FaultPlanRunner {
   FaultRunnerOptions opts_;
   TupleProbe probe_;
 
+  // One live impairment engine plus the target it is attached to, so a
+  // reversal can retire exactly the engines it is about to destroy.
+  struct Attached {
+    faultinject::Impairment* imp = nullptr;
+    faultinject::FaultKind kind{};
+    HostId host_a = 0;
+    HostId host_b = 0;
+    PortId port = 0;
+  };
+  // Snapshot counters of, then forget, every attached engine matching the
+  // reversal `ev`; call with mu_ held, just before the engines die.
+  void retire_impairments_locked(const faultinject::FaultEvent& ev);
+
   mutable std::mutex mu_;
   std::vector<Armed> armed_;
-  std::vector<faultinject::Impairment*> impairments_;
+  std::vector<Attached> attached_;
+  std::uint64_t healed_drops_ = 0;  // guarded by mu_
 
   std::atomic<bool> running_{false};
   std::atomic<std::int64_t> fired_{0};

@@ -2,7 +2,9 @@
 // MPMC queue, rate limiter, latency recorder, metrics registry.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/hash.h"
@@ -267,6 +269,164 @@ TEST(LatencyRecorder, MergeCombinesCounts) {
   b.record(300);
   a.merge(b);
   EXPECT_EQ(a.count(), 3);
+}
+
+// ---- property tests (Sec 11 locks these invariants down) ------------------
+
+TEST(LatencyRecorder, MergedRecorderMatchesUnionRecorder) {
+  // merge(a, b) must be indistinguishable from recording a's and b's
+  // samples into one recorder: same count, same CDF, same percentiles.
+  LatencyRecorder a;
+  LatencyRecorder b;
+  LatencyRecorder whole;
+  Rng rng(7);
+  for (int i = 0; i < 4000; ++i) {
+    const auto v = static_cast<std::int64_t>(1 + rng.uniform() * 1e6);
+    if (i % 2 == 0) {
+      a.record(v);
+    } else {
+      b.record(v);
+    }
+    whole.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile_ms(q), whole.percentile_ms(q)) << q;
+  }
+  const auto ca = a.cdf();
+  const auto cw = whole.cdf();
+  ASSERT_EQ(ca.size(), cw.size());
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ca[i].latency_ms, cw[i].latency_ms);
+    EXPECT_DOUBLE_EQ(ca[i].fraction, cw[i].fraction);
+  }
+}
+
+TEST(LatencyRecorder, PercentileIsMonotoneInQ) {
+  LatencyRecorder rec;
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    rec.record(static_cast<std::int64_t>(1 + rng.uniform() * 3e5));
+  }
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.005) {
+    const double p = rec.percentile_ms(q);
+    EXPECT_GE(p, prev) << "q=" << q;
+    prev = p;
+  }
+}
+
+TEST(LatencyRecorder, LogBucketsHaveBoundedRelativeError) {
+  // A 1.07x geometric table reports each sample as its bucket's upper
+  // bound: never below the true value, never more than ~7% above it.
+  for (double v = 2.0; v < 1e7; v *= 1.37) {
+    LatencyRecorder rec;
+    const auto sample = static_cast<std::int64_t>(v);
+    rec.record(sample);
+    const double reported_us = rec.percentile_ms(1.0) * 1000.0;
+    const double rel =
+        (reported_us - static_cast<double>(sample)) / static_cast<double>(sample);
+    EXPECT_GE(rel, 0.0) << "v=" << sample;
+    EXPECT_LE(rel, 0.075) << "v=" << sample;
+  }
+}
+
+TEST(LatencyRecorder, ResetThenMergeRestoresOriginal) {
+  LatencyRecorder rec;
+  Rng rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    rec.record(static_cast<std::int64_t>(1 + rng.uniform() * 1e5));
+  }
+  LatencyRecorder saved;
+  saved.merge(rec);
+  const auto before = rec.cdf();
+  const double mean_before = rec.mean_ms();
+
+  rec.reset();
+  EXPECT_EQ(rec.count(), 0);
+  EXPECT_TRUE(rec.cdf().empty());
+  EXPECT_DOUBLE_EQ(rec.percentile_ms(0.5), 0.0);
+
+  rec.merge(saved);
+  const auto after = rec.cdf();
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_DOUBLE_EQ(before[i].latency_ms, after[i].latency_ms);
+    EXPECT_DOUBLE_EQ(before[i].fraction, after[i].fraction);
+  }
+  EXPECT_DOUBLE_EQ(rec.mean_ms(), mean_before);
+}
+
+TEST(LatencyRecorder, BatchFlushMatchesDirectRecording) {
+  LatencyRecorder direct;
+  LatencyRecorder batched;
+  std::vector<std::int64_t> samples;
+  Rng rng(17);
+  for (int i = 0; i < 3000; ++i) {
+    samples.push_back(static_cast<std::int64_t>(1 + rng.uniform() * 1e6));
+  }
+  for (std::int64_t v : samples) direct.record(v);
+  {
+    LatencyRecorder::Batch batch(&batched);
+    for (std::int64_t v : samples) batch.record(v);
+    EXPECT_EQ(batch.pending(), static_cast<std::int64_t>(samples.size()));
+    EXPECT_EQ(batched.count(), 0);  // nothing published before flush
+    batch.flush();
+    EXPECT_EQ(batch.pending(), 0);
+  }
+  EXPECT_EQ(batched.count(), direct.count());
+  EXPECT_DOUBLE_EQ(batched.mean_ms(), direct.mean_ms());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(batched.percentile_ms(q), direct.percentile_ms(q));
+  }
+}
+
+TEST(LatencyRecorder, ConcurrentWritersAndReadersStayConsistent) {
+  // TSan regression for the lock-free hot path: four writer threads (two
+  // plain, one Batch, one record_batch) race a reader that continuously
+  // derives percentiles. Every percentile must be internally consistent
+  // (monotone) and the final count exact.
+  LatencyRecorder rec;
+  constexpr int kPerThread = 25000;
+  std::atomic<bool> done{false};
+
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const double p50 = rec.percentile_ms(0.5);
+      const double p99 = rec.percentile_ms(0.99);
+      EXPECT_LE(p50, p99);
+      (void)rec.cdf();
+      (void)rec.mean_ms();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&rec, t] {
+      for (int i = 0; i < kPerThread; ++i) rec.record(1 + (i + t) % 10000);
+    });
+  }
+  writers.emplace_back([&rec] {
+    LatencyRecorder::Batch batch(&rec);
+    for (int i = 0; i < kPerThread; ++i) {
+      batch.record(1 + i % 10000);
+      if (i % 512 == 0) batch.flush();
+    }
+  });
+  writers.emplace_back([&rec] {
+    std::vector<std::int64_t> chunk(500);
+    for (int base = 0; base < kPerThread; base += 500) {
+      for (int i = 0; i < 500; ++i) chunk[i] = 1 + (base + i) % 10000;
+      rec.record_batch(chunk.data(), chunk.size());
+    }
+  });
+  for (auto& w : writers) w.join();
+  done.store(true);
+  reader.join();
+
+  EXPECT_EQ(rec.count(), 4 * kPerThread);
+  EXPECT_GT(rec.percentile_ms(0.99), 0.0);
 }
 
 TEST(Metrics, CountersAndGaugesByName) {

@@ -1,0 +1,325 @@
+// Unit tests for the cross-layer tracing primitives (DESIGN.md Sec 11):
+// the TraceContext wire encodings (frame header + chunk extension), the
+// single-writer FlightRecorder ring, hop-chain reassembly from out-of-order
+// spans, and the 1-in-N sampling contract at a live spout.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/packet.h"
+#include "stream/topology.h"
+#include "trace/collector.h"
+#include "trace/flight_recorder.h"
+#include "trace/trace.h"
+#include "typhoon/cluster.h"
+#include "util/components.h"
+
+namespace typhoon {
+namespace {
+
+using namespace std::chrono_literals;
+using testutil::CollectingSink;
+using testutil::SequenceSpout;
+using testutil::SinkState;
+
+template <typename F>
+bool WaitFor(F&& pred, std::chrono::milliseconds timeout) {
+  const auto deadline = common::Now() + timeout;
+  while (common::Now() < deadline) {
+    if (pred()) return true;
+    common::SleepMillis(10);
+  }
+  return pred();
+}
+
+// ---- wire encodings -------------------------------------------------------
+
+TEST(TraceWire, FrameHeaderRoundTripsTraceContext) {
+  net::Packet p;
+  p.src = WorkerAddress{1, 7};
+  p.dst = WorkerAddress{2, 9};
+  p.trace_id = 0xdeadbeefcafe0001ull;
+  p.trace_hop = 3;
+  p.payload = {1, 2, 3, 4};
+
+  common::Bytes frame;
+  net::EncodeFrame(p, frame);
+  ASSERT_EQ(frame.size(), net::Packet::kHeaderWireSize + p.payload.size());
+
+  auto decoded = net::DecodeFrame(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->src.packed(), p.src.packed());
+  EXPECT_EQ(decoded->dst.packed(), p.dst.packed());
+  EXPECT_EQ(decoded->trace_id, p.trace_id);
+  EXPECT_EQ(decoded->trace_hop, p.trace_hop);
+  EXPECT_EQ(decoded->payload, p.payload);
+}
+
+TEST(TraceWire, UntracedFrameCarriesZeroContext) {
+  net::Packet p;
+  p.src = WorkerAddress{1, 1};
+  p.dst = WorkerAddress{1, 2};
+  p.payload = {9};
+
+  common::Bytes frame;
+  net::EncodeFrame(p, frame);
+  auto decoded = net::DecodeFrame(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->trace_id, 0u);
+  EXPECT_EQ(decoded->trace_hop, 0u);
+}
+
+TEST(TraceWire, ChunkExtensionRoundTripsOnlyWhenTraced) {
+  // Traced chunk: header + 9-byte extension.
+  net::ChunkHeader h;
+  h.stream_id = 5;
+  h.flags = net::kChunkFlagTraced;
+  h.tuple_seq = 42;
+  h.chunk_len = 3;
+  h.trace_id = 0x1234567890ab0001ull;
+  h.trace_hop = 2;
+
+  common::Bytes buf;
+  common::BufWriter w(buf);
+  net::EncodeChunkHeader(h, w);
+  EXPECT_EQ(buf.size(),
+            net::ChunkHeader::kWireSize + net::kTraceExtWireSize);
+
+  net::ChunkHeader out;
+  common::BufReader r(buf);
+  ASSERT_TRUE(net::DecodeChunkHeader(r, out));
+  EXPECT_TRUE(out.traced());
+  EXPECT_EQ(out.trace_id, h.trace_id);
+  EXPECT_EQ(out.trace_hop, h.trace_hop);
+  EXPECT_EQ(out.chunk_len, h.chunk_len);
+
+  // Untraced chunk: byte-identical to the pre-tracing layout (no ext), and
+  // decoding zeroes the context fields.
+  net::ChunkHeader plain;
+  plain.stream_id = 5;
+  plain.tuple_seq = 43;
+  plain.chunk_len = 3;
+  common::Bytes buf2;
+  common::BufWriter w2(buf2);
+  net::EncodeChunkHeader(plain, w2);
+  EXPECT_EQ(buf2.size(), net::ChunkHeader::kWireSize);
+
+  net::ChunkHeader out2;
+  out2.trace_id = 77;  // must be overwritten to 0
+  common::BufReader r2(buf2);
+  ASSERT_TRUE(net::DecodeChunkHeader(r2, out2));
+  EXPECT_FALSE(out2.traced());
+  EXPECT_EQ(out2.trace_id, 0u);
+  EXPECT_EQ(out2.trace_hop, 0u);
+}
+
+// ---- flight recorder ------------------------------------------------------
+
+trace::Span MakeSpan(std::uint64_t id, trace::Stage stage, std::uint8_t hop,
+                     std::int64_t t_us) {
+  return trace::Span{id, stage, hop, /*where=*/1, t_us, 0};
+}
+
+TEST(FlightRecorder, DrainReturnsSpansOldestFirst) {
+  trace::FlightRecorder rec(64);
+  for (int i = 0; i < 10; ++i) {
+    rec.record(MakeSpan(100 + i, trace::Stage::kEmit, 0, 1000 + i));
+  }
+  std::vector<trace::Span> out;
+  EXPECT_EQ(rec.drain(out), 10u);
+  ASSERT_EQ(out.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(out[i].trace_id, 100u + i);
+    EXPECT_EQ(out[i].t_us, 1000 + i);
+  }
+  // Idempotent between new traffic.
+  EXPECT_EQ(rec.drain(out), 0u);
+}
+
+TEST(FlightRecorder, OverwriteKeepsNewestSpans) {
+  trace::FlightRecorder rec(8);  // already a power of two
+  ASSERT_EQ(rec.capacity(), 8u);
+  for (int i = 0; i < 20; ++i) {
+    rec.record(MakeSpan(i, trace::Stage::kEmit, 0, i));
+  }
+  std::vector<trace::Span> out;
+  EXPECT_EQ(rec.drain(out), 8u);
+  ASSERT_EQ(out.size(), 8u);
+  // The 8 newest (ids 12..19) survive; the 12 oldest were overwritten.
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[i].trace_id, 12u + i);
+  EXPECT_EQ(rec.overwritten(), 12u);
+}
+
+TEST(FlightRecorder, RoundsSlotsUpToPowerOfTwo) {
+  trace::FlightRecorder rec(100);
+  EXPECT_EQ(rec.capacity(), 128u);
+  trace::FlightRecorder tiny(1);
+  EXPECT_EQ(tiny.capacity(), 8u);  // floor
+}
+
+TEST(TraceDomain, AcquireReturnsSameRingForSameName) {
+  trace::TraceDomain domain(64);
+  auto a = domain.acquire("worker-1");
+  auto b = domain.acquire("worker-1");
+  auto c = domain.acquire("worker-2");
+  EXPECT_EQ(a.get(), b.get());  // a restarted worker reuses its ring
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(domain.recorder_count(), 2u);
+}
+
+// ---- hop-chain reassembly -------------------------------------------------
+
+TEST(TraceCollector, ReassemblesOutOfOrderSpansIntoSortedChain) {
+  trace::TraceDomain domain(64);
+  trace::TraceCollector col(&domain, /*terminal_hop=*/1);
+  auto worker = domain.acquire("worker-1");
+  auto sw = domain.acquire("switch-1");
+
+  constexpr std::uint64_t kId = 0xabc1;
+  // The tuple's real history: emit@0 -> switch_in@0 -> switch_out@0 ->
+  // deserialize@0 -> execute@0 -> emit@1 -> ... -> execute@1. Record it
+  // scrambled across two recorders, as drains interleave in practice.
+  sw->record(MakeSpan(kId, trace::Stage::kSwitchOut, 1, 170));
+  worker->record(MakeSpan(kId, trace::Stage::kExecute, 1, 200));
+  worker->record(MakeSpan(kId, trace::Stage::kEmit, 0, 100));
+  sw->record(MakeSpan(kId, trace::Stage::kSwitchIn, 0, 110));
+  worker->record(MakeSpan(kId, trace::Stage::kDeserialize, 0, 130));
+  sw->record(MakeSpan(kId, trace::Stage::kSwitchOut, 0, 120));
+  worker->record(MakeSpan(kId, trace::Stage::kEmit, 1, 150));
+  worker->record(MakeSpan(kId, trace::Stage::kExecute, 0, 140));
+  sw->record(MakeSpan(kId, trace::Stage::kSwitchIn, 1, 160));
+  worker->record(MakeSpan(kId, trace::Stage::kDeserialize, 1, 180));
+
+  col.collect();
+  EXPECT_EQ(col.chains(), 1u);
+  EXPECT_EQ(col.complete(), 1u);
+  EXPECT_EQ(col.incomplete(), 0u);
+
+  const std::vector<trace::HopChain> chains = col.snapshot();
+  ASSERT_EQ(chains.size(), 1u);
+  const trace::HopChain& c = chains[0];
+  EXPECT_TRUE(c.complete);
+  ASSERT_EQ(c.spans.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(
+      c.spans.begin(), c.spans.end(),
+      [](const trace::Span& a, const trace::Span& b) {
+        return a.t_us < b.t_us;
+      }));
+  ASSERT_NE(c.find(trace::Stage::kEmit, 0), nullptr);
+  ASSERT_NE(c.find(trace::Stage::kExecute, 1), nullptr);
+  EXPECT_EQ(c.find(trace::Stage::kEmit, 0)->t_us, 100);
+  EXPECT_EQ(c.find(trace::Stage::kExecute, 1)->t_us, 200);
+
+  // Stage histograms got exactly this chain's end-to-end latency.
+  const common::LatencyRecorder* e2e = col.stage_latency("end_to_end");
+  ASSERT_NE(e2e, nullptr);
+  EXPECT_EQ(e2e->count(), 1);
+}
+
+TEST(TraceCollector, IncompleteChainsAreTrackedNotLeaked) {
+  trace::TraceDomain domain(64);
+  trace::TraceCollector col(&domain, 1);
+  auto rec = domain.acquire("worker-1");
+
+  // One complete chain, one that only ever emitted (dropped downstream).
+  rec->record(MakeSpan(1, trace::Stage::kEmit, 0, 10));
+  rec->record(MakeSpan(1, trace::Stage::kExecute, 1, 30));
+  rec->record(MakeSpan(3, trace::Stage::kEmit, 0, 20));
+
+  col.collect();
+  EXPECT_EQ(col.chains(), 2u);
+  EXPECT_EQ(col.complete(), 1u);
+  EXPECT_EQ(col.incomplete(), 1u);
+  EXPECT_EQ(col.complete() + col.incomplete(), col.chains());
+
+  // The dropped tuple's spans arrive later (e.g. after a replay) — the
+  // chain completes on a subsequent collect, never double-counted.
+  rec->record(MakeSpan(3, trace::Stage::kExecute, 1, 40));
+  col.collect();
+  EXPECT_EQ(col.chains(), 2u);
+  EXPECT_EQ(col.complete(), 2u);
+  const common::LatencyRecorder* e2e = col.stage_latency("end_to_end");
+  ASSERT_NE(e2e, nullptr);
+  EXPECT_EQ(e2e->count(), 2);
+}
+
+// ---- sampling at a live spout --------------------------------------------
+
+TEST(TraceSampling, SpoutHonorsOneInNExactly) {
+  ClusterConfig cfg;
+  cfg.num_hosts = 1;
+  Cluster cluster(cfg);
+  cluster.start();
+
+  static constexpr std::int64_t kLimit = 1000;
+  static constexpr std::uint32_t kEvery = 8;
+  auto state = std::make_shared<SinkState>();
+  stream::TopologyBuilder b("sampled");
+  const NodeId src = b.add_spout(
+      "src",
+      [] { return std::make_unique<SequenceSpout>(kLimit, 16, 0, 20000.0); },
+      1);
+  const NodeId sink = b.add_bolt(
+      "sink", [state] { return std::make_unique<CollectingSink>(state); },
+      1);
+  b.shuffle(src, sink);
+
+  stream::SubmitOptions opts;
+  opts.trace_sample_every = kEvery;
+  ASSERT_TRUE(cluster.submit(b.build().value(), opts).ok());
+
+  ASSERT_TRUE(WaitFor(
+      [&] { return state->received.load() >= kLimit; }, 30s))
+      << "received " << state->received.load();
+
+  // Exactly every 8th spout emission was sampled: 1000 / 8 == 125.
+  stream::Worker* w = cluster.find_worker("sampled", "src", 0);
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->metrics().counter("trace_sampled").value(), kLimit / kEvery);
+
+  // Every sample became a chain, every chain completed, and within each
+  // chain timestamps are monotone.
+  trace::TraceCollector& col = cluster.observability().collector();
+  col.collect();
+  EXPECT_EQ(col.chains(), static_cast<std::size_t>(kLimit / kEvery));
+  EXPECT_EQ(col.complete(), col.chains());
+  for (const trace::HopChain& c : col.snapshot()) {
+    EXPECT_GE(c.spans.size(), 2u);
+    EXPECT_TRUE(std::is_sorted(
+        c.spans.begin(), c.spans.end(),
+        [](const trace::Span& a, const trace::Span& b) {
+          return a.t_us < b.t_us;
+        }));
+  }
+  cluster.stop();
+}
+
+TEST(TraceSampling, ZeroDisablesTracing) {
+  ClusterConfig cfg;
+  cfg.num_hosts = 1;
+  Cluster cluster(cfg);
+  cluster.start();
+
+  auto state = std::make_shared<SinkState>();
+  stream::TopologyBuilder b("untraced");
+  const NodeId src = b.add_spout(
+      "src", [] { return std::make_unique<SequenceSpout>(500, 16); }, 1);
+  const NodeId sink = b.add_bolt(
+      "sink", [state] { return std::make_unique<CollectingSink>(state); },
+      1);
+  b.shuffle(src, sink);
+
+  stream::SubmitOptions opts;
+  opts.trace_sample_every = 0;
+  ASSERT_TRUE(cluster.submit(b.build().value(), opts).ok());
+  ASSERT_TRUE(WaitFor([&] { return state->received.load() >= 500; }, 30s));
+
+  trace::TraceCollector& col = cluster.observability().collector();
+  col.collect();
+  EXPECT_EQ(col.chains(), 0u);
+  cluster.stop();
+}
+
+}  // namespace
+}  // namespace typhoon
