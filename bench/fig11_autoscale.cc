@@ -50,7 +50,7 @@ class OomSplitBolt final : public stream::Bolt {
     if (n_ % kWorkBatch == 0) {
       common::SleepFor(work_ * kWorkBatch);
     }
-    const std::string& sentence = input.str(0);
+    const std::string_view sentence = input.str(0);
     std::size_t start = 0;
     for (std::size_t i = 0; i <= sentence.size(); ++i) {
       if (i == sentence.size() || sentence[i] == ' ') {

@@ -158,6 +158,28 @@ inline void PrintObservabilitySummary(Cluster& cluster) {
                 stage.c_str(), static_cast<long long>(rec->count()),
                 rec->percentile_ms(0.50), rec->percentile_ms(0.99));
   }
+  // Zero-copy data plane: sum the per-worker pool/copy gauges folded into
+  // the series layer (worker.publish_stats exports them from the transport).
+  const auto ends_with = [](const std::string& s, const std::string& suffix) {
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+  };
+  double hits = 0;
+  double misses = 0;
+  double copied = 0;
+  for (const std::string& name : obs.series().names()) {
+    const trace::TimeSeries* s = obs.series().find(name);
+    if (s == nullptr) continue;
+    if (ends_with(name, ".pool_hits")) hits += s->last();
+    if (ends_with(name, ".pool_misses")) misses += s->last();
+    if (ends_with(name, ".bytes_copied_rx")) copied += s->last();
+  }
+  if (hits + misses > 0) {
+    std::printf(
+        "zero-copy: pool hit rate %.4f (%.0f hits / %.0f misses), "
+        "rx bytes copied %.0f\n",
+        hits / (hits + misses), hits, misses, copied);
+  }
 }
 
 inline void PrintBanner(const std::string& what, const std::string& paper_ref) {

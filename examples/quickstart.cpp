@@ -41,7 +41,7 @@ class SentenceSpout final : public Spout {
 class SplitBolt final : public Bolt {
  public:
   void execute(const Tuple& input, const TupleMeta&, Emitter& out) override {
-    std::istringstream is(input.str(0));
+    std::istringstream is(std::string(input.str(0)));
     std::string word;
     while (is >> word) out.emit(Tuple{word, std::int64_t{1}});
   }
@@ -60,7 +60,7 @@ class CountBolt final : public Bolt {
       : counts_(std::move(counts)) {}
   void execute(const Tuple& input, const TupleMeta&, Emitter&) override {
     std::lock_guard lk(counts_->mu);
-    ++counts_->by_word[input.str(0)];
+    ++counts_->by_word[std::string(input.str(0))];
   }
 
  private:

@@ -73,6 +73,23 @@ class BufReader {
     pos_ += n;
     return true;
   }
+  // Borrowed (zero-copy) variants of the length-prefixed reads: the result
+  // aliases the reader's backing buffer and is only valid while the caller
+  // keeps that buffer alive (e.g. via a PacketPtr keepalive).
+  bool str_view(std::string_view& v) {
+    std::uint32_t n = 0;
+    if (!u32(n) || remaining() < n) return false;
+    v = std::string_view(reinterpret_cast<const char*>(in_.data()) + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool bytes_view(std::span<const std::uint8_t>& v) {
+    std::uint32_t n = 0;
+    if (!u32(n) || remaining() < n) return false;
+    v = in_.subspan(pos_, n);
+    pos_ += n;
+    return true;
+  }
   // View over the next n bytes without copying.
   bool view(std::size_t n, std::span<const std::uint8_t>& out) {
     if (remaining() < n) return false;

@@ -1,0 +1,182 @@
+// SmallVector — a vector with inline storage for the first N elements.
+//
+// The tuple hot path stores decoded values in one of these: a tuple with up
+// to N fields (the overwhelmingly common case) lives entirely inside the
+// Tuple object, so decoding it performs no heap allocation. Only the subset
+// of std::vector's interface the framework needs is provided.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <utility>
+
+namespace typhoon::common {
+
+template <typename T, std::size_t N>
+class SmallVector {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVector(const SmallVector& o) {
+    reserve(o.size_);
+    for (std::size_t i = 0; i < o.size_; ++i) push_back(o[i]);
+  }
+
+  SmallVector(SmallVector&& o) noexcept {
+    if (o.on_heap()) {
+      // Steal the heap block wholesale.
+      data_ = o.data_;
+      cap_ = o.cap_;
+      size_ = o.size_;
+      o.data_ = o.inline_data();
+      o.cap_ = N;
+      o.size_ = 0;
+    } else {
+      for (std::size_t i = 0; i < o.size_; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T(std::move(o.data_[i]));
+      }
+      size_ = o.size_;
+      o.clear();
+    }
+  }
+
+  SmallVector& operator=(const SmallVector& o) {
+    if (this != &o) {
+      clear();
+      reserve(o.size_);
+      for (std::size_t i = 0; i < o.size_; ++i) push_back(o[i]);
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& o) noexcept {
+    if (this != &o) {
+      release();
+      if (o.on_heap()) {
+        data_ = o.data_;
+        cap_ = o.cap_;
+        size_ = o.size_;
+        o.data_ = o.inline_data();
+        o.cap_ = N;
+        o.size_ = 0;
+      } else {
+        data_ = inline_data();
+        cap_ = N;
+        size_ = 0;
+        for (std::size_t i = 0; i < o.size_; ++i) {
+          ::new (static_cast<void*>(data_ + i)) T(std::move(o.data_[i]));
+        }
+        size_ = o.size_;
+        o.clear();
+      }
+    }
+    return *this;
+  }
+
+  ~SmallVector() { release(); }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool inline_storage() const { return !on_heap(); }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  T& at(std::size_t i) {
+    if (i >= size_) throw std::out_of_range("SmallVector::at");
+    return data_[i];
+  }
+  [[nodiscard]] const T& at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("SmallVector::at");
+    return data_[i];
+  }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  T& front() { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  [[nodiscard]] const T& front() const { return data_[0]; }
+  [[nodiscard]] const T& back() const { return data_[size_ - 1]; }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) grow(cap_ * 2);
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) grow(n);
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < size_; ++i) data_[i].~T();
+    size_ = 0;
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  T* inline_data() { return std::launder(reinterpret_cast<T*>(inline_buf_)); }
+
+  [[nodiscard]] bool on_heap() const {
+    return data_ !=
+           std::launder(reinterpret_cast<const T*>(
+               const_cast<const std::byte*>(inline_buf_)));
+  }
+
+  void grow(std::size_t want) {
+    const std::size_t new_cap = std::max(want, cap_ * 2);
+    T* mem = static_cast<T*>(::operator new(new_cap * sizeof(T),
+                                            std::align_val_t{alignof(T)}));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(mem + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (on_heap()) {
+      ::operator delete(data_, std::align_val_t{alignof(T)});
+    }
+    data_ = mem;
+    cap_ = new_cap;
+  }
+
+  // Destroy elements and free any heap block (leaves members stale; only
+  // for use from the destructor and move-assignment, which reset them).
+  void release() {
+    clear();
+    if (on_heap()) {
+      ::operator delete(data_, std::align_val_t{alignof(T)});
+    }
+  }
+
+  alignas(T) std::byte inline_buf_[N * sizeof(T)];
+  T* data_ = std::launder(reinterpret_cast<T*>(inline_buf_));
+  std::size_t cap_ = N;
+  std::size_t size_ = 0;
+};
+
+}  // namespace typhoon::common

@@ -7,21 +7,28 @@
 namespace typhoon::controller {
 
 net::PacketPtr BuildControlPacket(TopologyId topology, WorkerId dst,
-                                  const stream::ControlTuple& ct) {
+                                  const stream::ControlTuple& ct,
+                                  net::PacketPool* pool) {
   const common::Bytes body = stream::EncodeControl(ct);
-  net::Packet p;
-  p.src = WorkerAddress{topology, kControllerWorker};
-  p.dst = WorkerAddress{topology, dst};
+  // Pooled checkout when available (controller tick retransmits at rate);
+  // plain heap packet otherwise (tests, one-offs).
+  net::Packet* p =
+      pool != nullptr ? pool->acquire_raw() : new net::Packet();
+  p->src = WorkerAddress{topology, kControllerWorker};
+  p->dst = WorkerAddress{topology, dst};
 
   net::ChunkHeader h;
   h.stream_id = stream::kControlStream;
   h.flags = net::kChunkFlagControl;
   h.tuple_seq = 0;
   h.chunk_len = static_cast<std::uint32_t>(body.size());
-  common::BufWriter w(p.payload);
+  common::BufWriter w(p->payload);
   net::EncodeChunkHeader(h, w);
   w.raw(body);
-  return net::MakePacket(std::move(p));
+  if (pool != nullptr) return net::PacketPtr::adopt(p);
+  net::Packet heap = std::move(*p);
+  delete p;
+  return net::MakePacket(std::move(heap));
 }
 
 TyphoonController::TyphoonController(coordinator::Coordinator* coord,
@@ -186,7 +193,8 @@ common::Status TyphoonController::transmit_control(
   }
   switchd::SoftSwitch* sw = switch_at(w->host);
   if (sw == nullptr) return common::NotFound("switch for host");
-  sw->handle_packet_out({BuildControlPacket(topology, dst, ct),
+  sw->handle_packet_out({BuildControlPacket(topology, dst, ct,
+                                            ctl_pool_.get()),
                          kPortController});
   return common::Status::Ok();
 }

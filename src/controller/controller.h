@@ -27,6 +27,7 @@
 #include "controller/app.h"
 #include "controller/rule_compiler.h"
 #include "coordinator/coordinator.h"
+#include "net/packet_pool.h"
 #include "stream/control_tuple.h"
 #include "stream/sdn_hooks.h"
 #include "switchd/soft_switch.h"
@@ -45,9 +46,11 @@ struct ControllerOptions {
 };
 
 // Build the Ethernet packet carrying one control tuple (controller ->
-// worker, Table 2/3).
+// worker, Table 2/3). With a pool the frame is a pooled checkout (the
+// controller retransmit loop recycles frames); without one it is heap-backed.
 net::PacketPtr BuildControlPacket(TopologyId topology, WorkerId dst,
-                                  const stream::ControlTuple& ct);
+                                  const stream::ControlTuple& ct,
+                                  net::PacketPool* pool = nullptr);
 
 class TyphoonController final : public stream::SdnHooks {
  public:
@@ -164,6 +167,10 @@ class TyphoonController final : public stream::SdnHooks {
   coordinator::Coordinator* coord_;
   ControllerOptions opts_;
   RuleCompiler compiler_;
+  // Frames for outgoing control packets; retransmission-heavy phases reuse
+  // rather than reallocate. Guarded by mu_ (all control sends hold it).
+  std::shared_ptr<net::PacketPool> ctl_pool_ =
+      net::PacketPool::Create({.max_free = 64});
 
   mutable std::mutex mu_;
   std::map<HostId, switchd::SoftSwitch*> switches_;

@@ -12,7 +12,7 @@ void EncodeFrame(const Packet& p, common::Bytes& out) {
   w.raw(p.payload);
 }
 
-std::optional<Packet> DecodeFrame(std::span<const std::uint8_t> frame) {
+bool DecodeFrameInto(std::span<const std::uint8_t> frame, Packet& out) {
   common::BufReader r(frame);
   std::uint64_t dst = 0;
   std::uint64_t src = 0;
@@ -21,16 +21,21 @@ std::optional<Packet> DecodeFrame(std::span<const std::uint8_t> frame) {
   std::uint8_t trace_hop = 0;
   if (!r.u64(dst) || !r.u64(src) || !r.u16(ether_type) || !r.u64(trace_id) ||
       !r.u8(trace_hop)) {
-    return std::nullopt;
+    return false;
   }
+  out.dst = WorkerAddress::unpack(dst);
+  out.src = WorkerAddress::unpack(src);
+  out.ether_type = ether_type;
+  out.trace_id = trace_id;
+  out.trace_hop = trace_hop;
+  out.payload.assign(frame.begin() + static_cast<std::ptrdiff_t>(r.position()),
+                     frame.end());
+  return true;
+}
+
+std::optional<Packet> DecodeFrame(std::span<const std::uint8_t> frame) {
   Packet p;
-  p.dst = WorkerAddress::unpack(dst);
-  p.src = WorkerAddress::unpack(src);
-  p.ether_type = ether_type;
-  p.trace_id = trace_id;
-  p.trace_hop = trace_hop;
-  p.payload.assign(frame.begin() + static_cast<std::ptrdiff_t>(r.position()),
-                   frame.end());
+  if (!DecodeFrameInto(frame, p)) return std::nullopt;
   return p;
 }
 

@@ -17,20 +17,31 @@
 // with the same src/dst are multiplexed into one packet; one large tuple is
 // segmented into several packets (Sec 5, southbound egress workflow).
 //
-// In-process, packets move as shared_ptr<const Packet>: the switch's
-// broadcast replication is a reference-count bump, the analog of OVS's
-// cheap packet copy vs. app-level re-serialization (Sec 6.1, Fig 9).
+// In-process, packets move as PacketPtr — an intrusively refcounted handle:
+// the switch's broadcast replication is a reference-count bump, the analog
+// of OVS's cheap packet copy vs. app-level re-serialization (Sec 6.1,
+// Fig 9). Packets born from a PacketPool return to the pool's freelist
+// (payload capacity intact) when the last reference drops; packets made with
+// MakePacket are plain heap objects deleted on last release. Receivers may
+// therefore hold views into `payload` for as long as they hold a PacketPtr.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
+#include <utility>
 
 #include "common/bytes.h"
 #include "common/ids.h"
 
 namespace typhoon::net {
+
+class PacketPool;
+class PacketPtr;
+struct Packet;
+PacketPtr MakePacket(Packet p);
 
 // Custom EtherType for Typhoon tuple traffic (paper uses 0xffff so switch
 // rules avoid wildcarding unused IPv4 fields).
@@ -75,17 +86,142 @@ struct Packet {
   [[nodiscard]] std::size_t wire_size() const {
     return kHeaderWireSize + payload.size();
   }
+
+  Packet() = default;
+  // Copies/moves transfer only the wire content — never the refcount or the
+  // pool linkage (a copy of a pooled packet is an unshared, unpooled value).
+  Packet(const Packet& o)
+      : dst(o.dst),
+        src(o.src),
+        ether_type(o.ether_type),
+        trace_id(o.trace_id),
+        trace_hop(o.trace_hop),
+        payload(o.payload) {}
+  Packet(Packet&& o) noexcept
+      : dst(o.dst),
+        src(o.src),
+        ether_type(o.ether_type),
+        trace_id(o.trace_id),
+        trace_hop(o.trace_hop),
+        payload(std::move(o.payload)) {}
+  Packet& operator=(const Packet& o) {
+    if (this != &o) {
+      dst = o.dst;
+      src = o.src;
+      ether_type = o.ether_type;
+      trace_id = o.trace_id;
+      trace_hop = o.trace_hop;
+      payload = o.payload;
+    }
+    return *this;
+  }
+  Packet& operator=(Packet&& o) noexcept {
+    if (this != &o) {
+      dst = o.dst;
+      src = o.src;
+      ether_type = o.ether_type;
+      trace_id = o.trace_id;
+      trace_hop = o.trace_hop;
+      payload = std::move(o.payload);
+    }
+    return *this;
+  }
+
+ private:
+  friend class PacketPtr;
+  friend class PacketPool;
+  friend PacketPtr MakePacket(Packet p);
+  // Intrusive reference count. 0 while a producer is still filling the
+  // packet (pool checkout before adopt); PacketPtr::adopt publishes it.
+  mutable std::atomic<std::uint32_t> refs_{0};
+  // Keeps the owning pool alive while this packet is in flight; empty for
+  // plain heap packets. Moved out (and consumed) on final release.
+  std::shared_ptr<PacketPool> pool_;
 };
 
-using PacketPtr = std::shared_ptr<const Packet>;
+// Shared handle to an immutable in-flight packet. Replaces the previous
+// shared_ptr<const Packet> alias with an intrusive count so pooled packets
+// can be recycled (not freed) when the last switch/port/tunnel reference
+// drops, and so no separate control block is allocated per packet.
+class PacketPtr {
+ public:
+  PacketPtr() = default;
+  PacketPtr(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  PacketPtr(const PacketPtr& o) : p_(o.p_) { retain(); }
+  PacketPtr(PacketPtr&& o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+  PacketPtr& operator=(const PacketPtr& o) {
+    if (this != &o) {
+      release();
+      p_ = o.p_;
+      retain();
+    }
+    return *this;
+  }
+  PacketPtr& operator=(PacketPtr&& o) noexcept {
+    if (this != &o) {
+      release();
+      p_ = o.p_;
+      o.p_ = nullptr;
+    }
+    return *this;
+  }
+  ~PacketPtr() { release(); }
 
+  // Takes ownership of a packet already carrying one reference (set by
+  // MakePacket / PacketPool::acquire_raw). Does not bump the count.
+  static PacketPtr adopt(Packet* p) { return PacketPtr(p); }
+
+  const Packet& operator*() const { return *p_; }
+  const Packet* operator->() const { return p_; }
+  [[nodiscard]] const Packet* get() const { return p_; }
+  explicit operator bool() const { return p_ != nullptr; }
+  void reset() { release(); }
+
+  friend bool operator==(const PacketPtr& a, const PacketPtr& b) {
+    return a.p_ == b.p_;
+  }
+  friend bool operator==(const PacketPtr& a, std::nullptr_t) {
+    return a.p_ == nullptr;
+  }
+
+  [[nodiscard]] std::uint32_t use_count() const {
+    return p_ == nullptr ? 0
+                         : p_->refs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  explicit PacketPtr(Packet* p) : p_(p) {}
+
+  void retain() {
+    if (p_ != nullptr) p_->refs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void release() {
+    Packet* p = p_;
+    p_ = nullptr;
+    if (p != nullptr &&
+        p->refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      final_release(p);
+    }
+  }
+  // Recycles into the owning pool or deletes; defined in packet_pool.cc.
+  static void final_release(Packet* p);
+
+  Packet* p_ = nullptr;
+};
+
+// Heap-allocating fallback for cold paths (tests, control-plane one-offs,
+// copy-on-write rewrites). Hot paths should fill a pool checkout instead.
 inline PacketPtr MakePacket(Packet p) {
-  return std::make_shared<const Packet>(std::move(p));
+  auto* heap = new Packet(std::move(p));
+  heap->refs_.store(1, std::memory_order_relaxed);
+  return PacketPtr::adopt(heap);
 }
 
 // Serialize/parse the full frame (header + payload) for tunnel transport.
 void EncodeFrame(const Packet& p, common::Bytes& out);
 std::optional<Packet> DecodeFrame(std::span<const std::uint8_t> frame);
+// Parse into an existing packet, reusing its payload capacity (pooled RX).
+bool DecodeFrameInto(std::span<const std::uint8_t> frame, Packet& out);
 
 // Chunk header codec within a payload.
 void EncodeChunkHeader(const ChunkHeader& h, common::BufWriter& w);

@@ -1,0 +1,73 @@
+#include "net/packet_pool.h"
+
+namespace typhoon::net {
+
+std::shared_ptr<PacketPool> PacketPool::Create(PacketPoolConfig cfg) {
+  return std::shared_ptr<PacketPool>(new PacketPool(cfg));
+}
+
+PacketPool::PacketPool(PacketPoolConfig cfg) : cfg_(cfg) {}
+
+PacketPool::~PacketPool() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Packet* p : free_) delete p;
+}
+
+Packet* PacketPool::acquire_raw() {
+  Packet* p = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      p = free_.back();
+      free_.pop_back();
+    }
+  }
+  if (p != nullptr) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    p = new Packet();
+    if (cfg_.payload_reserve > 0) p->payload.reserve(cfg_.payload_reserve);
+  }
+  p->refs_.store(1, std::memory_order_relaxed);
+  p->pool_ = shared_from_this();
+  return p;
+}
+
+void PacketPool::recycle(Packet* p) {
+  // Reset to the freshly-constructed state but keep the payload's heap
+  // block — that capacity reuse is the whole point of the pool.
+  p->dst = WorkerAddress{};
+  p->src = WorkerAddress{};
+  p->ether_type = kTyphoonEtherType;
+  p->trace_id = 0;
+  p->trace_hop = 0;
+  p->payload.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.size() < cfg_.max_free) {
+      free_.push_back(p);
+      return;
+    }
+  }
+  delete p;
+}
+
+std::size_t PacketPool::free_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_.size();
+}
+
+// Out-of-line so packet.h doesn't need the pool's definition. Moving the
+// pool ref out first keeps the pool alive through recycle() even if this
+// packet held the last external reference to it.
+void PacketPtr::final_release(Packet* p) {
+  std::shared_ptr<PacketPool> pool = std::move(p->pool_);
+  if (pool != nullptr) {
+    pool->recycle(p);
+  } else {
+    delete p;
+  }
+}
+
+}  // namespace typhoon::net

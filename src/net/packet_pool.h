@@ -1,0 +1,75 @@
+// Freelist slab for Packet objects and their payload buffers.
+//
+// Each endpoint that mints packets at rate (Packetizer egress, SoftSwitch
+// tunnel RX, controller) owns a pool. `acquire_raw` hands out a mutable
+// Packet carrying one reference and a back-pointer to the pool; the caller
+// fills it and publishes it with PacketPtr::adopt. When the last PacketPtr
+// drops, the packet's payload is cleared — capacity kept — and the object
+// returns to the freelist, so steady-state traffic allocates nothing.
+//
+// Checked-out packets hold a shared_ptr to the pool, so a pool may be
+// dropped while its packets are still in flight anywhere in the data plane;
+// the last in-flight packet deletes the pool. The freelist is mutex
+// protected: at packet (not tuple) rate the lock is uncontended noise, and
+// it sidesteps lock-free freelist ABA entirely.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace typhoon::net {
+
+struct PacketPoolConfig {
+  // Freelist high-water mark; recycled packets beyond it are deleted so a
+  // burst doesn't pin its peak memory forever.
+  std::size_t max_free = 256;
+  // Payload capacity pre-reserved on first checkout of a fresh packet
+  // (0 = let the first fill size it).
+  std::size_t payload_reserve = 0;
+};
+
+class PacketPool : public std::enable_shared_from_this<PacketPool> {
+ public:
+  static std::shared_ptr<PacketPool> Create(PacketPoolConfig cfg = {});
+
+  ~PacketPool();
+
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  // Checks out a packet with refs == 1 and header fields reset. The caller
+  // owns the reference and must hand it to PacketPtr::adopt (or recycle it
+  // by adopting and dropping).
+  Packet* acquire_raw();
+
+  // acquire_raw + adopt, for callers that fill through a raw pointer first.
+  PacketPtr acquire() { return PacketPtr::adopt(acquire_raw()); }
+
+  [[nodiscard]] std::uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t free_size() const;
+
+ private:
+  friend class PacketPtr;
+  explicit PacketPool(PacketPoolConfig cfg);
+
+  // Final-release path: return to freelist or delete past max_free.
+  void recycle(Packet* p);
+
+  const PacketPoolConfig cfg_;
+  mutable std::mutex mu_;
+  std::vector<Packet*> free_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace typhoon::net

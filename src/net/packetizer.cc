@@ -7,35 +7,58 @@
 namespace typhoon::net {
 
 Packetizer::Packetizer(WorkerAddress self, PacketizerConfig cfg, Sink sink)
-    : self_(self), cfg_(cfg), sink_(std::move(sink)) {}
+    : self_(self),
+      cfg_(cfg),
+      sink_(std::move(sink)),
+      pool_(PacketPool::Create({.max_free = cfg.pool_max_free})) {}
+
+Packetizer::~Packetizer() {
+  // Return unfinished checkouts to the pool.
+  for (auto& [dst, buf] : buffers_) drop_wip(buf);
+}
+
+Packet& Packetizer::ensure_wip(DstBuffer& buf) {
+  if (buf.wip == nullptr) {
+    buf.wip = pool_->acquire_raw();
+    if (buf.high_water > 0) buf.wip->payload.reserve(buf.high_water);
+  }
+  return *buf.wip;
+}
+
+void Packetizer::drop_wip(DstBuffer& buf) {
+  if (buf.wip != nullptr) {
+    PacketPtr::adopt(buf.wip);  // dropped immediately → recycled
+    buf.wip = nullptr;
+  }
+}
 
 void Packetizer::append_chunk(DstBuffer& buf, const ChunkHeader& h,
                               std::span<const std::uint8_t> data) {
-  common::BufWriter w(buf.payload);
+  common::BufWriter w(ensure_wip(buf).payload);
   EncodeChunkHeader(h, w);
   w.raw(data);
 }
 
 void Packetizer::emit(const WorkerAddress& dst, DstBuffer& buf) {
-  if (buf.payload.empty()) return;
-  buf.high_water = std::max(buf.high_water, buf.payload.size());
-  Packet p;
-  p.dst = dst;
-  p.src = self_;
-  p.trace_id = buf.trace_id;
-  p.trace_hop = buf.trace_hop;
-  p.payload = std::move(buf.payload);
-  buf.payload = common::Bytes();
-  buf.payload.reserve(buf.high_water);
+  if (buf.wip == nullptr || buf.wip->payload.empty()) return;
+  buf.high_water = std::max(buf.high_water, buf.wip->payload.size());
+  Packet* p = buf.wip;
+  buf.wip = nullptr;
+  p->dst = dst;
+  p->src = self_;
+  p->trace_id = buf.trace_id;
+  p->trace_hop = buf.trace_hop;
   buf.tuple_count = 0;
   buf.trace_id = 0;
   buf.trace_hop = 0;
+  buf.idle_flushes = 0;
   ++packets_;
-  sink_(MakePacket(std::move(p)));
+  sink_(PacketPtr::adopt(p));
 }
 
 void Packetizer::add(const TupleRecord& rec) {
   DstBuffer& buf = buffers_[rec.dst];
+  const std::span<const std::uint8_t> bytes = rec.payload();
 
   ChunkHeader h;
   h.stream_id = rec.stream_id;
@@ -50,17 +73,17 @@ void Packetizer::add(const TupleRecord& rec) {
   const std::size_t chunk_overhead =
       ChunkHeader::kWireSize + (h.traced() ? kTraceExtWireSize : 0);
   const std::size_t max_chunk = cfg_.max_payload - chunk_overhead;
-  if (rec.data.size() > max_chunk) {
+  if (bytes.size() > max_chunk) {
     // Large tuple: flush what we have, then emit one packet per segment.
     emit(rec.dst, buf);
-    const std::size_t segs = (rec.data.size() + max_chunk - 1) / max_chunk;
+    const std::size_t segs = (bytes.size() + max_chunk - 1) / max_chunk;
     h.seg_count = static_cast<std::uint16_t>(segs);
     std::size_t off = 0;
     for (std::size_t i = 0; i < segs; ++i) {
-      const std::size_t n = std::min(max_chunk, rec.data.size() - off);
+      const std::size_t n = std::min(max_chunk, bytes.size() - off);
       h.seg_index = static_cast<std::uint16_t>(i);
       h.chunk_len = static_cast<std::uint32_t>(n);
-      append_chunk(buf, h, std::span(rec.data).subspan(off, n));
+      append_chunk(buf, h, bytes.subspan(off, n));
       buf.trace_id = rec.trace_id;
       buf.trace_hop = rec.trace_hop;
       off += n;
@@ -70,12 +93,13 @@ void Packetizer::add(const TupleRecord& rec) {
   }
 
   // Would this tuple overflow the packet? Flush first.
-  if (buf.payload.size() + chunk_overhead + rec.data.size() >
-      cfg_.max_payload) {
+  const std::size_t buffered =
+      buf.wip == nullptr ? 0 : buf.wip->payload.size();
+  if (buffered + chunk_overhead + bytes.size() > cfg_.max_payload) {
     emit(rec.dst, buf);
   }
-  h.chunk_len = static_cast<std::uint32_t>(rec.data.size());
-  append_chunk(buf, h, rec.data);
+  h.chunk_len = static_cast<std::uint32_t>(bytes.size());
+  append_chunk(buf, h, bytes);
   if (rec.trace_id != 0 && buf.trace_id == 0) {
     buf.trace_id = rec.trace_id;
     buf.trace_hop = rec.trace_hop;
@@ -87,7 +111,22 @@ void Packetizer::add(const TupleRecord& rec) {
 }
 
 void Packetizer::flush() {
-  for (auto& [dst, buf] : buffers_) emit(dst, buf);
+  for (auto it = buffers_.begin(); it != buffers_.end();) {
+    DstBuffer& buf = it->second;
+    const bool had_data = buf.wip != nullptr && !buf.wip->payload.empty();
+    emit(it->first, buf);
+    if (!had_data && cfg_.idle_flush_evict != 0 &&
+        ++buf.idle_flushes >= cfg_.idle_flush_evict) {
+      // Destination went quiet for many flush cycles — likely retired by a
+      // rebalance/scale-down. Drop the buffer (and its reservation); it is
+      // recreated on demand if the destination comes back.
+      drop_wip(buf);
+      it = buffers_.erase(it);
+      ++buffers_evicted_;
+    } else {
+      ++it;
+    }
+  }
 }
 
 void Packetizer::flush_to(const WorkerAddress& dst) {
@@ -96,11 +135,34 @@ void Packetizer::flush_to(const WorkerAddress& dst) {
   }
 }
 
+void Packetizer::retire(const WorkerAddress& dst) {
+  if (auto it = buffers_.find(dst); it != buffers_.end()) {
+    emit(dst, it->second);
+    drop_wip(it->second);
+    buffers_.erase(it);
+    ++buffers_evicted_;
+  }
+}
+
 void Packetizer::set_batch_tuples(std::size_t n) { cfg_.batch_tuples = n; }
 
-Depacketizer::Depacketizer(Sink sink) : sink_(std::move(sink)) {}
+Depacketizer::Depacketizer(Sink sink, DepacketizerConfig cfg)
+    : sink_(std::move(sink)), cfg_(cfg) {}
 
 bool Depacketizer::consume(const Packet& p) {
+  return consume_impl(p, nullptr);
+}
+
+bool Depacketizer::consume(const PacketPtr& p) {
+  return p ? consume_impl(*p, &p) : false;
+}
+
+bool Depacketizer::consume_impl(const Packet& p, const PacketPtr* keepalive) {
+  ++packets_seen_;
+  // Periodic stale sweep: cheap (map is tiny in steady state) and bounds
+  // how long an abandoned partial can linger.
+  if ((packets_seen_ & 0xff) == 0 && !reassembly_.empty()) evict_stale();
+
   common::BufReader r(p.payload);
   while (r.remaining() > 0) {
     ChunkHeader h;
@@ -117,7 +179,15 @@ bool Depacketizer::consume(const Packet& p) {
     rec.trace_hop = h.trace_hop;
 
     if (h.seg_count <= 1) {
-      rec.data.assign(data.begin(), data.end());
+      if (keepalive != nullptr) {
+        // Zero-copy: the record aliases the packet payload; the keepalive
+        // pins the (pooled) packet until the record is dropped.
+        rec.view = data;
+        rec.keepalive = *keepalive;
+      } else {
+        rec.data.assign(data.begin(), data.end());
+        bytes_copied_ += data.size();
+      }
       sink_(std::move(rec));
       continue;
     }
@@ -133,8 +203,11 @@ bool Depacketizer::consume(const Packet& p) {
       part.control = h.control();
       part.trace_id = h.trace_id;
       part.trace_hop = h.trace_hop;
+      part.born = packets_seen_;
+      if (reassembly_.size() > cfg_.max_reassemblies) evict_oldest(key);
     }
     part.data.insert(part.data.end(), data.begin(), data.end());
+    bytes_copied_ += data.size();
     ++part.received;
     if (part.received == part.expected) {
       rec.stream_id = part.stream_id;
@@ -147,6 +220,31 @@ bool Depacketizer::consume(const Packet& p) {
     }
   }
   return true;
+}
+
+void Depacketizer::evict_stale() {
+  for (auto it = reassembly_.begin(); it != reassembly_.end();) {
+    if (packets_seen_ - it->second.born > cfg_.reassembly_max_age_packets) {
+      it = reassembly_.erase(it);
+      ++reassembly_evicted_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Depacketizer::evict_oldest(std::uint64_t except_key) {
+  auto oldest = reassembly_.end();
+  for (auto it = reassembly_.begin(); it != reassembly_.end(); ++it) {
+    if (it->first == except_key) continue;  // never evict the one being built
+    if (oldest == reassembly_.end() || it->second.born < oldest->second.born) {
+      oldest = it;
+    }
+  }
+  if (oldest != reassembly_.end()) {
+    reassembly_.erase(oldest);
+    ++reassembly_evicted_;
+  }
 }
 
 }  // namespace typhoon::net

@@ -4,21 +4,35 @@
 // up to a configurable tuple count before flushing (the BATCH_SIZE knob of
 // Fig 8). The depacketizer performs the inverse: demultiplexing chunks and
 // reassembling segmented tuples.
+//
+// Zero-copy contract: the packetizer fills packets checked out of a
+// PacketPool (recycled when the last switch/port reference drops), and the
+// depacketizer's PacketPtr overload delivers unsegmented tuples as *views*
+// into the packet payload, pinned by a per-record keepalive — no byte of an
+// unsegmented tuple is copied between the emitting worker's serialize and
+// the receiving worker's decode. Segmented tuples take the owning-buffer
+// reassembly path (a copy is unavoidable when stitching segments).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/ids.h"
 #include "net/packet.h"
+#include "net/packet_pool.h"
 
 namespace typhoon::net {
 
 // A serialized tuple plus its routing envelope, as handed to/from the I/O
-// layer by the framework layer.
+// layer by the framework layer. Two storage modes:
+//  * owning: bytes live in `data` (send path, reassembled tuples, and the
+//    copying consume overload);
+//  * view: `view` aliases a packet payload and `keepalive` pins the packet
+//    (zero-copy receive path).
 struct TupleRecord {
   WorkerAddress src;
   WorkerAddress dst;
@@ -29,6 +43,14 @@ struct TupleRecord {
   std::uint64_t trace_id = 0;
   std::uint8_t trace_hop = 0;
   common::Bytes data;
+  std::span<const std::uint8_t> view;
+  PacketPtr keepalive;
+
+  // The serialized tuple bytes, whichever mode this record is in.
+  [[nodiscard]] std::span<const std::uint8_t> payload() const {
+    return keepalive ? view : std::span<const std::uint8_t>(data);
+  }
+  [[nodiscard]] bool is_view() const { return static_cast<bool>(keepalive); }
 };
 
 struct PacketizerConfig {
@@ -37,6 +59,12 @@ struct PacketizerConfig {
   std::size_t batch_tuples = 100;
   // Maximum payload bytes per packet; larger tuples are segmented.
   std::size_t max_payload = 16 * 1024;
+  // Freelist cap of the per-packetizer PacketPool.
+  std::size_t pool_max_free = 256;
+  // A destination whose buffer stays empty for this many flush() passes is
+  // considered retired and its DstBuffer is evicted (rebalance/scale-down
+  // leaves no dead high-water reservations behind). 0 disables.
+  std::size_t idle_flush_evict = 32;
 };
 
 class Packetizer {
@@ -44,6 +72,10 @@ class Packetizer {
   using Sink = std::function<void(PacketPtr)>;
 
   Packetizer(WorkerAddress self, PacketizerConfig cfg, Sink sink);
+  ~Packetizer();
+
+  Packetizer(const Packetizer&) = delete;
+  Packetizer& operator=(const Packetizer&) = delete;
 
   // Queue one tuple; may emit packets through the sink.
   void add(const TupleRecord& rec);
@@ -52,53 +84,93 @@ class Packetizer {
   void flush();
   // Flush only the buffer for one destination.
   void flush_to(const WorkerAddress& dst);
+  // Flush and drop a destination's buffer (explicit retirement after a
+  // routing update removed it from all next-hop sets).
+  void retire(const WorkerAddress& dst);
 
   void set_batch_tuples(std::size_t n);
   [[nodiscard]] std::size_t batch_tuples() const { return cfg_.batch_tuples; }
 
   // Number of packets emitted since construction.
   [[nodiscard]] std::uint64_t packets_emitted() const { return packets_; }
+  // Live per-destination buffers (dead ones are evicted on flush).
+  [[nodiscard]] std::size_t buffer_count() const { return buffers_.size(); }
+  [[nodiscard]] std::uint64_t buffers_evicted() const {
+    return buffers_evicted_;
+  }
+  [[nodiscard]] const std::shared_ptr<PacketPool>& pool() const {
+    return pool_;
+  }
 
  private:
   struct DstBuffer {
-    common::Bytes payload;
+    // Write-in-progress packet checked out of the pool; null until the
+    // first chunk since the last emit.
+    Packet* wip = nullptr;
     std::size_t tuple_count = 0;
     // TraceContext of the first traced tuple buffered since the last emit;
     // stamped into the packet header so switches see it without parsing.
     std::uint64_t trace_id = 0;
     std::uint8_t trace_hop = 0;
-    // Largest payload ever emitted for this destination; the next buffer is
-    // pre-reserved to it, so filling a packet costs one allocation instead
-    // of a realloc-and-copy ladder after every emit.
+    // Largest payload ever emitted for this destination; fresh checkouts
+    // are pre-reserved to it, so filling a packet costs at most one
+    // allocation instead of a realloc-and-copy ladder after every emit.
     std::size_t high_water = 0;
+    // Consecutive flush() passes that found this buffer empty.
+    std::size_t idle_flushes = 0;
   };
 
+  Packet& ensure_wip(DstBuffer& buf);
   void append_chunk(DstBuffer& buf, const ChunkHeader& h,
                     std::span<const std::uint8_t> data);
   void emit(const WorkerAddress& dst, DstBuffer& buf);
+  void drop_wip(DstBuffer& buf);
 
   WorkerAddress self_;
   PacketizerConfig cfg_;
   Sink sink_;
+  std::shared_ptr<PacketPool> pool_;
   std::unordered_map<WorkerAddress, DstBuffer> buffers_;
   std::uint32_t next_seq_ = 1;
   std::uint64_t packets_ = 0;
+  std::uint64_t buffers_evicted_ = 0;
+};
+
+struct DepacketizerConfig {
+  // A partial reassembly older than this many consumed packets is evicted
+  // (its remaining segments were lost to impairment or port churn).
+  std::uint64_t reassembly_max_age_packets = 4096;
+  // Hard cap on concurrently pending reassemblies; exceeding it evicts the
+  // oldest entry.
+  std::size_t max_reassemblies = 1024;
 };
 
 class Depacketizer {
  public:
   using Sink = std::function<void(TupleRecord)>;
 
-  explicit Depacketizer(Sink sink);
+  explicit Depacketizer(Sink sink, DepacketizerConfig cfg = {});
 
   // Consume one packet; may deliver zero or more reassembled tuples.
   // Returns false if the payload is malformed (frame dropped).
+  // The const Packet& overload copies tuple bytes out (callers that don't
+  // keep the packet alive); the PacketPtr overload delivers unsegmented
+  // tuples as views pinned by a keepalive reference — zero copy.
   bool consume(const Packet& p);
+  bool consume(const PacketPtr& p);
 
   // Number of partially reassembled tuples pending.
   [[nodiscard]] std::size_t pending_reassemblies() const {
     return reassembly_.size();
   }
+  // Partial reassemblies dropped by age/cap eviction.
+  [[nodiscard]] std::uint64_t reassembly_evicted() const {
+    return reassembly_evicted_;
+  }
+  // Tuple bytes that had to be copied out of packet payloads (owning-mode
+  // consume + segment reassembly). The zero-copy receive path keeps this
+  // flat while tuples flow.
+  [[nodiscard]] std::uint64_t bytes_copied() const { return bytes_copied_; }
 
  private:
   struct Partial {
@@ -109,11 +181,21 @@ class Depacketizer {
     bool control = false;
     std::uint64_t trace_id = 0;
     std::uint8_t trace_hop = 0;
+    // packets_seen_ when this partial was created, for age-based eviction.
+    std::uint64_t born = 0;
   };
 
+  bool consume_impl(const Packet& p, const PacketPtr* keepalive);
+  void evict_stale();
+  void evict_oldest(std::uint64_t except_key);
+
   Sink sink_;
+  DepacketizerConfig cfg_;
   // Keyed by (src worker, tuple_seq).
   std::unordered_map<std::uint64_t, Partial> reassembly_;
+  std::uint64_t packets_seen_ = 0;
+  std::uint64_t reassembly_evicted_ = 0;
+  std::uint64_t bytes_copied_ = 0;
 };
 
 }  // namespace typhoon::net

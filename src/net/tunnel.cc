@@ -72,6 +72,21 @@ std::optional<Packet> TunnelEndpoint::decode_checked(common::Bytes frame) {
   return DecodeFrame(frame);
 }
 
+bool TunnelEndpoint::decode_checked_into(common::Bytes frame, Packet& out) {
+  if (!VerifyAndStripChecksum(frame)) {
+    corrupt_rx_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return DecodeFrameInto(frame, out);
+}
+
+bool TunnelEndpoint::try_recv_into(Packet& out) {
+  while (auto frame = rx_->try_pop()) {
+    if (decode_checked_into(std::move(*frame), out)) return true;
+  }
+  return false;
+}
+
 std::optional<Packet> TunnelEndpoint::try_recv() {
   // Corrupt frames are link drops: count them and keep draining so the
   // caller never mistakes a mangled frame for an empty queue.

@@ -30,6 +30,9 @@ class TunnelEndpoint {
   bool send(const Packet& p);
   // Non-blocking receive of one decoded frame.
   std::optional<Packet> try_recv();
+  // Non-blocking receive into an existing packet, reusing its payload
+  // capacity (pooled RX path — no per-frame Packet allocation).
+  bool try_recv_into(Packet& out);
   // Blocking receive with timeout.
   std::optional<Packet> recv_for(std::chrono::milliseconds timeout);
 
@@ -59,6 +62,7 @@ class TunnelEndpoint {
   using Channel = common::MpmcQueue<common::Bytes>;
 
   std::optional<Packet> decode_checked(common::Bytes frame);
+  bool decode_checked_into(common::Bytes frame, Packet& out);
 
   std::shared_ptr<Channel> tx_;
   std::shared_ptr<Channel> rx_;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "net/packet.h"
 #include "stream/control_tuple.h"
 #include "stream/tuple.h"
 #include "trace/trace.h"
@@ -20,11 +21,25 @@ namespace typhoon::stream {
 
 struct ReceivedItem {
   bool is_control = false;
-  // Data tuple (is_control == false).
+  // Data tuple (is_control == false). May borrow string/bytes data from
+  // `backing` (zero-copy receive); copying the Tuple materializes it.
   Tuple tuple;
   TupleMeta meta;
   // Control tuple (is_control == true).
   ControlTuple control;
+  // Pins the packet a borrowed tuple's values point into. Must outlive
+  // `tuple`; empty for owning (copied) tuples.
+  net::PacketPtr backing;
+};
+
+// Data-plane I/O counters a transport can expose (all monotonically
+// increasing; zero when a transport has no such concept).
+struct TransportIoStats {
+  std::uint64_t pool_hits = 0;       // packets served from the frame pool
+  std::uint64_t pool_misses = 0;     // packets freshly allocated
+  std::uint64_t bytes_copied_rx = 0; // tuple bytes copied out of payloads
+  std::uint64_t reassembly_evicted = 0;
+  std::uint64_t packetizer_buffers_evicted = 0;
 };
 
 class Transport {
@@ -59,6 +74,10 @@ class Transport {
 
   // Packets/messages dropped on send (ring or queue overflow).
   [[nodiscard]] virtual std::uint64_t send_drops() const { return 0; }
+
+  // Zero-copy / pooling counters (all-zero default for transports without
+  // a frame pool).
+  [[nodiscard]] virtual TransportIoStats io_stats() const { return {}; }
 };
 
 }  // namespace typhoon::stream

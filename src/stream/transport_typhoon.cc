@@ -28,7 +28,7 @@ TyphoonTransport::TyphoonTransport(
                       // switch's egress hold expires.
                       if (inbound_.size() < kBlockedStageCap) {
                         if (auto rp = port_->recv()) {
-                          depacketizer_.consume(**rp);
+                          depacketizer_.consume(*rp);
                           continue;
                         }
                       }
@@ -96,7 +96,9 @@ std::size_t TyphoonTransport::poll(std::vector<ReceivedItem>& out,
   while (inbound_.size() < max) {
     auto p = port_->recv();
     if (!p) break;
-    depacketizer_.consume(**p);
+    // PacketPtr overload: unsegmented tuples arrive as views into the
+    // (pooled) packet payload — no copy between the switch ring and decode.
+    depacketizer_.consume(*p);
   }
   std::size_t n = 0;
   while (!inbound_.empty() && n < max) {
@@ -105,14 +107,23 @@ std::size_t TyphoonTransport::poll(std::vector<ReceivedItem>& out,
     ReceivedItem item;
     if (rec.control || rec.stream_id == kControlStream) {
       item.is_control = true;
-      if (!DecodeControl(rec.data, item.control)) continue;
+      if (!DecodeControl(rec.payload(), item.control)) continue;
     } else {
       item.meta.src_worker = rec.src.worker;
       item.meta.stream = rec.stream_id;
-      if (!DeserializeTyphoon(rec.data, item.tuple, item.meta.root_id,
-                              item.meta.edge_id)) {
-        continue;
+      bool ok = false;
+      if (rec.is_view()) {
+        // Borrowed decode: long string/bytes values alias the packet
+        // payload; the keepalive rides along as item.backing so they stay
+        // valid through the bolt's execute().
+        ok = DeserializeTyphoonBorrowed(rec.payload(), item.tuple,
+                                        item.meta.root_id, item.meta.edge_id);
+        item.backing = std::move(rec.keepalive);
+      } else {
+        ok = DeserializeTyphoon(rec.payload(), item.tuple, item.meta.root_id,
+                                item.meta.edge_id);
       }
+      if (!ok) continue;
       item.meta.trace_id = rec.trace_id;
       item.meta.trace_hop = rec.trace_hop;
       if (rec.trace_id != 0 && recorder_ != nullptr) {
@@ -144,6 +155,16 @@ std::size_t TyphoonTransport::input_queue_depth() const {
   return port_->rx_queue_depth() * std::max<std::size_t>(
                                        1, packetizer_.batch_tuples()) +
          inbound_.size();
+}
+
+TransportIoStats TyphoonTransport::io_stats() const {
+  TransportIoStats s;
+  s.pool_hits = packetizer_.pool()->hits();
+  s.pool_misses = packetizer_.pool()->misses();
+  s.bytes_copied_rx = depacketizer_.bytes_copied();
+  s.reassembly_evicted = depacketizer_.reassembly_evicted();
+  s.packetizer_buffers_evicted = packetizer_.buffers_evicted();
+  return s;
 }
 
 void TyphoonTransport::inject_control(const ControlTuple& ct) {

@@ -41,6 +41,7 @@ class TyphoonTransport : public Transport {
   [[nodiscard]] std::uint32_t batch_size() const override;
   [[nodiscard]] std::size_t input_queue_depth() const override;
   [[nodiscard]] std::uint64_t send_drops() const override { return drops_; }
+  [[nodiscard]] TransportIoStats io_stats() const override;
 
   // Deliver a control tuple directly into the receive path, bypassing the
   // switch (thread-safe; used by tests and local tooling).

@@ -14,6 +14,66 @@ enum class ValueTag : std::uint8_t {
   kBytes = 4,
   kBool = 5,
 };
+
+// Shared decode loop; `Borrow` selects owned vs view storage for
+// string/bytes values.
+template <bool Borrow>
+bool DecodeBodyImpl(common::BufReader& r, Tuple& t) {
+  std::uint16_t n = 0;
+  if (!r.u16(n)) return false;
+  t.clear();
+  t.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) {
+    std::uint8_t tag = 0;
+    if (!r.u8(tag)) return false;
+    switch (static_cast<ValueTag>(tag)) {
+      case ValueTag::kI64: {
+        std::int64_t v = 0;
+        if (!r.i64(v)) return false;
+        t.push(v);
+        break;
+      }
+      case ValueTag::kF64: {
+        double v = 0;
+        if (!r.f64(v)) return false;
+        t.push(v);
+        break;
+      }
+      case ValueTag::kStr: {
+        std::string_view v;
+        if (!r.str_view(v)) return false;
+        if constexpr (Borrow) {
+          // Short strings fit inline anyway; only long ones truly borrow.
+          t.push(v.size() <= Value::kInlineCap ? Value(v)
+                                               : Value::borrowed_str(v));
+        } else {
+          t.push(Value(v));
+        }
+        break;
+      }
+      case ValueTag::kBytes: {
+        std::span<const std::uint8_t> v;
+        if (!r.bytes_view(v)) return false;
+        if constexpr (Borrow) {
+          t.push(v.size() <= Value::kInlineCap ? Value(v)
+                                               : Value::borrowed_bytes(v));
+        } else {
+          t.push(Value(v));
+        }
+        break;
+      }
+      case ValueTag::kBool: {
+        std::uint8_t v = 0;
+        if (!r.u8(v)) return false;
+        t.push(v != 0);
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return true;
+}
 }  // namespace
 
 std::uint64_t Tuple::hash_fields(
@@ -22,25 +82,28 @@ std::uint64_t Tuple::hash_fields(
   for (std::uint32_t i : indices) {
     if (i >= vals_.size()) continue;
     const Value& v = vals_[i];
-    std::visit(
-        [&](const auto& x) {
-          using T = std::decay_t<decltype(x)>;
-          if constexpr (std::is_same_v<T, std::int64_t>) {
-            h = common::HashCombine(h, static_cast<std::uint64_t>(x));
-          } else if constexpr (std::is_same_v<T, double>) {
-            std::uint64_t bits = 0;
-            static_assert(sizeof bits == sizeof x);
-            std::memcpy(&bits, &x, sizeof bits);
-            h = common::HashCombine(h, bits);
-          } else if constexpr (std::is_same_v<T, std::string>) {
-            h = common::HashCombine(h, common::Fnv1a(x));
-          } else if constexpr (std::is_same_v<T, common::Bytes>) {
-            h = common::HashCombine(h, common::Fnv1a(std::span(x)));
-          } else if constexpr (std::is_same_v<T, bool>) {
-            h = common::HashCombine(h, x ? 1u : 0u);
-          }
-        },
-        v);
+    switch (v.kind()) {
+      case Value::Kind::kI64:
+        h = common::HashCombine(h, static_cast<std::uint64_t>(v.as_i64()));
+        break;
+      case Value::Kind::kF64: {
+        const double x = v.as_f64();
+        std::uint64_t bits = 0;
+        static_assert(sizeof bits == sizeof x);
+        std::memcpy(&bits, &x, sizeof bits);
+        h = common::HashCombine(h, bits);
+        break;
+      }
+      case Value::Kind::kStr:
+        h = common::HashCombine(h, common::Fnv1a(v.as_str()));
+        break;
+      case Value::Kind::kBytes:
+        h = common::HashCombine(h, common::Fnv1a(v.as_bytes()));
+        break;
+      case Value::Kind::kBool:
+        h = common::HashCombine(h, v.as_bool() ? 1u : 0u);
+        break;
+    }
   }
   return h;
 }
@@ -50,20 +113,24 @@ std::string Tuple::str_repr() const {
   os << "(";
   for (std::size_t i = 0; i < vals_.size(); ++i) {
     if (i) os << ", ";
-    std::visit(
-        [&](const auto& x) {
-          using T = std::decay_t<decltype(x)>;
-          if constexpr (std::is_same_v<T, std::string>) {
-            os << '"' << x << '"';
-          } else if constexpr (std::is_same_v<T, common::Bytes>) {
-            os << "<" << x.size() << "B>";
-          } else if constexpr (std::is_same_v<T, bool>) {
-            os << (x ? "true" : "false");
-          } else {
-            os << x;
-          }
-        },
-        vals_[i]);
+    const Value& v = vals_[i];
+    switch (v.kind()) {
+      case Value::Kind::kI64:
+        os << v.as_i64();
+        break;
+      case Value::Kind::kF64:
+        os << v.as_f64();
+        break;
+      case Value::Kind::kStr:
+        os << '"' << v.as_str() << '"';
+        break;
+      case Value::Kind::kBytes:
+        os << "<" << v.as_bytes().size() << "B>";
+        break;
+      case Value::Kind::kBool:
+        os << (v.as_bool() ? "true" : "false");
+        break;
+    }
   }
   os << ")";
   return os.str();
@@ -72,75 +139,37 @@ std::string Tuple::str_repr() const {
 void EncodeTupleBody(const Tuple& t, common::BufWriter& w) {
   w.u16(static_cast<std::uint16_t>(t.size()));
   for (const Value& v : t.values()) {
-    std::visit(
-        [&](const auto& x) {
-          using T = std::decay_t<decltype(x)>;
-          if constexpr (std::is_same_v<T, std::int64_t>) {
-            w.u8(static_cast<std::uint8_t>(ValueTag::kI64));
-            w.i64(x);
-          } else if constexpr (std::is_same_v<T, double>) {
-            w.u8(static_cast<std::uint8_t>(ValueTag::kF64));
-            w.f64(x);
-          } else if constexpr (std::is_same_v<T, std::string>) {
-            w.u8(static_cast<std::uint8_t>(ValueTag::kStr));
-            w.str(x);
-          } else if constexpr (std::is_same_v<T, common::Bytes>) {
-            w.u8(static_cast<std::uint8_t>(ValueTag::kBytes));
-            w.bytes(x);
-          } else if constexpr (std::is_same_v<T, bool>) {
-            w.u8(static_cast<std::uint8_t>(ValueTag::kBool));
-            w.u8(x ? 1 : 0);
-          }
-        },
-        v);
+    switch (v.kind()) {
+      case Value::Kind::kI64:
+        w.u8(static_cast<std::uint8_t>(ValueTag::kI64));
+        w.i64(v.as_i64());
+        break;
+      case Value::Kind::kF64:
+        w.u8(static_cast<std::uint8_t>(ValueTag::kF64));
+        w.f64(v.as_f64());
+        break;
+      case Value::Kind::kStr:
+        w.u8(static_cast<std::uint8_t>(ValueTag::kStr));
+        w.str(v.as_str());
+        break;
+      case Value::Kind::kBytes:
+        w.u8(static_cast<std::uint8_t>(ValueTag::kBytes));
+        w.bytes(v.as_bytes());
+        break;
+      case Value::Kind::kBool:
+        w.u8(static_cast<std::uint8_t>(ValueTag::kBool));
+        w.u8(v.as_bool() ? 1 : 0);
+        break;
+    }
   }
 }
 
 bool DecodeTupleBody(common::BufReader& r, Tuple& t) {
-  std::uint16_t n = 0;
-  if (!r.u16(n)) return false;
-  std::vector<Value> vals;
-  vals.reserve(n);
-  for (std::uint16_t i = 0; i < n; ++i) {
-    std::uint8_t tag = 0;
-    if (!r.u8(tag)) return false;
-    switch (static_cast<ValueTag>(tag)) {
-      case ValueTag::kI64: {
-        std::int64_t v = 0;
-        if (!r.i64(v)) return false;
-        vals.emplace_back(v);
-        break;
-      }
-      case ValueTag::kF64: {
-        double v = 0;
-        if (!r.f64(v)) return false;
-        vals.emplace_back(v);
-        break;
-      }
-      case ValueTag::kStr: {
-        std::string v;
-        if (!r.str(v)) return false;
-        vals.emplace_back(std::move(v));
-        break;
-      }
-      case ValueTag::kBytes: {
-        common::Bytes v;
-        if (!r.bytes(v)) return false;
-        vals.emplace_back(std::move(v));
-        break;
-      }
-      case ValueTag::kBool: {
-        std::uint8_t v = 0;
-        if (!r.u8(v)) return false;
-        vals.emplace_back(v != 0);
-        break;
-      }
-      default:
-        return false;
-    }
-  }
-  t = Tuple(std::move(vals));
-  return true;
+  return DecodeBodyImpl<false>(r, t);
+}
+
+bool DecodeTupleBodyBorrowed(common::BufReader& r, Tuple& t) {
+  return DecodeBodyImpl<true>(r, t);
 }
 
 common::Bytes SerializeTyphoon(const Tuple& t, std::uint64_t root_id,
@@ -163,6 +192,13 @@ bool DeserializeTyphoon(std::span<const std::uint8_t> data, Tuple& t,
                         std::uint64_t& root_id, std::uint64_t& edge_id) {
   common::BufReader r(data);
   return r.u64(root_id) && r.u64(edge_id) && DecodeTupleBody(r, t);
+}
+
+bool DeserializeTyphoonBorrowed(std::span<const std::uint8_t> data, Tuple& t,
+                                std::uint64_t& root_id,
+                                std::uint64_t& edge_id) {
+  common::BufReader r(data);
+  return r.u64(root_id) && r.u64(edge_id) && DecodeTupleBodyBorrowed(r, t);
 }
 
 common::Bytes SerializeStorm(const Tuple& t, const StormEnvelope& env) {

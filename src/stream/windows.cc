@@ -59,7 +59,7 @@ void KeyedCountWindowBolt::execute(const Tuple& input, const TupleMeta&,
                                    Emitter& out) {
   last_emitter_ = &out;
   if (key_index_ >= input.size()) return;
-  ++counts_[input.str(key_index_)];
+  ++counts_[std::string(input.str(key_index_))];
   if (common::Now() - window_start_ >= window_) flush(out);
 }
 
@@ -82,9 +82,9 @@ void SlidingAggregateBolt::execute(const Tuple& input, const TupleMeta&,
                                    Emitter& out) {
   if (value_index_ >= input.size()) return;
   double v = 0;
-  if (std::holds_alternative<std::int64_t>(input.at(value_index_))) {
+  if (input.at(value_index_).is_i64()) {
     v = static_cast<double>(input.i64(value_index_));
-  } else if (std::holds_alternative<double>(input.at(value_index_))) {
+  } else if (input.at(value_index_).is_f64()) {
     v = input.f64(value_index_);
   } else {
     return;

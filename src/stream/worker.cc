@@ -292,6 +292,17 @@ void Worker::publish_stats(common::TimePoint now) {
   // harness probes read it without touching the coordinator.
   metrics_.gauge("queue_depth")
       .set(static_cast<std::int64_t>(opts_.transport->input_queue_depth()));
+  // Zero-copy data-plane counters, surfaced as gauges so observability
+  // snapshots (ClusterObservability::dump_json, fig08's summary) can show
+  // the pool hit rate and residual RX copy volume per worker.
+  const TransportIoStats io = opts_.transport->io_stats();
+  metrics_.gauge("pool_hits").set(static_cast<std::int64_t>(io.pool_hits));
+  metrics_.gauge("pool_misses")
+      .set(static_cast<std::int64_t>(io.pool_misses));
+  metrics_.gauge("bytes_copied_rx")
+      .set(static_cast<std::int64_t>(io.bytes_copied_rx));
+  metrics_.gauge("reassembly_evicted")
+      .set(static_cast<std::int64_t>(io.reassembly_evicted));
   if (opts_.coord == nullptr) return;
   const std::string& topo = opts_.ctx.topology_name;
   const WorkerId w = opts_.ctx.worker;

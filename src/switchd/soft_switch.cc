@@ -580,14 +580,19 @@ void SoftSwitch::run() {
           tunnel_cache_;
       for (const TunnelRef& t : *tuns) {
         for (std::size_t i = 0; i < cfg_.poll_burst; ++i) {
-          auto pkt = t.ep->try_recv();
-          if (!pkt) break;
+          // Decode into a pool checkout: the frame's bytes land in a
+          // recycled payload buffer, so steady tunnel RX allocates nothing.
+          // The spare survives empty polls, so idle loops don't touch the
+          // freelist at all.
+          if (rx_spare_ == nullptr) rx_spare_ = rx_pool_->acquire_raw();
+          if (!t.ep->try_recv_into(*rx_spare_)) break;
+          net::PacketPtr pkt = net::PacketPtr::adopt(rx_spare_);
+          rx_spare_ = nullptr;
           if (pkt->trace_id != 0 && cfg_.trace_recorder != nullptr) {
             record_span(pkt->trace_id, pkt->trace_hop,
                         trace::Stage::kTunnelRx);
           }
-          forwarded +=
-              process(net::MakePacket(std::move(*pkt)), kTunnelPort) ? 1 : 0;
+          forwarded += process(std::move(pkt), kTunnelPort) ? 1 : 0;
           ++work;
         }
       }
@@ -643,6 +648,12 @@ void SoftSwitch::run() {
     } else {
       idle_streak = 0;
     }
+  }
+
+  // Return the spare tunnel-RX checkout (if any) to the pool.
+  if (rx_spare_ != nullptr) {
+    net::PacketPtr::adopt(rx_spare_);
+    rx_spare_ = nullptr;
   }
 }
 

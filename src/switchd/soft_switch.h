@@ -47,6 +47,7 @@
 #include "common/spsc_ring.h"
 #include "faultinject/impairment.h"
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "net/tunnel.h"
 #include "openflow/flow.h"
 #include "openflow/flow_table.h"
@@ -172,6 +173,13 @@ class SoftSwitch {
   [[nodiscard]] std::uint64_t cache_hits() const { return mcache_.hits(); }
   [[nodiscard]] std::uint64_t cache_misses() const {
     return mcache_.misses();
+  }
+  // Tunnel-RX frame-pool accounting (hits = recycled packets reused).
+  [[nodiscard]] std::uint64_t rx_pool_hits() const {
+    return rx_pool_->hits();
+  }
+  [[nodiscard]] std::uint64_t rx_pool_misses() const {
+    return rx_pool_->misses();
   }
   // Table-snapshot generation; bumped by every flow/group mutation.
   [[nodiscard]] std::uint64_t table_generation() const {
@@ -299,6 +307,13 @@ class SoftSwitch {
   std::uint64_t impair_cache_gen_ = 0;
   std::vector<net::PacketPtr> ingress_scratch_;
   std::vector<net::PacketPtr> egress_scratch_;
+
+  // Tunnel-RX frame pool: decoded frames land in recycled Packet objects
+  // instead of a per-frame allocation. rx_spare_ holds one checkout across
+  // poll rounds so idle polling doesn't cycle the freelist.
+  std::shared_ptr<net::PacketPool> rx_pool_ =
+      net::PacketPool::Create({.max_free = 1024});
+  net::Packet* rx_spare_ = nullptr;
 
   common::MpmcQueue<std::pair<net::PacketPtr, PortId>> injected_;
 

@@ -54,13 +54,13 @@ class KafkaSpout final : public Spout {
 class ParseBolt final : public Bolt {
  public:
   void execute(const Tuple& input, const TupleMeta&, Emitter& out) override {
-    const std::string& line = input.str(0);
+    const std::string_view line = input.str(0);
     std::array<std::string, 6> fields;
     std::size_t field = 0;
     std::size_t start = 0;
     for (std::size_t i = 0; i <= line.size() && field < 6; ++i) {
       if (i == line.size() || line[i] == ',') {
-        fields[field++] = line.substr(start, i - start);
+        fields[field++] = std::string(line.substr(start, i - start));
         start = i + 1;
       }
     }
@@ -73,7 +73,7 @@ class ParseBolt final : public Bolt {
 class FilterBolt final : public Bolt {
  public:
   explicit FilterBolt(std::set<std::string> allowed)
-      : allowed_(std::move(allowed)) {}
+      : allowed_(allowed.begin(), allowed.end()) {}
 
   void execute(const Tuple& input, const TupleMeta&, Emitter& out) override {
     if (allowed_.contains(input.str(1))) {
@@ -82,7 +82,8 @@ class FilterBolt final : public Bolt {
   }
 
  private:
-  std::set<std::string> allowed_;
+  // Transparent comparator: lookups take the borrowed string_view directly.
+  std::set<std::string, std::less<>> allowed_;
 };
 
 // (ad, event_type, ts) -> (ad, ts).
@@ -101,7 +102,7 @@ class JoinBolt final : public Bolt {
   void execute(const Tuple& input, const TupleMeta&, Emitter& out) override {
     // Local cache in front of the store (the paper's join workers keep a
     // local cache, Sec 6.2).
-    const std::string& ad = input.str(0);
+    const std::string ad(input.str(0));
     auto it = cache_.find(ad);
     if (it == cache_.end()) {
       auto campaign = store_->hget("ads", ad);
@@ -126,7 +127,7 @@ class AggregateStoreBolt final : public Bolt {
 
   void execute(const Tuple& input, const TupleMeta&, Emitter&) override {
     const std::int64_t window = input.i64(1) / window_ms_;
-    ++window_counts_[{input.str(0), window}];
+    ++window_counts_[{std::string(input.str(0)), window}];
     // Write-behind: flush a (campaign, window) bucket every 64 updates so
     // the store sees progress without a per-tuple round trip.
     if ((++updates_ & 0x3f) == 0) flush();

@@ -16,7 +16,8 @@ TEST(Tuple, AccessorsAndTypes) {
   EXPECT_EQ(t.i64(0), 42);
   EXPECT_DOUBLE_EQ(t.f64(1), 2.5);
   EXPECT_EQ(t.str(2), "hi");
-  EXPECT_EQ(t.bytes(3), (common::Bytes{1, 2}));
+  const auto b = t.bytes(3);
+  EXPECT_EQ(common::Bytes(b.begin(), b.end()), (common::Bytes{1, 2}));
   EXPECT_TRUE(t.boolean(4));
   EXPECT_THROW((void)t.i64(2), std::bad_variant_access);
   EXPECT_THROW((void)t.at(9), std::out_of_range);
@@ -101,6 +102,72 @@ TEST(Tuple, EmptyTupleRoundTrips) {
   std::uint64_t e = 0;
   ASSERT_TRUE(DeserializeTyphoon(data, out, r, e));
   EXPECT_TRUE(out.empty());
+}
+
+TEST(Value, InlineAndHeapStringsCompareByContent) {
+  const std::string small = "short";
+  const std::string big(3 * Value::kInlineCap, 'x');
+  Value a{small};
+  Value b{big};
+  EXPECT_FALSE(a.is_view());
+  EXPECT_FALSE(b.is_view());
+  EXPECT_EQ(a, Value{std::string_view(small)});
+  EXPECT_EQ(b, Value{std::string_view(big)});
+  EXPECT_NE(a, b);
+  // Copies of heap values are independent deep copies.
+  Value c = b;
+  b = Value{std::int64_t{0}};
+  EXPECT_EQ(c.as_str(), big);
+}
+
+TEST(Value, BorrowedDecodeAliasesBackingBufferAndCopiesMaterialize) {
+  const std::string big(4 * Value::kInlineCap, 'y');
+  Tuple t{big, std::int64_t{7}};
+  const common::Bytes wire = SerializeTyphoon(t, 0, 0);
+
+  Tuple out;
+  std::uint64_t r = 0;
+  std::uint64_t e = 0;
+  ASSERT_TRUE(DeserializeTyphoonBorrowed(wire, out, r, e));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out.at(0).is_view());
+  EXPECT_TRUE(out.borrows());
+  // The borrowed string points into the wire buffer — no copy happened.
+  EXPECT_EQ(static_cast<const void*>(out.str(0).data()),
+            static_cast<const void*>(wire.data() + 8 + 8 + 2 + 1 + 4));
+  EXPECT_EQ(out, t);
+
+  // Copying the tuple materializes views into owned storage; the copy
+  // survives the wire buffer.
+  Tuple kept = out;
+  EXPECT_FALSE(kept.at(0).is_view());
+  EXPECT_FALSE(kept.borrows());
+  EXPECT_EQ(kept.str(0), big);
+}
+
+TEST(Value, BorrowedDecodeInlinesShortStrings) {
+  Tuple t{std::string("word"), std::int64_t{1}};
+  const common::Bytes wire = SerializeTyphoon(t, 0, 0);
+  Tuple out;
+  std::uint64_t r = 0;
+  std::uint64_t e = 0;
+  ASSERT_TRUE(DeserializeTyphoonBorrowed(wire, out, r, e));
+  // ≤ kInlineCap strings are stored inline even on the borrowed path, so
+  // they never dangle regardless of the backing buffer's lifetime.
+  EXPECT_FALSE(out.borrows());
+  EXPECT_EQ(out, t);
+}
+
+TEST(Tuple, InlineCapacityHoldsFourValuesWithoutHeap) {
+  Tuple t{std::int64_t{1}, 2.5, true, std::string("ok")};
+  EXPECT_TRUE(t.values().inline_storage());
+  Tuple big{std::int64_t{1}, std::int64_t{2}, std::int64_t{3},
+            std::int64_t{4}, std::int64_t{5}};
+  EXPECT_FALSE(big.values().inline_storage());
+  EXPECT_EQ(big.i64(4), 5);
+  // Spilled tuples still round-trip and compare.
+  Tuple copy = big;
+  EXPECT_EQ(copy, big);
 }
 
 // ---- control tuples (Table 2) ----

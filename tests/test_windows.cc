@@ -99,7 +99,7 @@ TEST(KeyedCountWindow, CountsPerKeyAndFlushesOnSignal) {
   bolt.on_signal("", out);
   ASSERT_EQ(out.tuples.size(), 3u);
   std::map<std::string, std::int64_t> got;
-  for (const Tuple& t : out.tuples) got[t.str(0)] = t.i64(1);
+  for (const Tuple& t : out.tuples) got[std::string(t.str(0))] = t.i64(1);
   EXPECT_EQ(got["a"], 3);
   EXPECT_EQ(got["b"], 2);
   EXPECT_EQ(got["c"], 1);

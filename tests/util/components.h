@@ -264,7 +264,7 @@ class ReplayableSentenceSpout : public Spout {
 class DedupSplitBolt : public Bolt {
  public:
   void execute(const Tuple& input, const TupleMeta&, Emitter& out) override {
-    const std::string& sentence = input.str(0);
+    const std::string sentence(input.str(0));
     const std::int64_t seq = input.i64(1);
     std::istringstream is(sentence);
     std::string word;
@@ -294,7 +294,7 @@ class DedupCountBolt : public Bolt {
     const std::int64_t occ = input.i64(1);
     std::lock_guard lk(state_->mu);
     if (!state_->seen.insert(occ).second) return;  // replayed occurrence
-    ++state_->counts[input.str(0)];
+    ++state_->counts[std::string(input.str(0))];
     state_->unique.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -324,7 +324,7 @@ class SplitBolt : public Bolt {
       processed_ = 0;
       throw std::runtime_error("OutOfMemoryError in split");
     }
-    const std::string& sentence = input.str(0);
+    const std::string sentence(input.str(0));
     std::istringstream is(sentence);
     std::string word;
     while (is >> word) {
@@ -344,7 +344,7 @@ class CountBolt : public Bolt {
  public:
   void execute(const Tuple& input, const TupleMeta&, Emitter& out) override {
     (void)out;
-    ++counts_[input.str(0)];
+    ++counts_[std::string(input.str(0))];
   }
 
   void on_signal(const std::string&, Emitter& out) override {
@@ -382,8 +382,7 @@ class CollectingSink : public Bolt {
 
   void execute(const Tuple& input, const TupleMeta&, Emitter&) override {
     state_->received.fetch_add(1, std::memory_order_relaxed);
-    if (track_ && input.size() >= 1 &&
-        std::holds_alternative<std::int64_t>(input.at(0))) {
+    if (track_ && input.size() >= 1 && input.at(0).is_i64()) {
       const std::int64_t seq = input.i64(0);
       std::lock_guard lk(state_->mu);
       if (!state_->seen.insert(seq).second) state_->duplicates.fetch_add(1);
