@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Fail CI when a benchmark metric regresses against a checked-in baseline.
+
+Usage:
+    bench_guard.py --current build/BENCH_fastpath.json \
+                   --baseline bench/baselines/BENCH_fastpath.json \
+                   --key single_flow_pps --max-regress 0.15
+
+Compares ``current[key]`` against ``baseline[key]`` (both plain JSON files of
+scalars) and exits 1 if the current value fell more than ``max-regress``
+(fraction) below the baseline. Higher-is-better metrics only. Improvements
+always pass; print both values either way so the job log doubles as a
+coarse perf time-series.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metric(path: str, key: str) -> float:
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except OSError as e:
+        sys.exit(f"bench_guard: cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"bench_guard: {path} is not valid JSON: {e}")
+    if key not in data:
+        sys.exit(f"bench_guard: {path} has no key {key!r} "
+                 f"(keys: {sorted(data)})")
+    try:
+        return float(data[key])
+    except (TypeError, ValueError):
+        sys.exit(f"bench_guard: {path}[{key!r}] = {data[key]!r} "
+                 "is not a number")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--current", required=True,
+                    help="JSON written by the benchmark run under test")
+    ap.add_argument("--baseline", required=True,
+                    help="checked-in JSON from a known-good run")
+    ap.add_argument("--key", required=True,
+                    help="metric name present in both files (higher = better)")
+    ap.add_argument("--max-regress", type=float, default=0.15,
+                    help="max allowed fractional drop vs baseline "
+                         "(default 0.15 = 15%%)")
+    args = ap.parse_args()
+
+    current = load_metric(args.current, args.key)
+    baseline = load_metric(args.baseline, args.key)
+    if baseline <= 0:
+        sys.exit(f"bench_guard: baseline {args.key} = {baseline} "
+                 "is not positive; refusing to divide")
+
+    ratio = current / baseline
+    drop = 1.0 - ratio
+    status = "OK" if drop <= args.max_regress else "REGRESSION"
+    print(f"bench_guard: {args.key}: current={current:.0f} "
+          f"baseline={baseline:.0f} ratio={ratio:.3f} "
+          f"(allowed drop {args.max_regress:.0%}) -> {status}")
+    if status != "OK":
+        print(f"bench_guard: {args.key} fell {drop:.1%} below baseline; "
+              f"limit is {args.max_regress:.0%}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,6 +55,22 @@ class MpmcQueue {
     return true;
   }
 
+  // Non-blocking bulk push under one lock round: moves items from `first`
+  // until `n` are enqueued or the queue fills. Returns the number enqueued;
+  // the unsent tail (if any) is left in the caller's range.
+  template <typename It>
+  std::size_t try_push_bulk(It first, std::size_t n) {
+    std::lock_guard lk(mu_);
+    if (closed_) return 0;
+    std::size_t pushed = 0;
+    while (pushed < n && items_.size() < capacity_) {
+      items_.push_back(std::move(*first++));
+      ++pushed;
+    }
+    if (pushed != 0) not_empty_.notify_all();
+    return pushed;
+  }
+
   // Blocks while empty. nullopt once closed and drained.
   std::optional<T> pop() {
     std::unique_lock lk(mu_);
@@ -66,6 +82,29 @@ class MpmcQueue {
     std::lock_guard lk(mu_);
     return pop_locked();
   }
+
+  // Non-blocking bulk pop under one lock round; returns the number moved
+  // into `out` (up to `max`).
+  // Same GCC 12 spurious -Wuninitialized as pop_locked (see below).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+  template <typename OutIt>
+  std::size_t pop_bulk(OutIt out, std::size_t max) {
+    std::lock_guard lk(mu_);
+    const std::size_t n = items_.size() < max ? items_.size() : max;
+    for (std::size_t i = 0; i < n; ++i) {
+      *out++ = std::move(items_.front());
+      items_.pop_front();
+    }
+    if (n != 0) not_full_.notify_all();
+    return n;
+  }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
   template <typename Rep, typename Period>
   std::optional<T> pop_for(std::chrono::duration<Rep, Period> d) {

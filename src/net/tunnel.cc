@@ -41,8 +41,8 @@ bool TunnelEndpoint::send(const Packet& p) {
   EncodeFrame(p, frame);
   // bytes_sent counts marshalled frame bytes; the checksum trailer is link
   // overhead, excluded so throughput probes keep their pre-trailer meaning.
-  bytes_ += frame.size();
-  ++sent_;
+  bytes_.fetch_add(frame.size(), std::memory_order_relaxed);
+  sent_.fetch_add(1, std::memory_order_relaxed);
   AppendChecksum(frame);
 
   if (impaired_.load(std::memory_order_acquire)) {
@@ -57,11 +57,50 @@ bool TunnelEndpoint::send(const Packet& p) {
                        if (!f.empty()) f[offset % f.size()] ^= mask;
                      });
       bool ok = true;
-      for (common::Bytes& f : out) ok = tx_->push(std::move(f)) && ok;
+      for (common::Bytes& f : out) ok = tx_->q.push(std::move(f)) && ok;
+      tx_->fire();
       return ok;
     }
   }
-  return tx_->push(std::move(frame));
+  const bool ok = tx_->q.push(std::move(frame));
+  tx_->fire();
+  return ok;
+}
+
+std::size_t TunnelEndpoint::try_send_burst(
+    std::span<const Packet* const> pkts) {
+  if (pkts.empty()) return 0;
+  if (impaired_.load(std::memory_order_acquire)) {
+    // Impaired links keep the per-frame path so the shaper's deterministic
+    // draw schedule (one admit per frame) is byte-identical with and
+    // without bursting.
+    std::size_t n = 0;
+    for (const Packet* p : pkts) {
+      if (!send(*p)) break;
+      ++n;
+    }
+    return n;
+  }
+  std::vector<common::Bytes> frames;
+  frames.reserve(pkts.size());
+  std::size_t body_bytes_total = 0;
+  std::vector<std::size_t> body_bytes;
+  body_bytes.reserve(pkts.size());
+  for (const Packet* p : pkts) {
+    common::Bytes frame;
+    frame.reserve(p->wire_size() + kChecksumBytes);
+    EncodeFrame(*p, frame);
+    body_bytes.push_back(frame.size());
+    AppendChecksum(frame);
+    frames.push_back(std::move(frame));
+  }
+  const std::size_t pushed = tx_->q.try_push_bulk(frames.begin(),
+                                                  frames.size());
+  for (std::size_t i = 0; i < pushed; ++i) body_bytes_total += body_bytes[i];
+  bytes_.fetch_add(body_bytes_total, std::memory_order_relaxed);
+  sent_.fetch_add(pushed, std::memory_order_relaxed);
+  if (pushed != 0) tx_->fire();
+  return pushed;
 }
 
 std::optional<Packet> TunnelEndpoint::decode_checked(common::Bytes frame) {
@@ -81,16 +120,30 @@ bool TunnelEndpoint::decode_checked_into(common::Bytes frame, Packet& out) {
 }
 
 bool TunnelEndpoint::try_recv_into(Packet& out) {
-  while (auto frame = rx_->try_pop()) {
+  while (auto frame = rx_->q.try_pop()) {
     if (decode_checked_into(std::move(*frame), out)) return true;
   }
   return false;
 }
 
+std::size_t TunnelEndpoint::try_recv_burst(std::span<Packet*> out) {
+  if (out.empty()) return 0;
+  rx_scratch_.clear();
+  rx_->q.pop_bulk(std::back_inserter(rx_scratch_), out.size());
+  std::size_t n = 0;
+  for (common::Bytes& frame : rx_scratch_) {
+    // Corrupt frames are counted link drops; the decode slot is reused for
+    // the next frame so the caller still gets a dense prefix.
+    if (decode_checked_into(std::move(frame), *out[n])) ++n;
+  }
+  rx_scratch_.clear();
+  return n;
+}
+
 std::optional<Packet> TunnelEndpoint::try_recv() {
   // Corrupt frames are link drops: count them and keep draining so the
   // caller never mistakes a mangled frame for an empty queue.
-  while (auto frame = rx_->try_pop()) {
+  while (auto frame = rx_->q.try_pop()) {
     if (auto p = decode_checked(std::move(*frame))) return p;
   }
   return std::nullopt;
@@ -102,13 +155,21 @@ std::optional<Packet> TunnelEndpoint::recv_for(
   for (;;) {
     const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
         deadline - std::chrono::steady_clock::now());
-    auto frame = rx_->pop_for(remaining > std::chrono::milliseconds::zero()
-                                  ? remaining
-                                  : std::chrono::milliseconds::zero());
+    auto frame = rx_->q.pop_for(remaining > std::chrono::milliseconds::zero()
+                                    ? remaining
+                                    : std::chrono::milliseconds::zero());
     if (!frame) return std::nullopt;
     if (auto p = decode_checked(std::move(*frame))) return p;
     if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
   }
+}
+
+std::size_t TunnelEndpoint::rx_queue_depth() const { return rx_->q.size(); }
+
+void TunnelEndpoint::set_rx_notify(std::function<void()> fn) {
+  std::lock_guard lk(rx_->notify_mu);
+  rx_->notify = std::move(fn);
+  rx_->has_notify.store(rx_->notify != nullptr, std::memory_order_release);
 }
 
 faultinject::Impairment* TunnelEndpoint::set_impairment(
@@ -126,7 +187,8 @@ void TunnelEndpoint::clear_impairment() {
     // reordered traffic.
     std::vector<common::Bytes> out;
     shaper_->flush(out);
-    for (common::Bytes& f : out) (void)tx_->try_push(std::move(f));
+    for (common::Bytes& f : out) (void)tx_->q.try_push(std::move(f));
+    tx_->fire();
   }
   impaired_.store(false, std::memory_order_release);
   shaper_.reset();
@@ -139,8 +201,8 @@ faultinject::Impairment* TunnelEndpoint::impairment() {
 
 void TunnelEndpoint::close() {
   clear_impairment();
-  tx_->close();
-  rx_->close();
+  tx_->q.close();
+  rx_->q.close();
 }
 
 std::pair<std::shared_ptr<TunnelEndpoint>, std::shared_ptr<TunnelEndpoint>>

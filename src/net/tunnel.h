@@ -9,14 +9,24 @@
 // an FNV-1a checksum trailer; a frame that fails verification on receive is
 // dropped and counted (`rx_corrupt_drops`) instead of surfacing garbage —
 // the wire can be corrupted by an attached fault-injection Impairment.
+//
+// Burst I/O: try_send_burst enqueues a whole vector of frames under one
+// ring-lock round (the DPDK tx-burst analog) and try_recv_burst drains up
+// to N frames the same way, decoding into caller-provided pooled packets.
+// Send may be called from several switch shards concurrently (frame
+// counters are atomics); burst receive is single-consumer — the one shard
+// that owns this tunnel's RX polling.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <utility>
+#include <vector>
 
 #include "common/mpmc_queue.h"
 #include "faultinject/impairment.h"
@@ -28,17 +38,41 @@ class TunnelEndpoint {
  public:
   // Blocking send (TCP back-pressure semantics). False once closed.
   bool send(const Packet& p);
+  // Non-blocking burst send: encodes and enqueues frames in order under one
+  // ring-lock round, stopping at the first rejection (full ring). Returns
+  // the number enqueued; the unsent tail `pkts[n..]` stays with the caller
+  // (retry, hold, or fall back to the blocking send).
+  std::size_t try_send_burst(std::span<const Packet* const> pkts);
   // Non-blocking receive of one decoded frame.
   std::optional<Packet> try_recv();
   // Non-blocking receive into an existing packet, reusing its payload
   // capacity (pooled RX path — no per-frame Packet allocation).
   bool try_recv_into(Packet& out);
+  // Non-blocking burst receive: drains up to out.size() frames under one
+  // ring-lock round and decodes them into the caller's packets (payload
+  // capacity reused, same as try_recv_into). Returns the number decoded;
+  // corrupt frames are counted and skipped, never surfaced. Single
+  // consumer: only the owning poller may call this.
+  std::size_t try_recv_burst(std::span<Packet*> out);
   // Blocking receive with timeout.
   std::optional<Packet> recv_for(std::chrono::milliseconds timeout);
 
+  // Frames queued toward this endpoint, not yet received. Used by pollers
+  // deciding whether to park.
+  [[nodiscard]] std::size_t rx_queue_depth() const;
+
+  // Register a callback fired by the peer after it enqueues frames toward
+  // this endpoint (once per send / per burst). Lets a parked receiver wake
+  // without polling; pass nullptr to clear.
+  void set_rx_notify(std::function<void()> fn);
+
   void close();
-  [[nodiscard]] std::uint64_t frames_sent() const { return sent_; }
-  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
+  [[nodiscard]] std::uint64_t frames_sent() const {
+    return sent_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytes_sent() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
   // Frames discarded on receive because their checksum failed.
   [[nodiscard]] std::uint64_t rx_corrupt_drops() const {
     return corrupt_rx_.load(std::memory_order_relaxed);
@@ -59,16 +93,34 @@ class TunnelEndpoint {
                    std::shared_ptr<TunnelEndpoint>>
   CreateTunnel(std::size_t capacity);
 
-  using Channel = common::MpmcQueue<common::Bytes>;
+  // One direction of the wire: the frame queue plus the receiver-side
+  // wake-up hook fired by the sender after enqueueing.
+  struct Channel {
+    explicit Channel(std::size_t cap) : q(cap) {}
+    common::MpmcQueue<common::Bytes> q;
+    std::mutex notify_mu;
+    std::function<void()> notify;          // guarded by notify_mu
+    std::atomic<bool> has_notify{false};   // cheap gate for the send path
+
+    void fire() {
+      if (!has_notify.load(std::memory_order_acquire)) return;
+      std::lock_guard lk(notify_mu);
+      if (notify) notify();
+    }
+  };
 
   std::optional<Packet> decode_checked(common::Bytes frame);
   bool decode_checked_into(common::Bytes frame, Packet& out);
 
   std::shared_ptr<Channel> tx_;
   std::shared_ptr<Channel> rx_;
-  std::uint64_t sent_ = 0;
-  std::uint64_t bytes_ = 0;
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> bytes_{0};
   std::atomic<std::uint64_t> corrupt_rx_{0};
+
+  // Single-consumer scratch for try_recv_burst (frames popped in bulk,
+  // decoded outside the ring lock).
+  std::vector<common::Bytes> rx_scratch_;
 
   // Wire shaper, present only while impaired. The flag keeps the unimpaired
   // send path lock-free; the mutex covers attach/detach racing the sender.

@@ -20,6 +20,22 @@ const FlowSnapshotEntry* FlowSnapshot::lookup(const net::Packet& p,
   return nullptr;
 }
 
+void FlowSnapshot::lookup_batch(std::span<const net::Packet* const> pkts,
+                                PortId in_port,
+                                std::span<const FlowSnapshotEntry*> out) const {
+  std::size_t unresolved = pkts.size();
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = nullptr;
+  for (const FlowSnapshotEntry& e : entries) {
+    for (std::size_t i = 0; i < pkts.size(); ++i) {
+      if (out[i] != nullptr) continue;
+      if (e.match.matches(*pkts[i], in_port)) {
+        out[i] = &e;
+        if (--unresolved == 0) return;
+      }
+    }
+  }
+}
+
 void FlowTable::sort_entries() {
   std::stable_sort(entries_.begin(), entries_.end(),
                    [](const Entry& a, const Entry& b) {

@@ -10,6 +10,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/clock.h"
@@ -44,6 +45,15 @@ struct FlowSnapshot {
   // account via the entry's stats block.
   [[nodiscard]] const FlowSnapshotEntry* lookup(const net::Packet& p,
                                                 PortId in_port) const;
+
+  // Batched lookup for a burst of packets sharing one ingress port: a
+  // single priority-ordered pass over the table resolves every packet
+  // (each entry's match fields are loaded once for the whole burst instead
+  // of once per packet). out[i] receives the highest-priority match for
+  // pkts[i], or nullptr on a table miss. out.size() must equal
+  // pkts.size(); the pass exits early once every packet is resolved.
+  void lookup_batch(std::span<const net::Packet* const> pkts, PortId in_port,
+                    std::span<const FlowSnapshotEntry*> out) const;
 };
 
 class FlowTable {

@@ -61,16 +61,34 @@ class MicroflowCache {
   // Returns the live entry for `key` under `gen`, or nullptr on miss
   // (no slot, stale generation, or different flow in the way).
   Entry* lookup(const MicroflowKey& key, std::uint64_t gen) {
+    Entry* e = probe(key, gen);
+    if (e != nullptr) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return e;
+  }
+
+  // Non-counting lookup for batched pipelines: the caller accounts once per
+  // burst via count_hits/count_misses, so packets resolved by a burst-local
+  // duplicate of an earlier miss (they never reach the wildcard table)
+  // count as hits, matching the per-packet path's one-compulsory-miss-per-
+  // flow accounting.
+  Entry* probe(const MicroflowKey& key, std::uint64_t gen) {
     const std::uint64_t h = key.hash();
     for (std::size_t i = 0; i < kWays; ++i) {
       Entry& e = slots_[(h + i) & mask_];
-      if (e.generation == gen && e.key == key) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
-        return &e;
-      }
+      if (e.generation == gen && e.key == key) return &e;
     }
-    misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
+  }
+
+  void count_hits(std::uint64_t n) {
+    hits_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void count_misses(std::uint64_t n) {
+    misses_.fetch_add(n, std::memory_order_relaxed);
   }
 
   // Fill a way for `key` (preferring empty/stale ways, evicting the first

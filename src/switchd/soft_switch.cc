@@ -1,11 +1,28 @@
 #include "switchd/soft_switch.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/clock.h"
 #include "common/log.h"
 
 namespace typhoon::switchd {
+
+namespace {
+
+// Packets a shard will hold for full egress rings before dropping.
+constexpr std::size_t kEgressPendingCap = 4096;
+
+// Spin iterations before a shard starts sleeping, and the sleep ramp cap.
+constexpr std::uint32_t kSpinStreak = 16;
+// Idle streak after which a shard parks on its gate instead of sleeping.
+constexpr std::uint32_t kParkStreak = 64;
+// Park timeout: a correctness backstop for the (theoretically possible but
+// rare) lost wake-up between the producer's waiter check and the consumer's
+// work recheck — worst case is this much added latency, never a hang.
+constexpr std::chrono::milliseconds kParkTimeout{10};
+
+}  // namespace
 
 struct PortHandle::Port {
   explicit Port(std::size_t cap) : to_switch(cap), from_switch(cap) {}
@@ -13,6 +30,25 @@ struct PortHandle::Port {
   common::SpscRing<net::PacketPtr> to_switch;    // worker -> switch
   common::SpscRing<net::PacketPtr> from_switch;  // switch -> worker
   std::atomic<bool> open{true};
+
+  // Gate of the shard that polls this port; notified on empty->non-empty
+  // ring transitions so a parked shard wakes without the sender paying a
+  // fence per packet on a busy ring.
+  std::shared_ptr<common::WakeupGate> wake;
+
+  // TX-side spinlock taken by shards delivering into from_switch. The ring
+  // is SPSC, and with shards > 1 any shard may output here; the lock is
+  // held once per egress *bin* (a burst's worth), not per packet. Unused
+  // (never contended, never taken) in the single-shard configuration.
+  std::atomic<bool> tx_busy{false};
+
+  void lock_tx() {
+    while (tx_busy.exchange(true, std::memory_order_acquire)) {
+      while (tx_busy.load(std::memory_order_relaxed)) {
+      }
+    }
+  }
+  void unlock_tx() { tx_busy.store(false, std::memory_order_release); }
 
   // Stats from the switch's perspective.
   std::atomic<std::uint64_t> rx_packets{0};
@@ -24,7 +60,13 @@ struct PortHandle::Port {
 
 bool PortHandle::send(net::PacketPtr p) {
   if (!port_->open.load(std::memory_order_relaxed)) return false;
-  return port_->to_switch.try_push(std::move(p));
+  const bool was_empty = port_->to_switch.empty();
+  if (!port_->to_switch.try_push(std::move(p))) return false;
+  // Only the push that makes an empty ring non-empty can find its shard
+  // parked (a shard never parks while its rings hold work), so the gate —
+  // and its fence — is touched once per drain cycle, not once per packet.
+  if (was_empty && port_->wake != nullptr) port_->wake->notify();
+  return true;
 }
 
 bool PortHandle::closed() const {
@@ -44,8 +86,14 @@ std::size_t PortHandle::rx_queue_depth() const {
   return port_->from_switch.size();
 }
 
-SoftSwitch::SoftSwitch(SoftSwitchConfig cfg)
-    : cfg_(cfg), mcache_(cfg.microflow_entries), injected_(4096) {
+SoftSwitch::SoftSwitch(SoftSwitchConfig cfg) : cfg_(cfg), injected_(4096) {
+  cfg_.shards = std::max<std::size_t>(1, cfg_.shards);
+  cfg_.poll_burst = std::clamp<std::size_t>(cfg_.poll_burst, 1, 4096);
+  multi_shard_ = cfg_.shards > 1;
+  shards_.reserve(cfg_.shards);
+  for (std::size_t i = 0; i < cfg_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(i, cfg_));
+  }
   std::lock_guard lk(table_mu_);
   publish_tables_locked();  // readers always find a (possibly empty) snapshot
 }
@@ -55,13 +103,19 @@ SoftSwitch::~SoftSwitch() { stop(); }
 void SoftSwitch::start() {
   bool expected = false;
   if (!running_.compare_exchange_strong(expected, true)) return;
-  thread_ = std::thread([this] { run(); });
+  for (auto& sh : shards_) {
+    Shard* s = sh.get();
+    s->thread = std::thread([this, s] { run_shard(*s); });
+  }
 }
 
 void SoftSwitch::stop() {
   if (!running_.exchange(false)) return;
   injected_.close();
-  if (thread_.joinable()) thread_.join();
+  for (auto& sh : shards_) sh->gate->notify();
+  for (auto& sh : shards_) {
+    if (sh->thread.joinable()) sh->thread.join();
+  }
 }
 
 std::shared_ptr<PortHandle> SoftSwitch::attach_port() {
@@ -72,6 +126,7 @@ std::shared_ptr<PortHandle> SoftSwitch::attach_port() {
   }
   const PortId id = next_port_++;
   auto port = std::make_shared<PortHandle::Port>(cfg_.ring_capacity);
+  port->wake = shards_[ShardOfPort(id, shards_.size())]->gate;
   ports_[id] = port;
   ports_gen_.fetch_add(1, std::memory_order_release);
   lk.unlock();
@@ -86,6 +141,7 @@ std::shared_ptr<PortHandle> SoftSwitch::attach_port(PortId requested) {
     return nullptr;
   }
   auto port = std::make_shared<PortHandle::Port>(cfg_.ring_capacity);
+  port->wake = shards_[ShardOfPort(requested, shards_.size())]->gate;
   ports_[requested] = port;
   ports_gen_.fetch_add(1, std::memory_order_release);
   lk.unlock();
@@ -109,6 +165,11 @@ void SoftSwitch::detach_port(PortId port) {
 
 void SoftSwitch::add_tunnel(HostId peer,
                             std::shared_ptr<net::TunnelEndpoint> ep) {
+  // Wake the RX-owning shard when the peer enqueues frames. The gate is
+  // captured by shared_ptr so a tunnel outliving the switch fires into an
+  // inert gate instead of freed memory.
+  auto gate = shards_[ShardOfPeer(peer, shards_.size())]->gate;
+  ep->set_rx_notify([gate] { gate->notify(); });
   std::lock_guard lk(tunnels_mu_);
   tunnels_.push_back({peer, std::move(ep)});
   tunnels_gen_.fetch_add(1, std::memory_order_release);
@@ -160,13 +221,13 @@ void SoftSwitch::clear_port_impairments(PortId port) {
   impair_gen_.fetch_add(1, std::memory_order_release);
 }
 
-void SoftSwitch::refresh_impair_cache() {
+void SoftSwitch::refresh_impair_cache(Shard& sh) {
   const std::uint64_t gen = impair_gen_.load(std::memory_order_acquire);
-  if (gen == impair_cache_gen_) return;
+  if (gen == sh.impair_cache_gen) return;
   std::lock_guard lk(impair_mu_);
-  ingress_impair_ = ingress_impair_master_;
-  egress_impair_ = egress_impair_master_;
-  impair_cache_gen_ = impair_gen_.load(std::memory_order_acquire);
+  sh.ingress_impair = ingress_impair_master_;
+  sh.egress_impair = egress_impair_master_;
+  sh.impair_cache_gen = impair_gen_.load(std::memory_order_acquire);
 }
 
 void SoftSwitch::publish_tables_locked() {
@@ -180,51 +241,65 @@ void SoftSwitch::publish_tables_locked() {
   table_gen_.store(published_->generation, std::memory_order_release);
 }
 
-SoftSwitch::TableSnapshot& SoftSwitch::active_snapshot() {
+SoftSwitch::TableSnapshot& SoftSwitch::active_snapshot(Shard& sh) {
   const std::uint64_t gen = table_gen_.load(std::memory_order_acquire);
-  if (snap_ == nullptr || snap_->generation != gen) {
+  if (sh.snap == nullptr || sh.snap->generation != gen) {
     std::lock_guard lk(table_mu_);
-    snap_ = published_;
+    // Adopt a private copy: `flows` stays a shared read-only pointer, the
+    // group table is copied so this shard's select-group WRR credit has a
+    // single writer. Writers republish from the master tables, so a copy
+    // adopted here can never leak credit state back.
+    sh.snap = std::make_shared<TableSnapshot>(*published_);
   }
-  return *snap_;
+  return *sh.snap;
 }
 
-void SoftSwitch::refresh_port_cache() {
+void SoftSwitch::refresh_port_cache(Shard& sh) {
   const std::uint64_t gen = ports_gen_.load(std::memory_order_acquire);
-  if (gen == port_cache_gen_) return;
+  if (gen == sh.port_cache_gen) return;
   auto poll = std::make_shared<PollList>();
-  port_out_dense_.clear();
-  port_out_sparse_.clear();
+  auto all = std::make_shared<PollList>();
+  sh.out_dense.clear();
+  sh.out_sparse.clear();
   std::shared_lock lk(ports_mu_);
-  poll->reserve(ports_.size());
+  const std::size_t nshards = shards_.size();
+  all->reserve(ports_.size());
   for (const auto& [id, port] : ports_) {
-    poll->emplace_back(id, port);
+    all->emplace_back(id, port);
+    if (ShardOfPort(id, nshards) == sh.index) poll->emplace_back(id, port);
     if (id < kDensePortLimit) {
-      if (port_out_dense_.size() <= id) port_out_dense_.resize(id + 1);
-      port_out_dense_[id] = port.get();
+      if (sh.out_dense.size() <= id) sh.out_dense.resize(id + 1);
+      sh.out_dense[id] = port.get();
     } else {
-      port_out_sparse_.emplace(id, port.get());
+      sh.out_sparse.emplace(id, port.get());
     }
   }
-  port_poll_cache_ = std::move(poll);
+  sh.poll_cache = std::move(poll);
+  sh.all_ports_cache = std::move(all);
   // Re-read under the lock: attach/detach bump the counter while holding
   // ports_mu_, so this pairs the cached view with its exact generation.
-  port_cache_gen_ = ports_gen_.load(std::memory_order_acquire);
+  sh.port_cache_gen = ports_gen_.load(std::memory_order_acquire);
 }
 
-PortHandle::Port* SoftSwitch::find_out_port(PortId port) {
-  refresh_port_cache();
-  if (port < port_out_dense_.size()) return port_out_dense_[port];
-  auto it = port_out_sparse_.find(port);
-  return it == port_out_sparse_.end() ? nullptr : it->second;
+PortHandle::Port* SoftSwitch::find_out_port(Shard& sh, PortId port) const {
+  if (port < sh.out_dense.size()) return sh.out_dense[port];
+  auto it = sh.out_sparse.find(port);
+  return it == sh.out_sparse.end() ? nullptr : it->second;
 }
 
-void SoftSwitch::refresh_tunnel_cache() {
+void SoftSwitch::refresh_tunnel_cache(Shard& sh) {
   const std::uint64_t gen = tunnels_gen_.load(std::memory_order_acquire);
-  if (gen == tunnel_cache_gen_) return;
+  if (gen == sh.tunnel_cache_gen) return;
   std::lock_guard lk(tunnels_mu_);
-  tunnel_cache_ = std::make_shared<std::vector<TunnelRef>>(tunnels_);
-  tunnel_cache_gen_ = tunnels_gen_.load(std::memory_order_acquire);
+  auto all = std::make_shared<std::vector<TunnelRef>>(tunnels_);
+  auto rx = std::make_shared<std::vector<TunnelRef>>();
+  const std::size_t nshards = shards_.size();
+  for (const TunnelRef& t : tunnels_) {
+    if (ShardOfPeer(t.peer, nshards) == sh.index) rx->push_back(t);
+  }
+  sh.tunnel_all_cache = std::move(all);
+  sh.tunnel_rx_cache = std::move(rx);
+  sh.tunnel_cache_gen = tunnels_gen_.load(std::memory_order_acquire);
 }
 
 void SoftSwitch::handle_flow_mod(const openflow::FlowMod& mod) {
@@ -251,6 +326,7 @@ void SoftSwitch::handle_group_mod(const openflow::GroupMod& mod) {
 
 void SoftSwitch::handle_packet_out(const openflow::PacketOut& po) {
   injected_.push({po.packet, po.in_port});
+  shards_[0]->gate->notify();  // shard 0 owns the injected queue
 }
 
 std::size_t SoftSwitch::remove_rules_mentioning(std::uint64_t addr) {
@@ -302,6 +378,38 @@ std::size_t SoftSwitch::flow_count() const {
   return flow_table_.size();
 }
 
+std::uint64_t SoftSwitch::packets_forwarded() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) {
+    n += sh->forwarded.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+std::uint64_t SoftSwitch::cache_hits() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->mcache.hits();
+  return n;
+}
+
+std::uint64_t SoftSwitch::cache_misses() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->mcache.misses();
+  return n;
+}
+
+std::uint64_t SoftSwitch::rx_pool_hits() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->rx_pool->hits();
+  return n;
+}
+
+std::uint64_t SoftSwitch::rx_pool_misses() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->rx_pool->misses();
+  return n;
+}
+
 void SoftSwitch::set_event_sink(
     std::function<void(HostId, SwitchEvent)> sink) {
   std::lock_guard lk(sink_mu_);
@@ -317,104 +425,218 @@ void SoftSwitch::emit_event(SwitchEvent ev) {
   if (sink) sink(cfg_.host, std::move(ev));
 }
 
-void SoftSwitch::output_to_port(net::PacketPtr p, PortId port) {
-  if (impaired_.load(std::memory_order_relaxed)) {
-    refresh_impair_cache();
-    auto it = egress_impair_.find(port);
-    if (it != egress_impair_.end()) {
-      egress_scratch_.clear();
-      it->second->admit(std::move(p), egress_scratch_, CorruptPacket);
-      for (net::PacketPtr& q : egress_scratch_) {
-        deliver_to_port(std::move(q), port);
-      }
-      egress_scratch_.clear();
-      return;
-    }
-  }
-  deliver_to_port(std::move(p), port);
+void SoftSwitch::record_span(std::uint64_t trace_id, std::uint8_t hop,
+                             trace::Stage stage) {
+  cfg_.trace_recorder->record(
+      {trace_id, stage, hop, cfg_.host, common::NowMicros(), 0});
 }
 
-void SoftSwitch::deliver_to_port(net::PacketPtr p, PortId port) {
-  PortHandle::Port* target = find_out_port(port);
-  if (target == nullptr) return;  // port vanished; silently dropped
-  if (!target->open.load(std::memory_order_relaxed)) return;
-  // A non-empty backlog means some ring is full: enqueue behind it to keep
-  // delivery ordering and let run() pause ingress until pressure clears.
-  if (egress_pending_.empty()) {
-    const std::size_t wire = p->wire_size();
-    const std::uint64_t tid = p->trace_id;
-    const std::uint8_t thop = p->trace_hop;
-    if (target->from_switch.try_push(std::move(p))) {
-      target->tx_packets.fetch_add(1, std::memory_order_relaxed);
-      target->tx_bytes.fetch_add(wire, std::memory_order_relaxed);
-      if (tid != 0 && cfg_.trace_recorder != nullptr) {
-        record_span(tid, thop, trace::Stage::kSwitchOut);
+// ---- egress coalescing ----
+
+void SoftSwitch::bin_output(Shard& sh, net::PacketPtr p, PortId port) {
+  if (impaired_.load(std::memory_order_relaxed)) {
+    refresh_impair_cache(sh);
+    auto it = sh.egress_impair.find(port);
+    if (it != sh.egress_impair.end()) {
+      sh.egress_scratch.clear();
+      it->second->admit(std::move(p), sh.egress_scratch, CorruptPacket);
+      for (net::PacketPtr& q : sh.egress_scratch) {
+        bin_to_port(sh, std::move(q), port);
       }
+      sh.egress_scratch.clear();
       return;
     }
-    egress_block_since_ = common::Now();  // p survives a rejected push
   }
-  if (egress_pending_.size() >= kEgressPendingCap) {
-    target->tx_dropped.fetch_add(1, std::memory_order_relaxed);
+  bin_to_port(sh, std::move(p), port);
+}
+
+void SoftSwitch::bin_to_port(Shard& sh, net::PacketPtr p, PortId port) {
+  EgressBins& bins = sh.bins;
+  // Bursts hit few distinct destinations; a linear scan over the active
+  // bins beats a map at this scale (the OVS output-batching shape).
+  for (std::size_t i = 0; i < bins.n_ports; ++i) {
+    if (bins.ports[i].id == port) {
+      bins.ports[i].pkts.push_back(std::move(p));
+      return;
+    }
+  }
+  if (bins.n_ports == bins.ports.size()) bins.ports.emplace_back();
+  PortBin& b = bins.ports[bins.n_ports++];
+  b.id = port;
+  b.port = find_out_port(sh, port);
+  b.pkts.clear();
+  b.pkts.push_back(std::move(p));
+}
+
+void SoftSwitch::bin_to_tunnel(Shard& sh, net::PacketPtr p,
+                               net::TunnelEndpoint* ep) {
+  EgressBins& bins = sh.bins;
+  for (std::size_t i = 0; i < bins.n_tunnels; ++i) {
+    if (bins.tunnels[i].ep == ep) {
+      bins.tunnels[i].pkts.push_back(std::move(p));
+      return;
+    }
+  }
+  if (bins.n_tunnels == bins.tunnels.size()) bins.tunnels.emplace_back();
+  TunnelBin& b = bins.tunnels[bins.n_tunnels++];
+  b.ep = ep;
+  b.pkts.clear();
+  b.pkts.push_back(std::move(p));
+}
+
+void SoftSwitch::append_backlog(Shard& sh, net::PacketPtr p, PortId port) {
+  if (sh.egress_pending.size() >= kEgressPendingCap) {
+    PortHandle::Port* t = find_out_port(sh, port);
+    if (t != nullptr) t->tx_dropped.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  egress_pending_.emplace_back(std::move(p), port);
+  sh.egress_pending.emplace_back(std::move(p), port);
 }
 
-std::size_t SoftSwitch::drain_egress_backlog() {
+void SoftSwitch::flush_port_bin(Shard& sh, PortBin& bin) {
+  PortHandle::Port* target = bin.port;
+  if (target == nullptr || !target->open.load(std::memory_order_relaxed)) {
+    bin.pkts.clear();  // port vanished; silently dropped
+    return;
+  }
+  // A non-empty backlog means some ring is full: enqueue behind it so this
+  // destination's delivery order is preserved and the run loop keeps
+  // ingress paused until the pressure clears.
+  if (!sh.egress_pending.empty()) {
+    for (net::PacketPtr& p : bin.pkts) {
+      append_backlog(sh, std::move(p), bin.id);
+    }
+    bin.pkts.clear();
+    return;
+  }
+  const bool tracing = sh.index == 0 && cfg_.trace_recorder != nullptr;
+  std::uint64_t pushed = 0;
+  std::uint64_t bytes = 0;
+  std::size_t i = 0;
+  if (multi_shard_) target->lock_tx();
+  for (; i < bin.pkts.size(); ++i) {
+    const std::size_t wire = bin.pkts[i]->wire_size();
+    const std::uint64_t tid = bin.pkts[i]->trace_id;
+    const std::uint8_t thop = bin.pkts[i]->trace_hop;
+    if (!target->from_switch.try_push(std::move(bin.pkts[i]))) break;
+    ++pushed;
+    bytes += wire;
+    if (tracing && tid != 0) record_span(tid, thop, trace::Stage::kSwitchOut);
+  }
+  if (multi_shard_) target->unlock_tx();
+  if (pushed != 0) {
+    target->tx_packets.fetch_add(pushed, std::memory_order_relaxed);
+    target->tx_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  if (i < bin.pkts.size()) {
+    // Ring full mid-bin: hold the tail (the rejected push left the packet
+    // intact) and start the back-pressure clock.
+    sh.egress_block_since = common::Now();
+    for (; i < bin.pkts.size(); ++i) {
+      append_backlog(sh, std::move(bin.pkts[i]), bin.id);
+    }
+  }
+  bin.pkts.clear();
+}
+
+void SoftSwitch::flush_tunnel_bin(Shard& sh, TunnelBin& bin) {
+  sh.bins.raw_scratch.clear();
+  for (const net::PacketPtr& p : bin.pkts) {
+    sh.bins.raw_scratch.push_back(p.get());
+  }
+  const std::size_t sent = bin.ep->try_send_burst(
+      std::span<const net::Packet* const>(sh.bins.raw_scratch));
+  // A full tunnel ring falls back to the blocking per-frame send — the TCP
+  // back-pressure semantics tunnels had before bursting.
+  for (std::size_t i = sent; i < bin.pkts.size(); ++i) {
+    bin.ep->send(*bin.pkts[i]);
+  }
+  if (sh.index == 0 && cfg_.trace_recorder != nullptr) {
+    for (const net::PacketPtr& p : bin.pkts) {
+      if (p->trace_id != 0) {
+        record_span(p->trace_id, p->trace_hop, trace::Stage::kSwitchOut);
+      }
+    }
+  }
+  bin.pkts.clear();
+  sh.bins.raw_scratch.clear();
+}
+
+void SoftSwitch::flush_bins(Shard& sh) {
+  for (std::size_t i = 0; i < sh.bins.n_ports; ++i) {
+    flush_port_bin(sh, sh.bins.ports[i]);
+  }
+  sh.bins.n_ports = 0;
+  for (std::size_t i = 0; i < sh.bins.n_tunnels; ++i) {
+    flush_tunnel_bin(sh, sh.bins.tunnels[i]);
+  }
+  sh.bins.n_tunnels = 0;
+}
+
+std::size_t SoftSwitch::drain_egress_backlog(Shard& sh) {
   std::size_t resolved = 0;
-  while (!egress_pending_.empty()) {
-    auto& [pkt, port] = egress_pending_.front();
-    PortHandle::Port* target = find_out_port(port);
+  while (!sh.egress_pending.empty()) {
+    auto& [pkt, port] = sh.egress_pending.front();
+    PortHandle::Port* target = find_out_port(sh, port);
     if (target == nullptr || !target->open.load(std::memory_order_relaxed)) {
-      egress_pending_.pop_front();  // port vanished with its packets
+      sh.egress_pending.pop_front();  // port vanished with its packets
       ++resolved;
       continue;
     }
     const std::size_t wire = pkt->wire_size();
     const std::uint64_t tid = pkt->trace_id;
     const std::uint8_t thop = pkt->trace_hop;
-    if (target->from_switch.try_push(std::move(pkt))) {
+    bool ok;
+    if (multi_shard_) target->lock_tx();
+    ok = target->from_switch.try_push(std::move(pkt));
+    if (multi_shard_) target->unlock_tx();
+    if (ok) {
       target->tx_packets.fetch_add(1, std::memory_order_relaxed);
       target->tx_bytes.fetch_add(wire, std::memory_order_relaxed);
-      if (tid != 0 && cfg_.trace_recorder != nullptr) {
+      if (tid != 0 && sh.index == 0 && cfg_.trace_recorder != nullptr) {
         record_span(tid, thop, trace::Stage::kSwitchOut);
       }
-      egress_pending_.pop_front();
-      egress_block_since_ = common::Now();
+      sh.egress_pending.pop_front();
+      sh.egress_block_since = common::Now();
       ++resolved;
       continue;
     }
-    if (common::Now() - egress_block_since_ >= cfg_.egress_hold) {
+    if (common::Now() - sh.egress_block_since >= cfg_.egress_hold) {
       // The receiver is wedged (paused or dead consumer): revert to the
       // at-most-once drop for the whole backlog so one port cannot stall
-      // the host's forwarding indefinitely.
-      for (auto& [hp, hport] : egress_pending_) {
-        PortHandle::Port* t = find_out_port(hport);
+      // the shard's forwarding indefinitely.
+      for (auto& [hp, hport] : sh.egress_pending) {
+        PortHandle::Port* t = find_out_port(sh, hport);
         if (t == nullptr) continue;
         const std::size_t hw = hp->wire_size();
         const std::uint64_t htid = hp->trace_id;
         const std::uint8_t hthop = hp->trace_hop;
-        if (t->from_switch.try_push(std::move(hp))) {
+        bool hok;
+        if (multi_shard_) t->lock_tx();
+        hok = t->from_switch.try_push(std::move(hp));
+        if (multi_shard_) t->unlock_tx();
+        if (hok) {
           t->tx_packets.fetch_add(1, std::memory_order_relaxed);
           t->tx_bytes.fetch_add(hw, std::memory_order_relaxed);
-          if (htid != 0 && cfg_.trace_recorder != nullptr) {
+          if (htid != 0 && sh.index == 0 && cfg_.trace_recorder != nullptr) {
             record_span(htid, hthop, trace::Stage::kSwitchOut);
           }
         } else {
           t->tx_dropped.fetch_add(1, std::memory_order_relaxed);
         }
       }
-      resolved += egress_pending_.size();
-      egress_pending_.clear();
+      resolved += sh.egress_pending.size();
+      sh.egress_pending.clear();
     }
     break;
   }
   return resolved;
 }
 
+// ---- classification + action stages ----
+
 void SoftSwitch::apply_actions(
-    const net::PacketPtr& p, PortId in_port,
+    Shard& sh, const net::PacketPtr& p, PortId in_port,
     const std::vector<openflow::FlowAction>& actions, TableSnapshot& snap) {
   net::PacketPtr current = p;
   HostId pending_tun_dst = 0;
@@ -423,23 +645,16 @@ void SoftSwitch::apply_actions(
   for (const openflow::FlowAction& a : actions) {
     if (const auto* out = std::get_if<openflow::ActionOutput>(&a)) {
       if (out->port == kTunnelPort) {
-        refresh_tunnel_cache();
-        std::shared_ptr<net::TunnelEndpoint> ep;
-        for (const TunnelRef& t : *tunnel_cache_) {
+        net::TunnelEndpoint* ep = nullptr;
+        for (const TunnelRef& t : *sh.tunnel_all_cache) {
           if (!has_tun_dst || t.peer == pending_tun_dst) {
-            ep = t.ep;
+            ep = t.ep.get();
             break;
           }
         }
-        if (ep) {
-          ep->send(*current);
-          if (current->trace_id != 0 && cfg_.trace_recorder != nullptr) {
-            record_span(current->trace_id, current->trace_hop,
-                        trace::Stage::kSwitchOut);
-          }
-        }
+        if (ep != nullptr) bin_to_tunnel(sh, current, ep);
       } else {
-        output_to_port(current, out->port);
+        bin_output(sh, current, out->port);
       }
     } else if (std::holds_alternative<openflow::ActionOutputController>(a)) {
       emit_event(openflow::PacketIn{current, in_port});
@@ -447,18 +662,18 @@ void SoftSwitch::apply_actions(
       pending_tun_dst = tun->host;
       has_tun_dst = true;
     } else if (const auto* grp = std::get_if<openflow::ActionGroup>(&a)) {
-      // Group state comes from the adopted snapshot — no table lock, no
-      // bucket copies. Select-group WRR credit lives in the snapshot and is
-      // only advanced here, on the switch thread.
+      // Group state comes from the shard's adopted snapshot — no table
+      // lock, no bucket copies. Select-group WRR credit lives in the
+      // adopted copy and is only advanced here, on this shard's thread.
       const auto type = snap.groups.type(grp->group_id);
       if (!type) continue;
       if (*type == openflow::GroupType::kSelect) {
         if (const auto* b = snap.groups.select(grp->group_id)) {
-          apply_actions(current, in_port, b->actions, snap);
+          apply_actions(sh, current, in_port, b->actions, snap);
         }
       } else if (const auto* bs = snap.groups.buckets(grp->group_id)) {
         for (const openflow::GroupBucket& b : *bs) {
-          apply_actions(current, in_port, b.actions, snap);
+          apply_actions(sh, current, in_port, b.actions, snap);
         }
       }
     } else if (const auto* rw = std::get_if<openflow::ActionSetDlDst>(&a)) {
@@ -470,176 +685,282 @@ void SoftSwitch::apply_actions(
   }
 }
 
-void SoftSwitch::record_span(std::uint64_t trace_id, std::uint8_t hop,
-                             trace::Stage stage) {
-  cfg_.trace_recorder->record(
-      {trace_id, stage, hop, cfg_.host, common::NowMicros(), 0});
-}
+std::size_t SoftSwitch::process_burst(Shard& sh,
+                                      std::span<net::PacketPtr> pkts,
+                                      PortId in_port) {
+  if (pkts.empty()) return 0;
+  const std::size_t n = pkts.size();
+  const bool tracing = sh.index == 0 && cfg_.trace_recorder != nullptr;
+  TableSnapshot& snap = active_snapshot(sh);
 
-bool SoftSwitch::process(net::PacketPtr p, PortId in_port) {
-  if (p->trace_id != 0 && cfg_.trace_recorder != nullptr) {
-    record_span(p->trace_id, p->trace_hop, trace::Stage::kSwitchIn);
+  // Stage 1: whole-burst key extraction + microflow probe. Raw action and
+  // stat pointers are captured immediately: a stage-2 insert may evict the
+  // probed cache entry, but the pointed-to objects belong to the adopted
+  // snapshot (same generation), which `sh.snap` pins for the whole burst.
+  sh.keys.resize(n);
+  sh.resolved.assign(n, Resolved{});
+  sh.miss_idx.clear();
+  sh.miss_dups.clear();
+  std::uint64_t cache_hits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::Packet& p = *pkts[i];
+    if (tracing && p.trace_id != 0) {
+      record_span(p.trace_id, p.trace_hop, trace::Stage::kSwitchIn);
+    }
+    sh.keys[i] = MicroflowKey{in_port, p.ether_type, p.src.packed(),
+                              p.dst.packed()};
+    if (MicroflowCache::Entry* e =
+            sh.mcache.probe(sh.keys[i], snap.generation)) {
+      sh.resolved[i] = {e->actions.get(), e->stats.get(), e->track_idle};
+      ++cache_hits;
+      continue;
+    }
+    // Burst-local dedup: later packets of a key that already missed this
+    // burst resolve from the first occurrence (the install lands in stage
+    // 2). They count as cache hits — like the per-packet path, a flow pays
+    // one compulsory miss per generation, not one per burst position.
+    std::size_t u = 0;
+    for (; u < sh.miss_idx.size(); ++u) {
+      if (sh.keys[sh.miss_idx[u]] == sh.keys[i]) break;
+    }
+    if (u < sh.miss_idx.size()) {
+      sh.miss_dups.emplace_back(i, u);
+    } else {
+      sh.miss_idx.push_back(i);
+    }
   }
-  TableSnapshot& snap = active_snapshot();
-  const MicroflowKey key{in_port, p->ether_type, p->src.packed(),
-                         p->dst.packed()};
-  MicroflowCache::Entry* e = mcache_.lookup(key, snap.generation);
-  if (e == nullptr) {
-    // Miss: one wildcard scan over the immutable snapshot, then install the
-    // microflow (including negative entries — known drops are cached too).
-    const openflow::FlowSnapshotEntry* hit = snap.flows->lookup(*p, in_port);
-    e = mcache_.insert(key, snap.generation,
+  sh.mcache.count_hits(cache_hits + sh.miss_dups.size());
+  sh.mcache.count_misses(sh.miss_idx.size());
+
+  // Stage 2: one shared wildcard pass resolves every miss, then the
+  // microflows are installed in bulk (negative entries included — known
+  // drops are cached too).
+  if (!sh.miss_idx.empty()) {
+    sh.miss_pkts.clear();
+    for (const std::size_t idx : sh.miss_idx) {
+      sh.miss_pkts.push_back(pkts[idx].get());
+    }
+    sh.miss_hits.assign(sh.miss_idx.size(), nullptr);
+    snap.flows->lookup_batch(
+        std::span<const net::Packet* const>(sh.miss_pkts), in_port,
+        std::span<const openflow::FlowSnapshotEntry*>(sh.miss_hits));
+    for (std::size_t j = 0; j < sh.miss_idx.size(); ++j) {
+      const openflow::FlowSnapshotEntry* hit = sh.miss_hits[j];
+      sh.mcache.insert(sh.keys[sh.miss_idx[j]], snap.generation,
                        hit ? hit->actions : openflow::SharedActions::Ptr{},
                        hit ? hit->stats : nullptr,
                        hit != nullptr && hit->idle_timeout_s != 0);
-  }
-  if (e->actions == nullptr) return false;  // table miss: drop
-  if (e->stats != nullptr) {
-    e->stats->packets.fetch_add(1, std::memory_order_relaxed);
-    e->stats->bytes.fetch_add(p->wire_size(), std::memory_order_relaxed);
-    if (e->track_idle) {
-      e->stats->last_used_us.store(common::NowMicros(),
-                                   std::memory_order_relaxed);
+      if (hit != nullptr) {
+        sh.resolved[sh.miss_idx[j]] = {hit->actions.get(), hit->stats.get(),
+                                       hit->idle_timeout_s != 0};
+      }
+    }
+    for (const auto& [i, u] : sh.miss_dups) {
+      sh.resolved[i] = sh.resolved[sh.miss_idx[u]];
     }
   }
-  // The entry's own shared_ptr keeps the action list alive for the rest of
-  // this call: only this thread overwrites cache entries, and a concurrent
-  // snapshot republish cannot drop the list's refcount below the cache's.
-  const auto& actions = *e->actions;
-  // Fast path for the dominant rule shape (single output to a local port):
-  // move the packet straight into the destination ring — zero refcount ops.
-  if (actions.size() == 1) {
-    if (const auto* out = std::get_if<openflow::ActionOutput>(&actions[0]);
-        out != nullptr && out->port != kTunnelPort) {
-      output_to_port(std::move(p), out->port);
-      return true;
+
+  // Stage 3: account + act, binning outputs by destination. The clock is
+  // read at most once per burst (only if some rule tracks idle time).
+  std::size_t forwarded = 0;
+  std::int64_t now_us = -1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Resolved& r = sh.resolved[i];
+    net::PacketPtr p = std::move(pkts[i]);
+    if (r.actions == nullptr) continue;  // table miss: drop
+    ++forwarded;
+    if (r.stats != nullptr) {
+      r.stats->packets.fetch_add(1, std::memory_order_relaxed);
+      r.stats->bytes.fetch_add(p->wire_size(), std::memory_order_relaxed);
+      if (r.track_idle) {
+        if (now_us < 0) now_us = common::NowMicros();
+        r.stats->last_used_us.store(now_us, std::memory_order_relaxed);
+      }
     }
+    const auto& actions = *r.actions;
+    // Fast path for the dominant rule shape (single output to a local
+    // port): the packet moves straight into its egress bin.
+    if (actions.size() == 1) {
+      if (const auto* out = std::get_if<openflow::ActionOutput>(&actions[0]);
+          out != nullptr && out->port != kTunnelPort) {
+        bin_output(sh, std::move(p), out->port);
+        continue;
+      }
+    }
+    apply_actions(sh, p, in_port, actions, snap);
   }
-  apply_actions(p, in_port, actions, snap);
-  return true;
+  flush_bins(sh);
+  return forwarded;
 }
 
-void SoftSwitch::run() {
+// ---- the shard run loop ----
+
+bool SoftSwitch::shard_has_work(const Shard& sh) const {
+  if (!running_.load(std::memory_order_relaxed)) return true;  // wake to exit
+  if (!sh.egress_pending.empty()) return true;
+  // Stale caches count as work: a just-attached port or tunnel may hold
+  // traffic the cached views can't see yet.
+  if (ports_gen_.load(std::memory_order_acquire) != sh.port_cache_gen ||
+      tunnels_gen_.load(std::memory_order_acquire) != sh.tunnel_cache_gen) {
+    return true;
+  }
+  for (const auto& [id, port] : *sh.poll_cache) {
+    if (!port->to_switch.empty()) return true;
+  }
+  for (const TunnelRef& t : *sh.tunnel_rx_cache) {
+    if (t.ep->rx_queue_depth() != 0) return true;
+  }
+  if (sh.index == 0 && injected_.size() != 0) return true;
+  return false;
+}
+
+void SoftSwitch::run_shard(Shard& sh) {
   common::TimePoint last_sweep = common::Now();
-  std::vector<net::PacketPtr> burst;
-  burst.reserve(cfg_.poll_burst);
   std::uint32_t idle_streak = 0;
+  // Shard 0 must keep waking for the idle-timeout sweep; other shards only
+  // need the backstop cadence.
+  const auto park_timeout =
+      sh.index == 0 ? std::min<std::chrono::milliseconds>(
+                          cfg_.idle_sweep_interval, kParkTimeout)
+                    : kParkTimeout;
 
   while (running_.load(std::memory_order_relaxed)) {
     std::size_t work = 0;
     std::uint64_t forwarded = 0;
 
+    // Caches refresh only at loop boundaries, never mid-burst, so egress
+    // bins and bursts always work against one pinned view.
+    refresh_port_cache(sh);
+    refresh_tunnel_cache(sh);
+
     // Held egress goes first; while any remains, ingress polling stays
     // paused so a full downstream ring turns into upstream ring pressure
     // (the sender's back-pressure loop) instead of silent drops.
-    if (!egress_pending_.empty()) work += drain_egress_backlog();
+    if (!sh.egress_pending.empty()) work += drain_egress_backlog(sh);
 
-    if (egress_pending_.empty()) {
-      // Poll attached ports through the generation-cached snapshot; the
-      // ports lock is only taken when a port attached or detached. Port and
-      // pipeline counters are flushed once per burst, not once per packet.
-      refresh_port_cache();
-      // Pin this round's poll list: process() can trigger a refresh that
-      // swaps port_poll_cache_ out from under us mid-iteration.
-      const std::shared_ptr<const PollList> poll = port_poll_cache_;
+    if (sh.egress_pending.empty()) {
+      // Stage 0: bulk-dequeue a burst per owned port and run it through the
+      // batched pipeline. Port counters flush once per burst.
+      const std::shared_ptr<const PollList> poll = sh.poll_cache;
       const bool impaired = impaired_.load(std::memory_order_relaxed);
-      if (impaired) refresh_impair_cache();
+      if (impaired) refresh_impair_cache(sh);
       for (const auto& [id, port] : *poll) {
-        burst.clear();
+        sh.port_burst.clear();
         const std::size_t n = port->to_switch.pop_bulk(
-            std::back_inserter(burst), cfg_.poll_burst);
+            std::back_inserter(sh.port_burst), cfg_.poll_burst);
         if (n == 0) continue;
-        PacketShaper* shaper = nullptr;
-        if (impaired) {
-          auto it = ingress_impair_.find(id);
-          if (it != ingress_impair_.end()) shaper = it->second.get();
-        }
         std::uint64_t bytes = 0;
-        for (std::size_t i = 0; i < n; ++i) {
-          bytes += burst[i]->wire_size();
-          if (shaper == nullptr) {
-            forwarded += process(std::move(burst[i]), id) ? 1 : 0;
-            continue;
-          }
-          ingress_scratch_.clear();
-          shaper->admit(std::move(burst[i]), ingress_scratch_, CorruptPacket);
-          for (net::PacketPtr& q : ingress_scratch_) {
-            forwarded += process(std::move(q), id) ? 1 : 0;
-          }
-          ingress_scratch_.clear();
+        for (const net::PacketPtr& p : sh.port_burst) {
+          bytes += p->wire_size();
         }
         port->rx_packets.fetch_add(n, std::memory_order_relaxed);
         port->rx_bytes.fetch_add(bytes, std::memory_order_relaxed);
         work += n;
+        PacketShaper* shaper = nullptr;
+        if (impaired) {
+          auto it = sh.ingress_impair.find(id);
+          if (it != sh.ingress_impair.end()) shaper = it->second.get();
+        }
+        if (shaper == nullptr) {
+          forwarded += process_burst(
+              sh, std::span<net::PacketPtr>(sh.port_burst), id);
+        } else {
+          // Shape the whole burst first (one admit per frame, in order —
+          // the draw schedule is identical to the per-packet path), then
+          // pipeline whatever survived.
+          sh.ingress_scratch.clear();
+          for (net::PacketPtr& p : sh.port_burst) {
+            shaper->admit(std::move(p), sh.ingress_scratch, CorruptPacket);
+          }
+          forwarded += process_burst(
+              sh, std::span<net::PacketPtr>(sh.ingress_scratch), id);
+          sh.ingress_scratch.clear();
+        }
+        sh.port_burst.clear();
       }
 
-      // Tunnel ingress, through the generation-cached endpoint list (pinned
-      // for the same reason as the poll list above).
-      refresh_tunnel_cache();
-      const std::shared_ptr<const std::vector<TunnelRef>> tuns =
-          tunnel_cache_;
-      for (const TunnelRef& t : *tuns) {
-        for (std::size_t i = 0; i < cfg_.poll_burst; ++i) {
-          // Decode into a pool checkout: the frame's bytes land in a
-          // recycled payload buffer, so steady tunnel RX allocates nothing.
-          // The spare survives empty polls, so idle loops don't touch the
-          // freelist at all.
-          if (rx_spare_ == nullptr) rx_spare_ = rx_pool_->acquire_raw();
-          if (!t.ep->try_recv_into(*rx_spare_)) break;
-          net::PacketPtr pkt = net::PacketPtr::adopt(rx_spare_);
-          rx_spare_ = nullptr;
-          if (pkt->trace_id != 0 && cfg_.trace_recorder != nullptr) {
+      // Tunnel ingress for owned endpoints: burst-decode into pool
+      // checkouts (recycled payload buffers — steady RX allocates
+      // nothing). Spares survive empty polls untouched.
+      for (const TunnelRef& t : *sh.tunnel_rx_cache) {
+        while (sh.rx_spares.size() < cfg_.poll_burst) {
+          sh.rx_spares.push_back(sh.rx_pool->acquire_raw());
+        }
+        const std::size_t n = t.ep->try_recv_burst(
+            std::span<net::Packet*>(sh.rx_spares.data(), cfg_.poll_burst));
+        if (n == 0) continue;
+        sh.tun_burst.clear();
+        for (std::size_t i = 0; i < n; ++i) {
+          net::PacketPtr pkt = net::PacketPtr::adopt(sh.rx_spares[i]);
+          if (sh.index == 0 && pkt->trace_id != 0 &&
+              cfg_.trace_recorder != nullptr) {
             record_span(pkt->trace_id, pkt->trace_hop,
                         trace::Stage::kTunnelRx);
           }
-          forwarded += process(std::move(pkt), kTunnelPort) ? 1 : 0;
-          ++work;
+          sh.tun_burst.push_back(std::move(pkt));
+        }
+        sh.rx_spares.erase(sh.rx_spares.begin(), sh.rx_spares.begin() + n);
+        forwarded += process_burst(
+            sh, std::span<net::PacketPtr>(sh.tun_burst), kTunnelPort);
+        sh.tun_burst.clear();
+        work += n;
+      }
+    }
+
+    if (sh.index == 0) {
+      // Controller-injected packets (PacketOut) bypass the ingress pause:
+      // control traffic is sparse and the backlog cap bounds the stash.
+      for (std::size_t i = 0; i < cfg_.poll_burst; ++i) {
+        auto item = injected_.try_pop();
+        if (!item) break;
+        net::PacketPtr pkt = std::move(item->first);
+        forwarded += process_burst(sh, std::span<net::PacketPtr>(&pkt, 1),
+                                   item->second);
+        ++work;
+      }
+
+      // Idle-timeout sweep. Evictions republish the snapshot so stale
+      // microflow entries can never resurrect a removed rule.
+      const common::TimePoint now = common::Now();
+      if (now - last_sweep >= cfg_.idle_sweep_interval) {
+        last_sweep = now;
+        std::vector<openflow::FlowRule> removed;
+        {
+          std::lock_guard lk(table_mu_);
+          flow_table_.sweep_idle(now, [&](const openflow::FlowRule& r) {
+            removed.push_back(r);
+          });
+          if (!removed.empty()) publish_tables_locked();
+        }
+        for (auto& r : removed) {
+          emit_event(openflow::FlowRemoved{
+              std::move(r), openflow::FlowRemoved::Reason::kIdleTimeout});
         }
       }
     }
 
-    // Controller-injected packets (PacketOut) bypass the ingress pause:
-    // control traffic is sparse and the backlog cap bounds the stash.
-    for (std::size_t i = 0; i < cfg_.poll_burst; ++i) {
-      auto item = injected_.try_pop();
-      if (!item) break;
-      forwarded += process(std::move(item->first), item->second) ? 1 : 0;
-      ++work;
-    }
     if (forwarded != 0) {
-      forwarded_.fetch_add(forwarded, std::memory_order_relaxed);
-    }
-
-    // Idle-timeout sweep. Evictions republish the snapshot so stale
-    // microflow entries can never resurrect a removed rule.
-    const common::TimePoint now = common::Now();
-    if (now - last_sweep >= cfg_.idle_sweep_interval) {
-      last_sweep = now;
-      std::vector<openflow::FlowRule> removed;
-      {
-        std::lock_guard lk(table_mu_);
-        flow_table_.sweep_idle(now, [&](const openflow::FlowRule& r) {
-          removed.push_back(r);
-        });
-        if (!removed.empty()) publish_tables_locked();
-      }
-      for (auto& r : removed) {
-        emit_event(openflow::FlowRemoved{
-            std::move(r), openflow::FlowRemoved::Reason::kIdleTimeout});
-      }
+      sh.forwarded.fetch_add(forwarded, std::memory_order_relaxed);
     }
 
     // Idle strategy: spin briefly (traffic is bursty — the next packet
-    // usually follows immediately), then back off exponentially to a 250µs
-    // cap so an idle switch stops burning a core without adding meaningful
-    // wake-up latency under load. A blocked egress backlog skips the spin
-    // phase entirely: the receiver needs the CPU more than we need latency.
+    // usually follows immediately), back off exponentially to a 250µs
+    // sleep, then park on the gate so a long-idle shard burns no CPU at
+    // all. A blocked egress backlog never parks (the held packets need
+    // retries) and skips the spin phase: the receiver needs the CPU more
+    // than we need latency.
     if (work == 0) {
       ++idle_streak;
-      if (idle_streak <= 16 && egress_pending_.empty()) {
+      if (!sh.egress_pending.empty() || idle_streak > kParkStreak) {
+        if (sh.egress_pending.empty()) {
+          sh.gate->park(park_timeout, [&] { return shard_has_work(sh); });
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(250));
+        }
+      } else if (idle_streak <= kSpinStreak) {
         common::SpinFor(std::chrono::nanoseconds(250));
       } else {
-        const std::uint32_t streak = idle_streak > 16 ? idle_streak - 17 : 0;
+        const std::uint32_t streak = idle_streak - kSpinStreak - 1;
         const std::uint32_t shift = std::min(streak, 6u);
         const std::int64_t us =
             std::min<std::int64_t>(250, std::int64_t{4} << shift);
@@ -650,11 +971,11 @@ void SoftSwitch::run() {
     }
   }
 
-  // Return the spare tunnel-RX checkout (if any) to the pool.
-  if (rx_spare_ != nullptr) {
-    net::PacketPtr::adopt(rx_spare_);
-    rx_spare_ = nullptr;
+  // Return the spare tunnel-RX checkouts to the pool.
+  for (net::Packet* spare : sh.rx_spares) {
+    net::PacketPtr::adopt(spare);
   }
+  sh.rx_spares.clear();
 }
 
 }  // namespace typhoon::switchd

@@ -1,27 +1,52 @@
 // SoftSwitch — the per-host software SDN switch (DPDK-OVS analog, Fig 3/7).
 //
 // Workers attach to the switch through SPSC packet rings (the DPDK shared-
-// memory ring ports of the paper). A dedicated switch thread polls worker
-// ports, tunnel endpoints, and a controller-injection queue; every packet
-// runs through the OpenFlow flow table and its actions are applied:
-// output-to-port (ref-counted replication for multi-output broadcast),
-// set_tun_dst + output-to-tunnel for remote hosts, output-to-controller
-// (PacketIn), select/all groups, and destination rewrite.
+// memory ring ports of the paper). The datapath is N independent forwarding
+// shards (cfg.shards, default 1), each a thread that owns a static RSS-style
+// hash partition of ports and tunnel peers. A shard owns its own microflow
+// cache, RX packet pool, egress backlog, and stat counters — there is no
+// shared mutable hot state between shards; cross-shard reads (packet
+// counts, cache hit rates) aggregate per-shard relaxed counters on demand.
 //
-// Forwarding fast path (DESIGN.md "Forwarding fast path"): the per-packet
-// pipeline is two-tier and lock-free. Tier 1 is an exact-match microflow
-// cache mapping the header tuple straight to the rule's shared action list.
-// Tier 2 is an immutable table snapshot (flow + group tables) published
-// RCU-style by control-plane writers under `table_mu_`; the switch thread
-// adopts it by comparing one atomic generation counter and scans it without
-// locks on a cache miss. Every mutation bumps the generation, invalidating
-// all cached microflows at once. Per-rule counters are shared atomics so the
-// lock-free path still accounts packets/bytes/idle timestamps.
+// Inside a shard, the loop is stage-batched over bursts of up to
+// cfg.poll_burst frames (the DPDK/OVS burst idiom the paper's data plane
+// rides):
+//   1. bulk dequeue — one ring-synchronization round drains a whole burst
+//      from a worker ring (SpscRing::pop_bulk) or a tunnel
+//      (TunnelEndpoint::try_recv_burst into pooled packets);
+//   2. batched classification — microflow keys are extracted and probed
+//      for the whole burst first; only the misses take one shared pass over
+//      the immutable table snapshot (FlowSnapshot::lookup_batch) and are
+//      installed in bulk;
+//   3. egress coalescing — action application bins packets by destination
+//      (local port or tunnel endpoint); each bin flushes once per burst:
+//      tunnels via try_send_burst, port rings under a single cross-shard
+//      TX lock round with per-bin (not per-packet) stat flushes. Binning
+//      preserves per-destination FIFO: packets enter a bin in processing
+//      order and each bin flushes in order, once, before the next burst.
 //
-// A full egress ring does not drop: the switch holds the packet and
-// pauses ingress polling so the pressure reaches senders' back-pressure
-// loops; only a backlog older than `egress_hold` reverts to the
-// at-most-once drop (see DESIGN.md "End-to-end back-pressure").
+// Forwarding fast path (DESIGN.md "Forwarding fast path"): classification
+// is two-tier and lock-free. Tier 1 is an exact-match microflow cache (one
+// per shard) mapping the header tuple straight to the rule's shared action
+// list. Tier 2 is an immutable table snapshot (flow + group tables)
+// published RCU-style by control-plane writers under `table_mu_`; each
+// shard adopts it by comparing one atomic generation counter. Every
+// mutation bumps the generation, invalidating all cached microflows in
+// every shard at once. Shards adopt a private copy of the snapshot's group
+// table so select-group WRR credit stays single-writer per shard; the flow
+// snapshot itself is shared read-only.
+//
+// A full egress ring does not drop: the shard holds the packet and pauses
+// its ingress polling so the pressure reaches senders' back-pressure loops;
+// only a backlog older than `egress_hold` reverts to the at-most-once drop
+// (see DESIGN.md "End-to-end back-pressure"). Tunnel bins fall back from
+// try_send_burst to the blocking per-frame send on a full tunnel, keeping
+// the pre-shard TCP back-pressure semantics.
+//
+// Idle shards park: after a short spin-then-backoff ramp, a shard blocks on
+// its WakeupGate, signaled by worker ring pushes, peer tunnel enqueues, and
+// controller PacketOut injection — so an idle N-shard switch burns ~zero
+// CPU instead of N spinning cores.
 //
 // Control-plane calls (FlowMod, GroupMod, PacketOut, stats) may come from
 // any thread; they serialize on `table_mu_`, which the forwarding path
@@ -36,15 +61,18 @@
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <span>
 #include <thread>
 #include <unordered_map>
 #include <variant>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/hash.h"
 #include "common/ids.h"
 #include "common/mpmc_queue.h"
 #include "common/spsc_ring.h"
+#include "common/wakeup_gate.h"
 #include "faultinject/impairment.h"
 #include "net/packet.h"
 #include "net/packet_pool.h"
@@ -92,17 +120,24 @@ struct SoftSwitchConfig {
   std::size_t ring_capacity = 8192;
   // How often the idle-timeout sweeper runs.
   std::chrono::milliseconds idle_sweep_interval{100};
-  // Max packets drained per port per poll round.
+  // Max packets drained per port per poll round — also the batch width of
+  // the classify and egress-coalescing stages.
   std::size_t poll_burst = 64;
-  // Exact-match microflow cache slots (rounded up to a power of two).
+  // Forwarding shards (threads). Each shard owns a static hash partition
+  // of ports and tunnel peers with fully private hot state. 1 (default)
+  // keeps the classic single-threaded datapath.
+  std::size_t shards = 1;
+  // Exact-match microflow cache slots per shard (rounded up to a power of
+  // two).
   std::size_t microflow_entries = MicroflowCache::kDefaultEntries;
-  // How long the switch holds packets for a full egress ring (pausing
+  // How long a shard holds packets for a full egress ring (pausing its
   // ingress so the pressure reaches senders) before falling back to the
   // at-most-once drop. Keeps a wedged receiver from stalling the host.
   std::chrono::milliseconds egress_hold{5};
-  // Cross-layer tracing ring for this switch thread (single writer: the
-  // forwarding loop). Null disables switch-level spans; the fast path then
-  // pays one branch per packet.
+  // Cross-layer tracing ring (single writer by contract): switch-level
+  // spans are recorded by shard 0 only, so multi-shard switches trace the
+  // shard-0 partition and the default single-shard config traces
+  // everything, unchanged. Null disables switch-level spans.
   std::shared_ptr<trace::FlightRecorder> trace_recorder;
 };
 
@@ -130,7 +165,8 @@ class SoftSwitch {
   void kill_port(PortId port) { detach_port(port); }
 
   // Register the tunnel endpoint that reaches `peer`. All tunnels share the
-  // single logical tunnel port (Table 3's "tunneling port").
+  // single logical tunnel port (Table 3's "tunneling port"); RX polling for
+  // the endpoint lands on the shard owning `peer`'s hash.
   void add_tunnel(HostId peer, std::shared_ptr<net::TunnelEndpoint> ep);
   [[nodiscard]] PortId tunnel_port() const { return kTunnelPort; }
 
@@ -164,23 +200,31 @@ class SoftSwitch {
   void set_event_sink(std::function<void(HostId, SwitchEvent)> sink);
 
   [[nodiscard]] HostId host() const { return cfg_.host; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
 
-  // Total packets forwarded through the pipeline (all ports).
-  [[nodiscard]] std::uint64_t packets_forwarded() const {
-    return forwarded_.load(std::memory_order_relaxed);
+  // Static port→shard partition (RSS analog: hash of the port id). Public
+  // so tests and benches can place traffic on specific shards.
+  static std::size_t ShardOfPort(PortId port, std::size_t shards) {
+    return shards <= 1
+               ? 0
+               : static_cast<std::size_t>(common::SplitMix64(port)) % shards;
   }
-  // Microflow-cache accounting (hits include cached drop decisions).
-  [[nodiscard]] std::uint64_t cache_hits() const { return mcache_.hits(); }
-  [[nodiscard]] std::uint64_t cache_misses() const {
-    return mcache_.misses();
+  static std::size_t ShardOfPeer(HostId peer, std::size_t shards) {
+    return shards <= 1
+               ? 0
+               : static_cast<std::size_t>(common::SplitMix64(
+                     0x9e3779b97f4a7c15ull ^ peer)) %
+                     shards;
   }
-  // Tunnel-RX frame-pool accounting (hits = recycled packets reused).
-  [[nodiscard]] std::uint64_t rx_pool_hits() const {
-    return rx_pool_->hits();
-  }
-  [[nodiscard]] std::uint64_t rx_pool_misses() const {
-    return rx_pool_->misses();
-  }
+
+  // Total packets forwarded through the pipeline (all ports, all shards).
+  [[nodiscard]] std::uint64_t packets_forwarded() const;
+  // Microflow-cache accounting across shards (hits include cached drops).
+  [[nodiscard]] std::uint64_t cache_hits() const;
+  [[nodiscard]] std::uint64_t cache_misses() const;
+  // Tunnel-RX frame-pool accounting across shards (hits = recycled reuse).
+  [[nodiscard]] std::uint64_t rx_pool_hits() const;
+  [[nodiscard]] std::uint64_t rx_pool_misses() const;
   // Table-snapshot generation; bumped by every flow/group mutation.
   [[nodiscard]] std::uint64_t table_generation() const {
     return table_gen_.load(std::memory_order_acquire);
@@ -198,10 +242,11 @@ class SoftSwitch {
     std::shared_ptr<net::TunnelEndpoint> ep;
   };
 
-  // Immutable flow/group view adopted wholesale by the forwarding thread.
-  // `groups` carries the WRR scheduling credit, advanced only by the switch
-  // thread; writers always copy from the master tables, never from a
-  // published snapshot.
+  // Immutable flow/group view adopted wholesale by a forwarding shard.
+  // Each shard copies the snapshot on adoption: `flows` stays shared
+  // (read-only), while the copied `groups` gives the shard private WRR
+  // scheduling credit (single writer per shard). Writers always publish
+  // from the master tables, never from an adopted copy.
   struct TableSnapshot {
     std::uint64_t generation = 0;
     std::shared_ptr<const openflow::FlowSnapshot> flows;
@@ -210,42 +255,151 @@ class SoftSwitch {
 
   using PacketShaper = faultinject::Shaper<net::PacketPtr>;
   using ImpairMap = std::unordered_map<PortId, std::shared_ptr<PacketShaper>>;
+  using PollList =
+      std::vector<std::pair<PortId, std::shared_ptr<PortHandle::Port>>>;
 
-  void run();
-  // Takes the packet by value so the single-output common case can move it
-  // straight into the destination ring with no refcount traffic. Returns
-  // true when the packet matched a rule (counted as forwarded).
-  bool process(net::PacketPtr p, PortId in_port);
-  void apply_actions(const net::PacketPtr& p, PortId in_port,
+  // Classification result for one packet of a burst. The raw pointers are
+  // owned by the shard's adopted snapshot (actions/stats live in the
+  // FlowSnapshot entries), so they stay valid for the whole burst even if
+  // a later microflow insert evicts the cache entry they came from.
+  struct Resolved {
+    const openflow::SharedActions::List* actions = nullptr;  // null = drop
+    openflow::RuleStats* stats = nullptr;
+    bool track_idle = false;
+  };
+
+  // Per-destination egress coalescing bins, reused across bursts (bin and
+  // packet vectors keep their capacity; `n_*` mark the active prefix).
+  struct PortBin {
+    PortId id = 0;
+    PortHandle::Port* port = nullptr;
+    std::vector<net::PacketPtr> pkts;
+  };
+  struct TunnelBin {
+    net::TunnelEndpoint* ep = nullptr;
+    std::vector<net::PacketPtr> pkts;
+  };
+  struct EgressBins {
+    std::vector<PortBin> ports;
+    std::size_t n_ports = 0;
+    std::vector<TunnelBin> tunnels;
+    std::size_t n_tunnels = 0;
+    std::vector<const net::Packet*> raw_scratch;  // for try_send_burst
+  };
+
+  // One forwarding shard: a thread plus all of its private hot state.
+  struct Shard {
+    explicit Shard(std::size_t idx, const SoftSwitchConfig& cfg)
+        : index(idx), mcache(cfg.microflow_entries) {}
+
+    const std::size_t index;
+    MicroflowCache mcache;
+    // Parking gate; shared so ports/tunnels outliving the switch can still
+    // hold a (now inert) reference safely.
+    std::shared_ptr<common::WakeupGate> gate =
+        std::make_shared<common::WakeupGate>();
+
+    // ---- forwarding-thread state (this shard's thread only) ----
+    std::shared_ptr<TableSnapshot> snap;
+    // Poll list: only the ports this shard owns. All-ports list: backs the
+    // raw pointers of the output tables (any shard may output to any
+    // port). Both are immutable snapshots — a refresh replaces the
+    // pointer, so in-flight iterations/bins keep a pinned view.
+    std::shared_ptr<const PollList> poll_cache =
+        std::make_shared<PollList>();
+    std::shared_ptr<const PollList> all_ports_cache =
+        std::make_shared<PollList>();
+    std::vector<PortHandle::Port*> out_dense;
+    std::unordered_map<PortId, PortHandle::Port*> out_sparse;
+    std::uint64_t port_cache_gen = 0;
+    // Tunnels this shard polls for RX / the full list for egress binning.
+    std::shared_ptr<const std::vector<TunnelRef>> tunnel_rx_cache =
+        std::make_shared<std::vector<TunnelRef>>();
+    std::shared_ptr<const std::vector<TunnelRef>> tunnel_all_cache =
+        std::make_shared<std::vector<TunnelRef>>();
+    std::uint64_t tunnel_cache_gen = 0;
+    // Egress holdover: packets whose destination ring was full. While this
+    // backlog exists, the shard pauses ingress polling so full downstream
+    // rings become upstream ring pressure instead of silent drops.
+    std::deque<std::pair<net::PacketPtr, PortId>> egress_pending;
+    common::TimePoint egress_block_since{};
+    // Shard-cached impairment maps + per-direction scratch.
+    ImpairMap ingress_impair;
+    ImpairMap egress_impair;
+    std::uint64_t impair_cache_gen = 0;
+    std::vector<net::PacketPtr> ingress_scratch;
+    std::vector<net::PacketPtr> egress_scratch;
+    // Tunnel-RX frame pool + spare checkouts reused across poll rounds.
+    std::shared_ptr<net::PacketPool> rx_pool =
+        net::PacketPool::Create({.max_free = 1024});
+    std::vector<net::Packet*> rx_spares;
+    std::vector<net::PacketPtr> tun_burst;
+    std::vector<net::PacketPtr> port_burst;
+    // Batched-classification scratch (sized to the burst).
+    std::vector<MicroflowKey> keys;
+    std::vector<Resolved> resolved;
+    std::vector<std::size_t> miss_idx;  // first occurrence per unique key
+    // Burst-local duplicates of a missed key: (packet index, slot in
+    // miss_idx). Resolved from the unique miss, never re-looked-up.
+    std::vector<std::pair<std::size_t, std::size_t>> miss_dups;
+    std::vector<const net::Packet*> miss_pkts;
+    std::vector<const openflow::FlowSnapshotEntry*> miss_hits;
+    EgressBins bins;
+
+    // Aggregated-on-read stat counters (written relaxed by this shard).
+    alignas(64) std::atomic<std::uint64_t> forwarded{0};
+
+    std::thread thread;
+  };
+
+  void run_shard(Shard& sh);
+  // Stage-batched pipeline over one burst sharing `in_port`: classify all,
+  // then apply actions with per-destination binning, then flush the bins.
+  // Consumes the packets; returns how many matched a rule (forwarded).
+  std::size_t process_burst(Shard& sh, std::span<net::PacketPtr> pkts,
+                            PortId in_port);
+  void apply_actions(Shard& sh, const net::PacketPtr& p, PortId in_port,
                      const std::vector<openflow::FlowAction>& actions,
                      TableSnapshot& snap);
-  void output_to_port(net::PacketPtr p, PortId port);
-  // The ring-push half of output_to_port, after egress impairment.
-  void deliver_to_port(net::PacketPtr p, PortId port);
-  // Switch-thread only: adopt the latest impairment maps if changed.
-  void refresh_impair_cache();
+  // Egress-impairment-aware binning of one output (stage-3 entry point).
+  void bin_output(Shard& sh, net::PacketPtr p, PortId port);
+  void bin_to_port(Shard& sh, net::PacketPtr p, PortId port);
+  void bin_to_tunnel(Shard& sh, net::PacketPtr p, net::TunnelEndpoint* ep);
+  void flush_bins(Shard& sh);
+  void flush_port_bin(Shard& sh, PortBin& bin);
+  void flush_tunnel_bin(Shard& sh, TunnelBin& bin);
+  // Queue behind the shard's egress backlog (ring was or is full).
+  void append_backlog(Shard& sh, net::PacketPtr p, PortId port);
+  // Shard-thread only: adopt the latest impairment maps if changed.
+  void refresh_impair_cache(Shard& sh);
   // Retry packets held for a full egress ring; returns how many were
   // resolved (delivered, dropped on timeout, or dropped with their port).
-  std::size_t drain_egress_backlog();
-  PortHandle::Port* find_out_port(PortId port);
+  std::size_t drain_egress_backlog(Shard& sh);
+  // Cached output lookup; caches are refreshed at burst/loop boundaries,
+  // never mid-burst, so binned Port* stay backed by the pinned list.
+  PortHandle::Port* find_out_port(Shard& sh, PortId port) const;
   void emit_event(SwitchEvent ev);
-  // Stamp one switch-level span for a traced packet (switch thread only).
-  // Callers gate on a nonzero trace id so untraced packets pay one branch.
+  // Stamp one switch-level span for a traced packet (shard 0 only).
   void record_span(std::uint64_t trace_id, std::uint8_t hop,
                    trace::Stage stage);
+  // True when any of the shard's ingress sources has pending work (park
+  // recheck; uses the shard's cached poll lists).
+  bool shard_has_work(const Shard& sh) const;
 
   // Rebuild + publish the snapshot; call with table_mu_ held after any
   // flow/group mutation. The generation store is the release point readers
   // synchronize on.
   void publish_tables_locked();
-  // Switch-thread only: adopt the latest snapshot if the generation moved.
-  TableSnapshot& active_snapshot();
-  // Switch-thread only: refresh the cached port / tunnel views if their
+  // Shard-thread only: adopt (copy) the latest snapshot if the generation
+  // moved.
+  TableSnapshot& active_snapshot(Shard& sh);
+  // Shard-thread only: refresh the cached port / tunnel views if their
   // generation counters moved (attach/detach/add_tunnel bump them).
-  void refresh_port_cache();
-  void refresh_tunnel_cache();
+  void refresh_port_cache(Shard& sh);
+  void refresh_tunnel_cache(Shard& sh);
 
   SoftSwitchConfig cfg_;
+  bool multi_shard_ = false;  // egress rings need the cross-shard TX lock
 
   mutable std::shared_mutex ports_mu_;
   std::unordered_map<PortId, std::shared_ptr<PortHandle::Port>> ports_;
@@ -262,8 +416,8 @@ class SoftSwitch {
   std::vector<TunnelRef> tunnels_;
   std::atomic<std::uint64_t> tunnels_gen_{1};  // bumped under tunnels_mu_
 
-  // Master impairment maps (any thread, guarded by impair_mu_); the switch
-  // thread works from generation-cached copies. `impaired_` gates the whole
+  // Master impairment maps (any thread, guarded by impair_mu_); shards
+  // work from generation-cached copies. `impaired_` gates the whole
   // feature so the unimpaired fast path costs one relaxed load.
   mutable std::mutex impair_mu_;
   ImpairMap ingress_impair_master_;
@@ -271,49 +425,7 @@ class SoftSwitch {
   std::atomic<std::uint64_t> impair_gen_{1};  // bumped under impair_mu_
   std::atomic<bool> impaired_{false};
 
-  // ---- forwarding-thread state (no locks; switch thread only) ----
-  std::shared_ptr<TableSnapshot> snap_;
-  MicroflowCache mcache_;
-  // Immutable poll-list snapshot: a refresh replaces the pointer instead of
-  // mutating the vector, so run() can keep iterating the old list while a
-  // nested find_out_port() (reached through process()) refreshes mid-burst.
-  using PollList =
-      std::vector<std::pair<PortId, std::shared_ptr<PortHandle::Port>>>;
-  std::shared_ptr<const PollList> port_poll_cache_ =
-      std::make_shared<PollList>();
-  // Output lookup: dense direct-index table for small port ids (the common
-  // case — scheduler-assigned worker ports), map fallback for the rest.
-  // Raw pointers are backed by the poll list built in the same refresh.
-  std::vector<PortHandle::Port*> port_out_dense_;
-  std::unordered_map<PortId, PortHandle::Port*> port_out_sparse_;
-  std::uint64_t port_cache_gen_ = 0;
-  // Same replace-not-mutate scheme: apply_actions() may refresh while run()
-  // iterates the old list for tunnel ingress.
-  std::shared_ptr<const std::vector<TunnelRef>> tunnel_cache_ =
-      std::make_shared<std::vector<TunnelRef>>();
-  std::uint64_t tunnel_cache_gen_ = 0;
-  // Egress holdover: packets whose destination ring was full. While this
-  // backlog exists, run() pauses ingress polling so full downstream rings
-  // become upstream ring pressure (end-to-end back-pressure) instead of
-  // silent drops. Entries older than cfg_.egress_hold revert to drops.
-  std::deque<std::pair<net::PacketPtr, PortId>> egress_pending_;
-  common::TimePoint egress_block_since_{};
-  static constexpr std::size_t kEgressPendingCap = 4096;
-  // Switch-thread impairment state: cached shaper maps plus per-direction
-  // scratch vectors (distinct because an ingress-shaped packet's processing
-  // can reach the egress shaper).
-  ImpairMap ingress_impair_;
-  ImpairMap egress_impair_;
-  std::uint64_t impair_cache_gen_ = 0;
-  std::vector<net::PacketPtr> ingress_scratch_;
-  std::vector<net::PacketPtr> egress_scratch_;
-
-  // Tunnel-RX frame pool: decoded frames land in recycled Packet objects
-  // instead of a per-frame allocation. rx_spare_ holds one checkout across
-  // poll rounds so idle polling doesn't cycle the freelist.
-  std::shared_ptr<net::PacketPool> rx_pool_ =
-      net::PacketPool::Create({.max_free = 1024});
-  net::Packet* rx_spare_ = nullptr;
+  std::vector<std::unique_ptr<Shard>> shards_;
 
   common::MpmcQueue<std::pair<net::PacketPtr, PortId>> injected_;
 
@@ -321,8 +433,6 @@ class SoftSwitch {
   std::function<void(HostId, SwitchEvent)> event_sink_;
 
   std::atomic<bool> running_{false};
-  std::atomic<std::uint64_t> forwarded_{0};
-  std::thread thread_;
 };
 
 }  // namespace typhoon::switchd
