@@ -9,8 +9,10 @@
 // The typed Shaper<T> wrapper applies decisions to a concrete frame type
 // and owns the reorder holdback queue. Decision counters are atomics so
 // harness threads can read them while the owning data-path thread shapes
-// traffic; the shaping calls themselves are single-threaded (each
-// attachment point — tunnel endpoint, switch port — has one owner thread).
+// traffic; the shaping calls themselves are not thread-safe — an
+// attachment point either has one owner thread (tunnel TX, switch ingress)
+// or must serialize admit()/flush() externally (switch egress shapers,
+// which any forwarding shard may drive — see SoftSwitch::GuardedShaper).
 #pragma once
 
 #include <atomic>
@@ -129,8 +131,8 @@ class Impairment {
 
 // Applies an Impairment's decisions to frames of type T. `Mutate` is a
 // callable `void(T&, std::uint32_t offset, std::uint8_t mask)` implementing
-// the corrupt action for the concrete frame type. Owned and driven by a
-// single data-path thread.
+// the corrupt action for the concrete frame type. Driven by a single
+// data-path thread, or by several under an external lock.
 template <typename T>
 class Shaper {
  public:

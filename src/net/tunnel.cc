@@ -41,10 +41,11 @@ bool TunnelEndpoint::send(const Packet& p) {
   EncodeFrame(p, frame);
   // bytes_sent counts marshalled frame bytes; the checksum trailer is link
   // overhead, excluded so throughput probes keep their pre-trailer meaning.
-  bytes_.fetch_add(frame.size(), std::memory_order_relaxed);
-  sent_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t body_bytes = frame.size();
   AppendChecksum(frame);
 
+  bool ok = false;
+  bool handled = false;
   if (impaired_.load(std::memory_order_acquire)) {
     std::lock_guard lk(impair_mu_);
     if (shaper_ != nullptr) {
@@ -56,14 +57,23 @@ bool TunnelEndpoint::send(const Packet& p) {
                         std::uint8_t mask) {
                        if (!f.empty()) f[offset % f.size()] ^= mask;
                      });
-      bool ok = true;
+      ok = true;
       for (common::Bytes& f : out) ok = tx_->q.push(std::move(f)) && ok;
       tx_->fire();
-      return ok;
+      handled = true;
     }
   }
-  const bool ok = tx_->q.push(std::move(frame));
-  tx_->fire();
+  if (!handled) {
+    ok = tx_->q.push(std::move(frame));
+    tx_->fire();
+  }
+  // A frame counts as sent once it is handed to the wire — including
+  // frames the wire shaper then drops (link loss), but not frames a
+  // closed tunnel rejected, which would skew accounting against delivery.
+  if (ok) {
+    sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(body_bytes, std::memory_order_relaxed);
+  }
   return ok;
 }
 

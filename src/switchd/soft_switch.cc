@@ -60,12 +60,19 @@ struct PortHandle::Port {
 
 bool PortHandle::send(net::PacketPtr p) {
   if (!port_->open.load(std::memory_order_relaxed)) return false;
-  const bool was_empty = port_->to_switch.empty();
   if (!port_->to_switch.try_push(std::move(p))) return false;
-  // Only the push that makes an empty ring non-empty can find its shard
-  // parked (a shard never parks while its rings hold work), so the gate —
-  // and its fence — is touched once per drain cycle, not once per packet.
-  if (was_empty && port_->wake != nullptr) port_->wake->notify();
+  // Notify only when this push may have made an empty ring non-empty (a
+  // shard never parks while its rings hold work). The occupancy is read
+  // *after* the push — size() re-reads the consumer index — so a shard
+  // that drains the ring concurrently and goes to park is always seen:
+  // either its pops leave our packet as the sole entry (size == 1, or 0 if
+  // it already took it) and we notify, or older entries remain (size > 1)
+  // and its park recheck finds them. A stale pre-push emptiness sample
+  // would leave a TOCTOU window here; the fresh read costs one shared-line
+  // load, far cheaper than the gate fence it elides on a busy ring.
+  if (port_->wake != nullptr && port_->to_switch.size() <= 1) {
+    port_->wake->notify();
+  }
   return true;
 }
 
@@ -192,8 +199,8 @@ void CorruptPacket(net::PacketPtr& p, std::uint32_t offset,
 faultinject::Impairment* SoftSwitch::set_port_ingress_impairment(
     PortId port, const faultinject::ImpairmentConfig& cfg) {
   std::lock_guard lk(impair_mu_);
-  auto shaper = std::make_shared<PacketShaper>(cfg);
-  faultinject::Impairment* probe = &shaper->impairment();
+  auto shaper = std::make_shared<GuardedShaper>(cfg);
+  faultinject::Impairment* probe = &shaper->shaper.impairment();
   ingress_impair_master_[port] = std::move(shaper);
   impaired_.store(true, std::memory_order_release);
   impair_gen_.fetch_add(1, std::memory_order_release);
@@ -203,8 +210,8 @@ faultinject::Impairment* SoftSwitch::set_port_ingress_impairment(
 faultinject::Impairment* SoftSwitch::set_port_egress_impairment(
     PortId port, const faultinject::ImpairmentConfig& cfg) {
   std::lock_guard lk(impair_mu_);
-  auto shaper = std::make_shared<PacketShaper>(cfg);
-  faultinject::Impairment* probe = &shaper->impairment();
+  auto shaper = std::make_shared<GuardedShaper>(cfg);
+  faultinject::Impairment* probe = &shaper->shaper.impairment();
   egress_impair_master_[port] = std::move(shaper);
   impaired_.store(true, std::memory_order_release);
   impair_gen_.fetch_add(1, std::memory_order_release);
@@ -276,15 +283,35 @@ void SoftSwitch::refresh_port_cache(Shard& sh) {
   }
   sh.poll_cache = std::move(poll);
   sh.all_ports_cache = std::move(all);
+  // The rebuilt caches cover everything the fallback pinned (pins are only
+  // taken while the view is stale), and bins are always flushed at loop
+  // boundaries, so no raw Port* outlives its backing here.
+  sh.pinned_ports.clear();
   // Re-read under the lock: attach/detach bump the counter while holding
   // ports_mu_, so this pairs the cached view with its exact generation.
   sh.port_cache_gen = ports_gen_.load(std::memory_order_acquire);
 }
 
 PortHandle::Port* SoftSwitch::find_out_port(Shard& sh, PortId port) const {
-  if (port < sh.out_dense.size()) return sh.out_dense[port];
-  auto it = sh.out_sparse.find(port);
-  return it == sh.out_sparse.end() ? nullptr : it->second;
+  if (port < sh.out_dense.size() && sh.out_dense[port] != nullptr) {
+    return sh.out_dense[port];
+  }
+  if (auto it = sh.out_sparse.find(port); it != sh.out_sparse.end()) {
+    return it->second;
+  }
+  // Unknown to the cached view. If the view is current the port really is
+  // gone (or never existed); if it is stale — caches refresh only at loop
+  // boundaries — the port may have attached since the last refresh, so
+  // resolve it against the live table and pin the handle until the next
+  // refresh instead of dropping its traffic for a loop iteration.
+  if (ports_gen_.load(std::memory_order_acquire) == sh.port_cache_gen) {
+    return nullptr;
+  }
+  std::shared_lock lk(ports_mu_);
+  auto it = ports_.find(port);
+  if (it == ports_.end()) return nullptr;
+  sh.pinned_ports.push_back(it->second);
+  return sh.pinned_ports.back().get();
 }
 
 void SoftSwitch::refresh_tunnel_cache(Shard& sh) {
@@ -439,7 +466,15 @@ void SoftSwitch::bin_output(Shard& sh, net::PacketPtr p, PortId port) {
     auto it = sh.egress_impair.find(port);
     if (it != sh.egress_impair.end()) {
       sh.egress_scratch.clear();
-      it->second->admit(std::move(p), sh.egress_scratch, CorruptPacket);
+      {
+        // The egress shaper is shared across shards (any shard may output
+        // to this port) and Shaper::admit is single-threaded by contract,
+        // so shaping serializes on the shaper's guard. Released frames go
+        // to this shard's private scratch/bins.
+        std::lock_guard lk(it->second->mu);
+        it->second->shaper.admit(std::move(p), sh.egress_scratch,
+                                 CorruptPacket);
+      }
       for (net::PacketPtr& q : sh.egress_scratch) {
         bin_to_port(sh, std::move(q), port);
       }
@@ -546,16 +581,23 @@ void SoftSwitch::flush_tunnel_bin(Shard& sh, TunnelBin& bin) {
   }
   const std::size_t sent = bin.ep->try_send_burst(
       std::span<const net::Packet* const>(sh.bins.raw_scratch));
-  // A full tunnel ring falls back to the blocking per-frame send — the TCP
-  // back-pressure semantics tunnels had before bursting.
-  for (std::size_t i = sent; i < bin.pkts.size(); ++i) {
-    bin.ep->send(*bin.pkts[i]);
+  const bool tracing = sh.index == 0 && cfg_.trace_recorder != nullptr;
+  std::size_t i = 0;
+  for (; i < sent; ++i) {
+    const net::PacketPtr& p = bin.pkts[i];
+    if (tracing && p->trace_id != 0) {
+      record_span(p->trace_id, p->trace_hop, trace::Stage::kSwitchOut);
+    }
   }
-  if (sh.index == 0 && cfg_.trace_recorder != nullptr) {
-    for (const net::PacketPtr& p : bin.pkts) {
-      if (p->trace_id != 0) {
-        record_span(p->trace_id, p->trace_hop, trace::Stage::kSwitchOut);
-      }
+  // A full tunnel ring falls back to the blocking per-frame send — the TCP
+  // back-pressure semantics tunnels had before bursting. As on the old
+  // per-packet path, only frames the tunnel actually accepted get a span;
+  // a closed tunnel's rejections are dropped without one.
+  for (; i < bin.pkts.size(); ++i) {
+    const net::PacketPtr& p = bin.pkts[i];
+    if (!bin.ep->send(*p)) continue;
+    if (tracing && p->trace_id != 0) {
+      record_span(p->trace_id, p->trace_hop, trace::Stage::kSwitchOut);
     }
   }
   bin.pkts.clear();
@@ -856,7 +898,7 @@ void SoftSwitch::run_shard(Shard& sh) {
         port->rx_packets.fetch_add(n, std::memory_order_relaxed);
         port->rx_bytes.fetch_add(bytes, std::memory_order_relaxed);
         work += n;
-        PacketShaper* shaper = nullptr;
+        GuardedShaper* shaper = nullptr;
         if (impaired) {
           auto it = sh.ingress_impair.find(id);
           if (it != sh.ingress_impair.end()) shaper = it->second.get();
@@ -867,10 +909,15 @@ void SoftSwitch::run_shard(Shard& sh) {
         } else {
           // Shape the whole burst first (one admit per frame, in order —
           // the draw schedule is identical to the per-packet path), then
-          // pipeline whatever survived.
+          // pipeline whatever survived. Only this shard polls the port, so
+          // the guard is uncontended; taken once per burst.
           sh.ingress_scratch.clear();
-          for (net::PacketPtr& p : sh.port_burst) {
-            shaper->admit(std::move(p), sh.ingress_scratch, CorruptPacket);
+          {
+            std::lock_guard ilk(shaper->mu);
+            for (net::PacketPtr& p : sh.port_burst) {
+              shaper->shaper.admit(std::move(p), sh.ingress_scratch,
+                                   CorruptPacket);
+            }
           }
           forwarded += process_burst(
               sh, std::span<net::PacketPtr>(sh.ingress_scratch), id);

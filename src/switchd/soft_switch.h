@@ -254,7 +254,19 @@ class SoftSwitch {
   };
 
   using PacketShaper = faultinject::Shaper<net::PacketPtr>;
-  using ImpairMap = std::unordered_map<PortId, std::shared_ptr<PacketShaper>>;
+  // A shaper plus the mutex serializing admit() on it. Shaper itself is
+  // single-threaded by contract, but a port's *egress* shaper is shared by
+  // every shard (any shard may output to any port), so shaping calls take
+  // the guard. Uncontended in the single-shard config and on ingress
+  // shapers (driven only by the port-owning shard), and only touched while
+  // an impairment is configured.
+  struct GuardedShaper {
+    explicit GuardedShaper(const faultinject::ImpairmentConfig& cfg)
+        : shaper(cfg) {}
+    std::mutex mu;
+    PacketShaper shaper;
+  };
+  using ImpairMap = std::unordered_map<PortId, std::shared_ptr<GuardedShaper>>;
   using PollList =
       std::vector<std::pair<PortId, std::shared_ptr<PortHandle::Port>>>;
 
@@ -311,6 +323,10 @@ class SoftSwitch {
         std::make_shared<PollList>();
     std::vector<PortHandle::Port*> out_dense;
     std::unordered_map<PortId, PortHandle::Port*> out_sparse;
+    // Ports resolved through the stale-cache fallback in find_out_port
+    // (attached after this shard's last refresh); the shared_ptrs keep the
+    // returned raw pointers backed until the next cache refresh.
+    std::vector<std::shared_ptr<PortHandle::Port>> pinned_ports;
     std::uint64_t port_cache_gen = 0;
     // Tunnels this shard polls for RX / the full list for egress binning.
     std::shared_ptr<const std::vector<TunnelRef>> tunnel_rx_cache =
@@ -376,7 +392,10 @@ class SoftSwitch {
   // resolved (delivered, dropped on timeout, or dropped with their port).
   std::size_t drain_egress_backlog(Shard& sh);
   // Cached output lookup; caches are refreshed at burst/loop boundaries,
-  // never mid-burst, so binned Port* stay backed by the pinned list.
+  // never mid-burst, so binned Port* stay backed by the pinned list. A miss
+  // while the cached view is stale falls back to the live port table (and
+  // pins the handle), so output to a just-attached port is never dropped in
+  // the one-loop refresh window.
   PortHandle::Port* find_out_port(Shard& sh, PortId port) const;
   void emit_event(SwitchEvent ev);
   // Stamp one switch-level span for a traced packet (shard 0 only).

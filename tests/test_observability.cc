@@ -338,9 +338,20 @@ TEST(Observability, ChainsSurviveRebalanceAndDropBurst) {
   // Trace accounting under loss: every sampled emission became exactly one
   // chain (sampled == chains), complete + incomplete == chains (dropped
   // tuples stay incomplete instead of leaking), and plenty completed.
-  col.collect();
-  const auto sampled =
-      static_cast<std::size_t>(TraceSampledAt(cluster, "obschaos", "src"));
+  // The topology is still live here: acks lost to the drop burst replay up
+  // to pending_timeout after the count target is met, and each replay bumps
+  // the sampled counter before its emit span reaches the recorder ring. So
+  // poll until the counter and the chain table agree — emission quiesced —
+  // rather than asserting one mid-replay snapshot.
+  std::size_t sampled = 0;
+  EXPECT_TRUE(WaitFor(
+      [&] {
+        sampled = static_cast<std::size_t>(
+            TraceSampledAt(cluster, "obschaos", "src"));
+        col.collect();
+        return sampled > 0 && col.chains() == sampled;
+      },
+      20s));
   EXPECT_GT(sampled, 0u);
   EXPECT_EQ(col.chains(), sampled);
   EXPECT_EQ(col.complete() + col.incomplete(), col.chains());

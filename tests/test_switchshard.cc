@@ -251,6 +251,70 @@ TEST(SwitchShardTest, ConcurrentChurnAcrossShardsLosesNothing) {
   sw.stop();
 }
 
+// ---- cross-shard egress impairment ------------------------------------------
+
+// Four shards forwarding into ONE egress-impaired sink: every shard's
+// egress path drives the same shared Shaper, whose admit() calls are
+// single-threaded by contract and must therefore serialize on the switch's
+// per-shaper guard (TSan covers the race this test exists for). With a
+// pass-through config every admitted frame is delivered, so the decision
+// count and the delivery count must both equal the total offered — state
+// corrupted by unserialized admits would skew either.
+TEST(SwitchShardTest, EgressImpairmentSharedAcrossShardsIsSerialized) {
+  constexpr std::size_t kShards = 4;
+  constexpr int kPerFlow = 500;
+  SoftSwitchConfig cfg;
+  cfg.host = 1;
+  cfg.shards = kShards;
+  SoftSwitch sw(cfg);
+  sw.start();
+
+  auto sink = sw.attach_port();
+  std::vector<std::shared_ptr<PortHandle>> srcs;
+  PortId next = 1000;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    auto src = AttachOnShard(sw, s, kShards, next);
+    next = src->id() + 1;
+    sw.handle_flow_mod(
+        {FlowModCommand::kAdd,
+         PortRule(src->id(), static_cast<WorkerId>(10 + s),
+                  static_cast<WorkerId>(100 + s),
+                  {ActionOutput{sink->id()}})});
+    srcs.push_back(std::move(src));
+  }
+  // Pass-through shaper: nothing dropped or reordered, but every admit
+  // still advances the shaper's PRNG and holdback state.
+  faultinject::Impairment* imp =
+      sw.set_port_egress_impairment(sink->id(), {});
+
+  std::vector<std::thread> producers;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    producers.emplace_back([&, s] {
+      for (int i = 0; i < kPerFlow; ++i) {
+        while (!srcs[s]->send(Pkt(static_cast<WorkerId>(10 + s),
+                                  static_cast<WorkerId>(100 + s)))) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  constexpr std::size_t kTotal = kShards * kPerFlow;
+  std::size_t got = 0;
+  const auto deadline = common::Now() + 10s;
+  while (got < kTotal && common::Now() < deadline) {
+    if (sink->recv()) {
+      ++got;
+    } else {
+      std::this_thread::sleep_for(100us);
+    }
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(got, kTotal);
+  EXPECT_EQ(imp->seen(), static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(imp->drops(), 0u);
+  sw.stop();
+}
+
 // ---- sharded tunnel RX ------------------------------------------------------
 
 // Cross-host forwarding with multi-shard switches on both ends: remote
