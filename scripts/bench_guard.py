@@ -6,11 +6,17 @@ Usage:
                    --baseline bench/baselines/BENCH_fastpath.json \
                    --key single_flow_pps --max-regress 0.15
 
+    bench_guard.py --current build/BENCH_ctrlplane.json \
+                   --baseline bench/baselines/BENCH_ctrlplane.json \
+                   --key delta_reconfig_us_512 --direction lower \
+                   --max-regress 0.75
+
 Compares ``current[key]`` against ``baseline[key]`` (both plain JSON files of
-scalars) and exits 1 if the current value fell more than ``max-regress``
-(fraction) below the baseline. Higher-is-better metrics only. Improvements
-always pass; print both values either way so the job log doubles as a
-coarse perf time-series.
+scalars). ``--direction higher`` (default, throughput-style) fails when the
+current value fell more than ``max-regress`` (fraction) below the baseline;
+``--direction lower`` (latency-style) fails when it rose more than
+``max-regress`` above it. Improvements always pass; print both values either
+way so the job log doubles as a coarse perf time-series.
 """
 
 import argparse
@@ -43,9 +49,13 @@ def main() -> int:
     ap.add_argument("--baseline", required=True,
                     help="checked-in JSON from a known-good run")
     ap.add_argument("--key", required=True,
-                    help="metric name present in both files (higher = better)")
+                    help="metric name present in both files")
+    ap.add_argument("--direction", choices=("higher", "lower"),
+                    default="higher",
+                    help="which way is better: 'higher' (throughput, "
+                         "default) or 'lower' (latency)")
     ap.add_argument("--max-regress", type=float, default=0.15,
-                    help="max allowed fractional drop vs baseline "
+                    help="max allowed fractional regression vs baseline "
                          "(default 0.15 = 15%%)")
     args = ap.parse_args()
 
@@ -56,14 +66,21 @@ def main() -> int:
                  "is not positive; refusing to divide")
 
     ratio = current / baseline
-    drop = 1.0 - ratio
-    status = "OK" if drop <= args.max_regress else "REGRESSION"
-    print(f"bench_guard: {args.key}: current={current:.0f} "
-          f"baseline={baseline:.0f} ratio={ratio:.3f} "
-          f"(allowed drop {args.max_regress:.0%}) -> {status}")
+    if args.direction == "higher":
+        regress = 1.0 - ratio   # fractional drop below baseline
+        verb = "fell"
+    else:
+        regress = ratio - 1.0   # fractional rise above baseline
+        verb = "rose"
+    status = "OK" if regress <= args.max_regress else "REGRESSION"
+    print(f"bench_guard: {args.key} ({args.direction}-is-better): "
+          f"current={current:.1f} baseline={baseline:.1f} "
+          f"ratio={ratio:.3f} (allowed regression "
+          f"{args.max_regress:.0%}) -> {status}")
     if status != "OK":
-        print(f"bench_guard: {args.key} fell {drop:.1%} below baseline; "
-              f"limit is {args.max_regress:.0%}", file=sys.stderr)
+        print(f"bench_guard: {args.key} {verb} {abs(regress):.1%} "
+              f"past baseline; limit is {args.max_regress:.0%}",
+              file=sys.stderr)
         return 1
     return 0
 

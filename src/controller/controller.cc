@@ -38,24 +38,30 @@ TyphoonController::TyphoonController(coordinator::Coordinator* coord,
 TyphoonController::~TyphoonController() { stop(); }
 
 void TyphoonController::add_switch(HostId host, switchd::SoftSwitch* sw) {
-  {
-    std::lock_guard lk(mu_);
-    switches_[host] = sw;
-  }
+  attach_switch(host, sw);
   sw->set_event_sink([this](HostId h, switchd::SwitchEvent ev) {
-    events_.fetch_add(1, std::memory_order_relaxed);
-    {
-      std::lock_guard lk(part_mu_);
-      if (partitioned_.contains(h)) {
-        // Control channel to this host is down: hold the event until heal.
-        if (deferred_.size() < kDeferredCap) {
-          deferred_.emplace_back(h, std::move(ev));
-        }
-        return;
-      }
-    }
-    events_q_.try_push({h, std::move(ev)});
+    ingest_event(h, std::move(ev));
   });
+}
+
+void TyphoonController::attach_switch(HostId host, switchd::SoftSwitch* sw) {
+  std::lock_guard lk(mu_);
+  switches_[host] = sw;
+}
+
+void TyphoonController::ingest_event(HostId host, switchd::SwitchEvent ev) {
+  events_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lk(part_mu_);
+    if (partitioned_.contains(host)) {
+      // Control channel to this host is down: hold the event until heal.
+      if (deferred_.size() < kDeferredCap) {
+        deferred_.emplace_back(host, std::move(ev));
+      }
+      return;
+    }
+  }
+  events_q_.try_push({host, std::move(ev)});
 }
 
 switchd::SoftSwitch* TyphoonController::switch_at(HostId host) const {
@@ -86,23 +92,47 @@ void TyphoonController::stop() {
   for (auto& app : apps_) app->on_stop();
 }
 
-void TyphoonController::install(const RulesByHost& rules) {
+std::size_t TyphoonController::install(const RulesByHost& rules,
+                                       openflow::FlowModCommand cmd) {
+  std::size_t flowmods = 0;
+  std::size_t touched = 0;
   for (const auto& [host, host_rules] : rules) {
     switchd::SoftSwitch* sw = switch_at(host);
     if (sw == nullptr) continue;
     for (const openflow::FlowRule& r : host_rules) {
-      sw->handle_flow_mod({openflow::FlowModCommand::kAdd, r});
+      touched += sw->handle_flow_mod({cmd, r}).total();
+      ++flowmods;
     }
   }
+  rules_touched_.fetch_add(static_cast<std::int64_t>(touched),
+                           std::memory_order_relaxed);
+  return flowmods;
+}
+
+void TyphoonController::apply_delta(const RuleDelta& delta) {
+  std::size_t flowmods = 0;
+  flowmods += install(delta.adds, openflow::FlowModCommand::kAdd);
+  // Mods go out as kAdd too: same match+priority replaces in place keeping
+  // the rule's counters, whereas kModify would rewrite every rule sharing
+  // the match regardless of priority.
+  flowmods += install(delta.mods, openflow::FlowModCommand::kAdd);
+  flowmods += install(delta.dels, openflow::FlowModCommand::kDelete);
+  flowmods_delta_.fetch_add(static_cast<std::int64_t>(flowmods),
+                            std::memory_order_relaxed);
 }
 
 void TyphoonController::on_topology_deployed(
     const stream::TopologySpec& spec, const stream::PhysicalTopology& phys) {
+  if (crashed()) return;
+  RulesByHost full;
   {
     std::lock_guard lk(mu_);
     topologies_[spec.id] = TopoState{spec, phys};
+    full = compiler_.compile_full(spec, phys);
   }
-  install(compiler_.compile(spec, phys));
+  flowmods_full_.fetch_add(static_cast<std::int64_t>(install(full)),
+                           std::memory_order_relaxed);
+  checkpoint_topology(spec, phys);
   LOG_INFO("controller") << "installed rules for topology " << spec.name;
 }
 
@@ -110,33 +140,77 @@ void TyphoonController::on_workers_added(
     const stream::TopologySpec& spec, const stream::PhysicalTopology& phys,
     const std::vector<stream::PhysicalWorker>& added) {
   (void)added;
+  if (crashed()) return;
+  bool use_delta = false;
+  RuleDelta delta;
+  RulesByHost full;
   {
     std::lock_guard lk(mu_);
     topologies_[spec.id] = TopoState{spec, phys};
+    if (opts_.incremental_rules && compiler_.state(spec.id) != nullptr) {
+      delta = compiler_.compile_delta(spec, phys);
+      use_delta = true;
+    } else {
+      // No cached state (deployed before this controller took over):
+      // idempotent full re-install seeds it.
+      full = compiler_.compile_full(spec, phys);
+    }
   }
-  // Idempotent full re-install: new pairs appear, existing rules replaced
-  // in place.
-  install(compiler_.compile(spec, phys));
+  if (use_delta) {
+    apply_delta(delta);
+  } else {
+    flowmods_full_.fetch_add(static_cast<std::int64_t>(install(full)),
+                             std::memory_order_relaxed);
+  }
+  checkpoint_topology(spec, phys);
 }
 
 void TyphoonController::on_workers_removed(
     const stream::TopologySpec& spec, const stream::PhysicalTopology& phys,
     const std::vector<stream::PhysicalWorker>& removed) {
-  {
-    std::lock_guard lk(mu_);
-    topologies_[spec.id] = TopoState{spec, phys};
-  }
+  if (crashed()) return;
+  bool use_delta = false;
+  RuleDelta delta;
+  RulesByHost full;
   std::vector<switchd::SoftSwitch*> sws;
   {
     std::lock_guard lk(mu_);
+    topologies_[spec.id] = TopoState{spec, phys};
     for (auto& [h, sw] : switches_) sws.push_back(sw);
+    if (opts_.incremental_rules && compiler_.state(spec.id) != nullptr) {
+      delta = compiler_.compile_delta(spec, phys);
+      use_delta = true;
+    } else {
+      full = compiler_.compile_full(spec, phys);
+    }
   }
-  for (const stream::PhysicalWorker& w : removed) {
-    const std::uint64_t addr = WorkerAddress{spec.id, w.id}.packed();
-    for (switchd::SoftSwitch* sw : sws) sw->remove_rules_mentioning(addr);
+  if (use_delta) {
+    // Delta dels cover every compiler-emitted rule of the removed workers —
+    // including the worker→controller rule and emptied broadcast receivers,
+    // whose matches don't name the removed address and which therefore
+    // outlive an address sweep forever at the default idle_timeout of 0.
+    apply_delta(delta);
+    // App-installed rules (load-balancer redirects at kPrioLoadBalance) are
+    // outside the compiler's state; sweep those by address. The sweep must
+    // stay off compiler-owned priorities: a relocated worker keeps its
+    // address, so an unrestricted sweep here would erase the new-host rules
+    // the delta just installed (and the cache would never re-add them).
+    for (const stream::PhysicalWorker& w : removed) {
+      const std::uint64_t addr = WorkerAddress{spec.id, w.id}.packed();
+      for (switchd::SoftSwitch* sw : sws) {
+        sw->remove_rules_mentioning(addr, kPrioLoadBalance);
+      }
+    }
+  } else {
+    for (const stream::PhysicalWorker& w : removed) {
+      const std::uint64_t addr = WorkerAddress{spec.id, w.id}.packed();
+      for (switchd::SoftSwitch* sw : sws) sw->remove_rules_mentioning(addr);
+    }
+    // Re-install so broadcast rules shrink to the remaining destinations.
+    flowmods_full_.fetch_add(static_cast<std::int64_t>(install(full)),
+                             std::memory_order_relaxed);
   }
-  // Re-install so broadcast rules shrink to the remaining destinations.
-  install(compiler_.compile(spec, phys));
+  checkpoint_topology(spec, phys);
 }
 
 void TyphoonController::send_routing_update(
@@ -163,17 +237,21 @@ void TyphoonController::send_control_tuple(
 }
 
 void TyphoonController::on_topology_killed(TopologyId id) {
+  if (crashed()) return;
   std::vector<switchd::SoftSwitch*> sws;
   {
     std::lock_guard lk(mu_);
     topologies_.erase(id);
+    compiler_.forget(id);
     for (auto& [h, sw] : switches_) sws.push_back(sw);
   }
   for (switchd::SoftSwitch* sw : sws) sw->remove_rules_by_cookie(id);
+  checkpoint_remove_topology(id);
 }
 
 common::Status TyphoonController::transmit_control(
     TopologyId topology, WorkerId dst, const stream::ControlTuple& ct) {
+  if (crashed()) return common::Unavailable("controller crashed");
   stream::PhysicalTopology phys;
   {
     std::lock_guard lk(mu_);
@@ -203,6 +281,7 @@ common::Status TyphoonController::send_control(TopologyId topology,
                                                WorkerId dst,
                                                const stream::ControlTuple& ct,
                                                bool reliable) {
+  if (crashed()) return common::Unavailable("controller crashed");
   if (!reliable) return transmit_control(topology, dst, ct);
 
   stream::ControlTuple seqd = ct;
@@ -221,6 +300,12 @@ common::Status TyphoonController::send_control(TopologyId topology,
     p.next_retry = common::Now() + p.backoff;
     pending_ctl_[seqd.seq] = std::move(p);
   }
+  // Checkpoint BEFORE the first transmission: a worker can only ever have
+  // observed a seq that is durably below the checkpointed counter, so a
+  // standby restoring `seq` can never hand out a colliding number. The
+  // pending znode likewise exists before any copy is on the wire.
+  checkpoint_seq();
+  checkpoint_pending(seqd.seq, topology, dst, seqd);
   // First attempt inline; failures (partition, mid-reschedule routing gaps)
   // are retried from the controller loop, so the caller — often an app on
   // the controller thread itself — never blocks waiting for the ack.
@@ -230,7 +315,7 @@ common::Status TyphoonController::send_control(TopologyId topology,
 
 void TyphoonController::retry_pending_controls() {
   std::vector<PendingCtl> to_send;
-  std::size_t abandoned = 0;
+  std::vector<std::uint64_t> abandoned;
   const common::TimePoint now = common::Now();
   {
     std::lock_guard lk(mu_);
@@ -242,8 +327,8 @@ void TyphoonController::retry_pending_controls() {
       }
       if (p.attempts >= opts_.control_max_attempts ||
           !topologies_.contains(p.topology)) {
+        abandoned.push_back(it->first);
         it = pending_ctl_.erase(it);
-        ++abandoned;
         continue;
       }
       ++p.attempts;
@@ -257,10 +342,11 @@ void TyphoonController::retry_pending_controls() {
     ctl_retransmits_.fetch_add(1, std::memory_order_relaxed);
     (void)transmit_control(p.topology, p.dst, p.ct);
   }
-  if (abandoned != 0) {
-    ctl_abandoned_.fetch_add(static_cast<std::int64_t>(abandoned),
+  if (!abandoned.empty()) {
+    for (std::uint64_t seq : abandoned) checkpoint_remove_pending(seq);
+    ctl_abandoned_.fetch_add(static_cast<std::int64_t>(abandoned.size()),
                              std::memory_order_relaxed);
-    LOG_WARN("controller") << abandoned
+    LOG_WARN("controller") << abandoned.size()
                            << " control tuple(s) abandoned after max retries";
   }
 }
@@ -299,6 +385,91 @@ std::int64_t TyphoonController::deferred_events() const {
 std::size_t TyphoonController::control_in_flight() const {
   std::lock_guard lk(mu_);
   return pending_ctl_.size();
+}
+
+void TyphoonController::crash() {
+  // Order matters: flip the flag first so a hook racing with the crash sees
+  // it and bails before touching switches or the coordinator.
+  crashed_.store(true, std::memory_order_release);
+  stop();
+}
+
+void TyphoonController::set_next_control_seq(std::uint64_t seq) {
+  std::uint64_t cur = next_ctl_seq_.load();
+  while (cur < seq && !next_ctl_seq_.compare_exchange_weak(cur, seq)) {
+  }
+}
+
+void TyphoonController::restore_pending(std::uint64_t seq, TopologyId topology,
+                                        WorkerId dst,
+                                        stream::ControlTuple ct) {
+  ct.seq = seq;
+  std::lock_guard lk(mu_);
+  PendingCtl p;
+  p.topology = topology;
+  p.dst = dst;
+  p.ct = std::move(ct);
+  p.attempts = 1;
+  p.backoff = opts_.control_retry_initial;
+  p.next_retry = common::Now();  // due immediately: first loop tick resends
+  pending_ctl_[seq] = std::move(p);
+}
+
+// ---- coordinator checkpointing (schema: DESIGN.md Sec 15) ----
+//
+//   <prefix>/topo/<id>      u16 id | bytes(EncodeSpec) | bytes(EncodePhysical)
+//   <prefix>/pending/<seq>  u16 topology | u64 dst | bytes(EncodeControl)
+//   <prefix>/seq            u64 next seq to allocate
+//
+// All persistent znodes (they must outlive the leader's session); written
+// outside mu_ because the coordinator runs watch callbacks synchronously on
+// the mutating thread.
+
+void TyphoonController::checkpoint_topology(
+    const stream::TopologySpec& spec, const stream::PhysicalTopology& phys) {
+  if (opts_.checkpoint_prefix.empty() || crashed()) return;
+  common::Bytes blob;
+  common::BufWriter w(blob);
+  w.u16(spec.id);
+  w.bytes(stream::EncodeSpec(spec));
+  w.bytes(stream::EncodePhysical(phys));
+  (void)coord_->put(opts_.checkpoint_prefix + "/topo/" +
+                        std::to_string(spec.id),
+                    std::move(blob));
+}
+
+void TyphoonController::checkpoint_remove_topology(TopologyId id) {
+  if (opts_.checkpoint_prefix.empty() || crashed()) return;
+  (void)coord_->remove(opts_.checkpoint_prefix + "/topo/" +
+                       std::to_string(id));
+}
+
+void TyphoonController::checkpoint_pending(std::uint64_t seq,
+                                           TopologyId topology, WorkerId dst,
+                                           const stream::ControlTuple& ct) {
+  if (opts_.checkpoint_prefix.empty() || crashed()) return;
+  common::Bytes blob;
+  common::BufWriter w(blob);
+  w.u16(topology);
+  w.u64(dst);
+  w.bytes(stream::EncodeControl(ct));
+  (void)coord_->put(opts_.checkpoint_prefix + "/pending/" +
+                        std::to_string(seq),
+                    std::move(blob));
+}
+
+void TyphoonController::checkpoint_remove_pending(std::uint64_t seq) {
+  if (opts_.checkpoint_prefix.empty() || crashed()) return;
+  (void)coord_->remove(opts_.checkpoint_prefix + "/pending/" +
+                       std::to_string(seq));
+}
+
+void TyphoonController::checkpoint_seq() {
+  if (opts_.checkpoint_prefix.empty() || crashed()) return;
+  common::Bytes blob;
+  common::BufWriter w(blob);
+  w.u64(next_ctl_seq_.load());
+  (void)coord_->put(opts_.checkpoint_prefix + "/seq", std::move(blob));
 }
 
 common::Result<stream::MetricReport> TyphoonController::query_worker_metrics(
@@ -421,9 +592,14 @@ void TyphoonController::handle_event(HostId host, switchd::SwitchEvent ev) {
         } else if (ct.type == stream::ControlType::kControlAck) {
           // request_id carries the acked sequence number; duplicate acks
           // (from retransmitted copies) find nothing and are ignored.
-          std::lock_guard lk(mu_);
-          if (pending_ctl_.erase(ct.request_id) != 0) {
+          bool acked = false;
+          {
+            std::lock_guard lk(mu_);
+            acked = pending_ctl_.erase(ct.request_id) != 0;
+          }
+          if (acked) {
             ctl_acked_.fetch_add(1, std::memory_order_relaxed);
+            checkpoint_remove_pending(ct.request_id);
           }
         }
       }

@@ -43,6 +43,15 @@ struct ControllerOptions {
   int control_max_attempts = 8;
   std::chrono::milliseconds control_retry_initial{25};
   std::chrono::milliseconds control_retry_max{400};
+  // Incremental (delta) rule compilation: reconfiguration hooks diff the
+  // fresh compile against the cached per-topology state and emit only the
+  // FlowMods that changed. Initial deploys (and post-failover repair) still
+  // use the full compile, which also seeds the cache.
+  bool incremental_rules = true;
+  // Coordinator znode prefix this controller checkpoints its shard state
+  // under (topologies, in-flight reliable control tuples, next control
+  // seq) so a standby can take over after a crash. Empty = off.
+  std::string checkpoint_prefix;
 };
 
 // Build the Ethernet packet carrying one control tuple (controller ->
@@ -60,6 +69,14 @@ class TyphoonController final : public stream::SdnHooks {
 
   // Wire up a host switch (registers this controller as its event sink).
   void add_switch(HostId host, switchd::SoftSwitch* sw);
+  // Register a switch without claiming its event sink. The ControlPlane
+  // façade owns each switch's single sink and routes events to the owning
+  // shard's leader via ingest_event; standby replicas are attached this way
+  // so they hold the switch map before takeover.
+  void attach_switch(HostId host, switchd::SoftSwitch* sw);
+  // Deliver one switch event to this controller (partition-aware: events
+  // from a partitioned host are buffered until heal).
+  void ingest_event(HostId host, switchd::SwitchEvent ev);
   [[nodiscard]] switchd::SoftSwitch* switch_at(HostId host) const;
 
   void start();
@@ -104,6 +121,37 @@ class TyphoonController final : public stream::SdnHooks {
   void set_partitioned(HostId host, bool partitioned);
   [[nodiscard]] bool is_partitioned(HostId host) const;
   [[nodiscard]] std::int64_t deferred_events() const;
+
+  // ---- failover support (driven by controller::ControlPlane) ----
+  // Simulate a hard crash: stop the loop; every subsequent hook, send and
+  // checkpoint write becomes a no-op (a dead process neither acts on input
+  // nor mutates coordinator state). The object stays safely queryable.
+  void crash();
+  [[nodiscard]] bool crashed() const {
+    return crashed_.load(std::memory_order_acquire);
+  }
+  // Seed the reliable-control sequence counter. A standby restores it from
+  // the checkpoint during takeover so new allocations never reuse a seq the
+  // old leader may have transmitted — worker dedup windows would silently
+  // swallow a reused seq as a duplicate.
+  void set_next_control_seq(std::uint64_t seq);
+  // Re-queue a checkpointed in-flight control tuple; the controller loop
+  // retransmits it until acked. The owning topology must be restored first
+  // or the retry loop abandons the tuple.
+  void restore_pending(std::uint64_t seq, TopologyId topology, WorkerId dst,
+                       stream::ControlTuple ct);
+
+  // Rule-compilation stats: FlowMods emitted on the delta vs the full path,
+  // and table entries the switches report actually touched.
+  [[nodiscard]] std::int64_t flowmods_delta() const {
+    return flowmods_delta_.load();
+  }
+  [[nodiscard]] std::int64_t flowmods_full() const {
+    return flowmods_full_.load();
+  }
+  [[nodiscard]] std::int64_t rules_touched() const {
+    return rules_touched_.load();
+  }
 
   // Reliable control-channel counters (tests/benches).
   [[nodiscard]] std::int64_t control_retransmits() const {
@@ -157,7 +205,25 @@ class TyphoonController final : public stream::SdnHooks {
  private:
   void run();
   void handle_event(HostId host, switchd::SwitchEvent ev);
-  void install(const RulesByHost& rules);
+  // Emit one FlowMod per rule; returns the number emitted and accumulates
+  // the switches' reported table deltas into rules_touched_.
+  std::size_t install(
+      const RulesByHost& rules,
+      openflow::FlowModCommand cmd = openflow::FlowModCommand::kAdd);
+  // Install a compiled delta: adds and mods as kAdd (replace-in-place),
+  // dels as kDelete. Bumps flowmods_delta_.
+  void apply_delta(const RuleDelta& delta);
+
+  // Checkpointing to the coordinator (DESIGN.md Sec 15 schema); all no-ops
+  // when checkpoint_prefix is empty or the controller has crashed. Callers
+  // must NOT hold mu_ — the coordinator runs watch callbacks synchronously.
+  void checkpoint_topology(const stream::TopologySpec& spec,
+                           const stream::PhysicalTopology& phys);
+  void checkpoint_remove_topology(TopologyId id);
+  void checkpoint_pending(std::uint64_t seq, TopologyId topology, WorkerId dst,
+                          const stream::ControlTuple& ct);
+  void checkpoint_remove_pending(std::uint64_t seq);
+  void checkpoint_seq();
   // One transmission attempt (no retry bookkeeping). Fails while the
   // destination host is partitioned or mid-reschedule.
   common::Status transmit_control(TopologyId topology, WorkerId dst,
@@ -204,6 +270,11 @@ class TyphoonController final : public stream::SdnHooks {
   std::atomic<std::int64_t> ctl_retransmits_{0};
   std::atomic<std::int64_t> ctl_acked_{0};
   std::atomic<std::int64_t> ctl_abandoned_{0};
+
+  std::atomic<bool> crashed_{false};
+  std::atomic<std::int64_t> flowmods_delta_{0};
+  std::atomic<std::int64_t> flowmods_full_{0};
+  std::atomic<std::int64_t> rules_touched_{0};
 
   // Partition state. Separate lock: the event sink runs on switch threads
   // and must not contend with mu_'s control-plane critical sections.

@@ -143,4 +143,59 @@ RulesByHost RuleCompiler::compile(const TopologySpec& spec,
   return out;
 }
 
+CompiledRuleState RuleCompiler::Keyed(const RulesByHost& rules) {
+  CompiledRuleState keyed;
+  for (const auto& [host, rs] : rules) {
+    for (const openflow::FlowRule& r : rs) {
+      keyed.insert_or_assign(RuleKey::Of(host, r), r);
+    }
+  }
+  return keyed;
+}
+
+RuleDelta RuleCompiler::Diff(const CompiledRuleState& old_state,
+                             const RulesByHost& fresh) {
+  RuleDelta d;
+  const CompiledRuleState now = Keyed(fresh);
+  // Walk both sorted maps in lockstep: a key only in `now` is an add, only in
+  // `old_state` a delete, and in both with different actions/timeout a mod.
+  auto oi = old_state.begin();
+  auto ni = now.begin();
+  while (oi != old_state.end() || ni != now.end()) {
+    if (oi == old_state.end() || (ni != now.end() && ni->first < oi->first)) {
+      d.adds[ni->first.host].push_back(ni->second);
+      ++ni;
+    } else if (ni == now.end() || oi->first < ni->first) {
+      d.dels[oi->first.host].push_back(oi->second);
+      ++oi;
+    } else {
+      const openflow::FlowRule& was = oi->second;
+      const openflow::FlowRule& is = ni->second;
+      if (!(was.actions == is.actions) ||
+          was.idle_timeout_s != is.idle_timeout_s) {
+        d.mods[ni->first.host].push_back(is);
+      }
+      ++oi;
+      ++ni;
+    }
+  }
+  return d;
+}
+
+RulesByHost RuleCompiler::compile_full(const TopologySpec& spec,
+                                       const stream::PhysicalTopology& phys) {
+  RulesByHost out = compile(spec, phys);
+  state_[spec.id] = Keyed(out);
+  return out;
+}
+
+RuleDelta RuleCompiler::compile_delta(const TopologySpec& spec,
+                                      const stream::PhysicalTopology& phys) {
+  const RulesByHost fresh = compile(spec, phys);
+  CompiledRuleState& cached = state_[spec.id];  // empty -> pure adds
+  RuleDelta d = Diff(cached, fresh);
+  cached = Keyed(fresh);
+  return d;
+}
+
 }  // namespace typhoon::controller

@@ -10,10 +10,26 @@
 //
 // Every rule carries cookie = topology id, so a killed topology's rules are
 // swept in one call. Installation is idempotent (same match+priority
-// replaces), so the controller re-installs the full set after any change.
+// replaces), so full re-installs are always safe.
+//
+// Two compilation modes (DESIGN.md Sec 15):
+//   - compile() / compile_full(): the complete Table 3 set. Used for
+//     initial deploys and as the recovery/repair path after a controller
+//     failover (idempotent adds converge the switch to the full set).
+//   - compile_delta(): DeltaPath-style incremental recompilation. The
+//     compiler keeps a per-topology CompiledRuleState cache of the last
+//     emitted set (keyed by host + match + priority + cookie) and diffs the
+//     freshly compiled set against it, so a one-worker rebalance emits only
+//     the O(worker-degree) adds/mods/dels that actually changed — including
+//     the explicit deletes for removed workers' rules (the to-controller
+//     rule and emptied broadcast receivers don't mention the worker's
+//     address in their match, so an address sweep alone leaks them when
+//     data_rule_idle_timeout_s == 0, the default).
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "openflow/flow.h"
@@ -30,9 +46,53 @@ inline constexpr std::uint16_t kPrioData = 100;
 inline constexpr std::uint16_t kPrioLoadBalance = 300;
 inline constexpr std::uint16_t kPrioControl = 400;
 
+// Identity of one installed rule: where it lives plus the (match, priority,
+// cookie) triple the switch's FlowTable replaces/erases on. Two compiled
+// sets are diffed by this key; a key present in both with different actions
+// or timeouts is a modification.
+struct RuleKey {
+  HostId host = 0;
+  std::uint16_t priority = 0;
+  std::uint64_t cookie = 0;
+  std::optional<PortId> in_port;
+  std::optional<std::uint64_t> dl_src;
+  std::optional<std::uint64_t> dl_dst;
+  std::optional<std::uint16_t> ether_type;
+
+  static RuleKey Of(HostId host, const openflow::FlowRule& r) {
+    return RuleKey{host,           r.priority,       r.cookie,
+                   r.match.in_port, r.match.dl_src,  r.match.dl_dst,
+                   r.match.ether_type};
+  }
+  auto operator<=>(const RuleKey&) const = default;
+};
+
+// The FlowMods a reconfiguration must emit: adds (new keys), mods (same key,
+// changed actions/timeout; installed with kAdd, which replaces in place) and
+// dels (keys gone from the new set; installed with kDelete).
+struct RuleDelta {
+  RulesByHost adds;
+  RulesByHost mods;
+  RulesByHost dels;
+
+  [[nodiscard]] std::size_t total() const {
+    std::size_t n = 0;
+    for (const auto* part : {&adds, &mods, &dels}) {
+      for (const auto& [h, rs] : *part) n += rs.size();
+    }
+    return n;
+  }
+  [[nodiscard]] bool empty() const { return total() == 0; }
+};
+
+// Last emitted rule set of one topology, keyed for diffing. Checkpointable
+// state: a standby controller rebuilds it with compile_full during takeover.
+using CompiledRuleState = std::map<RuleKey, openflow::FlowRule>;
+
 struct RuleCompilerConfig {
-  // Idle timeout for per-pair data rules; 0 = permanent. Stale rules of
-  // removed workers age out with this (Sec 3.5).
+  // Idle timeout for per-pair data rules; 0 = permanent. With delta
+  // compilation removed workers' rules are deleted explicitly, so this is a
+  // belt-and-braces knob rather than the only cleanup path (Sec 3.5).
   std::uint32_t data_rule_idle_timeout_s = 0;
 };
 
@@ -40,10 +100,38 @@ class RuleCompiler {
  public:
   explicit RuleCompiler(RuleCompilerConfig cfg = {}) : cfg_(cfg) {}
 
-  // Full Table 3 rule set for a topology.
+  // Full Table 3 rule set for a topology. Pure; does not touch the cache.
   [[nodiscard]] RulesByHost compile(
       const stream::TopologySpec& spec,
       const stream::PhysicalTopology& phys) const;
+
+  // Full compile that also (re)seeds the per-topology state cache —
+  // the initial-deploy and post-failover repair path.
+  RulesByHost compile_full(const stream::TopologySpec& spec,
+                           const stream::PhysicalTopology& phys);
+
+  // Incremental compile: diff the freshly compiled set against the cached
+  // state and update the cache. Falls back to "everything is an add" when
+  // the topology has no cached state (e.g. a recovered controller that
+  // chose not to repair first).
+  RuleDelta compile_delta(const stream::TopologySpec& spec,
+                          const stream::PhysicalTopology& phys);
+
+  // Diff two compiled sets without touching the cache (bench/test probe).
+  static RuleDelta Diff(const CompiledRuleState& old_state,
+                        const RulesByHost& fresh);
+
+  // Keyed view of a compiled set.
+  static CompiledRuleState Keyed(const RulesByHost& rules);
+
+  // Drop the cached state of a killed topology.
+  void forget(TopologyId id) { state_.erase(id); }
+
+  // Cached state of a topology; nullptr when never fully compiled.
+  [[nodiscard]] const CompiledRuleState* state(TopologyId id) const {
+    auto it = state_.find(id);
+    return it == state_.end() ? nullptr : &it->second;
+  }
 
  private:
   void emit_data_rules(const stream::TopologySpec& spec,
@@ -55,6 +143,7 @@ class RuleCompiler {
                           RulesByHost& out) const;
 
   RuleCompilerConfig cfg_;
+  std::map<TopologyId, CompiledRuleState> state_;
 };
 
 }  // namespace typhoon::controller

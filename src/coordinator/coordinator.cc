@@ -1,6 +1,8 @@
 #include "coordinator/coordinator.h"
 
 #include <algorithm>
+#include <deque>
+#include <iterator>
 
 namespace typhoon::coordinator {
 
@@ -55,9 +57,29 @@ void Coordinator::collect_watchers(
 
 void Coordinator::dispatch(
     std::vector<std::pair<WatchCallback, PendingEvent>>&& fired) {
-  for (auto& [cb, ev] : fired) {
+  if (fired.empty()) return;
+  // Per-thread FIFO drain. A callback that mutates the tree re-enters
+  // dispatch on the same thread; without the queue its events would run
+  // nested — i.e. BEFORE the remaining callbacks of the mutation that
+  // triggered it, interleaving observers out of mutation order. Instead the
+  // nested call only appends, and the outermost frame drains everything in
+  // the order the mutations actually happened.
+  thread_local std::deque<std::pair<WatchCallback, PendingEvent>>* active =
+      nullptr;
+  if (active != nullptr) {
+    for (auto& f : fired) active->push_back(std::move(f));
+    return;
+  }
+  std::deque<std::pair<WatchCallback, PendingEvent>> queue(
+      std::make_move_iterator(fired.begin()),
+      std::make_move_iterator(fired.end()));
+  active = &queue;
+  while (!queue.empty()) {
+    auto [cb, ev] = std::move(queue.front());
+    queue.pop_front();
     cb(ev.path, ev.event, ev.data);
   }
+  active = nullptr;
 }
 
 void Coordinator::ensure_parents_locked(

@@ -10,7 +10,9 @@
 // Differences from real ZooKeeper, chosen for an in-process substrate:
 // watches are persistent (no re-arm dance), intermediate znodes are created
 // implicitly, and callbacks run synchronously on the mutating thread after
-// the tree lock is released.
+// the tree lock is released. Callbacks that themselves mutate the tree are
+// queued and drained in FIFO mutation order (never nested), so every
+// observer sees events in the order the mutations actually happened.
 #pragma once
 
 #include <cstdint>

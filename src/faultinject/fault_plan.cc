@@ -15,6 +15,7 @@ const char* FaultKindName(FaultKind k) {
     case FaultKind::kPartitionController: return "partition";
     case FaultKind::kHealController: return "heal";
     case FaultKind::kFailHost: return "fail_host";
+    case FaultKind::kCrashController: return "controller_crash";
   }
   return "?";
 }
@@ -52,6 +53,7 @@ bool ParseKind(std::string_view v, FaultKind& out) {
   else if (v == "partition") out = FaultKind::kPartitionController;
   else if (v == "heal") out = FaultKind::kHealController;
   else if (v == "fail_host") out = FaultKind::kFailHost;
+  else if (v == "controller_crash") out = FaultKind::kCrashController;
   else return false;
   return true;
 }
@@ -131,6 +133,11 @@ bool ApplyKey(std::string_view key, std::string_view value, FaultEvent& ev) {
     return ParseI64(value, ev.repeat_ms) && ev.repeat_ms >= 0;
   }
   if (key == "slow_us") return ParseI64(value, ev.slow_us) && ev.slow_us >= 0;
+  if (key == "shard") {
+    if (!ParseI64(value, i) || i < 0) return false;
+    ev.shard = static_cast<int>(i);
+    return true;
+  }
   (void)f;
   return false;
 }
@@ -165,6 +172,8 @@ common::Status ValidateEvent(const FaultEvent& ev, std::size_t line_no) {
         return common::InvalidArgument(where + ": needs host=");
       }
       break;
+    case FaultKind::kCrashController:
+      break;  // shard= defaults to 0 (the single-shard case)
   }
   return common::Status::Ok();
 }

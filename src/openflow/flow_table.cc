@@ -47,13 +47,13 @@ void FlowTable::sort_entries() {
                    });
 }
 
-void FlowTable::add(FlowRule rule) {
+bool FlowTable::add(FlowRule rule) {
   for (Entry& e : entries_) {
     if (e.rule.match == rule.match && e.rule.priority == rule.priority) {
       e.rule = std::move(rule);
       e.stats->last_used_us.store(ToMicros(common::Now()),
                                   std::memory_order_relaxed);
-      return;
+      return true;
     }
   }
   Entry e;
@@ -64,6 +64,7 @@ void FlowTable::add(FlowRule rule) {
   e.seq = next_seq_++;
   entries_.push_back(std::move(e));
   sort_entries();
+  return false;
 }
 
 bool FlowTable::modify(const FlowMatch& match, SharedActions actions) {
@@ -95,9 +96,11 @@ std::size_t FlowTable::erase_by_cookie(std::uint64_t cookie) {
   return before - entries_.size();
 }
 
-std::size_t FlowTable::erase_mentioning(std::uint64_t addr) {
+std::size_t FlowTable::erase_mentioning(std::uint64_t addr,
+                                        std::uint16_t priority) {
   const std::size_t before = entries_.size();
   std::erase_if(entries_, [&](const Entry& e) {
+    if (priority != 0 && e.rule.priority != priority) return false;
     const FlowMatch& m = e.rule.match;
     return (m.dl_src && *m.dl_src == addr) || (m.dl_dst && *m.dl_dst == addr);
   });

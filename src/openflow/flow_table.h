@@ -59,8 +59,10 @@ struct FlowSnapshot {
 class FlowTable {
  public:
   // Install or replace (same match + priority) a rule. A replace keeps the
-  // existing counters but swaps the action list.
-  void add(FlowRule rule);
+  // existing counters but swaps the action list. Returns true when an
+  // existing rule was replaced, false for a fresh install — the switch uses
+  // this to report per-FlowMod added/modified deltas to the controller.
+  bool add(FlowRule rule);
 
   // Modify actions of rules whose match equals `match`; true if any changed.
   bool modify(const FlowMatch& match, SharedActions actions);
@@ -70,8 +72,10 @@ class FlowTable {
   std::size_t erase(const FlowMatch& match, std::uint64_t cookie = 0);
   std::size_t erase_by_cookie(std::uint64_t cookie);
   // Delete every rule whose match names `addr` as dl_src or dl_dst — the
-  // sweep used when a worker leaves the cluster.
-  std::size_t erase_mentioning(std::uint64_t addr);
+  // sweep used when a worker leaves the cluster. A nonzero `priority`
+  // restricts the sweep to rules at exactly that priority (used to clear
+  // app-installed rules without touching compiler-owned ones).
+  std::size_t erase_mentioning(std::uint64_t addr, std::uint16_t priority = 0);
 
   // Highest-priority rule matching the packet as received on `in_port`
   // (ties broken by match specificity, then insertion order). Updates match

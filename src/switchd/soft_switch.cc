@@ -329,20 +329,29 @@ void SoftSwitch::refresh_tunnel_cache(Shard& sh) {
   sh.tunnel_cache_gen = tunnels_gen_.load(std::memory_order_acquire);
 }
 
-void SoftSwitch::handle_flow_mod(const openflow::FlowMod& mod) {
+SoftSwitch::FlowModDelta SoftSwitch::handle_flow_mod(
+    const openflow::FlowMod& mod) {
+  FlowModDelta delta;
   std::lock_guard lk(table_mu_);
   switch (mod.command) {
     case openflow::FlowModCommand::kAdd:
-      flow_table_.add(mod.rule);
+      if (flow_table_.add(mod.rule)) {
+        delta.modified = 1;
+      } else {
+        delta.added = 1;
+      }
       break;
     case openflow::FlowModCommand::kModify:
-      flow_table_.modify(mod.rule.match, mod.rule.actions);
+      if (flow_table_.modify(mod.rule.match, mod.rule.actions)) {
+        delta.modified = 1;
+      }
       break;
     case openflow::FlowModCommand::kDelete:
-      flow_table_.erase(mod.rule.match, mod.rule.cookie);
+      delta.removed = flow_table_.erase(mod.rule.match, mod.rule.cookie);
       break;
   }
   publish_tables_locked();
+  return delta;
 }
 
 void SoftSwitch::handle_group_mod(const openflow::GroupMod& mod) {
@@ -356,9 +365,10 @@ void SoftSwitch::handle_packet_out(const openflow::PacketOut& po) {
   shards_[0]->gate->notify();  // shard 0 owns the injected queue
 }
 
-std::size_t SoftSwitch::remove_rules_mentioning(std::uint64_t addr) {
+std::size_t SoftSwitch::remove_rules_mentioning(std::uint64_t addr,
+                                                std::uint16_t priority) {
   std::lock_guard lk(table_mu_);
-  const std::size_t n = flow_table_.erase_mentioning(addr);
+  const std::size_t n = flow_table_.erase_mentioning(addr, priority);
   if (n != 0) publish_tables_locked();
   return n;
 }

@@ -184,11 +184,22 @@ class SoftSwitch {
   void clear_port_impairments(PortId port);
 
   // ---- OpenFlow control interface ----
-  void handle_flow_mod(const openflow::FlowMod& mod);
+  // What one FlowMod actually changed in the table — kAdd reports added or
+  // modified (replace-in-place), kModify/kDelete report the rule count
+  // touched. The control plane sums these into its rules_touched stat.
+  struct FlowModDelta {
+    std::size_t added = 0;
+    std::size_t modified = 0;
+    std::size_t removed = 0;
+    [[nodiscard]] std::size_t total() const { return added + modified + removed; }
+  };
+  FlowModDelta handle_flow_mod(const openflow::FlowMod& mod);
   void handle_group_mod(const openflow::GroupMod& mod);
   void handle_packet_out(const openflow::PacketOut& po);
   // Remove every rule whose match names the worker address (departures).
-  std::size_t remove_rules_mentioning(std::uint64_t addr);
+  // Nonzero `priority` restricts the sweep to that exact priority.
+  std::size_t remove_rules_mentioning(std::uint64_t addr,
+                                      std::uint16_t priority = 0);
   std::size_t remove_rules_by_cookie(std::uint64_t cookie);
   [[nodiscard]] std::vector<openflow::PortStats> port_stats() const;
   [[nodiscard]] std::vector<openflow::FlowStats> flow_stats(

@@ -37,11 +37,13 @@ Cluster::Cluster(ClusterConfig cfg)
         tunnels_[{hosts_[a]->id, hosts_[b]->id}] = {ea, eb};
       }
     }
-    controller::ControllerOptions copts;
-    copts.tick_interval = cfg_.controller_tick;
-    controller_ =
-        std::make_unique<controller::TyphoonController>(&coord_, copts);
-    for (auto& h : hosts_) controller_->add_switch(h->id, h->sw.get());
+    controller::ControlPlaneOptions cpopts;
+    cpopts.shards = cfg_.controller_shards;
+    cpopts.standbys = cfg_.controller_standbys;
+    cpopts.controller.tick_interval = cfg_.controller_tick;
+    control_plane_ =
+        std::make_unique<controller::ControlPlane>(&coord_, cpopts);
+    for (auto& h : hosts_) control_plane_->add_switch(h->id, h->sw.get());
   }
 
   for (auto& h : hosts_) {
@@ -72,7 +74,7 @@ Cluster::Cluster(ClusterConfig cfg)
   }
   manager_ = std::make_unique<stream::StreamingManager>(&coord_, &registry_,
                                                         std::move(mopts));
-  if (controller_) manager_->set_sdn_hooks(controller_.get());
+  if (control_plane_) manager_->set_sdn_hooks(control_plane_.get());
 }
 
 Cluster::~Cluster() { stop(); }
@@ -83,13 +85,18 @@ void Cluster::start() {
   for (auto& h : hosts_) {
     if (h->sw) h->sw->start();
   }
-  if (controller_) {
+  if (control_plane_) {
     if (cfg_.default_apps) {
-      controller_->add_app(std::make_unique<controller::FaultDetector>());
-      controller_->add_app(std::make_unique<controller::LiveDebugger>());
-      controller_->add_app(std::make_unique<controller::LoadBalancer>());
+      // App factory rather than direct add_app: every replica that becomes
+      // leader — the initial leaders now and any failover winner later —
+      // gets its own fresh set of control-plane apps.
+      control_plane_->set_app_factory([](controller::TyphoonController& c) {
+        c.add_app(std::make_unique<controller::FaultDetector>());
+        c.add_app(std::make_unique<controller::LiveDebugger>());
+        c.add_app(std::make_unique<controller::LoadBalancer>());
+      });
     }
-    controller_->start();
+    control_plane_->start();
   }
   for (auto& h : hosts_) h->agent->start();
   manager_->start();
@@ -101,7 +108,7 @@ void Cluster::stop() {
   manager_->stop();
   // Controller first: agent teardown detaches every port, and those events
   // must not be misread as faults.
-  if (controller_) controller_->stop();
+  if (control_plane_) control_plane_->stop();
   for (auto& h : hosts_) h->agent->stop();
   for (auto& h : hosts_) {
     if (h->sw) h->sw->stop();
@@ -251,7 +258,11 @@ bool Cluster::inject_worker_slowdown(const std::string& topology,
 }
 
 void Cluster::set_controller_partition(HostId host, bool partitioned) {
-  if (controller_) controller_->set_partitioned(host, partitioned);
+  if (control_plane_) control_plane_->set_partitioned(host, partitioned);
+}
+
+bool Cluster::crash_controller_shard(std::size_t shard) {
+  return control_plane_ && control_plane_->crash_shard_leader(shard);
 }
 
 void Cluster::sample_observability() {
@@ -273,32 +284,33 @@ std::int64_t Cluster::agent_restarts() const {
 }
 
 controller::FaultDetector* Cluster::fault_detector() {
-  if (!controller_) return nullptr;
-  return dynamic_cast<controller::FaultDetector*>(
-      controller_->app("fault-detector"));
+  controller::TyphoonController* ctl = controller();
+  if (ctl == nullptr) return nullptr;
+  return dynamic_cast<controller::FaultDetector*>(ctl->app("fault-detector"));
 }
 
 controller::LiveDebugger* Cluster::live_debugger() {
-  if (!controller_) return nullptr;
-  return dynamic_cast<controller::LiveDebugger*>(
-      controller_->app("live-debugger"));
+  controller::TyphoonController* ctl = controller();
+  if (ctl == nullptr) return nullptr;
+  return dynamic_cast<controller::LiveDebugger*>(ctl->app("live-debugger"));
 }
 
 controller::LoadBalancer* Cluster::load_balancer() {
-  if (!controller_) return nullptr;
-  return dynamic_cast<controller::LoadBalancer*>(
-      controller_->app("load-balancer"));
+  controller::TyphoonController* ctl = controller();
+  if (ctl == nullptr) return nullptr;
+  return dynamic_cast<controller::LoadBalancer*>(ctl->app("load-balancer"));
 }
 
 controller::AutoScaler* Cluster::add_auto_scaler(
     controller::AutoScalerPolicy policy) {
-  if (!controller_) return nullptr;
+  controller::TyphoonController* ctl = controller();
+  if (ctl == nullptr) return nullptr;
   auto app = std::make_unique<controller::AutoScaler>(
       std::move(policy), [this](const stream::ReconfigRequest& req) {
         return manager_->reconfigure(req);
       });
   controller::AutoScaler* raw = app.get();
-  controller_->add_app(std::move(app));
+  ctl->add_app(std::move(app));
   return raw;
 }
 

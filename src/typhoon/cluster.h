@@ -23,6 +23,7 @@
 #include "controller/apps/fault_detector.h"
 #include "controller/apps/live_debugger.h"
 #include "controller/apps/load_balancer.h"
+#include "controller/control_plane.h"
 #include "controller/controller.h"
 #include "coordinator/coordinator.h"
 #include "faultinject/impairment.h"
@@ -59,6 +60,13 @@ struct ClusterConfig {
 
   std::chrono::milliseconds controller_tick{50};
 
+  // Control-plane sharding + failover (DESIGN.md Sec 15). One shard and no
+  // standbys is the classic single-controller deployment; more shards hash-
+  // partition topologies across leader controllers, and standbys per shard
+  // enable coordinator-elected failover.
+  std::size_t controller_shards = 1;
+  std::size_t controller_standbys = 0;
+
   // Deploy the stock control-plane apps (fault detector, live debugger,
   // load balancer) at startup. The auto-scaler needs a policy, so it is
   // added explicitly via add_auto_scaler().
@@ -88,9 +96,16 @@ class Cluster {
   [[nodiscard]] coordinator::Coordinator& coord() { return coord_; }
   [[nodiscard]] stream::AppRegistry& registry() { return registry_; }
   [[nodiscard]] stream::StreamingManager& manager() { return *manager_; }
-  // Null in Storm mode.
+  // The shard-0 leader controller — the single controller in the default
+  // one-shard config. Null in Storm mode or while shard 0 is mid-failover;
+  // re-resolve after controller faults (the old leader dies with its
+  // shard). Null before start().
   [[nodiscard]] controller::TyphoonController* controller() {
-    return controller_.get();
+    return control_plane_ ? control_plane_->shard_leader(0) : nullptr;
+  }
+  // The sharded control-plane façade itself. Null in Storm mode.
+  [[nodiscard]] controller::ControlPlane* control_plane() {
+    return control_plane_.get();
   }
   [[nodiscard]] switchd::SoftSwitch* switch_at(HostId host) const;
   [[nodiscard]] std::vector<HostId> hosts() const { return host_ids_; }
@@ -146,11 +161,19 @@ class Cluster {
   // mode; no-op otherwise).
   void set_controller_partition(HostId host, bool partitioned);
 
+  // Fault injection: kill the leader controller of a control-plane shard.
+  // With standbys configured the coordinator election promotes one
+  // synchronously (rules repaired, in-flight control tuples requeued)
+  // before this returns. False without a live leader or in Storm mode.
+  bool crash_controller_shard(std::size_t shard);
+
   // Stock control-plane apps (Typhoon mode; nullptr otherwise).
   [[nodiscard]] controller::FaultDetector* fault_detector();
   [[nodiscard]] controller::LiveDebugger* live_debugger();
   [[nodiscard]] controller::LoadBalancer* load_balancer();
   // Deploy an auto-scaler app wired to this cluster's reconfigure service.
+  // Attaches to the current shard-0 leader; unlike the default apps it is
+  // not re-created by the failover app factory.
   controller::AutoScaler* add_auto_scaler(
       controller::AutoScalerPolicy policy);
 
@@ -182,7 +205,7 @@ class Cluster {
            std::pair<std::shared_ptr<net::TunnelEndpoint>,
                      std::shared_ptr<net::TunnelEndpoint>>>
       tunnels_;
-  std::unique_ptr<controller::TyphoonController> controller_;
+  std::unique_ptr<controller::ControlPlane> control_plane_;
   std::unique_ptr<stream::StreamingManager> manager_;
   bool started_ = false;
   // Deepest computed terminal hop across submitted topologies; -1 until

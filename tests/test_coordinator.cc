@@ -3,6 +3,7 @@
 // and watch delivery (exact, children, prefix).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
@@ -164,6 +165,64 @@ TEST(Coordinator, WatchCallbackMayReenterCoordinator) {
           });
   c.create("/trigger", {});
   EXPECT_EQ(*c.get_str("/reaction"), "done");
+}
+
+TEST(Coordinator, ReentrantWatchMutationsDrainFifoNeverNested) {
+  // A callback that mutates the tree must not have the secondary events
+  // delivered nested inside its own frame (re-entrancy); they queue and
+  // drain in mutation order once the outermost dispatch finishes.
+  Coordinator c;
+  std::vector<std::string> created;
+  int depth = 0;
+  int max_depth = 0;
+  c.watch(
+      "/fifo",
+      [&](const std::string& p, WatchEvent e, const common::Bytes&) {
+        ++depth;
+        max_depth = std::max(max_depth, depth);
+        if (e == WatchEvent::kCreated) {
+          created.push_back(p);
+          if (p == "/fifo/a") {
+            // Nested mutations: applied to the tree synchronously...
+            c.put_str("/fifo/b", "x");
+            c.put_str("/fifo/c", "x");
+            EXPECT_TRUE(c.exists("/fifo/b"));
+            EXPECT_TRUE(c.exists("/fifo/c"));
+            // ...but their watch events have not fired inside this frame.
+            EXPECT_EQ(created.back(), "/fifo/a");
+          }
+        }
+        --depth;
+      },
+      /*prefix=*/true);
+  c.create("/fifo/a", B("x"));
+  EXPECT_EQ(max_depth, 1) << "watch callbacks were re-entered";
+  // FIFO mutation order: implicit parent, a, then a's nested writes.
+  EXPECT_EQ(created, (std::vector<std::string>{"/fifo", "/fifo/a", "/fifo/b",
+                                               "/fifo/c"}));
+}
+
+TEST(Coordinator, ReentrantChainOfMutationsKeepsMutationOrder) {
+  // a -> writes b; b's event -> writes c; the chain drains breadth-first in
+  // the order the mutations happened, and every callback observes the tree
+  // state of all earlier mutations (consistency under re-entrancy).
+  Coordinator c;
+  std::vector<std::string> order;
+  c.watch(
+      "/chain",
+      [&](const std::string& p, WatchEvent e, const common::Bytes&) {
+        if (e != WatchEvent::kCreated) return;
+        order.push_back(p);
+        if (p == "/chain/a") c.put_str("/chain/b", "from-a");
+        if (p == "/chain/b") {
+          EXPECT_EQ(*c.get_str("/chain/b"), "from-a");
+          c.put_str("/chain/c", "from-b");
+        }
+      },
+      /*prefix=*/true);
+  c.create("/chain/a", B("x"));
+  EXPECT_EQ(order, (std::vector<std::string>{"/chain", "/chain/a", "/chain/b",
+                                             "/chain/c"}));
 }
 
 TEST(Coordinator, ConcurrentWritersStayConsistent) {

@@ -1,0 +1,390 @@
+// Sharded, failover-capable control plane (DESIGN.md Sec 15): incremental
+// (delta) rule compilation bounded by worker degree rather than topology
+// size, orphan-free rule removal at the default idle_timeout 0, hash
+// partitioning of topologies across shard leaders, and leader-crash
+// failover (FaultPlan `controller_crash`) that loses no sequenced control
+// tuples mid-run.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "controller/control_plane.h"
+#include "controller/rule_compiler.h"
+#include "stream/topology.h"
+#include "typhoon/cluster.h"
+#include "typhoon/fault_runner.h"
+#include "util/components.h"
+
+namespace typhoon {
+namespace {
+
+using namespace std::chrono_literals;
+using controller::ControlPlane;
+using controller::RuleCompiler;
+using controller::RuleDelta;
+using controller::RulesByHost;
+using stream::ReconfigRequest;
+using stream::TopologyBuilder;
+using testutil::ChaosSentences;
+using testutil::CollectingSink;
+using testutil::DedupCountBolt;
+using testutil::DedupCountState;
+using testutil::DedupSplitBolt;
+using testutil::ForwardBolt;
+using testutil::ReplayableSentenceSpout;
+using testutil::SequenceSpout;
+using testutil::SinkState;
+
+template <typename F>
+bool WaitFor(F&& pred, std::chrono::milliseconds timeout) {
+  const auto deadline = common::Now() + timeout;
+  while (common::Now() < deadline) {
+    if (pred()) return true;
+    common::SleepMillis(10);
+  }
+  return pred();
+}
+
+std::size_t CountRules(const RulesByHost& rules) {
+  std::size_t n = 0;
+  for (const auto& [h, rs] : rules) n += rs.size();
+  return n;
+}
+
+// src (kSrcPar workers) -> dst (`dst_par` workers), shuffle, spread over
+// `hosts` hosts round-robin. Worker ids/ports are deterministic so two
+// calls with different dst_par produce supersets of each other.
+constexpr int kSrcPar = 4;
+
+void BigTopology(int dst_par, int hosts, stream::TopologySpec& spec,
+                 stream::PhysicalTopology& phys) {
+  spec = {};
+  phys = {};
+  spec.id = 7;
+  spec.name = "big";
+  spec.nodes = {{1, "src", kSrcPar, true, false},
+                {2, "dst", dst_par, false, false}};
+  spec.edges = {{1, 2, stream::GroupingType::kShuffle, {},
+                 stream::kDefaultStream}};
+  phys.id = 7;
+  phys.name = "big";
+  for (int i = 0; i < kSrcPar; ++i) {
+    phys.workers.push_back({static_cast<WorkerId>(100 + i), 1, i,
+                            static_cast<HostId>(1 + i % hosts),
+                            static_cast<PortId>(1100 + i)});
+  }
+  for (int i = 0; i < dst_par; ++i) {
+    phys.workers.push_back({static_cast<WorkerId>(1000 + i), 2, i,
+                            static_cast<HostId>(1 + i % hosts),
+                            static_cast<PortId>(2000 + i)});
+  }
+}
+
+// Tentpole acceptance: on a 512-worker topology, adding or removing one
+// worker recompiles O(worker-degree) FlowMods, not O(topology size).
+TEST(CtrlPlane, DeltaCompileIsWorkerDegreeBoundedAt512Workers) {
+  stream::TopologySpec spec512;
+  stream::PhysicalTopology phys512;
+  BigTopology(512, 8, spec512, phys512);
+
+  RuleCompiler c;
+  const RulesByHost full = c.compile_full(spec512, phys512);
+  const std::size_t full_rules = CountRules(full);
+  // 4x512 unicast pairs (1 or 2 rules each) + 2 control rules per worker.
+  ASSERT_GT(full_rules, 3000u);
+
+  // Grow dst by one worker. The new worker's degree: kSrcPar incoming
+  // pairs (at most sender+receiver each) + its 2 control rules.
+  stream::TopologySpec spec513;
+  stream::PhysicalTopology phys513;
+  BigTopology(513, 8, spec513, phys513);
+  const RuleDelta grow = c.compile_delta(spec513, phys513);
+  const std::size_t degree_bound = 2 * kSrcPar + 2;
+  EXPECT_LE(grow.total(), degree_bound) << "rebalance recompiled the world";
+  EXPECT_EQ(CountRules(grow.dels), 0u);
+  EXPECT_EQ(CountRules(grow.mods), 0u);
+  // The O() claim, concretely: the delta is >100x smaller than the table.
+  EXPECT_LT(grow.total() * 100, full_rules);
+
+  // Shrink back. Same bound, now as explicit deletes — including the
+  // worker->controller rule, whose match carries only the dead worker's
+  // in_port (an address sweep alone would leak it; satellite regression).
+  const RuleDelta shrink = c.compile_delta(spec512, phys512);
+  EXPECT_LE(shrink.total(), degree_bound);
+  EXPECT_EQ(CountRules(shrink.adds), 0u);
+  const PortId removed_port = 2000 + 512;
+  bool to_controller_deleted = false;
+  for (const auto& [host, rs] : shrink.dels) {
+    for (const openflow::FlowRule& r : rs) {
+      if (r.match.in_port == removed_port &&
+          r.priority == controller::kPrioControl) {
+        to_controller_deleted = true;
+      }
+    }
+  }
+  EXPECT_TRUE(to_controller_deleted)
+      << "removed worker's to-controller rule not explicitly deleted";
+
+  // The cache converged back to the 512-worker set: replaying the same
+  // physical plan is a no-op delta.
+  EXPECT_TRUE(c.compile_delta(spec512, phys512).empty());
+}
+
+TEST(CtrlPlane, DeltaFallsBackToFullAddsWithoutCachedState) {
+  stream::TopologySpec spec;
+  stream::PhysicalTopology phys;
+  BigTopology(8, 2, spec, phys);
+  RuleCompiler c;
+  // No compile_full first: everything is an add (recovered-controller path).
+  const RuleDelta d = c.compile_delta(spec, phys);
+  EXPECT_EQ(d.total(), CountRules(c.compile(spec, phys)));
+  EXPECT_EQ(CountRules(d.dels), 0u);
+}
+
+// Satellite regression: at the default data_rule_idle_timeout_s == 0 a
+// scale-down must leave no rule on any switch that references a removed
+// worker's port or address — the leak was rules whose match does not
+// mention the worker's address (to-controller, emptied broadcast legs).
+TEST(CtrlPlane, ScaleDownLeavesNoOrphanRulesOnAnySwitch) {
+  ClusterConfig cfg;
+  cfg.num_hosts = 2;
+  Cluster cluster(cfg);
+  cluster.start();
+
+  auto state = std::make_shared<SinkState>();
+  TopologyBuilder b("orph");
+  const NodeId src = b.add_spout(
+      "src", [] { return std::make_unique<SequenceSpout>(0, 8, 0, 30000.0); },
+      1);
+  const NodeId mid = b.add_bolt(
+      "mid", [] { return std::make_unique<ForwardBolt>(); }, 3);
+  const NodeId sink = b.add_bolt(
+      "sink", [state] { return std::make_unique<CollectingSink>(state); }, 1);
+  b.shuffle(src, mid);
+  b.shuffle(mid, sink);
+  auto tid = cluster.submit(b.build().value());
+  ASSERT_TRUE(tid.ok());
+  ASSERT_TRUE(WaitFor([&] { return state->received.load() > 2000; }, 10s));
+
+  ReconfigRequest req;
+  req.kind = ReconfigRequest::Kind::kScaleDown;
+  req.topology = "orph";
+  req.node = "mid";
+  req.count = 2;
+  ASSERT_TRUE(cluster.reconfigure(req).ok());
+
+  // Live worker ports/addresses after the scale-down.
+  const auto phys = cluster.manager().physical("orph");
+  ASSERT_TRUE(phys.ok());
+  std::set<PortId> live_ports;
+  std::set<std::uint64_t> live_addrs;
+  for (const stream::PhysicalWorker& w : phys.value().workers) {
+    live_ports.insert(w.port);
+    live_addrs.insert(WorkerAddress{tid.value(), w.id}.packed());
+  }
+  live_addrs.insert(WorkerAddress{tid.value(), kControllerWorker}.packed());
+  live_addrs.insert(BroadcastAddress(tid.value()).packed());
+  const auto port_ok = [&](std::optional<PortId> p) {
+    return !p.has_value() || *p == switchd::SoftSwitch::kTunnelPort ||
+           *p == kPortController || live_ports.count(*p) > 0;
+  };
+  const auto addr_ok = [&](std::optional<std::uint64_t> a) {
+    return !a.has_value() || live_addrs.count(*a) > 0;
+  };
+
+  for (HostId h : cluster.hosts()) {
+    for (const openflow::FlowRule& r : cluster.switch_at(h)->flow_rules()) {
+      if (r.cookie != tid.value()) continue;
+      EXPECT_TRUE(port_ok(r.match.in_port))
+          << "orphan: host " << h << " rule matches dead port "
+          << *r.match.in_port;
+      EXPECT_TRUE(addr_ok(r.match.dl_src) && addr_ok(r.match.dl_dst))
+          << "orphan: host " << h << " rule references dead worker address";
+    }
+  }
+
+  // The rebalance went through the incremental path.
+  ASSERT_NE(cluster.controller(), nullptr);
+  EXPECT_GT(cluster.controller()->flowmods_delta(), 0);
+  cluster.stop();
+}
+
+// Multi-shard partitioning: topologies hash to fixed shards, hooks and
+// switch events reach only the owning shard's leader, and data still flows
+// end to end on every topology.
+TEST(CtrlPlane, TwoShardsPartitionTopologiesAndBothCarryTraffic) {
+  ClusterConfig cfg;
+  cfg.num_hosts = 2;
+  cfg.controller_shards = 2;
+  Cluster cluster(cfg);
+  cluster.start();
+
+  ControlPlane* cp = cluster.control_plane();
+  ASSERT_NE(cp, nullptr);
+  ASSERT_EQ(cp->shards(), 2u);
+  ASSERT_NE(cp->shard_leader(0), nullptr);
+  ASSERT_NE(cp->shard_leader(1), nullptr);
+  EXPECT_NE(cp->shard_leader(0), cp->shard_leader(1));
+
+  std::vector<std::shared_ptr<SinkState>> states;
+  std::vector<TopologyId> tids;
+  for (int i = 0; i < 3; ++i) {
+    auto state = std::make_shared<SinkState>();
+    TopologyBuilder b("multi" + std::to_string(i));
+    const NodeId src = b.add_spout(
+        "src",
+        [] { return std::make_unique<SequenceSpout>(0, 8, 0, 10000.0); }, 1);
+    const NodeId sink = b.add_bolt(
+        "sink", [state] { return std::make_unique<CollectingSink>(state); },
+        2);
+    b.shuffle(src, sink);
+    auto tid = cluster.submit(b.build().value());
+    ASSERT_TRUE(tid.ok());
+    states.push_back(state);
+    tids.push_back(tid.value());
+  }
+
+  std::set<std::size_t> shards_used;
+  for (TopologyId tid : tids) {
+    const std::size_t shard = ControlPlane::ShardOfTopology(tid, 2);
+    shards_used.insert(shard);
+    controller::TyphoonController* owner = cp->leader_of(tid);
+    ASSERT_EQ(owner, cp->shard_leader(shard));
+    // Only the owning shard mirrors the topology's state.
+    const auto owned = owner->topology_ids();
+    EXPECT_NE(std::find(owned.begin(), owned.end(), tid), owned.end());
+    const auto other = cp->shard_leader(1 - shard)->topology_ids();
+    EXPECT_EQ(std::find(other.begin(), other.end(), tid), other.end());
+  }
+  // With 3 sequential ids the splitmix64 partition uses both shards.
+  EXPECT_EQ(shards_used.size(), 2u);
+
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    EXPECT_TRUE(WaitFor([&] { return states[i]->received.load() > 1000; },
+                        10s))
+        << "topology " << tids[i] << " starved";
+  }
+  cluster.stop();
+}
+
+// Ground truth for the failover chaos run.
+std::map<std::string, std::int64_t> ExpectedCounts(std::int64_t limit) {
+  std::map<std::string, std::int64_t> expected;
+  const auto& sentences = ChaosSentences();
+  for (std::int64_t seq = 0; seq < limit; ++seq) {
+    std::istringstream is(sentences[seq % sentences.size()]);
+    std::string word;
+    while (is >> word) ++expected[word];
+  }
+  return expected;
+}
+
+// Failover chaos (tentpole acceptance): the shard-0 leader is killed by a
+// scripted `controller_crash` fault while a reliable word count is running
+// and a scale-up rebalance is issued around the crash window. The standby
+// takes over from the coordinator checkpoint; every word occurrence is
+// still counted exactly once and the reconfigure completes under the new
+// leader — zero lost sequenced control tuples.
+TEST(CtrlPlane, LeaderCrashMidRunFailsOverWithExactCounts) {
+  ClusterConfig cfg;
+  cfg.num_hosts = 2;
+  cfg.controller_standbys = 1;
+  Cluster cluster(cfg);
+  cluster.start();
+
+  controller::TyphoonController* old_leader = cluster.controller();
+  ASSERT_NE(old_leader, nullptr);
+
+  constexpr std::int64_t kSentenceLimit = 2000;
+  auto progress = std::make_shared<std::atomic<std::int64_t>>(0);
+  auto counts = std::make_shared<DedupCountState>();
+
+  TopologyBuilder b("failover");
+  const NodeId src = b.add_spout(
+      "src",
+      [progress, kSentenceLimit] {
+        return std::make_unique<ReplayableSentenceSpout>(kSentenceLimit,
+                                                         progress, 8, 12000.0);
+      },
+      1);
+  const NodeId split = b.add_bolt(
+      "split", [] { return std::make_unique<DedupSplitBolt>(); }, 2);
+  const NodeId count = b.add_bolt(
+      "count", [counts] { return std::make_unique<DedupCountBolt>(counts); },
+      2);
+  b.shuffle(src, split);
+  b.fields(split, count, {0});
+
+  stream::SubmitOptions sopts;
+  sopts.reliable = true;
+  sopts.pending_timeout_ms = 800;
+  ASSERT_TRUE(cluster.submit(b.build().value(), sopts).ok());
+
+  auto plan = faultinject::FaultPlan::Parse(
+      "at_tuples=700 fault=controller_crash shard=0\n");
+  ASSERT_TRUE(plan.ok()) << plan.status().str();
+  FaultPlanRunner faults(&cluster, std::move(plan.value()));
+  faults.set_tuple_probe([progress] { return progress->load(); });
+  faults.start();
+
+  // A rebalance issued in the crash window: either the dying leader or the
+  // incoming one (via deferred-hook replay) must carry its control tuples.
+  ASSERT_TRUE(WaitFor([&] { return progress->load() >= 650; }, 30s));
+  ReconfigRequest req;
+  req.kind = ReconfigRequest::Kind::kScaleUp;
+  req.topology = "failover";
+  req.node = "split";
+  req.count = 1;
+  ASSERT_TRUE(cluster.reconfigure(req).ok());
+
+  std::int64_t expected_total = 0;
+  for (const auto& [w, c] : ExpectedCounts(kSentenceLimit)) {
+    expected_total += c;
+  }
+  ASSERT_TRUE(WaitFor(
+      [&] { return counts->unique.load() >= expected_total; }, 90s))
+      << "counted " << counts->unique.load() << "/" << expected_total;
+  ASSERT_TRUE(WaitFor([&] { return faults.done(); }, 10s));
+  faults.stop();
+
+  {
+    std::lock_guard lk(counts->mu);
+    EXPECT_EQ(counts->counts, ExpectedCounts(kSentenceLimit));
+  }
+
+  // The crash genuinely happened and the standby genuinely took over.
+  EXPECT_EQ(faults.misses(), 0);
+  EXPECT_GE(faults.fired(), 1);
+  ASSERT_NE(cluster.control_plane(), nullptr);
+  EXPECT_EQ(cluster.control_plane()->failovers(), 1);
+  controller::TyphoonController* new_leader = cluster.controller();
+  ASSERT_NE(new_leader, nullptr);
+  EXPECT_NE(new_leader, old_leader);
+  EXPECT_TRUE(old_leader->crashed());
+  // The new leader drained every restored/replayed control tuple.
+  EXPECT_TRUE(WaitFor([&] { return new_leader->control_in_flight() == 0; },
+                      10s));
+  EXPECT_EQ(cluster.workers_of_node("failover", "split").size(), 3u);
+  cluster.stop();
+}
+
+// Crashing the only replica of a shard (no standby) is still a clean,
+// reported state: the shard goes leaderless, the facade says so, and a
+// second crash call reports false.
+TEST(CtrlPlane, CrashWithoutStandbyLeavesShardLeaderless) {
+  ClusterConfig cfg;
+  cfg.num_hosts = 1;
+  Cluster cluster(cfg);
+  cluster.start();
+  ASSERT_NE(cluster.controller(), nullptr);
+  EXPECT_TRUE(cluster.crash_controller_shard(0));
+  EXPECT_EQ(cluster.controller(), nullptr);
+  EXPECT_EQ(cluster.control_plane()->failovers(), 0);
+  EXPECT_FALSE(cluster.crash_controller_shard(0));
+  cluster.stop();
+}
+
+}  // namespace
+}  // namespace typhoon
