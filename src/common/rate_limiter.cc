@@ -44,8 +44,17 @@ void RateLimiter::acquire(double n) {
 void RateLimiter::set_rate(double rate_per_sec) {
   std::lock_guard lk(mu_);
   refill_locked();
+  const double old_rate = rate_;
   rate_ = rate_per_sec;
   burst_ = std::max(rate_per_sec / 50.0, 64.0);
+  // Re-seed the remaining tokens proportionally to the rate change: credit
+  // expressed as *time at the old rate* keeps its time meaning at the new
+  // one, so a rate cut binds within one refill interval (~20 ms) instead of
+  // after the old token window drains. The old clamp-to-burst alone let a
+  // cut to a tiny rate coast on up to a full old-burst of tokens.
+  if (old_rate > 0.0 && rate_per_sec > 0.0 && tokens_ > 0.0) {
+    tokens_ *= rate_per_sec / old_rate;
+  }
   tokens_ = std::min(tokens_, burst_);
 }
 

@@ -472,6 +472,30 @@ void TyphoonController::checkpoint_seq() {
   (void)coord_->put(opts_.checkpoint_prefix + "/seq", std::move(blob));
 }
 
+void TyphoonController::checkpoint_blob(const std::string& key,
+                                        common::Bytes blob) {
+  if (opts_.checkpoint_prefix.empty() || crashed()) return;
+  (void)coord_->put(opts_.checkpoint_prefix + "/app/" + key, std::move(blob));
+}
+
+std::optional<common::Bytes> TyphoonController::read_blob(
+    const std::string& key) const {
+  if (opts_.checkpoint_prefix.empty()) return std::nullopt;
+  auto r = coord_->get(opts_.checkpoint_prefix + "/app/" + key);
+  if (!r.ok()) return std::nullopt;
+  return std::move(r).value();
+}
+
+bool TyphoonController::program_port_rate(HostId host, PortId port,
+                                          double bytes_per_sec) {
+  if (crashed()) return false;
+  switchd::SoftSwitch* sw = switch_at(host);
+  if (sw == nullptr) return false;
+  sw->set_port_ingress_rate(port, bytes_per_sec);
+  rate_updates_.fetch_add(1);
+  return true;
+}
+
 common::Result<stream::MetricReport> TyphoonController::query_worker_metrics(
     TopologyId topology, WorkerId worker, std::chrono::milliseconds timeout) {
   const std::uint64_t req_id = next_request_.fetch_add(1);

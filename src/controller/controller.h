@@ -174,6 +174,24 @@ class TyphoonController final : public stream::SdnHooks {
   [[nodiscard]] std::vector<openflow::FlowStats> flow_stats(
       HostId host, std::optional<std::uint64_t> cookie = std::nullopt) const;
 
+  // Program a per-port ingress shaper rate on a host switch (the QoS app's
+  // actuator; 0 clears). No-ops after crash() — a dead controller must not
+  // keep reprogramming the dataplane. Returns false when the host is
+  // unknown or the controller is dead; successful calls bump rate_updates.
+  bool program_port_rate(HostId host, PortId port, double bytes_per_sec);
+  [[nodiscard]] std::int64_t rate_updates() const {
+    return rate_updates_.load();
+  }
+
+  // App-state checkpointing under this controller's shard checkpoint
+  // prefix (`<prefix>/app/<key>`): lets a control-plane app persist its
+  // own state (e.g. the QoS allocation) so the failover winner's re-created
+  // app restores it. No-op/empty when checkpointing is off or the
+  // controller has crashed.
+  void checkpoint_blob(const std::string& key, common::Bytes blob);
+  [[nodiscard]] std::optional<common::Bytes> read_blob(
+      const std::string& key) const;
+
   // Mirrored global state (learned via the coordinator-fed hooks).
   [[nodiscard]] std::optional<stream::TopologySpec> spec(
       TopologyId id) const;
@@ -272,6 +290,7 @@ class TyphoonController final : public stream::SdnHooks {
   std::atomic<std::int64_t> ctl_abandoned_{0};
 
   std::atomic<bool> crashed_{false};
+  std::atomic<std::int64_t> rate_updates_{0};
   std::atomic<std::int64_t> flowmods_delta_{0};
   std::atomic<std::int64_t> flowmods_full_{0};
   std::atomic<std::int64_t> rules_touched_{0};

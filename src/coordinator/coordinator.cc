@@ -157,13 +157,34 @@ common::Status Coordinator::set(const std::string& path, common::Bytes data) {
 }
 
 common::Status Coordinator::put(const std::string& path, common::Bytes data) {
+  if (!ValidPath(path) || path == "/") {
+    return common::InvalidArgument("bad path: " + path);
+  }
+  // Single atomic create-or-set. Must not delegate to create()/set() while
+  // holding mu_: they dispatch watch callbacks, and a callback that touches
+  // another subsystem's lock (e.g. a control-plane shard) would order
+  // mu_ -> other, while that subsystem's own coordinator calls order
+  // other -> mu_ — a lock-order inversion. Watchers fire after mu_ drops,
+  // like every other mutator here.
+  std::vector<std::pair<WatchCallback, PendingEvent>> fired;
   {
     std::lock_guard lk(mu_);
-    if (!nodes_.contains(path)) {
-      return create(path, std::move(data));
+    auto it = nodes_.find(path);
+    if (it != nodes_.end()) {
+      it->second.data = data;
+      ++it->second.stat.version;
+      collect_watchers(path, WatchEvent::kDataChanged, data, fired);
+    } else {
+      ensure_parents_locked(path, fired);
+      Node n;
+      n.data = data;
+      nodes_[path] = std::move(n);
+      kids_[ParentOf(path)].insert(BaseName(path));
+      collect_watchers(path, WatchEvent::kCreated, data, fired);
     }
   }
-  return set(path, std::move(data));
+  dispatch(std::move(fired));
+  return common::Status::Ok();
 }
 
 common::Result<common::Bytes> Coordinator::get(const std::string& path) const {

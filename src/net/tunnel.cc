@@ -1,6 +1,8 @@
 #include "net/tunnel.h"
 
+#include <chrono>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "common/hash.h"
@@ -43,6 +45,15 @@ bool TunnelEndpoint::send(const Packet& p) {
   // overhead, excluded so throughput probes keep their pre-trailer meaning.
   const std::size_t body_bytes = frame.size();
   AppendChecksum(frame);
+
+  // Capacity cap: wait for token credit before the frame reaches the wire
+  // (blocking-send = TCP back-pressure, so saturation stalls the sender).
+  // The wait always terminates — a positive rate keeps refilling, and a
+  // concurrently closed queue just rejects the push afterward.
+  while (tx_limited_.load(std::memory_order_acquire) &&
+         !tx_bucket_.try_spend(static_cast<double>(body_bytes))) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
 
   bool ok = false;
   bool handled = false;
@@ -96,16 +107,31 @@ std::size_t TunnelEndpoint::try_send_burst(
   std::size_t body_bytes_total = 0;
   std::vector<std::size_t> body_bytes;
   body_bytes.reserve(pkts.size());
+  const bool capped = tx_limited_.load(std::memory_order_acquire);
   for (const Packet* p : pkts) {
     common::Bytes frame;
     frame.reserve(p->wire_size() + kChecksumBytes);
     EncodeFrame(*p, frame);
+    // On a capped link the burst stops at the first frame the bucket
+    // cannot cover yet; the caller keeps the tail (its fallback is the
+    // blocking send, which waits for credit).
+    if (capped && !tx_bucket_.try_spend(static_cast<double>(frame.size()))) {
+      break;
+    }
     body_bytes.push_back(frame.size());
     AppendChecksum(frame);
     frames.push_back(std::move(frame));
   }
   const std::size_t pushed = tx_->q.try_push_bulk(frames.begin(),
                                                   frames.size());
+  if (capped) {
+    // Refund credit for frames the full ring rejected — they were charged
+    // on admission but never reached the wire (the caller will re-pay when
+    // it retries them).
+    for (std::size_t i = pushed; i < frames.size(); ++i) {
+      tx_bucket_.spend(-static_cast<double>(body_bytes[i]));
+    }
+  }
   for (std::size_t i = 0; i < pushed; ++i) body_bytes_total += body_bytes[i];
   bytes_.fetch_add(body_bytes_total, std::memory_order_relaxed);
   sent_.fetch_add(pushed, std::memory_order_relaxed);
@@ -181,6 +207,13 @@ void TunnelEndpoint::set_rx_notify(std::function<void()> fn) {
   rx_->notify = std::move(fn);
   rx_->has_notify.store(rx_->notify != nullptr, std::memory_order_release);
 }
+
+void TunnelEndpoint::set_tx_rate(double bytes_per_sec) {
+  tx_bucket_.set_rate(bytes_per_sec);
+  tx_limited_.store(bytes_per_sec > 0.0, std::memory_order_release);
+}
+
+double TunnelEndpoint::tx_rate() const { return tx_bucket_.rate(); }
 
 faultinject::Impairment* TunnelEndpoint::set_impairment(
     const faultinject::ImpairmentConfig& cfg) {

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/mpmc_queue.h"
+#include "common/token_bucket.h"
 #include "faultinject/impairment.h"
 #include "net/packet.h"
 
@@ -88,6 +89,16 @@ class TunnelEndpoint {
   void clear_impairment();
   [[nodiscard]] faultinject::Impairment* impairment();
 
+  // Cap this endpoint's transmit byte rate (a genuinely bandwidth-bounded
+  // link — the congestion substrate for the QoS experiments). The blocking
+  // send() waits for token credit (TCP back-pressure semantics, so a switch
+  // shard flushing into a saturated link stalls and the pressure propagates
+  // upstream); try_send_burst stops at the first frame the bucket cannot
+  // yet cover, leaving the tail with the caller. 0 clears the cap.
+  // Thread-safe; the uncapped path pays one relaxed load.
+  void set_tx_rate(double bytes_per_sec);
+  [[nodiscard]] double tx_rate() const;
+
  private:
   friend std::pair<std::shared_ptr<TunnelEndpoint>,
                    std::shared_ptr<TunnelEndpoint>>
@@ -127,6 +138,11 @@ class TunnelEndpoint {
   std::mutex impair_mu_;
   std::unique_ptr<faultinject::Shaper<common::Bytes>> shaper_;
   std::atomic<bool> impaired_{false};
+
+  // TX capacity cap (bytes/s); the bucket has internal locking and the
+  // flag gates the uncapped fast path.
+  common::ByteBucket tx_bucket_;
+  std::atomic<bool> tx_limited_{false};
 };
 
 // Create a bidirectional tunnel; returns the two endpoints.

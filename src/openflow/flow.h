@@ -194,6 +194,10 @@ struct PortStats {
   std::uint64_t rx_bytes = 0;
   std::uint64_t tx_bytes = 0;
   std::uint64_t tx_dropped = 0;  // ring-full drops (Sec 8 discussion)
+  // Frames queued worker->switch, not yet polled. Nonzero under ingress
+  // rate shaping means latent demand above the programmed rate — the
+  // signal the QoS app's demand probe keys off.
+  std::uint64_t rx_backlog = 0;
 };
 
 struct FlowStats {

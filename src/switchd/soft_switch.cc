@@ -237,6 +237,54 @@ void SoftSwitch::refresh_impair_cache(Shard& sh) {
   sh.impair_cache_gen = impair_gen_.load(std::memory_order_acquire);
 }
 
+void SoftSwitch::set_port_ingress_rate(PortId port, double bytes_per_sec) {
+  std::lock_guard lk(rate_mu_);
+  if (bytes_per_sec <= 0.0) {
+    if (rate_master_.erase(port) == 0) return;  // nothing to clear
+  } else if (auto it = rate_master_.find(port); it != rate_master_.end()) {
+    // Live rate change: re-seed the existing bucket in place (tokens scale
+    // proportionally, so a cut binds within one refill interval). Shards
+    // already hold this shared_ptr — no generation bump needed.
+    it->second->bucket.set_rate(bytes_per_sec);
+    return;
+  } else {
+    rate_master_[port] = std::make_shared<PortRateShaper>(bytes_per_sec);
+  }
+  rate_limited_.store(!rate_master_.empty(), std::memory_order_release);
+  rate_gen_.fetch_add(1, std::memory_order_release);
+  // Shapers added/removed: wake every shard so parked ones re-evaluate
+  // their poll predicate against the new map.
+  for (const auto& sh : shards_) sh->gate->notify();
+}
+
+double SoftSwitch::port_ingress_rate(PortId port) const {
+  std::lock_guard lk(rate_mu_);
+  auto it = rate_master_.find(port);
+  return it == rate_master_.end() ? 0.0 : it->second->bucket.rate();
+}
+
+std::vector<SoftSwitch::PortShaperStats> SoftSwitch::shaper_stats() const {
+  std::lock_guard lk(rate_mu_);
+  std::vector<PortShaperStats> out;
+  out.reserve(rate_master_.size());
+  for (const auto& [id, sh] : rate_master_) {
+    out.push_back({id, sh->bucket.rate(),
+                   sh->shaped_bytes.load(std::memory_order_relaxed),
+                   sh->defers.load(std::memory_order_relaxed)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.port < b.port; });
+  return out;
+}
+
+void SoftSwitch::refresh_rate_cache(Shard& sh) {
+  const std::uint64_t gen = rate_gen_.load(std::memory_order_acquire);
+  if (gen == sh.rate_cache_gen) return;
+  std::lock_guard lk(rate_mu_);
+  sh.rate_cache = rate_master_;
+  sh.rate_cache_gen = rate_gen_.load(std::memory_order_acquire);
+}
+
 void SoftSwitch::publish_tables_locked() {
   auto snap = std::make_shared<TableSnapshot>();
   snap->generation = table_gen_.load(std::memory_order_relaxed) + 1;
@@ -392,6 +440,7 @@ std::vector<openflow::PortStats> SoftSwitch::port_stats() const {
     s.tx_packets = p->tx_packets.load(std::memory_order_relaxed);
     s.tx_bytes = p->tx_bytes.load(std::memory_order_relaxed);
     s.tx_dropped = p->tx_dropped.load(std::memory_order_relaxed);
+    s.rx_backlog = p->to_switch.size();
     out.push_back(s);
   }
   std::sort(out.begin(), out.end(),
@@ -851,13 +900,27 @@ bool SoftSwitch::shard_has_work(const Shard& sh) const {
   if (!running_.load(std::memory_order_relaxed)) return true;  // wake to exit
   if (!sh.egress_pending.empty()) return true;
   // Stale caches count as work: a just-attached port or tunnel may hold
-  // traffic the cached views can't see yet.
+  // traffic the cached views can't see yet (likewise a just-changed rate-
+  // shaper map).
   if (ports_gen_.load(std::memory_order_acquire) != sh.port_cache_gen ||
       tunnels_gen_.load(std::memory_order_acquire) != sh.tunnel_cache_gen) {
     return true;
   }
+  const bool rate_limited = rate_limited_.load(std::memory_order_acquire);
+  if (rate_limited &&
+      rate_gen_.load(std::memory_order_acquire) != sh.rate_cache_gen) {
+    return true;
+  }
   for (const auto& [id, port] : *sh.poll_cache) {
-    if (!port->to_switch.empty()) return true;
+    if (port->to_switch.empty()) continue;
+    // A throttled port with an empty bucket is not pollable work: parking
+    // is what bounds the shaper's spin, and the park timeout (<= 10 ms)
+    // bounds the refill latency.
+    if (rate_limited) {
+      auto it = sh.rate_cache.find(id);
+      if (it != sh.rate_cache.end() && !it->second->bucket.ready()) continue;
+    }
+    return true;
   }
   for (const TunnelRef& t : *sh.tunnel_rx_cache) {
     if (t.ep->rx_queue_depth() != 0) return true;
@@ -896,7 +959,25 @@ void SoftSwitch::run_shard(Shard& sh) {
       const std::shared_ptr<const PollList> poll = sh.poll_cache;
       const bool impaired = impaired_.load(std::memory_order_relaxed);
       if (impaired) refresh_impair_cache(sh);
+      const bool rate_limited = rate_limited_.load(std::memory_order_relaxed);
+      if (rate_limited) refresh_rate_cache(sh);
       for (const auto& [id, port] : *poll) {
+        // QoS ingress shaping: an empty token bucket defers this port's
+        // poll round entirely (never drops — the ring holds the frames and
+        // the worker's send loop feels the pressure). Admission is debt-
+        // based: a positive bucket admits a whole burst and is charged its
+        // true byte weight afterward.
+        PortRateShaper* rl = nullptr;
+        if (rate_limited) {
+          auto it = sh.rate_cache.find(id);
+          if (it != sh.rate_cache.end()) rl = it->second.get();
+        }
+        if (rl != nullptr && !rl->bucket.ready()) {
+          if (!port->to_switch.empty()) {
+            rl->defers.fetch_add(1, std::memory_order_relaxed);
+          }
+          continue;
+        }
         sh.port_burst.clear();
         const std::size_t n = port->to_switch.pop_bulk(
             std::back_inserter(sh.port_burst), cfg_.poll_burst);
@@ -907,6 +988,10 @@ void SoftSwitch::run_shard(Shard& sh) {
         }
         port->rx_packets.fetch_add(n, std::memory_order_relaxed);
         port->rx_bytes.fetch_add(bytes, std::memory_order_relaxed);
+        if (rl != nullptr) {
+          rl->bucket.spend(static_cast<double>(bytes));
+          rl->shaped_bytes.fetch_add(bytes, std::memory_order_relaxed);
+        }
         work += n;
         GuardedShaper* shaper = nullptr;
         if (impaired) {

@@ -72,6 +72,7 @@
 #include "common/ids.h"
 #include "common/mpmc_queue.h"
 #include "common/spsc_ring.h"
+#include "common/token_bucket.h"
 #include "common/wakeup_gate.h"
 #include "faultinject/impairment.h"
 #include "net/packet.h"
@@ -183,6 +184,28 @@ class SoftSwitch {
       PortId port, const faultinject::ImpairmentConfig& cfg);
   void clear_port_impairments(PortId port);
 
+  // ---- QoS: per-port ingress rate shaping ----
+  // Cap the byte rate at which the port's worker->switch ring is polled
+  // (the worker's egress into the fabric — the shaper actuator the QoS
+  // controller app programs). Debt-based and lossless: when the port's
+  // token bucket is empty the shard defers polling it, so pressure backs up
+  // into the SPSC ring and the worker's own send loop instead of dropping.
+  // 0 clears the cap. Thread-safe; the unshaped fast path pays one relaxed
+  // load. A live rate change re-seeds tokens proportionally, binding within
+  // one refill interval (~20 ms).
+  void set_port_ingress_rate(PortId port, double bytes_per_sec);
+  // Currently programmed cap for the port (0 = unshaped).
+  [[nodiscard]] double port_ingress_rate(PortId port) const;
+  // Per-port shaper accounting: bytes admitted under the cap and poll
+  // rounds deferred for an empty bucket (with traffic waiting).
+  struct PortShaperStats {
+    PortId port = 0;
+    double rate_bps = 0.0;
+    std::uint64_t shaped_bytes = 0;
+    std::uint64_t throttle_defers = 0;
+  };
+  [[nodiscard]] std::vector<PortShaperStats> shaper_stats() const;
+
   // ---- OpenFlow control interface ----
   // What one FlowMod actually changed in the table — kAdd reports added or
   // modified (replace-in-place), kModify/kDelete report the rule count
@@ -278,6 +301,17 @@ class SoftSwitch {
     PacketShaper shaper;
   };
   using ImpairMap = std::unordered_map<PortId, std::shared_ptr<GuardedShaper>>;
+
+  // One port's programmed ingress rate cap plus its accounting. The bucket
+  // has internal locking (set_rate races the polling shard); counters are
+  // relaxed atomics written by the owning shard only.
+  struct PortRateShaper {
+    explicit PortRateShaper(double bps) : bucket(bps) {}
+    common::ByteBucket bucket;
+    std::atomic<std::uint64_t> shaped_bytes{0};
+    std::atomic<std::uint64_t> defers{0};
+  };
+  using RateMap = std::unordered_map<PortId, std::shared_ptr<PortRateShaper>>;
   using PollList =
       std::vector<std::pair<PortId, std::shared_ptr<PortHandle::Port>>>;
 
@@ -354,6 +388,9 @@ class SoftSwitch {
     ImpairMap ingress_impair;
     ImpairMap egress_impair;
     std::uint64_t impair_cache_gen = 0;
+    // Shard-cached ingress rate-shaper map (same generation idiom).
+    RateMap rate_cache;
+    std::uint64_t rate_cache_gen = 0;
     std::vector<net::PacketPtr> ingress_scratch;
     std::vector<net::PacketPtr> egress_scratch;
     // Tunnel-RX frame pool + spare checkouts reused across poll rounds.
@@ -399,6 +436,8 @@ class SoftSwitch {
   void append_backlog(Shard& sh, net::PacketPtr p, PortId port);
   // Shard-thread only: adopt the latest impairment maps if changed.
   void refresh_impair_cache(Shard& sh);
+  // Shard-thread only: adopt the latest ingress rate-shaper map if changed.
+  void refresh_rate_cache(Shard& sh);
   // Retry packets held for a full egress ring; returns how many were
   // resolved (delivered, dropped on timeout, or dropped with their port).
   std::size_t drain_egress_backlog(Shard& sh);
@@ -454,6 +493,16 @@ class SoftSwitch {
   ImpairMap egress_impair_master_;
   std::atomic<std::uint64_t> impair_gen_{1};  // bumped under impair_mu_
   std::atomic<bool> impaired_{false};
+
+  // Master ingress rate-shaper map (QoS actuator; any thread, guarded by
+  // rate_mu_); shards work from generation-cached copies and `rate_limited_`
+  // gates the whole feature off the fast path. Shapers are shared_ptrs so a
+  // live rate *change* reuses the existing bucket (set_rate re-seed) and
+  // only add/remove bumps the generation.
+  mutable std::mutex rate_mu_;
+  RateMap rate_master_;
+  std::atomic<std::uint64_t> rate_gen_{1};  // bumped under rate_mu_
+  std::atomic<bool> rate_limited_{false};
 
   std::vector<std::unique_ptr<Shard>> shards_;
 

@@ -62,7 +62,23 @@ void ClusterObservability::observe_worker(
   series_.observe_snapshot(worker_name, t_us, snapshot);
 }
 
+double ClusterObservability::stage_p99_ms(const std::string& stage) {
+  std::lock_guard lk(mu_);
+  collector_.collect();
+  const common::LatencyRecorder* rec = collector_.stage_latency(stage);
+  if (rec == nullptr || rec->count() == 0) return 0.0;
+  const double p99 = rec->percentile_ms(0.99);
+  return std::isfinite(p99) ? p99 : 0.0;
+}
+
+void ClusterObservability::set_qos_provider(
+    std::function<std::string()> provider) {
+  std::lock_guard lk(mu_);
+  qos_provider_ = std::move(provider);
+}
+
 std::string ClusterObservability::dump_json() {
+  std::lock_guard lk(mu_);
   collector_.collect();
 
   std::ostringstream os;
@@ -136,7 +152,19 @@ std::string ClusterObservability::dump_json() {
     AppendNumber(os, s->rate_per_sec());
     os << "}";
   }
-  os << "}}";
+  os << "}";
+
+  if (qos_provider_) {
+    // The provider returns a self-contained JSON value (the QoS app
+    // renders its own fragment); splice it in verbatim.
+    const std::string qos = qos_provider_();
+    if (!qos.empty()) {
+      os << ",";
+      AppendString(os, "qos");
+      os << ":" << qos;
+    }
+  }
+  os << "}";
   return os.str();
 }
 

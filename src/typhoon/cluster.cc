@@ -86,15 +86,23 @@ void Cluster::start() {
     if (h->sw) h->sw->start();
   }
   if (control_plane_) {
-    if (cfg_.default_apps) {
+    if (cfg_.default_apps || qos_enabled_) {
       // App factory rather than direct add_app: every replica that becomes
       // leader — the initial leaders now and any failover winner later —
-      // gets its own fresh set of control-plane apps.
-      control_plane_->set_app_factory([](controller::TyphoonController& c) {
-        c.add_app(std::make_unique<controller::FaultDetector>());
-        c.add_app(std::make_unique<controller::LiveDebugger>());
-        c.add_app(std::make_unique<controller::LoadBalancer>());
-      });
+      // gets its own fresh set of control-plane apps. The QoS app rides the
+      // same factory so a takeover winner re-creates it and restores its
+      // checkpointed allocation from the shard's blob znode.
+      control_plane_->set_app_factory(
+          [this](controller::TyphoonController& c) {
+            if (cfg_.default_apps) {
+              c.add_app(std::make_unique<controller::FaultDetector>());
+              c.add_app(std::make_unique<controller::LiveDebugger>());
+              c.add_app(std::make_unique<controller::LoadBalancer>());
+            }
+            if (qos_enabled_) {
+              c.add_app(std::make_unique<controller::QosApp>(qos_policy_));
+            }
+          });
     }
     control_plane_->start();
   }
@@ -174,15 +182,8 @@ stream::Worker* Cluster::find_worker_by_id(WorkerId id) {
 stream::Worker* Cluster::find_worker(const std::string& topology,
                                      const std::string& node,
                                      int task_index) {
-  auto spec = manager_->spec(topology);
-  auto phys = manager_->physical(topology);
-  if (!spec.ok() || !phys.ok()) return nullptr;
-  const stream::NodeSpec* n = spec.value().node_by_name(node);
-  if (n == nullptr) return nullptr;
-  for (const stream::PhysicalWorker& w : phys.value().workers_of(n->id)) {
-    if (w.task_index == task_index) return find_worker_by_id(w.id);
-  }
-  return nullptr;
+  const auto id = resolve_worker_id(topology, node, task_index);
+  return id ? find_worker_by_id(*id) : nullptr;
 }
 
 std::vector<stream::Worker*> Cluster::workers_of_node(
@@ -231,30 +232,50 @@ void Cluster::clear_tunnel_impairments(HostId a, HostId b) {
   if (side_b != nullptr) side_b->clear_impairment();
 }
 
+std::optional<WorkerId> Cluster::resolve_worker_id(const std::string& topology,
+                                                   const std::string& node,
+                                                   int task_index) {
+  auto spec = manager_->spec(topology);
+  auto phys = manager_->physical(topology);
+  if (!spec.ok() || !phys.ok()) return std::nullopt;
+  const stream::NodeSpec* n = spec.value().node_by_name(node);
+  if (n == nullptr) return std::nullopt;
+  for (const stream::PhysicalWorker& w : phys.value().workers_of(n->id)) {
+    if (w.task_index == task_index) return w.id;
+  }
+  return std::nullopt;
+}
+
 bool Cluster::inject_worker_crash(const std::string& topology,
                                   const std::string& node, int task_index) {
-  stream::Worker* w = find_worker(topology, node, task_index);
-  if (w == nullptr) return false;
-  w->inject_crash();
-  return true;
+  const auto id = resolve_worker_id(topology, node, task_index);
+  if (!id) return false;
+  for (const auto& h : hosts_) {
+    if (h->agent->inject_crash(*id)) return true;
+  }
+  return false;
 }
 
 bool Cluster::inject_worker_hang(const std::string& topology,
                                  const std::string& node, int task_index,
                                  std::chrono::milliseconds d) {
-  stream::Worker* w = find_worker(topology, node, task_index);
-  if (w == nullptr) return false;
-  w->inject_hang(d);
-  return true;
+  const auto id = resolve_worker_id(topology, node, task_index);
+  if (!id) return false;
+  for (const auto& h : hosts_) {
+    if (h->agent->inject_hang(*id, d)) return true;
+  }
+  return false;
 }
 
 bool Cluster::inject_worker_slowdown(const std::string& topology,
                                      const std::string& node, int task_index,
                                      std::chrono::microseconds per_tuple) {
-  stream::Worker* w = find_worker(topology, node, task_index);
-  if (w == nullptr) return false;
-  w->inject_slowdown(per_tuple);
-  return true;
+  const auto id = resolve_worker_id(topology, node, task_index);
+  if (!id) return false;
+  for (const auto& h : hosts_) {
+    if (h->agent->inject_slowdown(*id, per_tuple)) return true;
+  }
+  return false;
 }
 
 void Cluster::set_controller_partition(HostId host, bool partitioned) {
@@ -299,6 +320,35 @@ controller::LoadBalancer* Cluster::load_balancer() {
   controller::TyphoonController* ctl = controller();
   if (ctl == nullptr) return nullptr;
   return dynamic_cast<controller::LoadBalancer*>(ctl->app("load-balancer"));
+}
+
+void Cluster::enable_qos(controller::QosPolicy policy) {
+  if (!control_plane_ || started_) return;
+  if (!policy.latency_p99_ms) {
+    // Default latency probe: the collector's cluster-wide spout-emit to
+    // terminal-execute p99. Topology-granular probes (the benches compute
+    // their own sink-side percentiles) can be supplied in the policy.
+    policy.latency_p99_ms = [this](const std::string&) {
+      return obs_.stage_p99_ms("end_to_end");
+    };
+  }
+  qos_policy_ = std::move(policy);
+  qos_enabled_ = true;
+  // Surface the app's epoch/allocation state in the observability export.
+  // Shard 0's leader is the canonical reporter (single-shard deployments
+  // have exactly one); the provider re-resolves per dump so failover
+  // winners take over reporting automatically.
+  obs_.set_qos_provider([this]() -> std::string {
+    controller::QosApp* app = qos_app(0);
+    return app == nullptr ? std::string{} : app->dump_json_fragment();
+  });
+}
+
+controller::QosApp* Cluster::qos_app(std::size_t shard) {
+  if (!control_plane_) return nullptr;
+  controller::TyphoonController* ctl = control_plane_->shard_leader(shard);
+  if (ctl == nullptr) return nullptr;
+  return dynamic_cast<controller::QosApp*>(ctl->app("qos"));
 }
 
 controller::AutoScaler* Cluster::add_auto_scaler(

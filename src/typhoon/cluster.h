@@ -15,6 +15,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "controller/apps/load_balancer.h"
 #include "controller/control_plane.h"
 #include "controller/controller.h"
+#include "controller/qos_app.h"
 #include "coordinator/coordinator.h"
 #include "faultinject/impairment.h"
 #include "net/tunnel.h"
@@ -177,6 +179,17 @@ class Cluster {
   controller::AutoScaler* add_auto_scaler(
       controller::AutoScalerPolicy policy);
 
+  // Deploy the QoS bandwidth-allocation app (DESIGN.md Sec 16) on every
+  // shard leader via the failover app factory, so takeover winners re-create
+  // it and restore its checkpointed allocation. Call before start(). When
+  // the policy has no latency probe, it is wired to this cluster's
+  // observability "end_to_end" stage p99. No-op in Storm mode.
+  void enable_qos(controller::QosPolicy policy);
+  // The shard leader's QoS app (shard 0 by default); nullptr until
+  // enabled/started, in Storm mode, or mid-failover — re-resolve after
+  // controller faults.
+  [[nodiscard]] controller::QosApp* qos_app(std::size_t shard = 0);
+
   // ---- observability (DESIGN.md Sec 11) ----
   // The cluster-wide trace domain + collector + metrics time-series.
   [[nodiscard]] trace::ClusterObservability& observability() { return obs_; }
@@ -185,6 +198,13 @@ class Cluster {
   void sample_observability();
 
  private:
+  // Assignment lookup (topology, node name, task index) -> stable worker id.
+  // Fault injectors resolve an id and poke the worker through its agent —
+  // never through a raw Worker*, which the agent's monitor thread can free
+  // mid-restart.
+  [[nodiscard]] std::optional<WorkerId> resolve_worker_id(
+      const std::string& topology, const std::string& node, int task_index);
+
   struct Host {
     HostId id = 0;
     std::unique_ptr<switchd::SoftSwitch> sw;
@@ -208,6 +228,8 @@ class Cluster {
   std::unique_ptr<controller::ControlPlane> control_plane_;
   std::unique_ptr<stream::StreamingManager> manager_;
   bool started_ = false;
+  bool qos_enabled_ = false;
+  controller::QosPolicy qos_policy_;
   // Deepest computed terminal hop across submitted topologies; -1 until
   // the first submit (cfg.trace_terminal_hop applies until then).
   int terminal_hop_ = -1;

@@ -165,5 +165,110 @@ TEST(Chaos, ReplayIdenticalPlansFireIdentically) {
   EXPECT_EQ(fp1, fp2);
 }
 
+TEST(Chaos, QosAllocationSurvivesControllerCrashMidCongestion) {
+  // The QoS-owning shard leader dies at the worst moment — mid-congestion,
+  // shapers engaged. The standby's restored app must (a) re-assert the
+  // checkpointed rates, (b) reconverge to a bit-identical allocation
+  // (fingerprint equality), and (c) emit ZERO delta updates doing so: the
+  // latent-demand probe rebuilds the exact same saturated fixed point from
+  // the restored rate ledger, so nothing gets reprogrammed.
+  ClusterConfig cfg;
+  cfg.num_hosts = 1;
+  cfg.controller_standbys = 1;  // a takeover target for the crash
+  cfg.controller_tick = std::chrono::milliseconds(10);
+  Cluster cluster(cfg);
+
+  controller::QosPolicy policy;
+  policy.capacity_bps = 4e6;
+  policy.epoch = std::chrono::milliseconds(25);
+  policy.window_us = 500'000;
+  policy.classes["gold"] = controller::QosClass{.priority = 0, .weight = 2.0};
+  cluster.enable_qos(policy);
+  cluster.start();
+
+  // Three saturating spout->sink topologies (~3 MB/s offered each against
+  // a 4 MB/s fabric): everyone shaped, the fixed point demand-independent.
+  auto sink = std::make_shared<testutil::SinkState>();
+  for (const std::string name : {"gold", "silver-a", "silver-b"}) {
+    stream::TopologyBuilder b(name);
+    const NodeId src = b.add_spout(
+        "src",
+        [] { return std::make_unique<testutil::SequenceSpout>(0, 16, 512,
+                                                              6000.0); },
+        1);
+    const NodeId out = b.add_bolt(
+        "sink",
+        [sink] { return std::make_unique<testutil::CollectingSink>(sink); },
+        1);
+    b.shuffle(src, out);
+    ASSERT_TRUE(cluster.submit(b.build().value()).ok());
+  }
+
+  controller::QosApp* app = cluster.qos_app();
+  ASSERT_NE(app, nullptr);
+
+  // Congestion engaged: all three topologies shaped, fingerprint stable
+  // across epochs.
+  ASSERT_TRUE(WaitFor([&] { return app->programmed_rates().size() == 3; },
+                      20s));
+  std::uint64_t fp_before = 0;
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        const std::uint64_t fp = app->alloc_fingerprint();
+        if (fp == common::kFnvOffset || fp != fp_before) {
+          fp_before = fp;
+          return false;
+        }
+        return true;  // two consecutive reads agree
+      },
+      20s));
+
+  // Kill the shard-0 leader through the scripted fault plan.
+  auto plan =
+      faultinject::FaultPlan::Parse("at_ms=5 fault=controller_crash shard=0\n");
+  ASSERT_TRUE(plan.ok()) << plan.status().str();
+  FaultPlanRunner faults(&cluster, std::move(plan.value()));
+  faults.start();
+  ASSERT_TRUE(WaitFor([&] { return faults.fired() >= 1; }, 5s));
+  faults.stop();
+  EXPECT_EQ(faults.misses(), 0);
+  ASSERT_GE(cluster.control_plane()->failovers(), 1);
+
+  // The takeover winner re-created the app from the factory and restored
+  // the checkpoint.
+  controller::QosApp* restored = nullptr;
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        restored = cluster.qos_app();
+        return restored != nullptr && restored != app;
+      },
+      10s));
+
+  // Reconvergence: the restored allocation is bit-identical — checked well
+  // past the post-restore hold-down (window_us / epoch = 20 epochs), so the
+  // allocator has genuinely re-run from live measurements by then.
+  const std::uint64_t epoch0 = restored->epochs();
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        return restored->epochs() >= epoch0 + 25 &&
+               restored->alloc_fingerprint() == fp_before;
+      },
+      20s))
+      << "restored fingerprint " << restored->alloc_fingerprint()
+      << " != " << fp_before << " after " << restored->epochs() << " epochs";
+  // ...and reaching it reprogrammed nothing: the restored rate ledger
+  // already matched what the fixed point demands.
+  EXPECT_EQ(restored->rate_updates(), 0)
+      << "failover caused shaper churn despite an identical allocation";
+  EXPECT_EQ(restored->programmed_rates().size(), 3u);
+
+  // Traffic kept flowing through the whole failover.
+  const std::int64_t received0 = sink->received.load();
+  EXPECT_TRUE(
+      WaitFor([&] { return sink->received.load() > received0 + 500; }, 10s));
+
+  cluster.stop();
+}
+
 }  // namespace
 }  // namespace typhoon

@@ -14,6 +14,7 @@
 #include "common/rate_limiter.h"
 #include "common/result.h"
 #include "common/spsc_ring.h"
+#include "common/token_bucket.h"
 
 namespace typhoon::common {
 namespace {
@@ -234,6 +235,81 @@ TEST(RateLimiter, SetRateTakesEffect) {
   EXPECT_FALSE(rl.try_acquire());
   rl.set_rate(0.0);
   EXPECT_TRUE(rl.try_acquire());
+}
+
+TEST(RateLimiter, RateCutRescalesLeftoverTokens) {
+  // Regression: a rate cut used to inherit the old rate's leftover tokens
+  // (clamped only to the new burst), letting a throttled worker coast far
+  // past the new rate for a whole burst window. set_rate must re-seed the
+  // balance proportionally so the cut binds within one refill interval.
+  RateLimiter rl(1'000'000.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));  // fill burst
+  rl.set_rate(100.0);
+  // Proportional re-seed leaves ~20000 * (100 / 1e6) = ~2 tokens — not the
+  // 64-token floor burst the old clamp allowed through.
+  int allowed = 0;
+  while (rl.try_acquire() && allowed < 1000) ++allowed;
+  EXPECT_LE(allowed, 8);
+}
+
+TEST(ByteBucket, UnlimitedAdmitsEverything) {
+  ByteBucket b(0.0);
+  EXPECT_TRUE(b.ready());
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(b.try_spend(1e9));
+  EXPECT_DOUBLE_EQ(b.rate(), 0.0);
+}
+
+TEST(ByteBucket, DebtAdmissionChargesTrueWeight) {
+  ByteBucket b(100'000.0);  // burst = 4096 bytes
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));  // fill burst
+  // One oversized frame is admitted on positive credit and overdraws the
+  // bucket into debt...
+  EXPECT_TRUE(b.try_spend(50'000.0));
+  // ...and the debt gates everything until it amortizes.
+  EXPECT_FALSE(b.ready());
+  EXPECT_FALSE(b.try_spend(1.0));
+  // ~46k of debt at 100 kB/s clears in under a second.
+  const auto deadline = Now() + std::chrono::seconds(2);
+  while (!b.ready() && Now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(b.ready());
+  EXPECT_TRUE(b.try_spend(1.0));
+}
+
+TEST(ByteBucket, RefundRestoresCredit) {
+  ByteBucket b(100'000.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_TRUE(b.try_spend(50'000.0));
+  EXPECT_FALSE(b.ready());
+  b.spend(-50'000.0);  // the frames never reached the wire
+  EXPECT_TRUE(b.ready());
+}
+
+TEST(ByteBucket, RateCutBindsWithinOneRefillInterval) {
+  ByteBucket b(10'000'000.0);  // burst = 200 kB
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  b.set_rate(10'000.0);
+  // Proportional re-seed: 200 kB of credit at 10 MB/s becomes ~200 B at
+  // 10 kB/s — not a 200 kB coast-through.
+  EXPECT_LT(b.tokens(), 1'000.0);
+  // And an uncapped->capped transition starts empty (no start-up burst).
+  ByteBucket fresh(0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  fresh.set_rate(10'000.0);
+  EXPECT_LE(fresh.tokens(), 100.0);
+}
+
+TEST(ByteBucket, ReadyIsPureRead) {
+  ByteBucket b(1'000'000.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // However often polled, ready() must not consume or refill-reset state:
+  // a subsequent spend sees the full accumulated credit.
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(b.ready());
+  const double before = b.tokens();
+  EXPECT_GT(before, 10'000.0);
+  EXPECT_TRUE(b.try_spend(before - 1.0));
+  EXPECT_TRUE(b.ready());  // still a sliver of credit left
 }
 
 TEST(LatencyRecorder, PercentilesAreMonotone) {

@@ -1,0 +1,459 @@
+// QoS controller-app test suite (DESIGN.md Sec 16).
+//
+// Three layers, all deterministic:
+//   1. QosAllocator property tests — weighted max-min invariants (work
+//      conservation, demand ceiling, floor grants, priority dominance,
+//      weighted shares) on hand-built and seeded-random instances;
+//   2. DiffRates unit tests — the DeltaPath-style rate diff emits exactly
+//      the changed entries plus clears;
+//   3. an end-to-end congestion scenario: three saturated topologies on a
+//      live cluster converge to EXACT expected shaper rates (quantization
+//      plus the latent-demand probe make the fixed point bit-stable), the
+//      delta ledger goes quiet after convergence, an engaged latency-SLO
+//      floor re-divides capacity exactly, and killing the topologies clears
+//      every shaper.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/hash.h"
+#include "controller/qos_app.h"
+#include "stream/topology.h"
+#include "typhoon/cluster.h"
+#include "util/components.h"
+
+namespace typhoon {
+namespace {
+
+using namespace std::chrono_literals;
+using controller::QosAllocator;
+using controller::QosApp;
+using controller::QosClass;
+using controller::QosDemand;
+using controller::QosPolicy;
+using testutil::CollectingSink;
+using testutil::SequenceSpout;
+using testutil::SinkState;
+
+template <typename F>
+bool WaitFor(F&& pred, std::chrono::milliseconds timeout) {
+  const auto deadline = common::Now() + timeout;
+  while (common::Now() < deadline) {
+    if (pred()) return true;
+    common::SleepMillis(10);
+  }
+  return pred();
+}
+
+double Sum(const std::map<TopologyId, double>& m) {
+  double s = 0.0;
+  for (const auto& [id, v] : m) s += v;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// 1. Allocator properties
+// ---------------------------------------------------------------------------
+
+TEST(QosAllocator, EmptyAndZeroCapacity) {
+  EXPECT_TRUE(QosAllocator::Allocate(1e6, {}).empty());
+  const auto alloc =
+      QosAllocator::Allocate(0.0, {{1, 0, 1.0, 5e5, 0.0}});
+  ASSERT_EQ(alloc.size(), 1u);
+  EXPECT_EQ(alloc.at(1), 0.0);
+}
+
+TEST(QosAllocator, WeightedSharesWithinClassExact) {
+  // All saturated, same class, weights 2:1:1 over 4 MB/s.
+  const auto alloc = QosAllocator::Allocate(4e6, {{1, 0, 2.0, 1e9, 0.0},
+                                                  {2, 0, 1.0, 1e9, 0.0},
+                                                  {3, 0, 1.0, 1e9, 0.0}});
+  EXPECT_DOUBLE_EQ(alloc.at(1), 2e6);
+  EXPECT_DOUBLE_EQ(alloc.at(2), 1e6);
+  EXPECT_DOUBLE_EQ(alloc.at(3), 1e6);
+}
+
+TEST(QosAllocator, UnsaturatedDemandIsMetThenRestWaterFills) {
+  // Topology 2 wants only 0.5 MB/s of its 2 MB/s fair share; the slack goes
+  // to the still-hungry peer.
+  const auto alloc = QosAllocator::Allocate(4e6, {{1, 0, 1.0, 1e9, 0.0},
+                                                  {2, 0, 1.0, 5e5, 0.0}});
+  EXPECT_DOUBLE_EQ(alloc.at(2), 5e5);
+  EXPECT_DOUBLE_EQ(alloc.at(1), 3.5e6);
+}
+
+TEST(QosAllocator, PriorityDominance) {
+  // The high class's demand exceeds capacity: the low class gets exactly
+  // its floor and nothing more.
+  const auto alloc = QosAllocator::Allocate(
+      4e6, {{1, 1, 1.0, 1e9, 0.0}, {2, 0, 1.0, 1e9, 2.5e5}});
+  EXPECT_DOUBLE_EQ(alloc.at(2), 2.5e5);
+  EXPECT_DOUBLE_EQ(alloc.at(1), 4e6 - 2.5e5);
+}
+
+TEST(QosAllocator, HigherClassDrainsBeforeLowerGetsBeyondFloor) {
+  // High class wants 3 MB/s of 4; the low class splits the remaining 1.
+  const auto alloc = QosAllocator::Allocate(4e6, {{1, 1, 1.0, 3e6, 0.0},
+                                                  {2, 0, 1.0, 1e9, 0.0},
+                                                  {3, 0, 3.0, 1e9, 0.0}});
+  EXPECT_DOUBLE_EQ(alloc.at(1), 3e6);
+  EXPECT_DOUBLE_EQ(alloc.at(2), 2.5e5);
+  EXPECT_DOUBLE_EQ(alloc.at(3), 7.5e5);
+}
+
+TEST(QosAllocator, FloorClampedToDemand) {
+  // A 1 MB/s floor on a topology that wants 0.2 MB/s grants only 0.2.
+  const auto alloc = QosAllocator::Allocate(
+      4e6, {{1, 0, 1.0, 2e5, 1e6}, {2, 0, 1.0, 1e9, 0.0}});
+  EXPECT_DOUBLE_EQ(alloc.at(1), 2e5);
+  EXPECT_DOUBLE_EQ(alloc.at(2), 3.8e6);
+}
+
+TEST(QosAllocator, FloorsSurviveHigherPriorityPressure) {
+  // Even with the high class demanding everything, the low class keeps its
+  // floor — floors are guarantees, granted before any water-filling.
+  const auto alloc = QosAllocator::Allocate(
+      2e6, {{7, 5, 1.0, 1e9, 0.0}, {3, 1, 1.0, 1e9, 5e5}});
+  EXPECT_DOUBLE_EQ(alloc.at(3), 5e5);
+  EXPECT_DOUBLE_EQ(alloc.at(7), 1.5e6);
+}
+
+TEST(QosAllocator, InputOrderIrrelevant) {
+  std::vector<QosDemand> demands = {{1, 1, 2.0, 3e6, 1e5},
+                                    {2, 0, 1.0, 2e6, 0.0},
+                                    {3, 1, 1.0, 4e6, 0.0},
+                                    {4, 0, 2.0, 5e6, 2e5}};
+  const auto a = QosAllocator::Allocate(6e6, demands);
+  std::reverse(demands.begin(), demands.end());
+  const auto b = QosAllocator::Allocate(6e6, demands);
+  EXPECT_EQ(a, b);
+}
+
+TEST(QosAllocator, RandomizedInvariants) {
+  common::Rng rng(0x9055ULL);
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::size_t n = 1 + rng.next() % 8;
+    std::vector<QosDemand> demands;
+    double total_demand = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      QosDemand d;
+      d.id = static_cast<TopologyId>(i + 1);
+      d.priority = static_cast<int>(rng.next() % 3);
+      d.weight = 0.5 + static_cast<double>(rng.next() % 8);
+      d.demand_bps = static_cast<double>(rng.next() % 10'000'000);
+      d.floor_bps = static_cast<double>(rng.next() % 2'000'000);
+      total_demand += d.demand_bps;
+      demands.push_back(d);
+    }
+    const double capacity = static_cast<double>(1 + rng.next() % 20'000'000);
+    const auto alloc = QosAllocator::Allocate(capacity, demands);
+
+    // Work conservation: everything allocatable is allocated, nothing more.
+    EXPECT_NEAR(Sum(alloc), std::min(capacity, total_demand), 1.0)
+        << "iter " << iter;
+    double floor_total = 0.0;
+    for (const QosDemand& d : demands) {
+      // Demand is a ceiling.
+      EXPECT_LE(alloc.at(d.id), d.demand_bps + 1.0) << "iter " << iter;
+      EXPECT_GE(alloc.at(d.id), 0.0);
+      floor_total += std::min(d.floor_bps, d.demand_bps);
+    }
+    if (floor_total <= capacity) {
+      // Floors all fit: every topology holds at least its effective floor.
+      for (const QosDemand& d : demands) {
+        EXPECT_GE(alloc.at(d.id), std::min(d.floor_bps, d.demand_bps) - 1.0)
+            << "iter " << iter;
+      }
+      // Priority dominance: if any topology is left hungry, every topology
+      // in a strictly lower class sits at its effective floor.
+      for (const QosDemand& hungry : demands) {
+        if (alloc.at(hungry.id) >= hungry.demand_bps - 1.0) continue;
+        for (const QosDemand& lower : demands) {
+          if (lower.priority < hungry.priority) {
+            EXPECT_LE(alloc.at(lower.id),
+                      std::min(lower.floor_bps, lower.demand_bps) + 1.0)
+                << "iter " << iter << " hungry topo " << hungry.id
+                << " lower topo " << lower.id;
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Delta emission
+// ---------------------------------------------------------------------------
+
+TEST(QosDiff, EmitsOnlyChanges) {
+  const std::map<QosApp::PortKey, double> prev = {
+      {{1, 10}, 1e6}, {{1, 11}, 2e6}, {{2, 10}, 3e6}};
+  const std::map<QosApp::PortKey, double> next = {
+      {{1, 10}, 1e6},   // unchanged: not emitted
+      {{1, 11}, 2.5e6}, // changed
+      {{2, 12}, 4e6}};  // new
+  const auto delta = QosApp::DiffRates(prev, next);
+  ASSERT_EQ(delta.size(), 3u);
+  EXPECT_DOUBLE_EQ(delta.at({1, 11}), 2.5e6);
+  EXPECT_DOUBLE_EQ(delta.at({2, 12}), 4e6);
+  // (2,10) left the rate map: emitted as a 0-rate clear.
+  EXPECT_DOUBLE_EQ(delta.at({2, 10}), 0.0);
+  EXPECT_FALSE(delta.contains({1, 10}));
+}
+
+TEST(QosDiff, IdenticalMapsEmitNothing) {
+  const std::map<QosApp::PortKey, double> rates = {{{1, 10}, 1e6},
+                                                   {{2, 11}, 2e6}};
+  EXPECT_TRUE(QosApp::DiffRates(rates, rates).empty());
+  EXPECT_TRUE(QosApp::DiffRates({}, {}).empty());
+}
+
+TEST(QosDiff, FirstEpochEmitsEverything) {
+  const std::map<QosApp::PortKey, double> next = {{{1, 10}, 1e6},
+                                                  {{2, 11}, 2e6}};
+  EXPECT_EQ(QosApp::DiffRates({}, next), next);
+}
+
+// ---------------------------------------------------------------------------
+// 3. End-to-end congestion scenario
+// ---------------------------------------------------------------------------
+
+struct QosHarness {
+  // 4 MB/s fabric capacity divided over three saturated single-spout
+  // topologies: "gold" (weight 2) and two best-effort ones (weight 1).
+  // Expected exact shaper rates: quantized 2 MB/s and 1 MB/s.
+  static constexpr double kCapacity = 4e6;
+  static constexpr double kQuantum = 8192.0;
+  static constexpr double kGoldRate = 2'007'040.0;    // ceil(2e6/q)*q
+  static constexpr double kSilverRate = 1'007'616.0;  // ceil(1e6/q)*q
+};
+
+// Submit one saturating spout->sink topology; returns its id.
+TopologyId SubmitSaturating(Cluster& cluster, const std::string& name,
+                            std::shared_ptr<SinkState> sink) {
+  stream::TopologyBuilder b(name);
+  const NodeId src = b.add_spout(
+      "src", [] { return std::make_unique<SequenceSpout>(0, 16, 512, 6000.0); },
+      1);
+  const NodeId out = b.add_bolt(
+      "sink", [sink] { return std::make_unique<CollectingSink>(sink); }, 1);
+  b.shuffle(src, out);
+  auto r = cluster.submit(b.build().value());
+  EXPECT_TRUE(r.ok());
+  return r.ok() ? r.value() : 0;
+}
+
+// Group the app's programmed per-port rates by owning topology.
+std::map<TopologyId, std::vector<double>> RatesByTopology(
+    Cluster& cluster, const std::map<QosApp::PortKey, double>& rates) {
+  std::map<TopologyId, std::vector<double>> by_topo;
+  for (const auto& [key, rate] : rates) {
+    auto ref = cluster.controller()->worker_by_port(key.first, key.second);
+    if (ref) by_topo[ref->topology].push_back(rate);
+  }
+  return by_topo;
+}
+
+TEST(QosEndToEnd, SaturatedTopologiesConvergeToExactWeightedShares) {
+  ClusterConfig cfg;
+  cfg.num_hosts = 1;
+  cfg.controller_tick = std::chrono::milliseconds(10);
+  Cluster cluster(cfg);
+
+  QosPolicy policy;
+  policy.capacity_bps = QosHarness::kCapacity;
+  policy.epoch = std::chrono::milliseconds(25);
+  policy.rate_quantum_bps = QosHarness::kQuantum;
+  policy.window_us = 500'000;
+  policy.classes["gold"] = QosClass{.priority = 0, .weight = 2.0};
+  cluster.enable_qos(policy);
+  cluster.start();
+
+  auto sink = std::make_shared<SinkState>();
+  const TopologyId gold = SubmitSaturating(cluster, "gold", sink);
+  const TopologyId silver_a = SubmitSaturating(cluster, "silver-a", sink);
+  const TopologyId silver_b = SubmitSaturating(cluster, "silver-b", sink);
+  ASSERT_NE(gold, 0);
+  ASSERT_NE(silver_a, 0);
+  ASSERT_NE(silver_b, 0);
+
+  QosApp* app = cluster.qos_app();
+  ASSERT_NE(app, nullptr);
+
+  // Convergence: each topology's single demand-bearing port lands on its
+  // exact quantized weighted share.
+  const auto converged = [&] {
+    const auto by_topo = RatesByTopology(cluster, app->programmed_rates());
+    const auto g = by_topo.find(gold);
+    const auto a = by_topo.find(silver_a);
+    const auto b = by_topo.find(silver_b);
+    return g != by_topo.end() && g->second == std::vector{QosHarness::kGoldRate} &&
+           a != by_topo.end() &&
+           a->second == std::vector{QosHarness::kSilverRate} &&
+           b != by_topo.end() &&
+           b->second == std::vector{QosHarness::kSilverRate};
+  };
+  ASSERT_TRUE(WaitFor(converged, 20s))
+      << "epoch " << app->epochs() << " demand gold "
+      << app->demand_bps(gold) << " rates " << [&] {
+           std::string s;
+           for (const auto& [k, v] : app->programmed_rates()) {
+             s += std::to_string(k.first) + ":" + std::to_string(k.second) +
+                  "=" + std::to_string(v) + " ";
+           }
+           return s;
+         }();
+
+  // The allocation itself is the exact water-fill: 2 / 1 / 1 MB/s.
+  const auto alloc = app->last_allocation();
+  EXPECT_DOUBLE_EQ(alloc.at(gold), 2e6);
+  EXPECT_DOUBLE_EQ(alloc.at(silver_a), 1e6);
+  EXPECT_DOUBLE_EQ(alloc.at(silver_b), 1e6);
+
+  // The switch agrees with the controller's ledger.
+  std::map<double, int> switch_rates;
+  for (const auto& s : cluster.switch_at(1)->shaper_stats()) {
+    switch_rates[s.rate_bps]++;
+  }
+  EXPECT_EQ(switch_rates[QosHarness::kGoldRate], 1);
+  EXPECT_EQ(switch_rates[QosHarness::kSilverRate], 2);
+
+  // Delta emission: once converged, epoch after epoch reprograms nothing.
+  const std::int64_t updates_at_convergence = app->rate_updates();
+  const std::uint64_t epoch0 = app->epochs();
+  ASSERT_TRUE(WaitFor([&] { return app->epochs() >= epoch0 + 20; }, 10s));
+  EXPECT_EQ(app->rate_updates(), updates_at_convergence)
+      << "shaper reprogrammed during steady state";
+  // And the whole run emitted far fewer updates than epochs x ports.
+  EXPECT_LE(updates_at_convergence,
+            static_cast<std::int64_t>(3 + 6));  // initial programs + slack
+
+  // The fingerprint is stable in steady state (the chaos test relies on
+  // this to compare across failover).
+  const std::uint64_t fp = app->alloc_fingerprint();
+  EXPECT_NE(fp, common::kFnvOffset);
+  common::SleepMillis(200);
+  EXPECT_EQ(app->alloc_fingerprint(), fp);
+
+  // Shaping is lossless: traffic keeps flowing end-to-end under the caps.
+  const std::int64_t received0 = sink->received.load();
+  ASSERT_TRUE(
+      WaitFor([&] { return sink->received.load() > received0 + 1000; }, 10s));
+
+  // The observability export carries the qos section.
+  const std::string json = cluster.observability().dump_json();
+  EXPECT_NE(json.find("\"qos\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"shaped_ports\":3"), std::string::npos);
+
+  // Recovery: killing the topologies must clear every shaper (0-rate
+  // deltas) — no zombie rate caps survive their traffic.
+  ASSERT_TRUE(cluster.kill("gold").ok());
+  ASSERT_TRUE(cluster.kill("silver-a").ok());
+  ASSERT_TRUE(cluster.kill("silver-b").ok());
+  EXPECT_TRUE(WaitFor([&] { return app->programmed_rates().empty(); }, 10s));
+  EXPECT_TRUE(WaitFor(
+      [&] { return cluster.switch_at(1)->shaper_stats().empty(); }, 5s));
+
+  cluster.stop();
+}
+
+TEST(QosEndToEnd, LatencySloFloorRedividesCapacityExactly) {
+  ClusterConfig cfg;
+  cfg.num_hosts = 1;
+  cfg.controller_tick = std::chrono::milliseconds(10);
+  Cluster cluster(cfg);
+
+  // The latency probe is a test-controlled knob (milli-ms integer so the
+  // atomic stays lock-free); the app must engage the prio floor when p99
+  // crosses 20 ms and release it below 14 ms (0.7 hysteresis).
+  auto p99_ms = std::make_shared<std::atomic<std::int64_t>>(0);
+  QosPolicy policy;
+  policy.capacity_bps = 4e6;
+  policy.epoch = std::chrono::milliseconds(25);
+  policy.rate_quantum_bps = 8192.0;
+  policy.window_us = 500'000;
+  policy.classes["prio"] = QosClass{.priority = 1,
+                                    .weight = 1.0,
+                                    .slo_p99_ms = 20.0,
+                                    .slo_floor_bps = 1.5e6};
+  policy.latency_p99_ms = [p99_ms](const std::string& name) {
+    return name == "prio" ? static_cast<double>(p99_ms->load()) : 0.0;
+  };
+  cluster.enable_qos(policy);
+  cluster.start();
+
+  auto sink = std::make_shared<SinkState>();
+  // "prio" trickles (~ 0.1 MB/s): it is never itself shaped.
+  stream::TopologyBuilder pb("prio");
+  const NodeId psrc = pb.add_spout(
+      "src", [] { return std::make_unique<SequenceSpout>(0, 4, 256, 300.0); },
+      1);
+  const NodeId psink = pb.add_bolt(
+      "sink", [sink] { return std::make_unique<CollectingSink>(sink); }, 1);
+  pb.shuffle(psrc, psink);
+  ASSERT_TRUE(cluster.submit(pb.build().value()).ok());
+  const TopologyId be_a = SubmitSaturating(cluster, "be-a", sink);
+  const TopologyId be_b = SubmitSaturating(cluster, "be-b", sink);
+
+  QosApp* app = cluster.qos_app();
+  ASSERT_NE(app, nullptr);
+
+  // Uncongested-SLO phase: the best-effort pair splits nearly everything
+  // (capacity minus the trickle), far above the post-floor level.
+  const auto be_rates = [&]() -> std::vector<double> {
+    const auto by_topo = RatesByTopology(cluster, app->programmed_rates());
+    std::vector<double> out;
+    const auto a = by_topo.find(be_a);
+    const auto b = by_topo.find(be_b);
+    if (a != by_topo.end() && a->second.size() == 1)
+      out.push_back(a->second[0]);
+    if (b != by_topo.end() && b->second.size() == 1)
+      out.push_back(b->second[0]);
+    return out;
+  };
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        const auto r = be_rates();
+        return r.size() == 2 && r[0] > 1.8e6 && r[1] > 1.8e6;
+      },
+      20s));
+
+  // p99 breaches the SLO: the 1.5 MB/s floor engages, and because the floor
+  // (not the noisy measured demand) now dominates the division, the
+  // best-effort shares land EXACTLY on quantize((4 - 1.5)/2 MB/s).
+  constexpr double kPostFloorRate = 1'253'376.0;  // ceil(1.25e6/8192)*8192
+  p99_ms->store(50);
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        const auto r = be_rates();
+        return r == std::vector{kPostFloorRate, kPostFloorRate};
+      },
+      20s));
+  // The prio topology itself stays unshaped: its grant covers its demand.
+  const auto by_topo = RatesByTopology(cluster, app->programmed_rates());
+  EXPECT_EQ(by_topo.size(), 2u) << "prio topology must not be rate-capped";
+
+  // Hysteresis: p99 recovering to 16 ms (inside [14, 20)) keeps the floor.
+  p99_ms->store(16);
+  const std::uint64_t epoch0 = app->epochs();
+  ASSERT_TRUE(WaitFor([&] { return app->epochs() >= epoch0 + 10; }, 10s));
+  EXPECT_EQ(be_rates(), (std::vector{kPostFloorRate, kPostFloorRate}));
+
+  // Full recovery releases the floor and the best-effort pair re-expands.
+  p99_ms->store(5);
+  EXPECT_TRUE(WaitFor(
+      [&] {
+        const auto r = be_rates();
+        return r.size() == 2 && r[0] > 1.8e6 && r[1] > 1.8e6;
+      },
+      20s));
+
+  cluster.stop();
+}
+
+}  // namespace
+}  // namespace typhoon
