@@ -1,0 +1,172 @@
+// Cross-process fig-8 companion (DESIGN.md Sec 17): the forwarding
+// benchmarks measure the in-process datapath; this one measures the real
+// deployment shape — three typhoon_hostd child processes connected by real
+// TCP socket tunnels (and, for comparison, shared-memory rings), driven by
+// the parent's control plane over TCP control channels. The workload is
+// the seeded word count from the process test suite: every expectation is
+// parameter-derived, so the run also verifies that the counts that crossed
+// process boundaries are exact.
+//
+// Writes BENCH_proc.json. CI guards `socket_exact` / `shm_exact` (1.0 when
+// the deduplicated cross-process counts match the parameter-derived
+// expectations exactly — a correctness gate, noise-free) and
+// `socket_occ_per_s` (end-to-end occurrences/s over TCP, gated loosely:
+// wall-clock throughput on shared runners is noisy).
+#include <cstdio>
+#include <string>
+
+#include "common/clock.h"
+#include "typhoon/proc_apps.h"
+#include "typhoon/process_cluster.h"
+
+namespace typhoon::bench {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr std::int64_t kSentences = 2000;
+constexpr std::uint32_t kSeed = 42;
+
+struct TransportRun {
+  bool ok = false;        // cluster up, stream converged in time
+  bool exact = false;     // converged counts == parameter-derived expectations
+  double bootstrap_ms = 0.0;  // spawn + bootstrap + control plane up
+  double converge_ms = 0.0;   // submit() returning -> exact results published
+  double occ_per_s = 0.0;     // expected_unique / converge_s
+};
+
+proc::WordCountParams Params(const std::string& topology,
+                             std::int64_t sentences) {
+  proc::WordCountParams p;
+  p.topology = topology;
+  p.sentences = sentences;
+  p.seed = kSeed;
+  return p;
+}
+
+stream::SubmitOptions Reliable() {
+  stream::SubmitOptions so;
+  so.reliable = true;
+  so.pending_timeout_ms = 2000;
+  return so;
+}
+
+// Poll until the sink's published counts are exact; returns elapsed ms or
+// a negative value on timeout.
+double AwaitExact(proc::ProcessCluster& pc, const proc::WordCountParams& p,
+                  std::chrono::milliseconds timeout) {
+  const auto t0 = common::Now();
+  const auto deadline = t0 + timeout;
+  const auto want_unique = proc::ExpectedUnique(p);
+  const auto want_counts = proc::ExpectedCounts(p);
+  while (common::Now() < deadline) {
+    const auto r = pc.results(p.topology);
+    if (r.ok() && r.value().first == want_unique &&
+        r.value().second == want_counts) {
+      return std::chrono::duration<double, std::milli>(common::Now() - t0)
+          .count();
+    }
+    common::SleepMillis(5);
+  }
+  return -1.0;
+}
+
+TransportRun RunTransport(proc::ProcTransport transport, const char* tag) {
+  TransportRun out;
+  proc::ProcessClusterConfig cfg;
+  cfg.num_hosts = 3;
+  cfg.transport = transport;
+  proc::ProcessCluster pc(cfg);
+
+  const auto boot0 = common::Now();
+  if (const auto st = pc.start(); !st.ok()) {
+    std::printf("  %-6s cluster start failed: %s\n", tag,
+                st.message().c_str());
+    return out;
+  }
+  out.bootstrap_ms =
+      std::chrono::duration<double, std::milli>(common::Now() - boot0).count();
+
+  // Warm-up: first submission pays one-time costs (catalog echo fanout,
+  // flow-rule install paths, tunnel first-dial) that would skew the
+  // measured run.
+  const auto warm = Params(std::string("proc_warm_") + tag, 100);
+  if (pc.submit_wordcount(warm, Reliable()).ok() &&
+      AwaitExact(pc, warm, 30s) >= 0.0) {
+    (void)pc.kill(warm.topology);
+  }
+
+  const auto p = Params(std::string("proc_bench_") + tag, kSentences);
+  const auto id = pc.submit_wordcount(p, Reliable());
+  if (!id.ok()) {
+    std::printf("  %-6s submit failed: %s\n", tag,
+                id.status().message().c_str());
+    pc.stop();
+    return out;
+  }
+  const double ms = AwaitExact(pc, p, 120s);
+  if (ms >= 0.0) {
+    out.ok = true;
+    out.exact = true;  // AwaitExact only returns >=0 on exact match
+    out.converge_ms = ms;
+    out.occ_per_s =
+        static_cast<double>(proc::ExpectedUnique(p)) / (ms / 1000.0);
+  } else {
+    std::printf("  %-6s stream did not converge\n", tag);
+  }
+  (void)pc.kill(p.topology);
+  pc.stop();
+  return out;
+}
+
+}  // namespace
+}  // namespace typhoon::bench
+
+int main() {
+  using typhoon::bench::RunTransport;
+
+  std::printf("fig_proc: cross-process word count, 3 hosts, %lld sentences\n",
+              static_cast<long long>(typhoon::bench::kSentences));
+
+  const auto sock =
+      RunTransport(typhoon::proc::ProcTransport::kSocket, "socket");
+  const auto shm =
+      RunTransport(typhoon::proc::ProcTransport::kShmRing, "shm");
+
+  const auto report = [](const char* tag,
+                         const typhoon::bench::TransportRun& r) {
+    std::printf(
+        "  %-6s bootstrap %8.1f ms  converge %8.1f ms  %10.0f occ/s  "
+        "exact %s\n",
+        tag, r.bootstrap_ms, r.converge_ms, r.occ_per_s,
+        r.exact ? "yes" : "NO");
+  };
+  report("socket", sock);
+  report("shm", shm);
+
+  std::FILE* f = std::fopen("BENCH_proc.json", "w");
+  if (f == nullptr) {
+    std::perror("BENCH_proc.json");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"hosts\": 3,\n"
+               "  \"sentences\": %lld,\n"
+               "  \"socket_exact\": %.1f,\n"
+               "  \"socket_bootstrap_ms\": %.1f,\n"
+               "  \"socket_converge_ms\": %.1f,\n"
+               "  \"socket_occ_per_s\": %.0f,\n"
+               "  \"shm_exact\": %.1f,\n"
+               "  \"shm_bootstrap_ms\": %.1f,\n"
+               "  \"shm_converge_ms\": %.1f,\n"
+               "  \"shm_occ_per_s\": %.0f\n"
+               "}\n",
+               static_cast<long long>(typhoon::bench::kSentences),
+               sock.exact ? 1.0 : 0.0, sock.bootstrap_ms, sock.converge_ms,
+               sock.occ_per_s, shm.exact ? 1.0 : 0.0, shm.bootstrap_ms,
+               shm.converge_ms, shm.occ_per_s);
+  std::fclose(f);
+  std::printf("  wrote BENCH_proc.json\n");
+  return (sock.ok && shm.ok) ? 0 : 1;
+}

@@ -82,7 +82,7 @@ common::Result<std::shared_ptr<DebugTap>> LiveDebugger::attach(
   if (sw_worker == nullptr || dw == nullptr) {
     return common::NotFound("worker");
   }
-  switchd::SoftSwitch* sw = ctl_->switch_at(sw_worker->host);
+  switchd::SwitchControl* sw = ctl_->switch_at(sw_worker->host);
   if (sw == nullptr) return common::NotFound("switch");
 
   // The flow rule carrying the selected tuple path.
@@ -135,7 +135,7 @@ common::Status LiveDebugger::detach(TopologyId topology, WorkerId src,
     s = std::move(it->second);
     sessions_.erase(it);
   }
-  switchd::SoftSwitch* sw = ctl_->switch_at(s.host);
+  switchd::SwitchControl* sw = ctl_->switch_at(s.host);
   if (sw != nullptr) {
     openflow::FlowRule restore;
     restore.match = s.match;

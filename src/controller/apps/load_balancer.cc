@@ -53,7 +53,7 @@ common::Status LoadBalancer::enable(TopologyId topology,
 
   const std::map<WorkerId, std::uint32_t> equal;  // all weight 1
   for (const stream::PhysicalWorker& s : phys->workers_of(from->id)) {
-    switchd::SoftSwitch* sw = ctl_->switch_at(s.host);
+    switchd::SwitchControl* sw = ctl_->switch_at(s.host);
     if (sw == nullptr) continue;
 
     SrcGroup g;
@@ -108,7 +108,7 @@ common::Status LoadBalancer::disable(TopologyId topology,
     sessions_.erase(it);
   }
   for (const SrcGroup& g : session.groups) {
-    switchd::SoftSwitch* sw = ctl_->switch_at(g.host);
+    switchd::SwitchControl* sw = ctl_->switch_at(g.host);
     if (sw == nullptr) continue;
     for (const stream::PhysicalWorker& d : session.dests) {
       openflow::FlowRule r;
@@ -131,7 +131,7 @@ common::Status LoadBalancer::apply_weights(
     const Session& s, TopologyId topology,
     const std::map<WorkerId, std::uint32_t>& weights) {
   for (const SrcGroup& g : s.groups) {
-    switchd::SoftSwitch* sw = ctl_->switch_at(g.host);
+    switchd::SwitchControl* sw = ctl_->switch_at(g.host);
     if (sw == nullptr) continue;
     GroupMod gm;
     gm.command = GroupMod::Command::kModify;

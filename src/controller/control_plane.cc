@@ -37,7 +37,7 @@ ControlPlane::ControlPlane(coordinator::Coordinator* coord,
 
 ControlPlane::~ControlPlane() { stop(); }
 
-void ControlPlane::add_switch(HostId host, switchd::SoftSwitch* sw) {
+void ControlPlane::add_switch(HostId host, switchd::SwitchControl* sw) {
   switches_[host] = sw;
   for (auto& s : shards_) {
     for (Replica& r : s->replicas) r.ctl->attach_switch(host, sw);

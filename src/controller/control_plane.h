@@ -60,7 +60,7 @@ class ControlPlane final : public stream::SdnHooks {
   // so a takeover needs no re-plumbing) while the ControlPlane itself owns
   // the switch's single event sink and routes each event to the owning
   // shard's leader.
-  void add_switch(HostId host, switchd::SoftSwitch* sw);
+  void add_switch(HostId host, switchd::SwitchControl* sw);
 
   // Factory run on every replica that becomes leader (initial leaders at
   // start() and every takeover winner) — installs control-plane apps.
@@ -149,7 +149,7 @@ class ControlPlane final : public stream::SdnHooks {
   ControlPlaneOptions opts_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::function<void(TyphoonController&)> app_factory_;
-  std::map<HostId, switchd::SoftSwitch*> switches_;  // set before start()
+  std::map<HostId, switchd::SwitchControl*> switches_;  // set before start()
   std::atomic<std::int64_t> failovers_{0};
   std::atomic<bool> running_{false};
 };

@@ -37,14 +37,14 @@ TyphoonController::TyphoonController(coordinator::Coordinator* coord,
 
 TyphoonController::~TyphoonController() { stop(); }
 
-void TyphoonController::add_switch(HostId host, switchd::SoftSwitch* sw) {
+void TyphoonController::add_switch(HostId host, switchd::SwitchControl* sw) {
   attach_switch(host, sw);
   sw->set_event_sink([this](HostId h, switchd::SwitchEvent ev) {
     ingest_event(h, std::move(ev));
   });
 }
 
-void TyphoonController::attach_switch(HostId host, switchd::SoftSwitch* sw) {
+void TyphoonController::attach_switch(HostId host, switchd::SwitchControl* sw) {
   std::lock_guard lk(mu_);
   switches_[host] = sw;
 }
@@ -64,7 +64,7 @@ void TyphoonController::ingest_event(HostId host, switchd::SwitchEvent ev) {
   events_q_.try_push({host, std::move(ev)});
 }
 
-switchd::SoftSwitch* TyphoonController::switch_at(HostId host) const {
+switchd::SwitchControl* TyphoonController::switch_at(HostId host) const {
   std::lock_guard lk(mu_);
   auto it = switches_.find(host);
   return it == switches_.end() ? nullptr : it->second;
@@ -97,7 +97,7 @@ std::size_t TyphoonController::install(const RulesByHost& rules,
   std::size_t flowmods = 0;
   std::size_t touched = 0;
   for (const auto& [host, host_rules] : rules) {
-    switchd::SoftSwitch* sw = switch_at(host);
+    switchd::SwitchControl* sw = switch_at(host);
     if (sw == nullptr) continue;
     for (const openflow::FlowRule& r : host_rules) {
       touched += sw->handle_flow_mod({cmd, r}).total();
@@ -172,7 +172,7 @@ void TyphoonController::on_workers_removed(
   bool use_delta = false;
   RuleDelta delta;
   RulesByHost full;
-  std::vector<switchd::SoftSwitch*> sws;
+  std::vector<switchd::SwitchControl*> sws;
   {
     std::lock_guard lk(mu_);
     topologies_[spec.id] = TopoState{spec, phys};
@@ -197,14 +197,14 @@ void TyphoonController::on_workers_removed(
     // the delta just installed (and the cache would never re-add them).
     for (const stream::PhysicalWorker& w : removed) {
       const std::uint64_t addr = WorkerAddress{spec.id, w.id}.packed();
-      for (switchd::SoftSwitch* sw : sws) {
+      for (switchd::SwitchControl* sw : sws) {
         sw->remove_rules_mentioning(addr, kPrioLoadBalance);
       }
     }
   } else {
     for (const stream::PhysicalWorker& w : removed) {
       const std::uint64_t addr = WorkerAddress{spec.id, w.id}.packed();
-      for (switchd::SoftSwitch* sw : sws) sw->remove_rules_mentioning(addr);
+      for (switchd::SwitchControl* sw : sws) sw->remove_rules_mentioning(addr);
     }
     // Re-install so broadcast rules shrink to the remaining destinations.
     flowmods_full_.fetch_add(static_cast<std::int64_t>(install(full)),
@@ -238,14 +238,14 @@ void TyphoonController::send_control_tuple(
 
 void TyphoonController::on_topology_killed(TopologyId id) {
   if (crashed()) return;
-  std::vector<switchd::SoftSwitch*> sws;
+  std::vector<switchd::SwitchControl*> sws;
   {
     std::lock_guard lk(mu_);
     topologies_.erase(id);
     compiler_.forget(id);
     for (auto& [h, sw] : switches_) sws.push_back(sw);
   }
-  for (switchd::SoftSwitch* sw : sws) sw->remove_rules_by_cookie(id);
+  for (switchd::SwitchControl* sw : sws) sw->remove_rules_by_cookie(id);
   checkpoint_remove_topology(id);
 }
 
@@ -269,7 +269,7 @@ common::Status TyphoonController::transmit_control(
     return common::Unavailable("controller partitioned from host " +
                                std::to_string(w->host));
   }
-  switchd::SoftSwitch* sw = switch_at(w->host);
+  switchd::SwitchControl* sw = switch_at(w->host);
   if (sw == nullptr) return common::NotFound("switch for host");
   sw->handle_packet_out({BuildControlPacket(topology, dst, ct,
                                             ctl_pool_.get()),
@@ -489,7 +489,7 @@ std::optional<common::Bytes> TyphoonController::read_blob(
 bool TyphoonController::program_port_rate(HostId host, PortId port,
                                           double bytes_per_sec) {
   if (crashed()) return false;
-  switchd::SoftSwitch* sw = switch_at(host);
+  switchd::SwitchControl* sw = switch_at(host);
   if (sw == nullptr) return false;
   sw->set_port_ingress_rate(port, bytes_per_sec);
   rate_updates_.fetch_add(1);
@@ -530,13 +530,13 @@ common::Result<stream::MetricReport> TyphoonController::query_worker_metrics(
 
 std::vector<openflow::PortStats> TyphoonController::port_stats(
     HostId host) const {
-  switchd::SoftSwitch* sw = switch_at(host);
+  switchd::SwitchControl* sw = switch_at(host);
   return sw == nullptr ? std::vector<openflow::PortStats>{} : sw->port_stats();
 }
 
 std::vector<openflow::FlowStats> TyphoonController::flow_stats(
     HostId host, std::optional<std::uint64_t> cookie) const {
-  switchd::SoftSwitch* sw = switch_at(host);
+  switchd::SwitchControl* sw = switch_at(host);
   return sw == nullptr ? std::vector<openflow::FlowStats>{}
                        : sw->flow_stats(cookie);
 }
@@ -576,12 +576,13 @@ std::optional<TyphoonController::WorkerRef> TyphoonController::worker_by_port(
 }
 
 void TyphoonController::add_app(std::unique_ptr<ControlPlaneApp> app) {
-  ControlPlaneApp* raw = app.get();
-  {
-    std::lock_guard lk(mu_);
-    apps_.push_back(std::move(app));
-  }
-  raw->on_start(*this);
+  // Initialize before publishing: the tick thread may call the app the
+  // moment it appears in apps_, and on_start's writes (ctl_, restored
+  // checkpoints) must happen-before that first tick. The mutex release
+  // below is the publication edge.
+  app->on_start(*this);
+  std::lock_guard lk(mu_);
+  apps_.push_back(std::move(app));
 }
 
 ControlPlaneApp* TyphoonController::app(const std::string& name) const {

@@ -68,16 +68,16 @@ class TyphoonController final : public stream::SdnHooks {
   ~TyphoonController() override;
 
   // Wire up a host switch (registers this controller as its event sink).
-  void add_switch(HostId host, switchd::SoftSwitch* sw);
+  void add_switch(HostId host, switchd::SwitchControl* sw);
   // Register a switch without claiming its event sink. The ControlPlane
   // façade owns each switch's single sink and routes events to the owning
   // shard's leader via ingest_event; standby replicas are attached this way
   // so they hold the switch map before takeover.
-  void attach_switch(HostId host, switchd::SoftSwitch* sw);
+  void attach_switch(HostId host, switchd::SwitchControl* sw);
   // Deliver one switch event to this controller (partition-aware: events
   // from a partitioned host are buffered until heal).
   void ingest_event(HostId host, switchd::SwitchEvent ev);
-  [[nodiscard]] switchd::SoftSwitch* switch_at(HostId host) const;
+  [[nodiscard]] switchd::SwitchControl* switch_at(HostId host) const;
 
   void start();
   void stop();
@@ -257,7 +257,7 @@ class TyphoonController final : public stream::SdnHooks {
       net::PacketPool::Create({.max_free = 64});
 
   mutable std::mutex mu_;
-  std::map<HostId, switchd::SoftSwitch*> switches_;
+  std::map<HostId, switchd::SwitchControl*> switches_;
   struct TopoState {
     stream::TopologySpec spec;
     stream::PhysicalTopology physical;

@@ -39,8 +39,15 @@ struct NodeStat {
   std::uint64_t owner_session = 0;
 };
 
+// The tree operations and sessions are virtual so a multi-process
+// deployment can substitute a mirrored replica (typhoon::RemoteCoordinator,
+// DESIGN.md Sec 17): mutations forward to the parent's authoritative tree
+// and come back as ordered echoes that the replica applies locally through
+// the base implementation, firing local watches exactly once.
 class Coordinator {
  public:
+  virtual ~Coordinator() = default;
+
   using SessionId = std::uint64_t;
   using WatchId = std::uint64_t;
   // (path, event, data-at-event-time). For kDeleted / kChildrenChanged the
@@ -49,24 +56,25 @@ class Coordinator {
       std::function<void(const std::string&, WatchEvent, const common::Bytes&)>;
 
   // ---- sessions (for ephemeral nodes) ----
-  SessionId create_session();
+  virtual SessionId create_session();
   // Deletes every ephemeral node owned by the session, firing watches —
   // this is how a crashed agent/worker "disappears" from the tree.
-  void close_session(SessionId session);
+  virtual void close_session(SessionId session);
 
   // ---- tree operations ----
   // Creates the node (and missing parents). Fails with kAlreadyExists.
-  common::Status create(const std::string& path, common::Bytes data,
-                        bool ephemeral = false, SessionId owner = 0);
+  virtual common::Status create(const std::string& path, common::Bytes data,
+                                bool ephemeral = false, SessionId owner = 0);
   // Sets data on an existing node (bumps version). kNotFound if absent.
-  common::Status set(const std::string& path, common::Bytes data);
+  virtual common::Status set(const std::string& path, common::Bytes data);
   // Create-or-set convenience used for state tables.
-  common::Status put(const std::string& path, common::Bytes data);
+  virtual common::Status put(const std::string& path, common::Bytes data);
   [[nodiscard]] common::Result<common::Bytes> get(const std::string& path) const;
   [[nodiscard]] std::optional<NodeStat> stat(const std::string& path) const;
   // Removes a node; kFailedPrecondition if it has children (unless
   // recursive).
-  common::Status remove(const std::string& path, bool recursive = false);
+  virtual common::Status remove(const std::string& path,
+                                bool recursive = false);
   [[nodiscard]] bool exists(const std::string& path) const;
   // Immediate child names (not full paths), sorted.
   [[nodiscard]] std::vector<std::string> children(const std::string& path) const;

@@ -9,6 +9,7 @@ namespace typhoon::net {
 Packetizer::Packetizer(WorkerAddress self, PacketizerConfig cfg, Sink sink)
     : self_(self),
       cfg_(cfg),
+      batch_tuples_(cfg.batch_tuples),
       sink_(std::move(sink)),
       pool_(PacketPool::Create({.max_free = cfg.pool_max_free})) {}
 
@@ -105,7 +106,8 @@ void Packetizer::add(const TupleRecord& rec) {
     buf.trace_hop = rec.trace_hop;
   }
   ++buf.tuple_count;
-  if (cfg_.batch_tuples != 0 && buf.tuple_count >= cfg_.batch_tuples) {
+  const std::size_t batch = batch_tuples_.load(std::memory_order_relaxed);
+  if (batch != 0 && buf.tuple_count >= batch) {
     emit(rec.dst, buf);
   }
 }
@@ -144,7 +146,9 @@ void Packetizer::retire(const WorkerAddress& dst) {
   }
 }
 
-void Packetizer::set_batch_tuples(std::size_t n) { cfg_.batch_tuples = n; }
+void Packetizer::set_batch_tuples(std::size_t n) {
+  batch_tuples_.store(n, std::memory_order_relaxed);
+}
 
 Depacketizer::Depacketizer(Sink sink, DepacketizerConfig cfg)
     : sink_(std::move(sink)), cfg_(cfg) {}

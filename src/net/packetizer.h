@@ -14,6 +14,7 @@
 // reassembly path (a copy is unavoidable when stitching segments).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -88,8 +89,12 @@ class Packetizer {
   // routing update removed it from all next-hop sets).
   void retire(const WorkerAddress& dst);
 
+  // Batch-size knob, adjusted live by BATCH_SIZE control tuples on the
+  // worker thread while harness threads probe it — hence atomic.
   void set_batch_tuples(std::size_t n);
-  [[nodiscard]] std::size_t batch_tuples() const { return cfg_.batch_tuples; }
+  [[nodiscard]] std::size_t batch_tuples() const {
+    return batch_tuples_.load(std::memory_order_relaxed);
+  }
 
   // Number of packets emitted since construction.
   [[nodiscard]] std::uint64_t packets_emitted() const { return packets_; }
@@ -128,6 +133,7 @@ class Packetizer {
 
   WorkerAddress self_;
   PacketizerConfig cfg_;
+  std::atomic<std::size_t> batch_tuples_{0};
   Sink sink_;
   std::shared_ptr<PacketPool> pool_;
   std::unordered_map<WorkerAddress, DstBuffer> buffers_;

@@ -1,0 +1,278 @@
+#include "net/shm_ring_tunnel.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <new>
+#include <thread>
+
+#include "common/log.h"
+
+namespace typhoon::net {
+
+namespace {
+
+constexpr std::uint32_t kShmMagic = 0x54595253;  // "TYRS"
+
+std::size_t RoundUpPow2(std::size_t v) {
+  std::size_t p = 64;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+// One direction of the wire. `tail` is the producer's byte cursor, `head`
+// the consumer's; both grow monotonically and are reduced mod capacity at
+// access time, so `tail - head` is always the queued byte count. Cursor
+// stores use release ordering so the data copied before the bump is visible
+// to the other process's acquire load.
+struct alignas(64) ShmRingTunnel::Ring {
+  std::atomic<std::uint64_t> tail;
+  std::atomic<std::uint64_t> head;
+  std::atomic<std::uint32_t> frames;
+  std::atomic<std::uint32_t> closed;
+};
+
+struct ShmRingTunnel::SegmentHeader {
+  std::uint32_t magic;
+  std::uint32_t capacity;  // per-ring data bytes (power of two)
+  Ring ring[2];            // ring[0]: A→B, ring[1]: B→A
+  // Data regions follow: ring 0 at offset sizeof(SegmentHeader), ring 1
+  // right after it.
+};
+
+bool ShmRingTunnel::CreateSegment(const std::string& name,
+                                  std::size_t ring_capacity) {
+  const std::size_t cap = RoundUpPow2(ring_capacity);
+  const std::size_t total = sizeof(SegmentHeader) + 2 * cap;
+  const int fd = shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) {
+    LOG_WARN("shmring") << "shm_open(" << name << ") failed: " << errno;
+    return false;
+  }
+  if (ftruncate(fd, static_cast<off_t>(total)) != 0) {
+    ::close(fd);
+    shm_unlink(name.c_str());
+    return false;
+  }
+  void* map = mmap(nullptr, total, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    shm_unlink(name.c_str());
+    return false;
+  }
+  auto* hdr = new (map) SegmentHeader{};
+  hdr->capacity = static_cast<std::uint32_t>(cap);
+  for (Ring& r : hdr->ring) {
+    r.tail.store(0, std::memory_order_relaxed);
+    r.head.store(0, std::memory_order_relaxed);
+    r.frames.store(0, std::memory_order_relaxed);
+    r.closed.store(0, std::memory_order_relaxed);
+  }
+  // Publish the magic last: an attacher that sees it sees an initialized
+  // segment.
+  reinterpret_cast<std::atomic<std::uint32_t>*>(&hdr->magic)
+      ->store(kShmMagic, std::memory_order_release);
+  munmap(map, total);
+  return true;
+}
+
+void ShmRingTunnel::UnlinkSegment(const std::string& name) {
+  shm_unlink(name.c_str());
+}
+
+std::shared_ptr<ShmRingTunnel> ShmRingTunnel::Attach(const std::string& name,
+                                                     Side side,
+                                                     ShmRingTunnelConfig cfg) {
+  const int fd = shm_open(name.c_str(), O_RDWR, 0600);
+  if (fd < 0) return nullptr;
+  struct stat st{};
+  if (fstat(fd, &st) != 0 || st.st_size <
+                                 static_cast<off_t>(sizeof(SegmentHeader))) {
+    ::close(fd);
+    return nullptr;
+  }
+  const auto total = static_cast<std::size_t>(st.st_size);
+  void* map = mmap(nullptr, total, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) return nullptr;
+  auto* hdr = static_cast<SegmentHeader*>(map);
+  if (reinterpret_cast<std::atomic<std::uint32_t>*>(&hdr->magic)
+          ->load(std::memory_order_acquire) != kShmMagic) {
+    munmap(map, total);
+    return nullptr;
+  }
+  return std::shared_ptr<ShmRingTunnel>(
+      new ShmRingTunnel(map, total, side, cfg));
+}
+
+ShmRingTunnel::ShmRingTunnel(void* map, std::size_t map_bytes, Side side,
+                             ShmRingTunnelConfig cfg)
+    : map_(map),
+      map_bytes_(map_bytes),
+      hdr_(static_cast<SegmentHeader*>(map)),
+      side_(side),
+      cfg_(cfg) {}
+
+ShmRingTunnel::~ShmRingTunnel() {
+  close();
+  if (map_ != nullptr) munmap(map_, map_bytes_);
+}
+
+ShmRingTunnel::Ring* ShmRingTunnel::tx_ring() const {
+  return &hdr_->ring[side_ == Side::kA ? 0 : 1];
+}
+
+ShmRingTunnel::Ring* ShmRingTunnel::rx_ring() const {
+  return &hdr_->ring[side_ == Side::kA ? 1 : 0];
+}
+
+std::uint8_t* ShmRingTunnel::ring_data(int index) const {
+  auto* base = static_cast<std::uint8_t*>(map_) + sizeof(SegmentHeader);
+  return base + static_cast<std::size_t>(index) * hdr_->capacity;
+}
+
+bool ShmRingTunnel::ring_write(common::Bytes& frame) {
+  Ring* r = tx_ring();
+  const std::size_t cap = hdr_->capacity;
+  const std::size_t need = 4 + frame.size();
+  if (need > cap) return false;  // oversized: cannot ever fit
+  const std::uint64_t tail = r->tail.load(std::memory_order_relaxed);
+  const std::uint64_t head = r->head.load(std::memory_order_acquire);
+  if (cap - (tail - head) < need) return false;  // full
+
+  std::uint8_t* data = ring_data(side_ == Side::kA ? 0 : 1);
+  auto put = [&](std::uint64_t pos, const std::uint8_t* src, std::size_t n) {
+    const std::size_t off = pos & (cap - 1);
+    const std::size_t first = std::min(n, cap - off);
+    std::memcpy(data + off, src, first);
+    if (first < n) std::memcpy(data, src + first, n - first);
+  };
+  const std::uint8_t len_le[4] = {
+      static_cast<std::uint8_t>(frame.size()),
+      static_cast<std::uint8_t>(frame.size() >> 8),
+      static_cast<std::uint8_t>(frame.size() >> 16),
+      static_cast<std::uint8_t>(frame.size() >> 24)};
+  put(tail, len_le, 4);
+  put(tail + 4, frame.data(), frame.size());
+  r->tail.store(tail + need, std::memory_order_release);
+  r->frames.fetch_add(1, std::memory_order_release);
+  return true;
+}
+
+bool ShmRingTunnel::ring_read(common::Bytes& out) {
+  Ring* r = rx_ring();
+  const std::size_t cap = hdr_->capacity;
+  const std::uint64_t head = r->head.load(std::memory_order_relaxed);
+  const std::uint64_t tail = r->tail.load(std::memory_order_acquire);
+  if (tail - head < 4) return false;
+
+  const std::uint8_t* data = ring_data(side_ == Side::kA ? 1 : 0);
+  auto get = [&](std::uint64_t pos, std::uint8_t* dst, std::size_t n) {
+    const std::size_t off = pos & (cap - 1);
+    const std::size_t first = std::min(n, cap - off);
+    std::memcpy(dst, data + off, first);
+    if (first < n) std::memcpy(dst + first, data, n - first);
+  };
+  std::uint8_t len_le[4];
+  get(head, len_le, 4);
+  const std::uint32_t len = static_cast<std::uint32_t>(len_le[0]) |
+                            (static_cast<std::uint32_t>(len_le[1]) << 8) |
+                            (static_cast<std::uint32_t>(len_le[2]) << 16) |
+                            (static_cast<std::uint32_t>(len_le[3]) << 24);
+  if (len > cap || tail - head < 4 + len) return false;  // partial write
+  out.resize(len);
+  get(head + 4, out.data(), len);
+  r->head.store(head + 4 + len, std::memory_order_release);
+  r->frames.fetch_sub(1, std::memory_order_release);
+  return true;
+}
+
+bool ShmRingTunnel::wire_push(common::Bytes frame) {
+  Ring* r = tx_ring();
+  const auto deadline = std::chrono::steady_clock::now() + cfg_.push_patience;
+  for (;;) {
+    if (r->closed.load(std::memory_order_acquire) != 0) return false;
+    {
+      std::lock_guard lk(tx_mu_);
+      if (ring_write(frame)) return true;
+    }
+    // Full ring: brief back-pressure, then a counted drop — the consumer
+    // process is wedged or dead and blocking forever would wedge the
+    // sending switch shard with it.
+    if (std::chrono::steady_clock::now() >= deadline) {
+      count_peer_drops(1);
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+bool ShmRingTunnel::wire_try_push(common::Bytes frame) {
+  if (tx_ring()->closed.load(std::memory_order_acquire) != 0) return false;
+  std::lock_guard lk(tx_mu_);
+  return ring_write(frame);
+}
+
+std::size_t ShmRingTunnel::wire_try_push_bulk(
+    std::vector<common::Bytes>& frames) {
+  if (tx_ring()->closed.load(std::memory_order_acquire) != 0) return 0;
+  std::lock_guard lk(tx_mu_);
+  std::size_t n = 0;
+  for (common::Bytes& f : frames) {
+    if (!ring_write(f)) break;
+    ++n;
+  }
+  return n;
+}
+
+std::optional<common::Bytes> ShmRingTunnel::wire_try_pop() {
+  std::lock_guard lk(rx_mu_);
+  common::Bytes out;
+  if (!ring_read(out)) return std::nullopt;
+  return out;
+}
+
+std::size_t ShmRingTunnel::wire_pop_bulk(std::vector<common::Bytes>& out,
+                                         std::size_t max) {
+  std::lock_guard lk(rx_mu_);
+  std::size_t n = 0;
+  common::Bytes f;
+  while (n < max && ring_read(f)) {
+    out.push_back(std::move(f));
+    ++n;
+  }
+  return n;
+}
+
+std::optional<common::Bytes> ShmRingTunnel::wire_pop_for(
+    std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    if (auto f = wire_try_pop()) return f;
+    if (rx_ring()->closed.load(std::memory_order_acquire) != 0) {
+      return std::nullopt;  // drained and closed
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+std::size_t ShmRingTunnel::wire_rx_depth() const {
+  return rx_ring()->frames.load(std::memory_order_acquire);
+}
+
+void ShmRingTunnel::wire_close() {
+  // Close both directions, like the in-memory transport: the peer's pushes
+  // and our pops both fail fast once either side closes.
+  hdr_->ring[0].closed.store(1, std::memory_order_release);
+  hdr_->ring[1].closed.store(1, std::memory_order_release);
+}
+
+}  // namespace typhoon::net

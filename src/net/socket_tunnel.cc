@@ -1,0 +1,501 @@
+#include "net/socket_tunnel.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <iterator>
+
+#include "common/log.h"
+
+namespace typhoon::net {
+
+namespace {
+
+void PutU32(common::Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t GetU32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+// Write exactly n bytes to a blocking fd; false on error.
+bool WriteAll(int fd, const std::uint8_t* p, std::size_t n) {
+  while (n != 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += static_cast<std::size_t>(w);
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---- SocketTunnel ---------------------------------------------------------
+
+std::shared_ptr<SocketTunnel> SocketTunnel::Connect(std::string host,
+                                                    std::uint16_t port,
+                                                    HostId self, HostId peer,
+                                                    SocketTunnelConfig cfg) {
+  return std::shared_ptr<SocketTunnel>(new SocketTunnel(
+      /*active=*/true, std::move(host), port, self, peer, cfg));
+}
+
+std::shared_ptr<SocketTunnel> SocketTunnel::Accepting(SocketTunnelConfig cfg) {
+  return std::shared_ptr<SocketTunnel>(
+      new SocketTunnel(/*active=*/false, "", 0, 0, 0, cfg));
+}
+
+SocketTunnel::SocketTunnel(bool active, std::string host, std::uint16_t port,
+                           HostId self, HostId peer, SocketTunnelConfig cfg)
+    : active_(active),
+      peer_host_(std::move(host)),
+      peer_port_(port),
+      self_host_(self),
+      peer_host_id_(peer),
+      cfg_(cfg),
+      tx_q_(cfg.capacity),
+      rx_q_(cfg.capacity) {
+  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  io_thread_ = std::thread([this] { io_loop(); });
+}
+
+SocketTunnel::~SocketTunnel() {
+  close();
+  if (io_thread_.joinable()) io_thread_.join();
+  {
+    std::lock_guard lk(fd_mu_);
+    if (pending_fd_ >= 0) ::close(pending_fd_);
+    pending_fd_ = -1;
+  }
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+}
+
+void SocketTunnel::poke() {
+  if (wake_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void SocketTunnel::adopt_fd(int fd) {
+  SetNonBlocking(fd);
+  SetNoDelay(fd);
+  int stale = -1;
+  {
+    std::lock_guard lk(fd_mu_);
+    if (!running_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    std::swap(stale, pending_fd_);
+    pending_fd_ = fd;
+  }
+  if (stale >= 0) ::close(stale);
+  // A fresh inbound connection means the old one is dead on the peer's
+  // side; kick the pump off it so the swap happens promptly.
+  const int live = live_fd_.load(std::memory_order_acquire);
+  if (live >= 0) ::shutdown(live, SHUT_RDWR);
+  fd_cv_.notify_all();
+  poke();
+}
+
+bool SocketTunnel::wire_push(common::Bytes frame) {
+  // Bounded-patience blocking push: back-pressure while the IO thread is
+  // keeping up, but never wedges forever on a dead endpoint (close() drains
+  // the waiters by closing the ring).
+  const bool ok = tx_q_.push(std::move(frame));
+  if (ok) poke();
+  return ok;
+}
+
+bool SocketTunnel::wire_try_push(common::Bytes frame) {
+  const bool ok = tx_q_.try_push(std::move(frame));
+  if (ok) poke();
+  return ok;
+}
+
+std::size_t SocketTunnel::wire_try_push_bulk(
+    std::vector<common::Bytes>& frames) {
+  const std::size_t n = tx_q_.try_push_bulk(frames.begin(), frames.size());
+  if (n != 0) poke();
+  return n;
+}
+
+std::optional<common::Bytes> SocketTunnel::wire_try_pop() {
+  return rx_q_.try_pop();
+}
+
+std::size_t SocketTunnel::wire_pop_bulk(std::vector<common::Bytes>& out,
+                                        std::size_t max) {
+  return rx_q_.pop_bulk(std::back_inserter(out), max);
+}
+
+std::optional<common::Bytes> SocketTunnel::wire_pop_for(
+    std::chrono::milliseconds timeout) {
+  return rx_q_.pop_for(timeout);
+}
+
+std::size_t SocketTunnel::wire_rx_depth() const { return rx_q_.size(); }
+
+void SocketTunnel::wire_close() {
+  if (!running_.exchange(false)) return;
+  tx_q_.close();
+  rx_q_.close();
+  const int live = live_fd_.load(std::memory_order_acquire);
+  if (live >= 0) ::shutdown(live, SHUT_RDWR);
+  fd_cv_.notify_all();
+  poke();
+}
+
+void SocketTunnel::wire_fire_tx_notify() {
+  // The RX pump on the peer fires its local hook; nothing to do on the
+  // sending side.
+}
+
+void SocketTunnel::retarget(std::string host, std::uint16_t port) {
+  bool changed = false;
+  {
+    std::lock_guard lk(fd_mu_);
+    changed = host != peer_host_ || port != peer_port_;
+    peer_host_ = std::move(host);
+    peer_port_ = port;
+  }
+  if (!changed) return;
+  // Kick the pump off the old connection so the next dial hits the new
+  // address.
+  const int live = live_fd_.load(std::memory_order_acquire);
+  if (live >= 0) ::shutdown(live, SHUT_RDWR);
+  fd_cv_.notify_all();
+  poke();
+}
+
+int SocketTunnel::dial_once() {
+  std::string host;
+  std::uint16_t port = 0;
+  {
+    std::lock_guard lk(fd_mu_);
+    host = peer_host_;
+    port = peer_port_;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.empty() ? "127.0.0.1" : host.c_str(),
+                &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  common::Bytes hello;
+  hello.reserve(kTunnelHelloBytes);
+  PutU32(hello, kTunnelHelloMagic);
+  PutU32(hello, self_host_);
+  PutU32(hello, peer_host_id_);
+  if (!WriteAll(fd, hello.data(), hello.size())) {
+    ::close(fd);
+    return -1;
+  }
+  SetNonBlocking(fd);
+  SetNoDelay(fd);
+  return fd;
+}
+
+void SocketTunnel::drain_tx_as_drops() {
+  std::uint64_t n = 0;
+  while (auto f = tx_q_.try_pop()) ++n;
+  if (n != 0) count_peer_drops(n);
+}
+
+int SocketTunnel::ensure_connected() {
+  auto backoff = cfg_.backoff_min;
+  const auto give_up = std::chrono::steady_clock::now() + cfg_.connect_deadline;
+  while (running_.load(std::memory_order_acquire)) {
+    {
+      // adopt_fd serves both sides: a listener handing the passive side its
+      // connection, or a harness injecting one.
+      std::lock_guard lk(fd_mu_);
+      if (pending_fd_ >= 0) {
+        int fd = -1;
+        std::swap(fd, pending_fd_);
+        return fd;
+      }
+    }
+    if (active_) {
+      const int fd = dial_once();
+      if (fd >= 0) return fd;
+    }
+    // A lost connection means staged frames go nowhere; count them out so
+    // senders keep making progress (at-least-once replay recovers).
+    if (ever_connected_.load(std::memory_order_acquire)) drain_tx_as_drops();
+    if (std::chrono::steady_clock::now() > give_up) return -1;
+    if (active_) {
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, cfg_.backoff_max);
+    } else {
+      std::unique_lock lk(fd_mu_);
+      fd_cv_.wait_for(lk, std::chrono::milliseconds(20), [&] {
+        return pending_fd_ >= 0 || !running_.load(std::memory_order_acquire);
+      });
+    }
+  }
+  return -1;
+}
+
+std::uint64_t SocketTunnel::pump(int fd) {
+  live_fd_.store(fd, std::memory_order_release);
+  connected_.store(true, std::memory_order_release);
+
+  // Staged outbound records ([u32 len][frame]), head partially written.
+  std::deque<common::Bytes> pending;
+  std::size_t head_off = 0;
+  common::Bytes rbuf;          // unparsed inbound bytes
+  std::size_t rbuf_off = 0;    // parse cursor into rbuf
+  std::vector<common::Bytes> batch;
+  std::uint8_t chunk[64 * 1024];
+
+  auto lost = [&]() -> std::uint64_t {
+    connected_.store(false, std::memory_order_release);
+    live_fd_.store(-1, std::memory_order_release);
+    ::close(fd);
+    return pending.size();
+  };
+
+  while (running_.load(std::memory_order_acquire)) {
+    // Refill the outbound stage from the TX ring (one lock round).
+    if (pending.size() < 64) {
+      batch.clear();
+      tx_q_.pop_bulk(std::back_inserter(batch), 256);
+      for (common::Bytes& f : batch) {
+        common::Bytes rec;
+        rec.reserve(4 + f.size());
+        PutU32(rec, static_cast<std::uint32_t>(f.size()));
+        rec.insert(rec.end(), f.begin(), f.end());
+        pending.push_back(std::move(rec));
+      }
+    }
+
+    pollfd pfds[2];
+    pfds[0] = {fd, POLLIN, 0};
+    if (!pending.empty()) pfds[0].events |= POLLOUT;
+    pfds[1] = {wake_fd_, POLLIN, 0};
+    const int rc = ::poll(pfds, 2, 100);
+    if (rc < 0 && errno != EINTR) return lost();
+    if (pfds[1].revents != 0) {
+      std::uint64_t junk = 0;
+      [[maybe_unused]] ssize_t n = ::read(wake_fd_, &junk, sizeof(junk));
+    }
+
+    // Outbound: write staged records until EAGAIN.
+    while (!pending.empty()) {
+      const common::Bytes& rec = pending.front();
+      const ssize_t w =
+          ::send(fd, rec.data() + head_off, rec.size() - head_off, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+        return lost();
+      }
+      head_off += static_cast<std::size_t>(w);
+      if (head_off == rec.size()) {
+        pending.pop_front();
+        head_off = 0;
+      }
+    }
+
+    // Inbound: read until EAGAIN, parse complete records into the RX ring.
+    if ((pfds[0].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      for (;;) {
+        const ssize_t r = ::read(fd, chunk, sizeof(chunk));
+        if (r == 0) return lost();  // peer closed
+        if (r < 0) {
+          if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+          return lost();
+        }
+        rbuf.insert(rbuf.end(), chunk, chunk + r);
+        if (r < static_cast<ssize_t>(sizeof(chunk))) break;
+      }
+      bool delivered = false;
+      while (rbuf.size() - rbuf_off >= 4) {
+        const std::uint32_t len = GetU32(rbuf.data() + rbuf_off);
+        if (len > kTunnelMaxFrameBytes) return lost();  // protocol error
+        if (rbuf.size() - rbuf_off - 4 < len) break;    // partial record
+        common::Bytes frame(rbuf.begin() + static_cast<std::ptrdiff_t>(rbuf_off + 4),
+                            rbuf.begin() + static_cast<std::ptrdiff_t>(rbuf_off + 4 + len));
+        rbuf_off += 4 + len;
+        // A full RX ring is back-pressure: stop pulling off the socket and
+        // let the kernel buffers (and eventually the sender) fill.
+        while (running_.load(std::memory_order_acquire)) {
+          if (rx_q_.push_for(std::move(frame), std::chrono::milliseconds(5))) {
+            delivered = true;
+            break;
+          }
+          if (rx_q_.closed()) break;
+        }
+      }
+      if (rbuf_off != 0) {
+        rbuf.erase(rbuf.begin(), rbuf.begin() + static_cast<std::ptrdiff_t>(rbuf_off));
+        rbuf_off = 0;
+      }
+      if (delivered) rx_hook_.fire();
+    }
+  }
+  connected_.store(false, std::memory_order_release);
+  live_fd_.store(-1, std::memory_order_release);
+  ::close(fd);
+  return pending.size();
+}
+
+void SocketTunnel::io_loop() {
+  bool first = true;
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ensure_connected();
+    if (fd < 0) break;  // stopped or terminal
+    if (!first) reconnects_.fetch_add(1, std::memory_order_relaxed);
+    first = false;
+    ever_connected_.store(true, std::memory_order_release);
+    const std::uint64_t lost_in_flight = pump(fd);
+    if (!running_.load(std::memory_order_acquire)) break;
+    count_peer_drops(lost_in_flight);
+    if (!cfg_.reconnect) break;
+  }
+  // Terminal: fail senders/receivers fast, like a closed in-memory tunnel.
+  tx_q_.close();
+  rx_q_.close();
+  drain_tx_as_drops();
+  rx_hook_.fire();  // unpark any waiter so it observes the closed ring
+}
+
+// ---- SocketTunnelListener -------------------------------------------------
+
+SocketTunnelListener::SocketTunnelListener(HostId self) : self_(self) {}
+
+SocketTunnelListener::~SocketTunnelListener() { stop(); }
+
+bool SocketTunnelListener::bind(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return false;
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  return true;
+}
+
+std::shared_ptr<SocketTunnel> SocketTunnelListener::expect_peer(
+    HostId peer, SocketTunnelConfig cfg) {
+  auto ep = SocketTunnel::Accepting(cfg);
+  std::lock_guard lk(mu_);
+  peers_[peer] = ep;
+  return ep;
+}
+
+void SocketTunnelListener::start() {
+  if (listen_fd_ < 0) return;
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void SocketTunnelListener::stop() {
+  if (!running_.exchange(false)) {
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return;
+  }
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void SocketTunnelListener::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed
+    }
+    // Short deadline on the hello so a stuck dialer cannot wedge accepts.
+    timeval tv{};
+    tv.tv_sec = 2;
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    std::uint8_t hello[kTunnelHelloBytes];
+    std::size_t got = 0;
+    while (got < sizeof(hello)) {
+      const ssize_t r = ::read(fd, hello + got, sizeof(hello) - got);
+      if (r <= 0) break;
+      got += static_cast<std::size_t>(r);
+    }
+    if (got != sizeof(hello) || GetU32(hello) != kTunnelHelloMagic ||
+        GetU32(hello + 8) != self_) {
+      ::close(fd);
+      continue;
+    }
+    const HostId src = GetU32(hello + 4);
+    std::shared_ptr<SocketTunnel> ep;
+    {
+      std::lock_guard lk(mu_);
+      auto it = peers_.find(src);
+      if (it != peers_.end()) ep = it->second;
+    }
+    if (!ep) {
+      LOG_WARN("tunnel") << "host" << self_
+                         << ": unexpected tunnel hello from host" << src;
+      ::close(fd);
+      continue;
+    }
+    ep->adopt_fd(fd);
+  }
+}
+
+}  // namespace typhoon::net

@@ -1,0 +1,188 @@
+// SocketTunnel — the TunnelEndpoint transport for multi-process deployments:
+// a real TCP connection between two host processes (DESIGN.md Sec 17).
+//
+// The endpoint keeps the in-memory transport's non-blocking burst contract
+// (the sharded SoftSwitch hot path is unchanged): send/try_send_burst stage
+// opaque checksummed frames into a bounded TX ring and try_recv_burst drains
+// a bounded RX ring. One IO thread per endpoint owns the socket and moves
+// frames between the rings and the wire as length-prefixed records
+// ([u32 len LE][frame bytes]), reassembling records split across reads.
+//
+// Connection lifecycle:
+//   - The active (connecting) side dials the peer's listener with capped
+//     exponential backoff and opens with a 12-byte hello
+//     [magic u32][src host u32][dst host u32], so one listener per host can
+//     demux inbound connections to per-peer endpoints.
+//   - The passive side is created via SocketTunnelListener::expect_peer();
+//     the listener's accept thread reads the hello and hands the connected
+//     fd to the matching endpoint (adopt_fd), including after a reconnect.
+//   - While a previously-established connection is down, staged TX frames
+//     are discarded and counted (peer_drops) — writes into a dead TCP
+//     connection are lost on a real network too — and delivery resumes on
+//     reconnect. Before the first connection, frames queue (bounded, with
+//     back-pressure): peers boot in arbitrary order.
+//   - A disconnect episode that outlives cfg.connect_deadline turns the
+//     endpoint terminal: rings close and sends fail fast, like a closed
+//     in-memory tunnel.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/ids.h"
+#include "common/mpmc_queue.h"
+#include "net/tunnel.h"
+
+namespace typhoon::net {
+
+// Hello header opening every tunnel connection.
+inline constexpr std::uint32_t kTunnelHelloMagic = 0x54595048;  // "TYPH"
+inline constexpr std::size_t kTunnelHelloBytes = 12;
+// Protocol sanity cap on one framed record; a longer length prefix means a
+// corrupted or misdirected stream and drops the connection.
+inline constexpr std::uint32_t kTunnelMaxFrameBytes = 1u << 22;
+
+struct SocketTunnelConfig {
+  // TX/RX staging ring capacity, in frames (matches CreateTunnel's default).
+  std::size_t capacity = 4096;
+  // Dial/redial backoff ramp for the active side.
+  std::chrono::milliseconds backoff_min{5};
+  std::chrono::milliseconds backoff_max{250};
+  // A disconnect episode longer than this turns the endpoint terminal.
+  std::chrono::milliseconds connect_deadline{10000};
+  // Retry the connection after a drop (both sides). Off = first disconnect
+  // is terminal.
+  bool reconnect = true;
+};
+
+class SocketTunnel final : public TunnelEndpoint {
+ public:
+  // Active side: dial `host:port`, identifying as src=self toward dst=peer.
+  // Returns immediately; the IO thread dials with retry/backoff.
+  static std::shared_ptr<SocketTunnel> Connect(std::string host,
+                                               std::uint16_t port, HostId self,
+                                               HostId peer,
+                                               SocketTunnelConfig cfg = {});
+  // Passive side: waits for SocketTunnelListener (or a test harness) to
+  // hand it connected fds via adopt_fd().
+  static std::shared_ptr<SocketTunnel> Accepting(SocketTunnelConfig cfg = {});
+
+  ~SocketTunnel() override;
+
+  // Hand the endpoint a connected socket whose hello has been consumed.
+  // Replaces any current connection (the reconnect path). Takes ownership.
+  void adopt_fd(int fd);
+
+  // Active side only: point future dials at a new address (a restarted
+  // peer process binds a fresh ephemeral port). Drops any current
+  // connection so the IO thread re-dials the new target.
+  void retarget(std::string host, std::uint16_t port);
+
+  // Established at least once and currently up.
+  [[nodiscard]] bool connected() const {
+    return connected_.load(std::memory_order_acquire);
+  }
+  // Completed re-establishments after a drop.
+  [[nodiscard]] std::uint64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  bool wire_push(common::Bytes frame) override;
+  bool wire_try_push(common::Bytes frame) override;
+  std::size_t wire_try_push_bulk(std::vector<common::Bytes>& frames) override;
+  std::optional<common::Bytes> wire_try_pop() override;
+  std::size_t wire_pop_bulk(std::vector<common::Bytes>& out,
+                            std::size_t max) override;
+  std::optional<common::Bytes> wire_pop_for(
+      std::chrono::milliseconds timeout) override;
+  [[nodiscard]] std::size_t wire_rx_depth() const override;
+  void wire_close() override;
+  void wire_fire_tx_notify() override;
+
+ private:
+  SocketTunnel(bool active, std::string host, std::uint16_t port, HostId self,
+               HostId peer, SocketTunnelConfig cfg);
+
+  void io_loop();
+  // Blocks until a usable fd is available (dial with backoff, or wait for
+  // adopt_fd). Returns -1 when the endpoint stopped or went terminal.
+  int ensure_connected();
+  int dial_once();
+  // Moves frames both ways until the connection drops or the endpoint
+  // stops. Returns frames lost in flight (staged but unwritten).
+  std::uint64_t pump(int fd);
+  // Discard staged TX frames while a once-established connection is down.
+  void drain_tx_as_drops();
+  void poke();
+
+  const bool active_;
+  std::string peer_host_;       // guarded by fd_mu_ (retarget)
+  std::uint16_t peer_port_;     // guarded by fd_mu_ (retarget)
+  const HostId self_host_;
+  const HostId peer_host_id_;
+  const SocketTunnelConfig cfg_;
+
+  common::MpmcQueue<common::Bytes> tx_q_;
+  common::MpmcQueue<common::Bytes> rx_q_;
+
+  std::atomic<bool> running_{true};
+  std::atomic<bool> connected_{false};
+  std::atomic<bool> ever_connected_{false};
+  std::atomic<std::uint64_t> reconnects_{0};
+
+  // IO-thread wakeup (eventfd): armed by pushes, close, and adopt_fd.
+  int wake_fd_ = -1;
+
+  // Pending adopted connection (passive side / reconnect).
+  std::mutex fd_mu_;
+  std::condition_variable fd_cv_;
+  int pending_fd_ = -1;
+  // Fd currently owned by the pump; shutdown() on close/adopt unblocks it.
+  std::atomic<int> live_fd_{-1};
+
+  std::thread io_thread_;
+};
+
+// Per-host accept loop for inbound tunnel connections: reads each new
+// connection's hello and routes the fd to the endpoint registered for that
+// source host. Unknown or malformed hellos drop the connection.
+class SocketTunnelListener {
+ public:
+  explicit SocketTunnelListener(HostId self);
+  ~SocketTunnelListener();
+
+  SocketTunnelListener(const SocketTunnelListener&) = delete;
+  SocketTunnelListener& operator=(const SocketTunnelListener&) = delete;
+
+  // Bind the listen socket (port 0 = ephemeral). False on error.
+  bool bind(std::uint16_t port = 0);
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  // Register (and return) the passive endpoint for connections from `peer`.
+  std::shared_ptr<SocketTunnel> expect_peer(HostId peer,
+                                            SocketTunnelConfig cfg = {});
+
+  void start();
+  void stop();
+
+ private:
+  void accept_loop();
+
+  const HostId self_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::mutex mu_;
+  std::map<HostId, std::shared_ptr<SocketTunnel>> peers_;
+  std::thread accept_thread_;
+};
+
+}  // namespace typhoon::net

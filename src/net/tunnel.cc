@@ -1,6 +1,7 @@
 #include "net/tunnel.h"
 
 #include <chrono>
+#include <iterator>
 #include <span>
 #include <thread>
 #include <vector>
@@ -37,6 +38,8 @@ bool VerifyAndStripChecksum(common::Bytes& frame) {
 
 }  // namespace
 
+TunnelEndpoint::~TunnelEndpoint() = default;
+
 bool TunnelEndpoint::send(const Packet& p) {
   common::Bytes frame;
   frame.reserve(p.wire_size() + kChecksumBytes);
@@ -69,14 +72,14 @@ bool TunnelEndpoint::send(const Packet& p) {
                        if (!f.empty()) f[offset % f.size()] ^= mask;
                      });
       ok = true;
-      for (common::Bytes& f : out) ok = tx_->q.push(std::move(f)) && ok;
-      tx_->fire();
+      for (common::Bytes& f : out) ok = wire_push(std::move(f)) && ok;
+      wire_fire_tx_notify();
       handled = true;
     }
   }
   if (!handled) {
-    ok = tx_->q.push(std::move(frame));
-    tx_->fire();
+    ok = wire_push(std::move(frame));
+    wire_fire_tx_notify();
   }
   // A frame counts as sent once it is handed to the wire — including
   // frames the wire shaper then drops (link loss), but not frames a
@@ -122,8 +125,7 @@ std::size_t TunnelEndpoint::try_send_burst(
     AppendChecksum(frame);
     frames.push_back(std::move(frame));
   }
-  const std::size_t pushed = tx_->q.try_push_bulk(frames.begin(),
-                                                  frames.size());
+  const std::size_t pushed = wire_try_push_bulk(frames);
   if (capped) {
     // Refund credit for frames the full ring rejected — they were charged
     // on admission but never reached the wire (the caller will re-pay when
@@ -135,7 +137,7 @@ std::size_t TunnelEndpoint::try_send_burst(
   for (std::size_t i = 0; i < pushed; ++i) body_bytes_total += body_bytes[i];
   bytes_.fetch_add(body_bytes_total, std::memory_order_relaxed);
   sent_.fetch_add(pushed, std::memory_order_relaxed);
-  if (pushed != 0) tx_->fire();
+  if (pushed != 0) wire_fire_tx_notify();
   return pushed;
 }
 
@@ -156,7 +158,7 @@ bool TunnelEndpoint::decode_checked_into(common::Bytes frame, Packet& out) {
 }
 
 bool TunnelEndpoint::try_recv_into(Packet& out) {
-  while (auto frame = rx_->q.try_pop()) {
+  while (auto frame = wire_try_pop()) {
     if (decode_checked_into(std::move(*frame), out)) return true;
   }
   return false;
@@ -165,7 +167,7 @@ bool TunnelEndpoint::try_recv_into(Packet& out) {
 std::size_t TunnelEndpoint::try_recv_burst(std::span<Packet*> out) {
   if (out.empty()) return 0;
   rx_scratch_.clear();
-  rx_->q.pop_bulk(std::back_inserter(rx_scratch_), out.size());
+  wire_pop_bulk(rx_scratch_, out.size());
   std::size_t n = 0;
   for (common::Bytes& frame : rx_scratch_) {
     // Corrupt frames are counted link drops; the decode slot is reused for
@@ -179,7 +181,7 @@ std::size_t TunnelEndpoint::try_recv_burst(std::span<Packet*> out) {
 std::optional<Packet> TunnelEndpoint::try_recv() {
   // Corrupt frames are link drops: count them and keep draining so the
   // caller never mistakes a mangled frame for an empty queue.
-  while (auto frame = rx_->q.try_pop()) {
+  while (auto frame = wire_try_pop()) {
     if (auto p = decode_checked(std::move(*frame))) return p;
   }
   return std::nullopt;
@@ -191,21 +193,13 @@ std::optional<Packet> TunnelEndpoint::recv_for(
   for (;;) {
     const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
         deadline - std::chrono::steady_clock::now());
-    auto frame = rx_->q.pop_for(remaining > std::chrono::milliseconds::zero()
-                                    ? remaining
-                                    : std::chrono::milliseconds::zero());
+    auto frame = wire_pop_for(remaining > std::chrono::milliseconds::zero()
+                                  ? remaining
+                                  : std::chrono::milliseconds::zero());
     if (!frame) return std::nullopt;
     if (auto p = decode_checked(std::move(*frame))) return p;
     if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
   }
-}
-
-std::size_t TunnelEndpoint::rx_queue_depth() const { return rx_->q.size(); }
-
-void TunnelEndpoint::set_rx_notify(std::function<void()> fn) {
-  std::lock_guard lk(rx_->notify_mu);
-  rx_->notify = std::move(fn);
-  rx_->has_notify.store(rx_->notify != nullptr, std::memory_order_release);
 }
 
 void TunnelEndpoint::set_tx_rate(double bytes_per_sec) {
@@ -230,8 +224,8 @@ void TunnelEndpoint::clear_impairment() {
     // reordered traffic.
     std::vector<common::Bytes> out;
     shaper_->flush(out);
-    for (common::Bytes& f : out) (void)tx_->q.try_push(std::move(f));
-    tx_->fire();
+    for (common::Bytes& f : out) (void)wire_try_push(std::move(f));
+    wire_fire_tx_notify();
   }
   impaired_.store(false, std::memory_order_release);
   shaper_.reset();
@@ -244,20 +238,57 @@ faultinject::Impairment* TunnelEndpoint::impairment() {
 
 void TunnelEndpoint::close() {
   clear_impairment();
+  wire_close();
+}
+
+// ---- InMemoryTunnel -------------------------------------------------------
+
+bool InMemoryTunnel::wire_push(common::Bytes frame) {
+  return tx_->q.push(std::move(frame));
+}
+
+bool InMemoryTunnel::wire_try_push(common::Bytes frame) {
+  return tx_->q.try_push(std::move(frame));
+}
+
+std::size_t InMemoryTunnel::wire_try_push_bulk(
+    std::vector<common::Bytes>& frames) {
+  return tx_->q.try_push_bulk(frames.begin(), frames.size());
+}
+
+std::optional<common::Bytes> InMemoryTunnel::wire_try_pop() {
+  return rx_->q.try_pop();
+}
+
+std::size_t InMemoryTunnel::wire_pop_bulk(std::vector<common::Bytes>& out,
+                                          std::size_t max) {
+  return rx_->q.pop_bulk(std::back_inserter(out), max);
+}
+
+std::optional<common::Bytes> InMemoryTunnel::wire_pop_for(
+    std::chrono::milliseconds timeout) {
+  return rx_->q.pop_for(timeout);
+}
+
+std::size_t InMemoryTunnel::wire_rx_depth() const { return rx_->q.size(); }
+
+void InMemoryTunnel::wire_close() {
   tx_->q.close();
   rx_->q.close();
 }
 
+void InMemoryTunnel::wire_fire_tx_notify() { tx_->notify.fire(); }
+
+void InMemoryTunnel::wire_set_rx_notify(std::function<void()> fn) {
+  rx_->notify.set(std::move(fn));
+}
+
 std::pair<std::shared_ptr<TunnelEndpoint>, std::shared_ptr<TunnelEndpoint>>
 CreateTunnel(std::size_t capacity) {
-  auto a_to_b = std::make_shared<TunnelEndpoint::Channel>(capacity);
-  auto b_to_a = std::make_shared<TunnelEndpoint::Channel>(capacity);
-  auto a = std::make_shared<TunnelEndpoint>();
-  auto b = std::make_shared<TunnelEndpoint>();
-  a->tx_ = a_to_b;
-  a->rx_ = b_to_a;
-  b->tx_ = b_to_a;
-  b->rx_ = a_to_b;
+  auto a_to_b = std::make_shared<InMemoryTunnel::Channel>(capacity);
+  auto b_to_a = std::make_shared<InMemoryTunnel::Channel>(capacity);
+  std::shared_ptr<TunnelEndpoint> a(new InMemoryTunnel(a_to_b, b_to_a));
+  std::shared_ptr<TunnelEndpoint> b(new InMemoryTunnel(b_to_a, a_to_b));
   return {a, b};
 }
 

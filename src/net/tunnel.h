@@ -16,6 +16,20 @@
 // Send may be called from several switch shards concurrently (frame
 // counters are atomics); burst receive is single-consumer — the one shard
 // that owns this tunnel's RX polling.
+//
+// TunnelEndpoint is a transport-agnostic base: framing, checksums, the
+// impairment shaper, the tx rate cap, and all counters live here, above a
+// small set of wire primitives (`wire_*`). Transports only move opaque
+// checksummed frames:
+//   - InMemoryTunnel (this header + CreateTunnel): a pair of in-process
+//     frame rings — the single-process deployment.
+//   - SocketTunnel (net/socket_tunnel.h): a real TCP connection between
+//     host processes.
+//   - ShmRingTunnel (net/shm_ring_tunnel.h): shared-memory SPSC byte rings
+//     for same-machine host-process pairs.
+// Because everything above the wire is shared, the three transports are
+// behaviourally equivalent by construction (locked down by the seeded
+// transport-equivalence property test in tests/test_net.cc).
 #pragma once
 
 #include <atomic>
@@ -37,6 +51,11 @@ namespace typhoon::net {
 
 class TunnelEndpoint {
  public:
+  virtual ~TunnelEndpoint();
+
+  TunnelEndpoint(const TunnelEndpoint&) = delete;
+  TunnelEndpoint& operator=(const TunnelEndpoint&) = delete;
+
   // Blocking send (TCP back-pressure semantics). False once closed.
   bool send(const Packet& p);
   // Non-blocking burst send: encodes and enqueues frames in order under one
@@ -60,12 +79,14 @@ class TunnelEndpoint {
 
   // Frames queued toward this endpoint, not yet received. Used by pollers
   // deciding whether to park.
-  [[nodiscard]] std::size_t rx_queue_depth() const;
+  [[nodiscard]] std::size_t rx_queue_depth() const { return wire_rx_depth(); }
 
-  // Register a callback fired by the peer after it enqueues frames toward
-  // this endpoint (once per send / per burst). Lets a parked receiver wake
-  // without polling; pass nullptr to clear.
-  void set_rx_notify(std::function<void()> fn);
+  // Register a callback fired after frames become available toward this
+  // endpoint (once per send / per burst / per RX pump round). Lets a parked
+  // receiver wake without polling; pass nullptr to clear.
+  void set_rx_notify(std::function<void()> fn) {
+    wire_set_rx_notify(std::move(fn));
+  }
 
   void close();
   [[nodiscard]] std::uint64_t frames_sent() const {
@@ -77,6 +98,12 @@ class TunnelEndpoint {
   // Frames discarded on receive because their checksum failed.
   [[nodiscard]] std::uint64_t rx_corrupt_drops() const {
     return corrupt_rx_.load(std::memory_order_relaxed);
+  }
+  // Frames accepted by send()/try_send_burst() but discarded by the
+  // transport because the peer was gone (connection down / process dead).
+  // Always 0 for the in-memory transport, whose peer cannot vanish.
+  [[nodiscard]] std::uint64_t peer_drops() const {
+    return peer_drops_.load(std::memory_order_relaxed);
   }
 
   // Attach a deterministic impairment stage to this endpoint's transmit
@@ -99,35 +126,79 @@ class TunnelEndpoint {
   void set_tx_rate(double bytes_per_sec);
   [[nodiscard]] double tx_rate() const;
 
- private:
-  friend std::pair<std::shared_ptr<TunnelEndpoint>,
-                   std::shared_ptr<TunnelEndpoint>>
-  CreateTunnel(std::size_t capacity);
+ protected:
+  TunnelEndpoint() = default;
 
-  // One direction of the wire: the frame queue plus the receiver-side
-  // wake-up hook fired by the sender after enqueueing.
-  struct Channel {
-    explicit Channel(std::size_t cap) : q(cap) {}
-    common::MpmcQueue<common::Bytes> q;
-    std::mutex notify_mu;
-    std::function<void()> notify;          // guarded by notify_mu
-    std::atomic<bool> has_notify{false};   // cheap gate for the send path
+  // ---- wire primitives, implemented per transport -----------------------
+  // Frames handed down are opaque checksummed byte blobs; transports move
+  // them verbatim and never look inside.
 
+  // Blocking enqueue toward the peer. False once the wire is closed.
+  virtual bool wire_push(common::Bytes frame) = 0;
+  // Non-blocking enqueue; false when the wire is full or closed.
+  virtual bool wire_try_push(common::Bytes frame) = 0;
+  // Non-blocking bulk enqueue under one lock round. Returns the number
+  // accepted from the front of `frames`; the tail stays with the caller.
+  virtual std::size_t wire_try_push_bulk(
+      std::vector<common::Bytes>& frames) = 0;
+  // Non-blocking dequeue of one frame from the peer.
+  virtual std::optional<common::Bytes> wire_try_pop() = 0;
+  // Bulk dequeue of up to `max` frames under one lock round.
+  virtual std::size_t wire_pop_bulk(std::vector<common::Bytes>& out,
+                                    std::size_t max) = 0;
+  // Blocking dequeue with timeout.
+  virtual std::optional<common::Bytes> wire_pop_for(
+      std::chrono::milliseconds timeout) = 0;
+  // Frames queued toward this endpoint, not yet popped.
+  [[nodiscard]] virtual std::size_t wire_rx_depth() const = 0;
+  // Tear the wire down; all subsequent pushes/pops fail fast.
+  virtual void wire_close() = 0;
+  // Fired once after a send/burst handed frames to the wire. The in-memory
+  // transport pokes the peer's rx-notify hook here; transports with their
+  // own RX pump (socket/shm) fire the local hook from the pump instead.
+  virtual void wire_fire_tx_notify() {}
+
+  // Receiver-side notify hook. The default implementation stores the hook
+  // endpoint-locally (for transports whose RX pump fires it); InMemoryTunnel
+  // overrides it to store the hook on the shared channel, where the peer's
+  // sender fires it directly.
+  virtual void wire_set_rx_notify(std::function<void()> fn) {
+    rx_hook_.set(std::move(fn));
+  }
+
+  // Sender-side wake-up hook machinery, shared by transports.
+  struct NotifyHook {
+    std::mutex mu;
+    std::function<void()> fn;        // guarded by mu
+    std::atomic<bool> armed{false};  // cheap gate for the hot path
+
+    void set(std::function<void()> f) {
+      std::lock_guard lk(mu);
+      fn = std::move(f);
+      armed.store(fn != nullptr, std::memory_order_release);
+    }
     void fire() {
-      if (!has_notify.load(std::memory_order_acquire)) return;
-      std::lock_guard lk(notify_mu);
-      if (notify) notify();
+      if (!armed.load(std::memory_order_acquire)) return;
+      std::lock_guard lk(mu);
+      if (fn) fn();
     }
   };
 
+  // For transports that discard queued frames when the peer vanishes.
+  void count_peer_drops(std::uint64_t n) {
+    peer_drops_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  NotifyHook rx_hook_;
+
+ private:
   std::optional<Packet> decode_checked(common::Bytes frame);
   bool decode_checked_into(common::Bytes frame, Packet& out);
 
-  std::shared_ptr<Channel> tx_;
-  std::shared_ptr<Channel> rx_;
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<std::uint64_t> bytes_{0};
   std::atomic<std::uint64_t> corrupt_rx_{0};
+  std::atomic<std::uint64_t> peer_drops_{0};
 
   // Single-consumer scratch for try_recv_burst (frames popped in bulk,
   // decoded outside the ring lock).
@@ -145,7 +216,45 @@ class TunnelEndpoint {
   std::atomic<bool> tx_limited_{false};
 };
 
-// Create a bidirectional tunnel; returns the two endpoints.
+// The in-process transport: two MPMC frame rings shared by the endpoint
+// pair, with the receiver's wake-up hook living on the ring so the sender
+// can fire it directly after enqueueing.
+class InMemoryTunnel final : public TunnelEndpoint {
+ protected:
+  bool wire_push(common::Bytes frame) override;
+  bool wire_try_push(common::Bytes frame) override;
+  std::size_t wire_try_push_bulk(std::vector<common::Bytes>& frames) override;
+  std::optional<common::Bytes> wire_try_pop() override;
+  std::size_t wire_pop_bulk(std::vector<common::Bytes>& out,
+                            std::size_t max) override;
+  std::optional<common::Bytes> wire_pop_for(
+      std::chrono::milliseconds timeout) override;
+  [[nodiscard]] std::size_t wire_rx_depth() const override;
+  void wire_close() override;
+  void wire_fire_tx_notify() override;
+  void wire_set_rx_notify(std::function<void()> fn) override;
+
+ private:
+  friend std::pair<std::shared_ptr<TunnelEndpoint>,
+                   std::shared_ptr<TunnelEndpoint>>
+  CreateTunnel(std::size_t capacity);
+
+  // One direction of the wire: the frame queue plus the receiver-side
+  // wake-up hook fired by the sender after enqueueing.
+  struct Channel {
+    explicit Channel(std::size_t cap) : q(cap) {}
+    common::MpmcQueue<common::Bytes> q;
+    NotifyHook notify;
+  };
+
+  InMemoryTunnel(std::shared_ptr<Channel> tx, std::shared_ptr<Channel> rx)
+      : tx_(std::move(tx)), rx_(std::move(rx)) {}
+
+  std::shared_ptr<Channel> tx_;
+  std::shared_ptr<Channel> rx_;
+};
+
+// Create a bidirectional in-memory tunnel; returns the two endpoints.
 std::pair<std::shared_ptr<TunnelEndpoint>, std::shared_ptr<TunnelEndpoint>>
 CreateTunnel(std::size_t capacity = 4096);
 

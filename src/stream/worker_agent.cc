@@ -74,6 +74,15 @@ Worker* WorkerAgent::find_worker(WorkerId id) const {
   return it == workers_.end() ? nullptr : it->second.worker.get();
 }
 
+bool WorkerAgent::probe_worker(
+    WorkerId id, const std::function<void(Worker&)>& fn) const {
+  std::lock_guard lk(mu_);
+  auto it = workers_.find(id);
+  if (it == workers_.end() || !it->second.worker) return false;
+  fn(*it->second.worker);
+  return true;
+}
+
 bool WorkerAgent::inject_crash(WorkerId id) {
   std::lock_guard lk(mu_);
   auto it = workers_.find(id);

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -63,7 +64,14 @@ class WorkerAgent {
   [[nodiscard]] HostId host() const { return opts_.host; }
 
   // Harness access to a live worker (nullptr if not on this host / dead).
+  // The returned pointer is only safe while no restart can run — the
+  // monitor thread frees a crashed worker under the agent lock. Pollers
+  // racing restarts must use probe_worker instead.
   [[nodiscard]] Worker* find_worker(WorkerId id) const;
+  // Run `fn` on the live worker under the agent lock, so the monitor
+  // thread cannot free it mid-read. False when the worker is not (or no
+  // longer) hosted here.
+  bool probe_worker(WorkerId id, const std::function<void(Worker&)>& fn) const;
   [[nodiscard]] std::vector<WorkerId> worker_ids() const;
   [[nodiscard]] std::int64_t restarts() const { return restarts_.load(); }
 

@@ -82,13 +82,10 @@
 #include "openflow/flow_table.h"
 #include "openflow/group_table.h"
 #include "switchd/microflow_cache.h"
+#include "switchd/switch_control.h"
 #include "trace/flight_recorder.h"
 
 namespace typhoon::switchd {
-
-using SwitchEvent =
-    std::variant<openflow::PacketIn, openflow::PortStatus,
-                 openflow::FlowRemoved>;
 
 // Worker-side view of a switch port: a TX ring toward the switch and an RX
 // ring from it. Obtained from SoftSwitch::attach_port.
@@ -142,10 +139,10 @@ struct SoftSwitchConfig {
   std::shared_ptr<trace::FlightRecorder> trace_recorder;
 };
 
-class SoftSwitch {
+class SoftSwitch : public SwitchControl {
  public:
   explicit SoftSwitch(SoftSwitchConfig cfg);
-  ~SoftSwitch();
+  ~SoftSwitch() override;
 
   SoftSwitch(const SoftSwitch&) = delete;
   SoftSwitch& operator=(const SoftSwitch&) = delete;
@@ -154,11 +151,11 @@ class SoftSwitch {
   void stop();
 
   // ---- dataplane attachment ----
-  std::shared_ptr<PortHandle> attach_port();
+  std::shared_ptr<PortHandle> attach_port() override;
   // Attach requesting a specific port number (scheduler-assigned); returns
   // nullptr if taken.
-  std::shared_ptr<PortHandle> attach_port(PortId requested);
-  void detach_port(PortId port);
+  std::shared_ptr<PortHandle> attach_port(PortId requested) override;
+  void detach_port(PortId port) override;
 
   // Simulate an abrupt worker death: the port disappears without a clean
   // detach handshake, producing the PortStatus(kDelete) event the fault
@@ -193,9 +190,9 @@ class SoftSwitch {
   // 0 clears the cap. Thread-safe; the unshaped fast path pays one relaxed
   // load. A live rate change re-seeds tokens proportionally, binding within
   // one refill interval (~20 ms).
-  void set_port_ingress_rate(PortId port, double bytes_per_sec);
+  void set_port_ingress_rate(PortId port, double bytes_per_sec) override;
   // Currently programmed cap for the port (0 = unshaped).
-  [[nodiscard]] double port_ingress_rate(PortId port) const;
+  [[nodiscard]] double port_ingress_rate(PortId port) const override;
   // Per-port shaper accounting: bytes admitted under the cap and poll
   // rounds deferred for an empty bucket (with traffic waiting).
   struct PortShaperStats {
@@ -206,34 +203,28 @@ class SoftSwitch {
   };
   [[nodiscard]] std::vector<PortShaperStats> shaper_stats() const;
 
-  // ---- OpenFlow control interface ----
-  // What one FlowMod actually changed in the table — kAdd reports added or
-  // modified (replace-in-place), kModify/kDelete report the rule count
-  // touched. The control plane sums these into its rules_touched stat.
-  struct FlowModDelta {
-    std::size_t added = 0;
-    std::size_t modified = 0;
-    std::size_t removed = 0;
-    [[nodiscard]] std::size_t total() const { return added + modified + removed; }
-  };
-  FlowModDelta handle_flow_mod(const openflow::FlowMod& mod);
-  void handle_group_mod(const openflow::GroupMod& mod);
-  void handle_packet_out(const openflow::PacketOut& po);
+  // ---- OpenFlow control interface (SwitchControl) ----
+  // FlowModDelta lives at namespace scope in switch_control.h; the nested
+  // alias keeps existing SoftSwitch::FlowModDelta spellings working.
+  using FlowModDelta = switchd::FlowModDelta;
+  FlowModDelta handle_flow_mod(const openflow::FlowMod& mod) override;
+  void handle_group_mod(const openflow::GroupMod& mod) override;
+  void handle_packet_out(const openflow::PacketOut& po) override;
   // Remove every rule whose match names the worker address (departures).
   // Nonzero `priority` restricts the sweep to that exact priority.
   std::size_t remove_rules_mentioning(std::uint64_t addr,
-                                      std::uint16_t priority = 0);
-  std::size_t remove_rules_by_cookie(std::uint64_t cookie);
-  [[nodiscard]] std::vector<openflow::PortStats> port_stats() const;
+                                      std::uint16_t priority = 0) override;
+  std::size_t remove_rules_by_cookie(std::uint64_t cookie) override;
+  [[nodiscard]] std::vector<openflow::PortStats> port_stats() const override;
   [[nodiscard]] std::vector<openflow::FlowStats> flow_stats(
-      std::optional<std::uint64_t> cookie = std::nullopt) const;
-  [[nodiscard]] std::vector<openflow::FlowRule> flow_rules() const;
-  [[nodiscard]] std::size_t flow_count() const;
+      std::optional<std::uint64_t> cookie = std::nullopt) const override;
+  [[nodiscard]] std::vector<openflow::FlowRule> flow_rules() const override;
+  [[nodiscard]] std::size_t flow_count() const override;
 
   // Controller event channel; invoked from switch or caller threads.
-  void set_event_sink(std::function<void(HostId, SwitchEvent)> sink);
+  void set_event_sink(std::function<void(HostId, SwitchEvent)> sink) override;
 
-  [[nodiscard]] HostId host() const { return cfg_.host; }
+  [[nodiscard]] HostId host() const override { return cfg_.host; }
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
 
   // Static port→shard partition (RSS analog: hash of the port id). Public

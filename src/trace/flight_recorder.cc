@@ -1,6 +1,7 @@
 #include "trace/flight_recorder.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace typhoon::trace {
 
@@ -21,8 +22,13 @@ void FlightRecorder::record(const Span& s) {
   const std::uint64_t i = head_.load(std::memory_order_relaxed);
   Slot& slot = slots_[i & mask_];
   // Odd sequence = in progress: a drainer that observes it skips the slot.
-  slot.seq.store(2 * i + 1, std::memory_order_release);
-  slot.span = s;
+  slot.seq.store(2 * i + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  std::uint64_t buf[kSpanWords] = {};
+  std::memcpy(buf, &s, sizeof(Span));
+  for (std::size_t w = 0; w < kSpanWords; ++w) {
+    slot.words[w].store(buf[w], std::memory_order_relaxed);
+  }
   slot.seq.store(2 * i + 2, std::memory_order_release);
   head_.store(i + 1, std::memory_order_release);
 }
@@ -45,13 +51,18 @@ std::size_t FlightRecorder::drain(std::vector<Span>& out) {
       overwritten_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    Span copy = slot.span;
+    std::uint64_t buf[kSpanWords];
+    for (std::size_t w = 0; w < kSpanWords; ++w) {
+      buf[w] = slot.words[w].load(std::memory_order_relaxed);
+    }
     // Validate after the copy: if the sequence moved, the copy may be torn.
     std::atomic_thread_fence(std::memory_order_acquire);
     if (slot.seq.load(std::memory_order_relaxed) != 2 * i + 2) {
       overwritten_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
+    Span copy;
+    std::memcpy(&copy, buf, sizeof(Span));
     out.push_back(copy);
     ++appended;
   }

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <type_traits>
 #include <vector>
 
 #include "trace/trace.h"
@@ -47,10 +48,18 @@ class FlightRecorder {
   static constexpr std::size_t kDefaultSlots = 8192;
 
  private:
+  // The span payload lives in the slot as relaxed-atomic words (seqlock
+  // discipline: fences order the word copies against the sequence number,
+  // and a copy that raced a writer is discarded by the sequence re-check).
+  // Plain non-atomic members here would be a formal data race even though
+  // torn copies never surface.
+  static_assert(std::is_trivially_copyable_v<Span>);
+  static constexpr std::size_t kSpanWords = (sizeof(Span) + 7) / 8;
+
   struct Slot {
     // 2*i+1 while logical index i is being written, 2*i+2 once complete.
     std::atomic<std::uint64_t> seq{0};
-    Span span;
+    std::atomic<std::uint64_t> words[kSpanWords] = {};
   };
 
   std::vector<Slot> slots_;

@@ -186,6 +186,17 @@ stream::Worker* Cluster::find_worker(const std::string& topology,
   return id ? find_worker_by_id(*id) : nullptr;
 }
 
+bool Cluster::probe_worker(const std::string& topology,
+                           const std::string& node, int task_index,
+                           const std::function<void(stream::Worker&)>& fn) {
+  const auto id = resolve_worker_id(topology, node, task_index);
+  if (!id) return false;
+  for (const auto& h : hosts_) {
+    if (h->agent->probe_worker(*id, fn)) return true;
+  }
+  return false;
+}
+
 std::vector<stream::Worker*> Cluster::workers_of_node(
     const std::string& topology, const std::string& node) {
   std::vector<stream::Worker*> out;

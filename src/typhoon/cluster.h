@@ -127,6 +127,13 @@ class Cluster {
                                             const std::string& node,
                                             int task_index);
   [[nodiscard]] stream::Worker* find_worker_by_id(WorkerId id);
+  // Restart-safe worker probe: runs `fn` on the live worker under its
+  // agent's lock (the monitor thread cannot free it mid-read). False when
+  // the worker is not currently running. Use this instead of dereferencing
+  // find_worker() results while agent restarts may be in flight.
+  bool probe_worker(const std::string& topology, const std::string& node,
+                    int task_index,
+                    const std::function<void(stream::Worker&)>& fn);
   [[nodiscard]] std::vector<stream::Worker*> workers_of_node(
       const std::string& topology, const std::string& node);
   [[nodiscard]] std::int64_t agent_restarts() const;

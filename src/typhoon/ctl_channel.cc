@@ -1,0 +1,197 @@
+#include "typhoon/ctl_channel.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/clock.h"
+
+namespace typhoon::proc {
+
+namespace {
+
+bool WriteAll(int fd, const std::uint8_t* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool ReadAll(int fd, std::uint8_t* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t r = ::recv(fd, p, n, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // peer closed
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+CtlChannel::CtlChannel(int fd) : fd_(fd) {
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+CtlChannel::~CtlChannel() {
+  stop();
+  if (fd_ != -1) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::unique_ptr<CtlChannel> CtlChannel::Dial(
+    const std::string& host, std::uint16_t port,
+    std::chrono::milliseconds deadline) {
+  const auto give_up = std::chrono::steady_clock::now() + deadline;
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd >= 0) {
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(port);
+      ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr);
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
+          0) {
+        return std::make_unique<CtlChannel>(fd);
+      }
+      ::close(fd);
+    }
+    if (std::chrono::steady_clock::now() >= give_up) return nullptr;
+    common::SleepMillis(10);
+  }
+}
+
+void CtlChannel::start() {
+  if (started_.exchange(true)) return;
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+void CtlChannel::stop() {
+  if (!closed_.exchange(true)) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+  if (started_.load() && reader_.joinable() &&
+      reader_.get_id() != std::this_thread::get_id()) {
+    reader_.join();
+  }
+  fail_all_pending();
+}
+
+bool CtlChannel::send_frame(std::uint8_t type, std::uint64_t rpc_id,
+                            const common::Bytes& payload) {
+  if (closed_.load()) return false;
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(1 + 8 + payload.size());
+  std::uint8_t hdr[4 + 1 + 8];
+  std::memcpy(hdr, &len, 4);
+  hdr[4] = type;
+  std::memcpy(hdr + 5, &rpc_id, 8);
+  std::lock_guard lk(send_mu_);
+  if (closed_.load()) return false;
+  if (!WriteAll(fd_, hdr, sizeof hdr) ||
+      !WriteAll(fd_, payload.data(), payload.size())) {
+    return false;
+  }
+  return true;
+}
+
+bool CtlChannel::send(std::uint8_t type, const common::Bytes& payload) {
+  return send_frame(type, 0, payload);
+}
+
+bool CtlChannel::reply(std::uint64_t rpc_id, const common::Bytes& payload) {
+  return send_frame(kReplyType, rpc_id, payload);
+}
+
+common::Result<common::Bytes> CtlChannel::call(
+    std::uint8_t type, const common::Bytes& payload,
+    std::chrono::milliseconds timeout) {
+  std::uint64_t id = 0;
+  {
+    std::lock_guard lk(rpc_mu_);
+    id = next_rpc_++;
+    pending_.emplace(id, Pending{});
+  }
+  if (!send_frame(type, id, payload)) {
+    std::lock_guard lk(rpc_mu_);
+    pending_.erase(id);
+    return common::Unavailable("control channel closed");
+  }
+  std::unique_lock lk(rpc_mu_);
+  const bool done = rpc_cv_.wait_for(lk, timeout, [&] {
+    auto it = pending_.find(id);
+    return it == pending_.end() || it->second.done;
+  });
+  auto it = pending_.find(id);
+  if (it == pending_.end()) {
+    return common::Unavailable("control channel closed mid-call");
+  }
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  if (!done) return common::Unavailable("control rpc timed out");
+  if (p.failed) return common::Unavailable("control channel closed mid-call");
+  return p.payload;
+}
+
+void CtlChannel::fail_all_pending() {
+  std::lock_guard lk(rpc_mu_);
+  for (auto& [id, p] : pending_) {
+    p.done = true;
+    p.failed = true;
+  }
+  rpc_cv_.notify_all();
+}
+
+void CtlChannel::reader_loop() {
+  for (;;) {
+    std::uint8_t hdr[4 + 1 + 8];
+    if (!ReadAll(fd_, hdr, sizeof hdr)) break;
+    std::uint32_t len = 0;
+    std::memcpy(&len, hdr, 4);
+    if (len < 1 + 8 || len > kCtlMaxFrameBytes) break;
+    const std::uint8_t type = hdr[4];
+    std::uint64_t rpc_id = 0;
+    std::memcpy(&rpc_id, hdr + 5, 8);
+    common::Bytes payload(len - 1 - 8);
+    if (!payload.empty() && !ReadAll(fd_, payload.data(), payload.size())) {
+      break;
+    }
+    if (type == kReplyType) {
+      std::lock_guard lk(rpc_mu_);
+      auto it = pending_.find(rpc_id);
+      if (it != pending_.end()) {
+        it->second.payload = std::move(payload);
+        it->second.done = true;
+        rpc_cv_.notify_all();
+      }
+      continue;
+    }
+    if (handler_) handler_(type, rpc_id, std::move(payload));
+  }
+  // The fd stays open (shut down) until the destructor so a concurrent
+  // send sees EPIPE rather than a recycled descriptor.
+  const bool was_closed = closed_.exchange(true);
+  ::shutdown(fd_, SHUT_RDWR);
+  fail_all_pending();
+  if (!was_closed && on_close_) on_close_();
+}
+
+}  // namespace typhoon::proc

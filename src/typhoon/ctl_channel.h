@@ -1,0 +1,114 @@
+// CtlChannel — the framed control channel between a ProcessCluster parent
+// and one typhoon_hostd child (DESIGN.md Sec 17). One TCP stream per host
+// carries everything that is not data-plane traffic: bootstrap handshake,
+// coordinator mirroring (RPCs up, ordered echoes down), switch control
+// RPCs, and async switch events.
+//
+// Wire format, little-endian:
+//
+//   [u32 length][u8 type][u64 rpc_id][payload...]
+//
+// `length` covers type + rpc_id + payload. rpc_id 0 marks a one-way
+// message; a nonzero rpc_id marks a request expecting exactly one reply
+// frame of type kReply carrying the same id. The channel is transport
+// only — payload encoding belongs to proc_proto.h.
+//
+// Threading: one reader thread per channel dispatches every inbound frame
+// to the installed handler (replies are intercepted and complete their
+// pending call first). Sends are serialized by a mutex and may be issued
+// from any thread, including the handler itself (handlers run off the
+// reader thread, so replying inline cannot deadlock the stream).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace typhoon::proc {
+
+// Reserved frame type for RPC replies; proc_proto.h assigns all others.
+inline constexpr std::uint8_t kReplyType = 0xFF;
+
+// Frames above this are treated as stream corruption and kill the channel.
+inline constexpr std::uint32_t kCtlMaxFrameBytes = 64u << 20;
+
+class CtlChannel {
+ public:
+  // (type, rpc_id, payload). rpc_id != 0 means the peer expects a reply().
+  using Handler = std::function<void(std::uint8_t, std::uint64_t,
+                                     common::Bytes)>;
+
+  // Adopt an already-connected socket (from accept or connect).
+  explicit CtlChannel(int fd);
+  ~CtlChannel();
+
+  CtlChannel(const CtlChannel&) = delete;
+  CtlChannel& operator=(const CtlChannel&) = delete;
+
+  // Dial a control listener; retries until `deadline` elapses. Returns
+  // nullptr on failure.
+  static std::unique_ptr<CtlChannel> Dial(const std::string& host,
+                                          std::uint16_t port,
+                                          std::chrono::milliseconds deadline);
+
+  // Install before start(); the handler runs on the reader thread.
+  void set_handler(Handler h) { handler_ = std::move(h); }
+  // Fires once, from the reader thread, when the stream breaks or closes.
+  void set_on_close(std::function<void()> fn) { on_close_ = std::move(fn); }
+
+  void start();
+  // Closes the socket and joins the reader. Safe to call twice.
+  void stop();
+
+  // One-way message (rpc_id 0). False once the channel is closed.
+  bool send(std::uint8_t type, const common::Bytes& payload);
+
+  // Blocking request/reply. Fails with kUnavailable on timeout or when the
+  // channel dies with the call in flight.
+  common::Result<common::Bytes> call(
+      std::uint8_t type, const common::Bytes& payload,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+
+  // Reply to a request received via the handler.
+  bool reply(std::uint64_t rpc_id, const common::Bytes& payload);
+
+  [[nodiscard]] bool closed() const { return closed_.load(); }
+
+ private:
+  struct Pending {
+    common::Bytes payload;
+    bool done = false;
+    bool failed = false;
+  };
+
+  bool send_frame(std::uint8_t type, std::uint64_t rpc_id,
+                  const common::Bytes& payload);
+  void reader_loop();
+  void fail_all_pending();
+
+  int fd_ = -1;
+  Handler handler_;
+  std::function<void()> on_close_;
+  std::thread reader_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> closed_{false};
+
+  std::mutex send_mu_;
+
+  std::mutex rpc_mu_;
+  std::condition_variable rpc_cv_;
+  std::uint64_t next_rpc_ = 1;
+  std::map<std::uint64_t, Pending> pending_;
+};
+
+}  // namespace typhoon::proc

@@ -1,0 +1,47 @@
+// typhoon_hostd — one simulated host as a real OS process. Spawned by
+// ProcessCluster (DESIGN.md Sec 17); not intended for manual use.
+//
+//   typhoon_hostd --host=<id> --ctl-port=<port> [--ctl-host=<addr>]
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "typhoon/host_process.h"
+
+int main(int argc, char** argv) {
+  typhoon::proc::HostProcessOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "typhoon_hostd: bad argument %s\n", arg.c_str());
+      return 64;
+    }
+    const std::string key = arg.substr(0, eq);
+    const std::string val = arg.substr(eq + 1);
+    try {
+      if (key == "--host") {
+        opts.host = static_cast<typhoon::HostId>(std::stoul(val));
+      } else if (key == "--ctl-port") {
+        opts.ctl_port = static_cast<std::uint16_t>(std::stoul(val));
+      } else if (key == "--ctl-host") {
+        opts.ctl_host = val;
+      } else {
+        std::fprintf(stderr, "typhoon_hostd: unknown flag %s\n", key.c_str());
+        return 64;
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "typhoon_hostd: bad value for %s\n", key.c_str());
+      return 64;
+    }
+  }
+  if (opts.host == 0 || opts.ctl_port == 0) {
+    std::fprintf(stderr,
+                 "usage: typhoon_hostd --host=<id> --ctl-port=<port> "
+                 "[--ctl-host=<addr>]\n");
+    return 64;
+  }
+  typhoon::proc::HostProcess hp(opts);
+  return hp.run();
+}

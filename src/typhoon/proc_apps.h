@@ -1,0 +1,84 @@
+// Process-mode application catalog (DESIGN.md Sec 17).
+//
+// A multi-process cluster cannot hand std::function factories to its host
+// processes, so topologies are named: the parent writes a parameter string
+// to /proc_apps/<topology> in the coordinator *before* submitting, the
+// echo stream replicates it to every host, and each host process registers
+// the corresponding factories into its local AppRegistry. Ordered echoes
+// guarantee a host sees the catalog entry before any worker assignment of
+// that topology.
+//
+// The one built-in app is the paper's word-count (Fig 2) in a chaos-proof
+// shape: a replayable seeded sentence spout, stateless dedup-id split
+// bolts, and a single global-grouped sink that dedups occurrence ids and
+// publishes its exact counts into the coordinator (the paper keeps
+// reconfigurable state in external storage, Sec 8 — the coordinator plays
+// that role here, which also makes results visible to the parent). Counts
+// are exact under at-least-once replay, and every expectation is
+// computable from the parameters alone.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "coordinator/coordinator.h"
+#include "stream/app_registry.h"
+#include "stream/topology.h"
+
+namespace typhoon::proc {
+
+// Catalog root; children watch it with a prefix watch.
+inline constexpr char kProcAppsPrefix[] = "/proc_apps";
+
+struct WordCountParams {
+  std::string topology = "wordcount";
+  std::int64_t sentences = 200;  // spout emits seqs [0, sentences)
+  std::uint32_t seed = 1;        // sentence selection seed
+  int splits = 2;                // split-bolt parallelism
+  int spout_batch = 8;
+  // Per-emit-batch delay: throttles the spout so chaos tests can land a
+  // SIGKILL while the stream is demonstrably in flight.
+  std::int64_t emit_delay_us = 0;
+};
+
+// Parameter-string codec for the catalog znode ("app=wordcount;...").
+std::string EncodeParams(const WordCountParams& p);
+bool DecodeParams(const std::string& topology, const std::string& spec,
+                  WordCountParams& out);
+
+// Deterministic sentence for (seed, seq) — both sides compute the same.
+const std::string& SentenceAt(std::uint32_t seed, std::int64_t seq);
+
+// Exact word counts / unique-occurrence total the sink must converge to.
+std::map<std::string, std::int64_t> ExpectedCounts(const WordCountParams& p);
+std::int64_t ExpectedUnique(const WordCountParams& p);
+
+// Coordinator znode the sink publishes its counts to.
+std::string ResultsPath(const std::string& topology);
+// Blob format: "<unique>\n<word> <count>\n..." — false on parse failure.
+bool ParseResults(const std::string& blob, std::int64_t& unique,
+                  std::map<std::string, std::int64_t>& counts);
+
+// Build the logical word-count topology. `coord` is captured by the sink
+// factory for result publication (the child passes its RemoteCoordinator;
+// in-process callers pass the local coordinator).
+common::Result<stream::LogicalTopology> BuildWordCount(
+    const WordCountParams& p, coordinator::Coordinator* coord);
+
+// Register the app's factories (plus the acker, which reliable submissions
+// deploy) into a registry. Host processes call this from the catalog
+// watch; the parent calls it so reconfiguration paths that consult the
+// manager-side registry keep working.
+common::Status RegisterWordCount(stream::AppRegistry& registry,
+                                 const WordCountParams& p,
+                                 coordinator::Coordinator* coord);
+
+// Parse a catalog znode and register whatever app it names.
+common::Status RegisterFromCatalog(stream::AppRegistry& registry,
+                                   const std::string& topology,
+                                   const std::string& spec,
+                                   coordinator::Coordinator* coord);
+
+}  // namespace typhoon::proc

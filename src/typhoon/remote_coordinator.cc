@@ -1,0 +1,89 @@
+#include "typhoon/remote_coordinator.h"
+
+#include "typhoon/proc_proto.h"
+
+namespace typhoon::proc {
+
+common::Status RemoteCoordinator::forward(std::uint8_t type,
+                                          const common::Bytes& payload) {
+  auto r = channel_->call(type, payload);
+  if (!r.ok()) return r.status();
+  common::BufReader br(r.value());
+  common::Status st;
+  if (!ReadStatus(br, st)) return common::Internal("bad coord rpc reply");
+  return st;
+}
+
+coordinator::Coordinator::SessionId RemoteCoordinator::create_session() {
+  auto r = channel_->call(kCoordCreateSession, {});
+  if (!r.ok()) return 0;
+  common::BufReader br(r.value());
+  common::Status st;
+  std::uint64_t id = 0;
+  if (!ReadStatus(br, st) || !st.ok() || !br.u64(id)) return 0;
+  return id;
+}
+
+void RemoteCoordinator::close_session(SessionId session) {
+  common::Bytes payload;
+  common::BufWriter w(payload);
+  w.u64(session);
+  (void)forward(kCoordCloseSession, payload);
+}
+
+common::Status RemoteCoordinator::create(const std::string& path,
+                                         common::Bytes data, bool ephemeral,
+                                         SessionId owner) {
+  common::Bytes payload;
+  common::BufWriter w(payload);
+  WriteCoordCreate(w, {path, std::move(data), ephemeral, owner});
+  return forward(kCoordCreate, payload);
+}
+
+common::Status RemoteCoordinator::set(const std::string& path,
+                                      common::Bytes data) {
+  common::Bytes payload;
+  common::BufWriter w(payload);
+  WriteCoordData(w, {path, std::move(data)});
+  return forward(kCoordSet, payload);
+}
+
+common::Status RemoteCoordinator::put(const std::string& path,
+                                      common::Bytes data) {
+  common::Bytes payload;
+  common::BufWriter w(payload);
+  WriteCoordData(w, {path, std::move(data)});
+  return forward(kCoordPut, payload);
+}
+
+common::Status RemoteCoordinator::remove(const std::string& path,
+                                         bool recursive) {
+  common::Bytes payload;
+  common::BufWriter w(payload);
+  WriteCoordRemove(w, {path, recursive});
+  return forward(kCoordRemove, payload);
+}
+
+void RemoteCoordinator::apply_echo(const common::Bytes& payload) {
+  common::BufReader r(payload);
+  CoordEchoMsg echo;
+  if (!ReadCoordEcho(r, echo)) return;
+  // Base-class calls: mutate the local mirror directly and fire local
+  // watches. kChildrenChanged events regenerate locally as a side effect.
+  if (echo.op == CoordEchoMsg::Op::kPut) {
+    (void)Coordinator::put(echo.path, std::move(echo.data));
+  } else {
+    (void)Coordinator::remove(echo.path, /*recursive=*/true);
+  }
+}
+
+void RemoteCoordinator::apply_snapshot(const common::Bytes& payload) {
+  common::BufReader r(payload);
+  CoordSnapshotMsg snap;
+  if (!ReadCoordSnapshot(r, snap)) return;
+  for (auto& [path, data] : snap.nodes) {
+    (void)Coordinator::put(path, std::move(data));
+  }
+}
+
+}  // namespace typhoon::proc

@@ -1,0 +1,53 @@
+// RemoteCoordinator — the child-process replica of the parent's
+// authoritative coordinator tree (DESIGN.md Sec 17).
+//
+// Mutations (create/set/put/remove, sessions) forward over the control
+// channel as blocking RPCs; the parent applies them to its tree and
+// broadcasts ordered kCoordEcho frames to every child. apply_echo() runs
+// those echoes through the *base* Coordinator implementation — plain
+// non-virtual calls, so nothing re-forwards — which fires this process's
+// local watches exactly once, in parent mutation order.
+//
+// Reads (get/exists/children/watch) are the inherited base methods against
+// the local mirror: cheap, lock-local, and consistent to the extent the
+// echo stream has been applied. Because a child's own echo is written to
+// its channel before the RPC reply, a returned mutation is always visible
+// to the caller's next read (read-your-writes).
+//
+// Ephemeral semantics live in the parent: child sessions are parent
+// sessions (created via RPC), and when a child dies the parent closes all
+// sessions opened over its channel, deleting the ephemerals and echoing
+// the deletions to the survivors. The mirror itself never tracks
+// ephemeral ownership — echoes arrive as plain put/remove.
+#pragma once
+
+#include "coordinator/coordinator.h"
+#include "typhoon/ctl_channel.h"
+
+namespace typhoon::proc {
+
+class RemoteCoordinator : public coordinator::Coordinator {
+ public:
+  explicit RemoteCoordinator(CtlChannel* channel) : channel_(channel) {}
+
+  // ---- forwarded mutations ----
+  SessionId create_session() override;
+  void close_session(SessionId session) override;
+  common::Status create(const std::string& path, common::Bytes data,
+                        bool ephemeral = false, SessionId owner = 0) override;
+  common::Status set(const std::string& path, common::Bytes data) override;
+  common::Status put(const std::string& path, common::Bytes data) override;
+  common::Status remove(const std::string& path,
+                        bool recursive = false) override;
+
+  // ---- echo stream (called from the channel reader thread) ----
+  void apply_echo(const common::Bytes& payload);
+  void apply_snapshot(const common::Bytes& payload);
+
+ private:
+  common::Status forward(std::uint8_t type, const common::Bytes& payload);
+
+  CtlChannel* channel_;
+};
+
+}  // namespace typhoon::proc

@@ -296,8 +296,13 @@ TEST(FaultDetectorApp, ReincludesWorkerAfterRecovery) {
   ASSERT_TRUE(WaitFor([&] { return fd->recoveries() >= 1; }, 10s));
   ASSERT_TRUE(WaitFor(
       [&] {
-        stream::Worker* w = cluster.find_worker("recover", "split", 0);
-        return w != nullptr && !w->crashed() && w->received() > 100;
+        // probe_worker, not find_worker: the agent monitor may still be
+        // restarting the worker, freeing the raw pointer mid-poll.
+        bool healthy = false;
+        cluster.probe_worker("recover", "split", 0, [&](stream::Worker& w) {
+          healthy = !w.crashed() && w.received() > 100;
+        });
+        return healthy;
       },
       10s))
       << "restarted split never received traffic again";

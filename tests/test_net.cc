@@ -3,14 +3,24 @@
 // parameterized roundtrip sweeps over tuple sizes and batch settings.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <span>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/hash.h"
 #include "net/packet.h"
 #include "net/packet_pool.h"
 #include "net/packetizer.h"
+#include "net/shm_ring_tunnel.h"
+#include "net/socket_tunnel.h"
 #include "net/tunnel.h"
 
 namespace typhoon::net {
@@ -456,6 +466,252 @@ TEST(TunnelBurst, RxNotifyFiresOnSendAndBurst) {
   b->set_rx_notify(nullptr);
   ASSERT_TRUE(a->send(NumberedPacket(0)));
   EXPECT_EQ(fired.load(), 2);
+}
+
+// ------------------------------------------------------------ SocketTunnel
+
+template <typename F>
+bool WaitFor(F&& pred, std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+// A connected active/passive pair over a real loopback listener.
+struct SocketPair {
+  SocketTunnelListener listener{2};
+  std::shared_ptr<SocketTunnel> passive;  // host 2's endpoint toward host 1
+  std::shared_ptr<SocketTunnel> active;   // host 1's endpoint toward host 2
+
+  explicit SocketPair(SocketTunnelConfig cfg = {}) {
+    EXPECT_TRUE(listener.bind(0));
+    passive = listener.expect_peer(1, cfg);
+    listener.start();
+    active = SocketTunnel::Connect("127.0.0.1", listener.port(), 1, 2, cfg);
+  }
+};
+
+TEST(SocketTunnel, FrameRoundTripBothDirections) {
+  SocketPair t;
+  Packet p;
+  p.src = Addr(1);
+  p.dst = Addr(2);
+  p.payload = {9, 8, 7, 6};
+  ASSERT_TRUE(t.active->send(p));
+  auto got = t.passive->recv_for(std::chrono::seconds(5));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, p.payload);
+  EXPECT_EQ(got->src, p.src);
+
+  Packet back;
+  back.src = Addr(2);
+  back.dst = Addr(1);
+  back.payload = {1};
+  ASSERT_TRUE(t.passive->send(back));
+  auto echoed = t.active->recv_for(std::chrono::seconds(5));
+  ASSERT_TRUE(echoed.has_value());
+  EXPECT_EQ(echoed->payload, back.payload);
+}
+
+// Records split mid-length-prefix and mid-body across TCP reads must
+// reassemble into the same frames.
+TEST(SocketTunnel, PartialReadReassemblyAcrossRecordBoundaries) {
+  // Capture the exact wire bytes a sending endpoint produces.
+  int cap[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, cap), 0);
+  auto sender = SocketTunnel::Accepting();
+  sender->adopt_fd(cap[0]);
+  Packet p;
+  p.src = Addr(1);
+  p.dst = Addr(2);
+  p.payload.resize(300);
+  for (std::size_t i = 0; i < p.payload.size(); ++i) {
+    p.payload[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  ASSERT_TRUE(sender->send(p));
+  ASSERT_TRUE(sender->send(p));  // two records back to back
+  std::vector<std::uint8_t> wire;
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        std::uint8_t buf[4096];
+        const ssize_t n = ::recv(cap[1], buf, sizeof buf, MSG_DONTWAIT);
+        if (n > 0) wire.insert(wire.end(), buf, buf + n);
+        return wire.size() >= 2 * (4 + p.wire_size() + 8);  // len+frame+sum
+      },
+      std::chrono::seconds(5)));
+  sender->close();
+  ::close(cap[1]);
+
+  // Replay those bytes into a receiving endpoint in pathological slices:
+  // 1 byte at a time through the first length prefix, then odd-sized
+  // chunks straddling the record boundary.
+  int rep[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, rep), 0);
+  auto receiver = SocketTunnel::Accepting();
+  receiver->adopt_fd(rep[0]);
+  std::size_t off = 0;
+  auto feed = [&](std::size_t n) {
+    n = std::min(n, wire.size() - off);
+    ASSERT_EQ(::send(rep[1], wire.data() + off, n, 0),
+              static_cast<ssize_t>(n));
+    off += n;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  for (int i = 0; i < 3; ++i) feed(1);  // split inside the length prefix
+  feed(7);
+  feed(200);
+  const std::size_t first_record = 4 + p.wire_size() + 8;
+  feed(first_record + 2 - off);  // finish record 1, leak 2 bytes of record 2
+  feed(wire.size() - off);       // the rest
+
+  auto r1 = receiver->recv_for(std::chrono::seconds(5));
+  auto r2 = receiver->recv_for(std::chrono::seconds(5));
+  ASSERT_TRUE(r1.has_value());
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r1->payload, p.payload);
+  EXPECT_EQ(r2->payload, p.payload);
+  EXPECT_EQ(receiver->rx_corrupt_drops(), 0u);
+  ::close(rep[1]);
+}
+
+// The socket transport keeps the in-memory burst contract: same frames,
+// same order, through try_send_burst/try_recv_burst.
+TEST(SocketTunnel, BurstParityWithInMemoryTunnel) {
+  constexpr int kFrames = 256;
+  auto run = [&](TunnelEndpoint& tx, TunnelEndpoint& rx) {
+    std::vector<Packet> pkts;
+    pkts.reserve(kFrames);
+    for (int i = 0; i < kFrames; ++i) pkts.push_back(NumberedPacket(i));
+    std::size_t sent = 0;
+    while (sent < pkts.size()) {
+      std::vector<const Packet*> ptrs;
+      for (std::size_t i = sent; i < std::min(sent + 32, pkts.size()); ++i) {
+        ptrs.push_back(&pkts[i]);
+      }
+      const std::size_t n = tx.try_send_burst(ptrs);
+      sent += n;
+      if (n == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::vector<int> got;
+    std::vector<Packet> slots(16);
+    std::vector<Packet*> slot_ptrs;
+    for (Packet& s : slots) slot_ptrs.push_back(&s);
+    WaitFor(
+        [&] {
+          const std::size_t n = rx.try_recv_burst(slot_ptrs);
+          for (std::size_t i = 0; i < n; ++i) {
+            got.push_back(PacketNumber(slots[i]));
+          }
+          return got.size() >= kFrames;
+        },
+        std::chrono::seconds(10));
+    return got;
+  };
+
+  auto [ma, mb] = CreateTunnel(4096);
+  const auto mem = run(*ma, *mb);
+  SocketPair t;
+  const auto sock = run(*t.active, *t.passive);
+  EXPECT_EQ(mem, sock);
+  ASSERT_EQ(sock.size(), static_cast<std::size_t>(kFrames));
+  for (int i = 0; i < kFrames; ++i) EXPECT_EQ(sock[i], i);
+}
+
+// Once a connection has been established, frames staged while the peer is
+// gone become counted peer drops (real networks lose writes into dead
+// connections) — and nothing crashes or blocks.
+TEST(SocketTunnel, PeerCloseBecomesCountedDrops) {
+  // reconnect stays on: while the endpoint redials the vanished peer,
+  // staged frames drain as counted drops (terminal close would instead
+  // fail the sends fast).
+  auto t = std::make_unique<SocketPair>();
+  Packet p;
+  p.src = Addr(1);
+  p.dst = Addr(2);
+  p.payload = {1, 2, 3};
+  ASSERT_TRUE(t->active->send(p));
+  ASSERT_TRUE(t->passive->recv_for(std::chrono::seconds(5)).has_value());
+
+  t->passive->close();
+  t->listener.stop();
+  ASSERT_TRUE(WaitFor([&] { return !t->active->connected(); },
+                      std::chrono::seconds(5)));
+  std::uint64_t accepted = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (t->active->send(p)) ++accepted;
+  }
+  EXPECT_GT(accepted, 0u);
+  EXPECT_TRUE(WaitFor([&] { return t->active->peer_drops() > 0; },
+                      std::chrono::seconds(5)));
+  t->active->close();
+}
+
+// ------------------------------------- transport equivalence (property)
+
+// One seeded workload pushed through all three transports must come out
+// byte-identical: same frames, same order.
+TEST(TransportEquivalence, SeededWorkloadIsByteIdenticalAcrossTransports) {
+  constexpr int kFrames = 300;
+  std::uint64_t lcg = 0x9e3779b97f4a7c15ull;
+  auto next = [&lcg] {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return lcg >> 33;
+  };
+  std::vector<Packet> workload;
+  workload.reserve(kFrames);
+  for (int i = 0; i < kFrames; ++i) {
+    Packet p;
+    p.src = Addr(1);
+    p.dst = Addr(static_cast<WorkerId>(next() % 64));
+    p.payload.resize(1 + next() % 900);
+    for (auto& b : p.payload) b = static_cast<std::uint8_t>(next());
+    workload.push_back(std::move(p));
+  }
+
+  auto run = [&](TunnelEndpoint& tx,
+                 TunnelEndpoint& rx) -> std::vector<common::Bytes> {
+    std::vector<common::Bytes> out;
+    std::thread sender([&] {
+      for (const Packet& p : workload) ASSERT_TRUE(tx.send(p));
+    });
+    while (out.size() < workload.size()) {
+      auto p = rx.recv_for(std::chrono::seconds(10));
+      if (!p.has_value()) {
+        ADD_FAILURE() << "receive timed out after " << out.size()
+                      << " frames";
+        break;
+      }
+      common::Bytes frame;
+      EncodeFrame(*p, frame);
+      out.push_back(std::move(frame));
+    }
+    sender.join();
+    return out;
+  };
+
+  auto [ma, mb] = CreateTunnel(256);
+  const auto mem = run(*ma, *mb);
+
+  SocketPair sp;
+  const auto sock = run(*sp.active, *sp.passive);
+
+  const std::string seg =
+      "/typhoon-test-eq-" + std::to_string(::getpid());
+  ShmRingTunnel::UnlinkSegment(seg);
+  ASSERT_TRUE(ShmRingTunnel::CreateSegment(seg, 1 << 16));
+  auto sa = ShmRingTunnel::Attach(seg, ShmRingTunnel::Side::kA);
+  auto sb = ShmRingTunnel::Attach(seg, ShmRingTunnel::Side::kB);
+  ASSERT_TRUE(sa != nullptr);
+  ASSERT_TRUE(sb != nullptr);
+  const auto shm = run(*sa, *sb);
+  ShmRingTunnel::UnlinkSegment(seg);
+
+  EXPECT_EQ(mem, sock);
+  EXPECT_EQ(mem, shm);
+  ASSERT_EQ(mem.size(), static_cast<std::size_t>(kFrames));
 }
 
 }  // namespace

@@ -32,9 +32,24 @@ using testutil::SentenceSpout;
 using testutil::SharedFlags;
 using testutil::SplitBolt;
 
+// Sanitizer instrumentation slows the replay-heavy chaos run ~10x; scale
+// the convergence deadlines rather than the workload so the assertions
+// stay identical.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr int kDeadlineScale = 4;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr int kDeadlineScale = 4;
+#else
+constexpr int kDeadlineScale = 1;
+#endif
+#else
+constexpr int kDeadlineScale = 1;
+#endif
+
 template <typename F>
 bool WaitFor(F&& pred, std::chrono::milliseconds timeout) {
-  const auto deadline = common::Now() + timeout;
+  const auto deadline = common::Now() + timeout * kDeadlineScale;
   while (common::Now() < deadline) {
     if (pred()) return true;
     common::SleepMillis(10);

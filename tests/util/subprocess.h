@@ -1,0 +1,73 @@
+// Subprocess test harness: /proc scanning for typhoon_hostd children so the
+// process-level suite can assert that no host process outlives its cluster
+// (the orphan check the CI job also runs after the suite).
+#pragma once
+
+#include <dirent.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace typhoon::testutil {
+
+// Every live process whose comm is `name` (default: the host daemon).
+inline std::vector<pid_t> FindProcessesNamed(
+    const char* name = "typhoon_hostd") {
+  std::vector<pid_t> out;
+  DIR* d = ::opendir("/proc");
+  if (d == nullptr) return out;
+  while (dirent* e = ::readdir(d)) {
+    const char* p = e->d_name;
+    bool numeric = *p != '\0';
+    for (; *p != '\0'; ++p) {
+      if (std::isdigit(static_cast<unsigned char>(*p)) == 0) {
+        numeric = false;
+        break;
+      }
+    }
+    if (!numeric) continue;
+    const std::string comm_path =
+        std::string("/proc/") + e->d_name + "/comm";
+    std::FILE* f = std::fopen(comm_path.c_str(), "r");
+    if (f == nullptr) continue;
+    char buf[64] = {};
+    const bool got = std::fgets(buf, sizeof buf, f) != nullptr;
+    std::fclose(f);
+    if (!got) continue;
+    if (char* nl = std::strchr(buf, '\n')) *nl = '\0';
+    if (std::strcmp(buf, name) == 0) {
+      out.push_back(static_cast<pid_t>(std::atol(e->d_name)));
+    }
+  }
+  ::closedir(d);
+  return out;
+}
+
+// True once no typhoon_hostd process remains (bounded wait: reaping runs on
+// cluster teardown threads).
+inline bool WaitForNoHostd(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    if (FindProcessesNamed().empty()) return true;
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+inline std::string DescribeHostd() {
+  std::string out;
+  for (const pid_t pid : FindProcessesNamed()) {
+    if (!out.empty()) out += ", ";
+    out += std::to_string(pid);
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+}  // namespace typhoon::testutil
