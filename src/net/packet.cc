@@ -1,5 +1,7 @@
 #include "net/packet.h"
 
+#include <cstring>
+
 namespace typhoon::net {
 
 void EncodeFrame(const Packet& p, common::Bytes& out) {
@@ -10,6 +12,17 @@ void EncodeFrame(const Packet& p, common::Bytes& out) {
   w.u64(p.trace_id);
   w.u8(p.trace_hop);
   w.raw(p.payload);
+}
+
+void EncodeFrameHeader(const Packet& p, std::uint8_t* out) {
+  const std::uint64_t dst = p.dst.packed();
+  const std::uint64_t src = p.src.packed();
+  std::memcpy(out, &dst, 8);
+  std::memcpy(out + 8, &src, 8);
+  std::memcpy(out + 16, &p.ether_type, 2);
+  std::memcpy(out + 18, &p.trace_id, 8);
+  out[26] = p.trace_hop;
+  static_assert(Packet::kHeaderWireSize == 27);
 }
 
 bool DecodeFrameInto(std::span<const std::uint8_t> frame, Packet& out) {

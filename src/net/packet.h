@@ -219,6 +219,11 @@ inline PacketPtr MakePacket(Packet p) {
 
 // Serialize/parse the full frame (header + payload) for tunnel transport.
 void EncodeFrame(const Packet& p, common::Bytes& out);
+// Encode just the fixed-width frame header (kHeaderWireSize bytes) into
+// `out`, byte-identical to EncodeFrame's prefix. The vectored tunnel TX
+// path writes [header][payload] as separate iovecs, so the header must be
+// encodable without materializing the whole frame.
+void EncodeFrameHeader(const Packet& p, std::uint8_t* out);
 std::optional<Packet> DecodeFrame(std::span<const std::uint8_t> frame);
 // Parse into an existing packet, reusing its payload capacity (pooled RX).
 bool DecodeFrameInto(std::span<const std::uint8_t> frame, Packet& out);

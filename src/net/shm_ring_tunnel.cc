@@ -224,10 +224,86 @@ std::size_t ShmRingTunnel::wire_try_push_bulk(
     std::vector<common::Bytes>& frames) {
   if (tx_ring()->closed.load(std::memory_order_acquire) != 0) return 0;
   std::lock_guard lk(tx_mu_);
+  // Burst reserve/commit: one head load bounds the space, the frames are
+  // laid in against a local cursor, and one tail store + one frame-count
+  // add publish the whole burst (vs. a cursor round per frame).
+  Ring* r = tx_ring();
+  const std::size_t cap = hdr_->capacity;
+  const std::uint64_t head = r->head.load(std::memory_order_acquire);
+  std::uint64_t tail = r->tail.load(std::memory_order_relaxed);
+  std::uint8_t* data = ring_data(side_ == Side::kA ? 0 : 1);
+  auto put = [&](std::uint64_t pos, const std::uint8_t* src, std::size_t n) {
+    const std::size_t off = pos & (cap - 1);
+    const std::size_t first = std::min(n, cap - off);
+    std::memcpy(data + off, src, first);
+    if (first < n) std::memcpy(data, src + first, n - first);
+  };
   std::size_t n = 0;
-  for (common::Bytes& f : frames) {
-    if (!ring_write(f)) break;
+  for (const common::Bytes& f : frames) {
+    const std::size_t need = 4 + f.size();
+    if (need > cap || cap - (tail - head) < need) break;
+    const std::uint8_t len_le[4] = {static_cast<std::uint8_t>(f.size()),
+                                    static_cast<std::uint8_t>(f.size() >> 8),
+                                    static_cast<std::uint8_t>(f.size() >> 16),
+                                    static_cast<std::uint8_t>(f.size() >> 24)};
+    put(tail, len_le, 4);
+    if (!f.empty()) put(tail + 4, f.data(), f.size());
+    tail += need;
     ++n;
+  }
+  if (n != 0) {
+    r->tail.store(tail, std::memory_order_release);
+    r->frames.fetch_add(static_cast<std::uint32_t>(n),
+                        std::memory_order_release);
+  }
+  return n;
+}
+
+std::size_t ShmRingTunnel::wire_try_push_pkts(
+    std::span<const PacketPtr> pkts, std::span<const TxFrameInfo> info) {
+  if (tx_ring()->closed.load(std::memory_order_acquire) != 0) return 0;
+  std::lock_guard lk(tx_mu_);
+  // Same burst reserve/commit, encoding [hdr][payload][csum] straight into
+  // the mapped ring — no intermediate frame buffer.
+  Ring* r = tx_ring();
+  const std::size_t cap = hdr_->capacity;
+  const std::uint64_t head = r->head.load(std::memory_order_acquire);
+  std::uint64_t tail = r->tail.load(std::memory_order_relaxed);
+  std::uint8_t* data = ring_data(side_ == Side::kA ? 0 : 1);
+  auto put = [&](std::uint64_t pos, const std::uint8_t* src, std::size_t n) {
+    const std::size_t off = pos & (cap - 1);
+    const std::size_t first = std::min(n, cap - off);
+    std::memcpy(data + off, src, first);
+    if (first < n) std::memcpy(data, src + first, n - first);
+  };
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    const std::uint32_t flen =
+        info[i].body_len + static_cast<std::uint32_t>(kFrameChecksumBytes);
+    const std::size_t need = 4 + static_cast<std::size_t>(flen);
+    if (need > cap || cap - (tail - head) < need) break;
+    const std::uint8_t len_le[4] = {static_cast<std::uint8_t>(flen),
+                                    static_cast<std::uint8_t>(flen >> 8),
+                                    static_cast<std::uint8_t>(flen >> 16),
+                                    static_cast<std::uint8_t>(flen >> 24)};
+    put(tail, len_le, 4);
+    std::uint8_t hdr_buf[Packet::kHeaderWireSize];
+    EncodeFrameHeader(*pkts[i], hdr_buf);
+    put(tail + 4, hdr_buf, sizeof(hdr_buf));
+    const common::Bytes& pay = pkts[i]->payload;
+    if (!pay.empty()) put(tail + 4 + sizeof(hdr_buf), pay.data(), pay.size());
+    std::uint8_t csum[kFrameChecksumBytes];
+    for (std::size_t b = 0; b < kFrameChecksumBytes; ++b) {
+      csum[b] = static_cast<std::uint8_t>(info[i].checksum >> (b * 8));
+    }
+    put(tail + 4 + sizeof(hdr_buf) + pay.size(), csum, sizeof(csum));
+    tail += need;
+    ++n;
+  }
+  if (n != 0) {
+    r->tail.store(tail, std::memory_order_release);
+    r->frames.fetch_add(static_cast<std::uint32_t>(n),
+                        std::memory_order_release);
   }
   return n;
 }
@@ -249,6 +325,65 @@ std::size_t ShmRingTunnel::wire_pop_bulk(std::vector<common::Bytes>& out,
     ++n;
   }
   return n;
+}
+
+std::size_t ShmRingTunnel::wire_pop_views(std::vector<FrameView>& out,
+                                          std::size_t max) {
+  std::lock_guard lk(rx_mu_);
+  Ring* r = rx_ring();
+  const std::size_t cap = hdr_->capacity;
+  const std::uint64_t head = r->head.load(std::memory_order_relaxed);
+  const std::uint64_t tail = r->tail.load(std::memory_order_acquire);
+  const std::uint8_t* data = ring_data(side_ == Side::kA ? 1 : 0);
+  auto get = [&](std::uint64_t pos, std::uint8_t* dst, std::size_t n) {
+    const std::size_t off = pos & (cap - 1);
+    const std::size_t first = std::min(n, cap - off);
+    std::memcpy(dst, data + off, first);
+    if (first < n) std::memcpy(dst + first, data, n - first);
+  };
+  // Walk records in place. Contiguous records are lent as spans straight
+  // into the mapped ring — the producer cannot overwrite them because the
+  // head cursor advances only in wire_release_views. Records straddling
+  // the ring edge are stitched into reusable scratch (counted).
+  std::uint64_t pos = head;
+  std::size_t n = 0;
+  wrap_used_ = 0;
+  while (n < max && tail - pos >= 4) {
+    std::uint8_t len_le[4];
+    get(pos, len_le, 4);
+    const std::uint32_t len = static_cast<std::uint32_t>(len_le[0]) |
+                              (static_cast<std::uint32_t>(len_le[1]) << 8) |
+                              (static_cast<std::uint32_t>(len_le[2]) << 16) |
+                              (static_cast<std::uint32_t>(len_le[3]) << 24);
+    if (len > cap || tail - pos < 4 + static_cast<std::uint64_t>(len)) break;
+    const std::size_t off = (pos + 4) & (cap - 1);
+    if (off + len <= cap) {
+      out.push_back(FrameView{std::span<const std::uint8_t>(data + off, len)});
+    } else {
+      if (wrap_used_ == wrap_bufs_.size()) wrap_bufs_.emplace_back();
+      common::Bytes& buf = wrap_bufs_[wrap_used_++];
+      buf.resize(len);
+      get(pos + 4, buf.data(), len);
+      rx_wrap_copied_.fetch_add(len, std::memory_order_relaxed);
+      out.push_back(
+          FrameView{std::span<const std::uint8_t>(buf.data(), buf.size())});
+    }
+    pos += 4 + len;
+    ++n;
+  }
+  view_head_advance_ = pos;
+  view_count_ = static_cast<std::uint32_t>(n);
+  return n;
+}
+
+void ShmRingTunnel::wire_release_views() {
+  std::lock_guard lk(rx_mu_);
+  if (view_count_ == 0) return;
+  Ring* r = rx_ring();
+  r->head.store(view_head_advance_, std::memory_order_release);
+  r->frames.fetch_sub(view_count_, std::memory_order_release);
+  view_count_ = 0;
+  wrap_used_ = 0;
 }
 
 std::optional<common::Bytes> ShmRingTunnel::wire_pop_for(

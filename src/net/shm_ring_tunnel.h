@@ -58,15 +58,27 @@ class ShmRingTunnel final : public TunnelEndpoint {
 
   ~ShmRingTunnel() override;
 
+  // Payload bytes copied into wrap-around scratch on the view RX path (a
+  // record straddling the ring edge cannot be lent as one span).
+  [[nodiscard]] std::uint64_t rx_wrap_bytes_copied() const {
+    return rx_wrap_copied_.load(std::memory_order_relaxed);
+  }
+
  protected:
   bool wire_push(common::Bytes frame) override;
   bool wire_try_push(common::Bytes frame) override;
   std::size_t wire_try_push_bulk(std::vector<common::Bytes>& frames) override;
+  std::size_t wire_try_push_pkts(std::span<const PacketPtr> pkts,
+                                 std::span<const TxFrameInfo> info) override;
   std::optional<common::Bytes> wire_try_pop() override;
   std::size_t wire_pop_bulk(std::vector<common::Bytes>& out,
                             std::size_t max) override;
   std::optional<common::Bytes> wire_pop_for(
       std::chrono::milliseconds timeout) override;
+  [[nodiscard]] bool wire_supports_views() const override { return true; }
+  std::size_t wire_pop_views(std::vector<FrameView>& out,
+                             std::size_t max) override;
+  void wire_release_views() override;
   [[nodiscard]] std::size_t wire_rx_depth() const override;
   void wire_close() override;
 
@@ -94,6 +106,15 @@ class ShmRingTunnel final : public TunnelEndpoint {
   // In-process concurrency guards over the cross-process SPSC rings.
   std::mutex tx_mu_;
   std::mutex rx_mu_;
+
+  // View RX state (single consumer; guarded by rx_mu_ inside each call).
+  // Records lent out by wire_pop_views stay in the ring — head advances
+  // only in wire_release_views, so the spans stay valid in between.
+  std::uint64_t view_head_advance_ = 0;
+  std::uint32_t view_count_ = 0;
+  std::vector<common::Bytes> wrap_bufs_;  // scratch for edge-straddling recs
+  std::size_t wrap_used_ = 0;
+  std::atomic<std::uint64_t> rx_wrap_copied_{0};
 };
 
 }  // namespace typhoon::net

@@ -7,6 +7,7 @@
 #include <poll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -15,17 +16,47 @@
 #include <deque>
 #include <iterator>
 
+#include "common/hash.h"
 #include "common/log.h"
 
 namespace typhoon::net {
 
 namespace {
 
+// Records framed into one sendmsg() batch. Three iovecs per record keeps
+// the worst case (768) comfortably under IOV_MAX (1024).
+constexpr std::size_t kTxBurstRecs = 256;
+// Staged-record cap on the IO thread (beyond the TX ring), bounding the
+// frames counted lost when a connection drops mid-flight.
+constexpr std::size_t kTxStageMax = 1024;
+// Arena bytes per record: [len u32] + frame header + checksum trailer
+// (legacy byte records use only the 4-byte prefix).
+constexpr std::size_t kArenaPerRec =
+    4 + Packet::kHeaderWireSize + kFrameChecksumBytes;
+
+// Idle ramp for the IO thread: spin (poll timeout 0) while work keeps
+// arriving, then short poll, then park with the eventfd armed. The 100ms
+// backstop only bounds wakeup loss, never delivery latency — submitters
+// poke the eventfd whenever io_waiting_ is set.
+int RampTimeoutMs(int idle_rounds) {
+  if (idle_rounds < 4) return 0;
+  if (idle_rounds < 16) return 1;
+  if (idle_rounds < 64) return 5;
+  return 100;
+}
+
 void PutU32(common::Bytes& out, std::uint32_t v) {
   out.push_back(static_cast<std::uint8_t>(v));
   out.push_back(static_cast<std::uint8_t>(v >> 8));
   out.push_back(static_cast<std::uint8_t>(v >> 16));
   out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void PutU32At(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
 }
 
 std::uint32_t GetU32(const std::uint8_t* p) {
@@ -101,11 +132,31 @@ SocketTunnel::~SocketTunnel() {
   if (wake_fd_ >= 0) ::close(wake_fd_);
 }
 
+SocketTunnel::IoStats SocketTunnel::io_stats() const {
+  IoStats s;
+  s.sendmsg_calls = sendmsg_calls_.load(std::memory_order_relaxed);
+  s.read_calls = read_calls_.load(std::memory_order_relaxed);
+  s.poll_calls = poll_calls_.load(std::memory_order_relaxed);
+  s.wake_writes = wake_writes_.load(std::memory_order_relaxed);
+  s.tx_records = tx_records_.load(std::memory_order_relaxed);
+  s.rx_records = rx_records_.load(std::memory_order_relaxed);
+  s.tx_bytes_copied = tx_bytes_copied_.load(std::memory_order_relaxed);
+  s.rx_bytes_copied = rx_bytes_copied_.load(std::memory_order_relaxed);
+  return s;
+}
+
 void SocketTunnel::poke() {
   if (wake_fd_ >= 0) {
     const std::uint64_t one = 1;
     [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+    wake_writes_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+void SocketTunnel::poke_if_waiting() {
+  // See io_waiting_'s comment for why this load is ordered correctly
+  // against the IO thread's final ring check.
+  if (io_waiting_.load(std::memory_order_seq_cst)) poke();
 }
 
 void SocketTunnel::adopt_fd(int fd) {
@@ -134,37 +185,104 @@ bool SocketTunnel::wire_push(common::Bytes frame) {
   // Bounded-patience blocking push: back-pressure while the IO thread is
   // keeping up, but never wedges forever on a dead endpoint (close() drains
   // the waiters by closing the ring).
-  const bool ok = tx_q_.push(std::move(frame));
-  if (ok) poke();
+  TxRec rec;
+  tx_bytes_copied_.fetch_add(frame.size(), std::memory_order_relaxed);
+  rec.bytes = std::move(frame);
+  const bool ok = tx_q_.push(std::move(rec));
+  if (ok) poke_if_waiting();
   return ok;
 }
 
 bool SocketTunnel::wire_try_push(common::Bytes frame) {
-  const bool ok = tx_q_.try_push(std::move(frame));
-  if (ok) poke();
+  TxRec rec;
+  tx_bytes_copied_.fetch_add(frame.size(), std::memory_order_relaxed);
+  rec.bytes = std::move(frame);
+  const bool ok = tx_q_.try_push(std::move(rec));
+  if (ok) poke_if_waiting();
   return ok;
 }
 
 std::size_t SocketTunnel::wire_try_push_bulk(
     std::vector<common::Bytes>& frames) {
-  const std::size_t n = tx_q_.try_push_bulk(frames.begin(), frames.size());
-  if (n != 0) poke();
+  std::vector<TxRec> recs;
+  recs.reserve(frames.size());
+  for (common::Bytes& f : frames) {
+    TxRec rec;
+    tx_bytes_copied_.fetch_add(f.size(), std::memory_order_relaxed);
+    rec.bytes = std::move(f);
+    recs.push_back(std::move(rec));
+  }
+  const std::size_t n = tx_q_.try_push_bulk(recs.begin(), recs.size());
+  // Frames the full ring rejected stay with the caller (contract); move
+  // them back since we pilfered the whole range up front.
+  for (std::size_t i = n; i < recs.size(); ++i) {
+    frames[i] = std::move(recs[i].bytes);
+  }
+  if (n != 0) poke_if_waiting();
   return n;
 }
 
+std::size_t SocketTunnel::wire_try_push_pkts(
+    std::span<const PacketPtr> pkts, std::span<const TxFrameInfo> info) {
+  // The vectored path: stage refcounted packets; the IO thread frames them
+  // from iovecs at flush time, so nothing is copied here.
+  thread_local std::vector<TxRec> recs;
+  recs.clear();
+  recs.reserve(pkts.size());
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    TxRec rec;
+    rec.pkt = pkts[i];
+    rec.body_len = info[i].body_len;
+    rec.checksum = info[i].checksum;
+    recs.push_back(std::move(rec));
+  }
+  const std::size_t n = tx_q_.try_push_bulk(recs.begin(), recs.size());
+  recs.clear();  // drop refs on any rejected tail
+  if (n != 0) poke_if_waiting();
+  return n;
+}
+
+common::Bytes SocketTunnel::ref_to_bytes(const RxFrameRef& ref) {
+  return common::Bytes(ref.data, ref.data + ref.len);
+}
+
 std::optional<common::Bytes> SocketTunnel::wire_try_pop() {
-  return rx_q_.try_pop();
+  auto ref = rx_q_.try_pop();
+  if (!ref) return std::nullopt;
+  rx_bytes_copied_.fetch_add(ref->len, std::memory_order_relaxed);
+  return ref_to_bytes(*ref);
 }
 
 std::size_t SocketTunnel::wire_pop_bulk(std::vector<common::Bytes>& out,
                                         std::size_t max) {
-  return rx_q_.pop_bulk(std::back_inserter(out), max);
+  std::vector<RxFrameRef> refs;
+  const std::size_t n = rx_q_.pop_bulk(std::back_inserter(refs), max);
+  for (const RxFrameRef& r : refs) {
+    rx_bytes_copied_.fetch_add(r.len, std::memory_order_relaxed);
+    out.push_back(ref_to_bytes(r));
+  }
+  return n;
 }
 
 std::optional<common::Bytes> SocketTunnel::wire_pop_for(
     std::chrono::milliseconds timeout) {
-  return rx_q_.pop_for(timeout);
+  auto ref = rx_q_.pop_for(timeout);
+  if (!ref) return std::nullopt;
+  rx_bytes_copied_.fetch_add(ref->len, std::memory_order_relaxed);
+  return ref_to_bytes(*ref);
 }
+
+std::size_t SocketTunnel::wire_pop_views(std::vector<FrameView>& out,
+                                         std::size_t max) {
+  view_refs_.clear();
+  const std::size_t n = rx_q_.pop_bulk(std::back_inserter(view_refs_), max);
+  for (const RxFrameRef& r : view_refs_) {
+    out.push_back(FrameView{std::span<const std::uint8_t>(r.data, r.len)});
+  }
+  return n;
+}
+
+void SocketTunnel::wire_release_views() { view_refs_.clear(); }
 
 std::size_t SocketTunnel::wire_rx_depth() const { return rx_q_.size(); }
 
@@ -244,6 +362,13 @@ void SocketTunnel::drain_tx_as_drops() {
 
 int SocketTunnel::ensure_connected() {
   auto backoff = cfg_.backoff_min;
+  // Jittered redials: after a peer restart every surviving host re-dials at
+  // once; randomizing each sleep to 0.5x..1.5x spreads the thundering herd
+  // without changing the expected ramp.
+  common::Rng jitter(common::SplitMix64(
+      (static_cast<std::uint64_t>(self_host_) << 32) ^ peer_host_id_ ^
+      static_cast<std::uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count())));
   const auto give_up = std::chrono::steady_clock::now() + cfg_.connect_deadline;
   while (running_.load(std::memory_order_acquire)) {
     {
@@ -265,7 +390,14 @@ int SocketTunnel::ensure_connected() {
     if (ever_connected_.load(std::memory_order_acquire)) drain_tx_as_drops();
     if (std::chrono::steady_clock::now() > give_up) return -1;
     if (active_) {
-      std::this_thread::sleep_for(backoff);
+      auto sleep = backoff;
+      if (cfg_.backoff_jitter) {
+        const double scale = 0.5 + jitter.uniform();
+        sleep = std::chrono::milliseconds(std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(
+                   static_cast<double>(backoff.count()) * scale)));
+      }
+      std::this_thread::sleep_for(sleep);
       backoff = std::min(backoff * 2, cfg_.backoff_max);
     } else {
       std::unique_lock lk(fd_mu_);
@@ -281,13 +413,56 @@ std::uint64_t SocketTunnel::pump(int fd) {
   live_fd_.store(fd, std::memory_order_release);
   connected_.store(true, std::memory_order_release);
 
-  // Staged outbound records ([u32 len][frame]), head partially written.
-  std::deque<common::Bytes> pending;
-  std::size_t head_off = 0;
-  common::Bytes rbuf;          // unparsed inbound bytes
-  std::size_t rbuf_off = 0;    // parse cursor into rbuf
-  std::vector<common::Bytes> batch;
-  std::uint8_t chunk[64 * 1024];
+  // ---- TX state: staged records framed per batch into one sendmsg() ----
+  std::deque<TxRec> pending;
+  std::vector<TxRec> refill_scratch;
+  common::Bytes arena;  // [len][hdr]/[csum] blocks; iovecs point into it,
+  arena.reserve(kTxBurstRecs * kArenaPerRec);  // so it must never regrow
+  std::vector<iovec> iov;
+  iov.reserve(kTxBurstRecs * 3);
+  std::size_t batch_recs = 0;  // records framed into iov (prefix of pending)
+  std::size_t iov_done = 0;    // fully written iovecs (resume cursor)
+
+  // ---- RX state: pooled slabs sliced in place ----
+  std::vector<std::shared_ptr<common::Bytes>> slab_pool;
+  std::shared_ptr<common::Bytes> slab;
+  std::size_t fill = 0;   // bytes read into slab
+  std::size_t parse = 0;  // bytes sliced out of slab
+
+  bool progress = false;  // wire bytes moved this round (resets the ramp)
+
+  auto take_slab = [&](std::size_t min_size) {
+    for (auto it = slab_pool.begin(); it != slab_pool.end(); ++it) {
+      // use_count()==1 means no queued record still borrows the slab.
+      if ((*it)->size() >= min_size && it->use_count() == 1) {
+        auto s = std::move(*it);
+        slab_pool.erase(it);
+        return s;
+      }
+    }
+    return std::make_shared<common::Bytes>(
+        std::max(min_size, cfg_.rx_slab_bytes));
+  };
+
+  // Swap in a fresh slab, stitching any partial record across the boundary
+  // (the only RX copy, counted). The new slab must hold the carried-over
+  // partial plus read room, whatever the caller asked for.
+  auto rotate_slab = [&](std::size_t min_size) {
+    const std::size_t part = fill - parse;
+    auto ns = take_slab(std::max(min_size, part + 4096));
+    if (part != 0) {
+      std::memcpy(ns->data(), slab->data() + parse, part);
+      rx_bytes_copied_.fetch_add(part, std::memory_order_relaxed);
+    }
+    if (slab && slab->size() == cfg_.rx_slab_bytes && slab_pool.size() < 8) {
+      slab_pool.push_back(std::move(slab));
+    }
+    slab = std::move(ns);
+    fill = part;
+    parse = 0;
+  };
+
+  slab = take_slab(cfg_.rx_slab_bytes);
 
   auto lost = [&]() -> std::uint64_t {
     connected_.store(false, std::memory_order_release);
@@ -296,17 +471,177 @@ std::uint64_t SocketTunnel::pump(int fd) {
     return pending.size();
   };
 
+  // Frame the front of `pending` into iovecs: per packet record an arena
+  // block [len u32][27B header] + the payload straight from the packet +
+  // an arena [8B checksum] block; per legacy record [len u32] + the bytes.
+  auto build_batch = [&] {
+    iov.clear();
+    arena.clear();
+    iov_done = 0;
+    const std::size_t maxr = std::min(pending.size(), kTxBurstRecs);
+    for (std::size_t i = 0; i < maxr; ++i) {
+      TxRec& r = pending[i];
+      const std::size_t a0 = arena.size();
+      if (r.pkt != nullptr) {
+        arena.resize(a0 + kArenaPerRec);
+        std::uint8_t* p = arena.data() + a0;
+        PutU32At(p, r.body_len + kFrameChecksumBytes);
+        EncodeFrameHeader(*r.pkt, p + 4);
+        std::uint8_t* trailer = p + 4 + Packet::kHeaderWireSize;
+        for (std::size_t b = 0; b < kFrameChecksumBytes; ++b) {
+          trailer[b] = static_cast<std::uint8_t>(r.checksum >> (b * 8));
+        }
+        iov.push_back(iovec{p, 4 + Packet::kHeaderWireSize});
+        const common::Bytes& pay = r.pkt->payload;
+        if (!pay.empty()) {
+          iov.push_back(
+              iovec{const_cast<std::uint8_t*>(pay.data()), pay.size()});
+        }
+        iov.push_back(iovec{trailer, kFrameChecksumBytes});
+      } else {
+        arena.resize(a0 + 4);
+        PutU32At(arena.data() + a0, static_cast<std::uint32_t>(r.bytes.size()));
+        iov.push_back(iovec{arena.data() + a0, 4});
+        if (!r.bytes.empty()) {
+          iov.push_back(iovec{r.bytes.data(), r.bytes.size()});
+        }
+      }
+    }
+    batch_recs = maxr;
+  };
+
+  enum class TxRc { kDrained, kBlocked, kFatal };
+  auto flush_tx = [&]() -> TxRc {
+    for (;;) {
+      if (batch_recs == 0) {
+        if (pending.empty()) return TxRc::kDrained;
+        build_batch();
+      }
+      while (iov_done < iov.size()) {
+        msghdr mh{};
+        mh.msg_iov = iov.data() + iov_done;
+        mh.msg_iovlen = iov.size() - iov_done;
+        const ssize_t w = ::sendmsg(fd, &mh, MSG_NOSIGNAL);
+        sendmsg_calls_.fetch_add(1, std::memory_order_relaxed);
+        if (w < 0) {
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) return TxRc::kBlocked;
+          return TxRc::kFatal;
+        }
+        progress = true;
+        // Short write: fold the written bytes into the iovec cursor so the
+        // next sendmsg resumes mid-record, mid-iovec.
+        std::size_t left = static_cast<std::size_t>(w);
+        while (left != 0 && iov_done < iov.size()) {
+          iovec& v = iov[iov_done];
+          if (left >= v.iov_len) {
+            left -= v.iov_len;
+            ++iov_done;
+          } else {
+            v.iov_base = static_cast<std::uint8_t*>(v.iov_base) + left;
+            v.iov_len -= left;
+            left = 0;
+          }
+        }
+      }
+      // Whole batch on the wire: retire the records (drops packet refs —
+      // pooled payloads recycle here).
+      tx_records_.fetch_add(batch_recs, std::memory_order_relaxed);
+      pending.erase(pending.begin(),
+                    pending.begin() + static_cast<std::ptrdiff_t>(batch_recs));
+      batch_recs = 0;
+    }
+  };
+
+  // Drain the socket into slabs and slice complete records into the RX
+  // ring in place. False = connection lost / protocol error.
+  auto drain_rx = [&]() -> bool {
+    bool delivered = false;
+    for (;;) {
+      const std::size_t min_space =
+          std::min<std::size_t>(4096, std::max<std::size_t>(slab->size() / 4,
+                                                            std::size_t{1}));
+      if (slab->size() - fill < min_space) rotate_slab(cfg_.rx_slab_bytes);
+      const std::size_t space = slab->size() - fill;
+      const ssize_t r = ::read(fd, slab->data() + fill, space);
+      read_calls_.fetch_add(1, std::memory_order_relaxed);
+      if (r == 0) {
+        if (delivered) rx_hook_.fire();
+        return false;  // peer closed
+      }
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (delivered) rx_hook_.fire();
+        return false;
+      }
+      progress = true;
+      fill += static_cast<std::size_t>(r);
+      while (fill - parse >= 4) {
+        const std::uint32_t len = GetU32(slab->data() + parse);
+        if (len > kTunnelMaxFrameBytes) {
+          if (delivered) rx_hook_.fire();
+          return false;  // protocol error
+        }
+        const std::size_t rec = 4 + static_cast<std::size_t>(len);
+        if (rec > slab->size()) {
+          // Record larger than the slab: move the partial into a dedicated
+          // slab big enough to hold it, then keep reading.
+          rotate_slab(rec);
+          break;
+        }
+        if (fill - parse < rec) break;  // partial record
+        RxFrameRef ref;
+        ref.slab = slab;
+        ref.data = slab->data() + parse + 4;
+        ref.len = len;
+        parse += rec;
+        rx_records_.fetch_add(1, std::memory_order_relaxed);
+        // A full RX ring is back-pressure: stop pulling off the socket and
+        // let the kernel buffers (and eventually the sender) fill. The ref
+        // is passed by copy because push_for consumes its argument even on
+        // timeout.
+        while (running_.load(std::memory_order_acquire)) {
+          if (rx_q_.push_for(ref, std::chrono::milliseconds(5))) {
+            delivered = true;
+            break;
+          }
+          if (rx_q_.closed()) break;
+          // Ring full means records are definitely pending; make sure a
+          // parked consumer is awake to drain them before we retry.
+          rx_hook_.fire();
+        }
+      }
+      if (r < static_cast<ssize_t>(space)) break;  // socket drained
+    }
+    if (delivered) rx_hook_.fire();
+    return true;
+  };
+
+  int idle_rounds = 0;
   while (running_.load(std::memory_order_acquire)) {
+    progress = false;
+
     // Refill the outbound stage from the TX ring (one lock round).
-    if (pending.size() < 64) {
-      batch.clear();
-      tx_q_.pop_bulk(std::back_inserter(batch), 256);
-      for (common::Bytes& f : batch) {
-        common::Bytes rec;
-        rec.reserve(4 + f.size());
-        PutU32(rec, static_cast<std::uint32_t>(f.size()));
-        rec.insert(rec.end(), f.begin(), f.end());
-        pending.push_back(std::move(rec));
+    if (pending.size() < kTxStageMax) {
+      refill_scratch.clear();
+      tx_q_.pop_bulk(std::back_inserter(refill_scratch),
+                     kTxStageMax - pending.size());
+      for (TxRec& r : refill_scratch) pending.push_back(std::move(r));
+      refill_scratch.clear();
+    }
+
+    const TxRc txrc = flush_tx();
+    if (txrc == TxRc::kFatal) return lost();
+
+    int timeout = progress ? 0 : RampTimeoutMs(idle_rounds);
+    if (timeout > 0) {
+      // Arm the parked flag, then re-check the ring: a submitter either
+      // sees the flag (and pokes the eventfd) or enqueued before our check.
+      io_waiting_.store(true, std::memory_order_seq_cst);
+      if (tx_q_.size() != 0) {
+        io_waiting_.store(false, std::memory_order_relaxed);
+        timeout = 0;
       }
     }
 
@@ -314,65 +649,20 @@ std::uint64_t SocketTunnel::pump(int fd) {
     pfds[0] = {fd, POLLIN, 0};
     if (!pending.empty()) pfds[0].events |= POLLOUT;
     pfds[1] = {wake_fd_, POLLIN, 0};
-    const int rc = ::poll(pfds, 2, 100);
+    const int rc = ::poll(pfds, 2, timeout);
+    poll_calls_.fetch_add(1, std::memory_order_relaxed);
+    if (timeout > 0) io_waiting_.store(false, std::memory_order_relaxed);
     if (rc < 0 && errno != EINTR) return lost();
     if (pfds[1].revents != 0) {
       std::uint64_t junk = 0;
       [[maybe_unused]] ssize_t n = ::read(wake_fd_, &junk, sizeof(junk));
     }
 
-    // Outbound: write staged records until EAGAIN.
-    while (!pending.empty()) {
-      const common::Bytes& rec = pending.front();
-      const ssize_t w =
-          ::send(fd, rec.data() + head_off, rec.size() - head_off, MSG_NOSIGNAL);
-      if (w < 0) {
-        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
-        return lost();
-      }
-      head_off += static_cast<std::size_t>(w);
-      if (head_off == rec.size()) {
-        pending.pop_front();
-        head_off = 0;
-      }
+    if ((pfds[0].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      if (!drain_rx()) return lost();
     }
 
-    // Inbound: read until EAGAIN, parse complete records into the RX ring.
-    if ((pfds[0].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
-      for (;;) {
-        const ssize_t r = ::read(fd, chunk, sizeof(chunk));
-        if (r == 0) return lost();  // peer closed
-        if (r < 0) {
-          if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
-          return lost();
-        }
-        rbuf.insert(rbuf.end(), chunk, chunk + r);
-        if (r < static_cast<ssize_t>(sizeof(chunk))) break;
-      }
-      bool delivered = false;
-      while (rbuf.size() - rbuf_off >= 4) {
-        const std::uint32_t len = GetU32(rbuf.data() + rbuf_off);
-        if (len > kTunnelMaxFrameBytes) return lost();  // protocol error
-        if (rbuf.size() - rbuf_off - 4 < len) break;    // partial record
-        common::Bytes frame(rbuf.begin() + static_cast<std::ptrdiff_t>(rbuf_off + 4),
-                            rbuf.begin() + static_cast<std::ptrdiff_t>(rbuf_off + 4 + len));
-        rbuf_off += 4 + len;
-        // A full RX ring is back-pressure: stop pulling off the socket and
-        // let the kernel buffers (and eventually the sender) fill.
-        while (running_.load(std::memory_order_acquire)) {
-          if (rx_q_.push_for(std::move(frame), std::chrono::milliseconds(5))) {
-            delivered = true;
-            break;
-          }
-          if (rx_q_.closed()) break;
-        }
-      }
-      if (rbuf_off != 0) {
-        rbuf.erase(rbuf.begin(), rbuf.begin() + static_cast<std::ptrdiff_t>(rbuf_off));
-        rbuf_off = 0;
-      }
-      if (delivered) rx_hook_.fire();
-    }
+    idle_rounds = progress ? 0 : idle_rounds + 1;
   }
   connected_.store(false, std::memory_order_release);
   live_fd_.store(-1, std::memory_order_release);

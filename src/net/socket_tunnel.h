@@ -3,10 +3,23 @@
 //
 // The endpoint keeps the in-memory transport's non-blocking burst contract
 // (the sharded SoftSwitch hot path is unchanged): send/try_send_burst stage
-// opaque checksummed frames into a bounded TX ring and try_recv_burst drains
-// a bounded RX ring. One IO thread per endpoint owns the socket and moves
-// frames between the rings and the wire as length-prefixed records
+// records into a bounded TX ring and try_recv_burst drains a bounded RX
+// ring. One IO thread per endpoint owns the socket and moves records
+// between the rings and the wire as length-prefixed records
 // ([u32 len LE][frame bytes]), reassembling records split across reads.
+//
+// Vectored hot path (DESIGN.md Sec 17): the PacketPtr burst overload stages
+// refcounted packets (no frame materialization); the IO thread encodes each
+// record's [len][header] prefix and [checksum] trailer into a per-batch
+// arena and flushes the whole burst with one sendmsg() — an iovec triplet
+// per record, payload bytes straight from the pooled packet. Short writes
+// resume mid-iovec. RX reads into pooled slabs with one big read() and
+// slices records in place; try_recv_burst decodes borrowed views, so the
+// only post-kernel copy is the decode into the caller's pooled packet
+// (plus slab-boundary record stitching, counted in io_stats). The IO
+// thread ramps spin -> short poll -> parked poll when idle, and senders
+// write the wakeup eventfd only when the thread is actually parked, so a
+// busy tunnel runs syscall-free on the submit side.
 //
 // Connection lifecycle:
 //   - The active (connecting) side dials the peer's listener with capped
@@ -55,11 +68,18 @@ struct SocketTunnelConfig {
   // Dial/redial backoff ramp for the active side.
   std::chrono::milliseconds backoff_min{5};
   std::chrono::milliseconds backoff_max{250};
+  // Randomize each backoff sleep to 0.5x..1.5x of the nominal value so the
+  // survivors of a restarted peer don't redial it in lockstep. Off only for
+  // tests that need deterministic redial timing.
+  bool backoff_jitter = true;
   // A disconnect episode longer than this turns the endpoint terminal.
   std::chrono::milliseconds connect_deadline{10000};
   // Retry the connection after a drop (both sides). Off = first disconnect
   // is terminal.
   bool reconnect = true;
+  // Size of each pooled RX slab (one read() target). Must exceed the
+  // largest expected record; oversized records get a dedicated slab.
+  std::size_t rx_slab_bytes = 256 * 1024;
 };
 
 class SocketTunnel final : public TunnelEndpoint {
@@ -94,15 +114,35 @@ class SocketTunnel final : public TunnelEndpoint {
     return reconnects_.load(std::memory_order_relaxed);
   }
 
+  // I/O-efficiency counters for the vectored hot path (bench_procpath
+  // reports syscalls/frame and bytes-copied/frame from these).
+  struct IoStats {
+    std::uint64_t sendmsg_calls = 0;   // burst flushes (one per writev)
+    std::uint64_t read_calls = 0;      // slab reads
+    std::uint64_t poll_calls = 0;      // IO-thread polls (any timeout)
+    std::uint64_t wake_writes = 0;     // eventfd pokes by submitters
+    std::uint64_t tx_records = 0;      // records fully written to the wire
+    std::uint64_t rx_records = 0;      // records sliced out of slabs
+    std::uint64_t tx_bytes_copied = 0; // staged via the legacy Bytes path
+    std::uint64_t rx_bytes_copied = 0; // slab-boundary stitches + Bytes pops
+  };
+  [[nodiscard]] IoStats io_stats() const;
+
  protected:
   bool wire_push(common::Bytes frame) override;
   bool wire_try_push(common::Bytes frame) override;
   std::size_t wire_try_push_bulk(std::vector<common::Bytes>& frames) override;
+  std::size_t wire_try_push_pkts(std::span<const PacketPtr> pkts,
+                                 std::span<const TxFrameInfo> info) override;
   std::optional<common::Bytes> wire_try_pop() override;
   std::size_t wire_pop_bulk(std::vector<common::Bytes>& out,
                             std::size_t max) override;
   std::optional<common::Bytes> wire_pop_for(
       std::chrono::milliseconds timeout) override;
+  [[nodiscard]] bool wire_supports_views() const override { return true; }
+  std::size_t wire_pop_views(std::vector<FrameView>& out,
+                             std::size_t max) override;
+  void wire_release_views() override;
   [[nodiscard]] std::size_t wire_rx_depth() const override;
   void wire_close() override;
   void wire_fire_tx_notify() override;
@@ -110,6 +150,24 @@ class SocketTunnel final : public TunnelEndpoint {
  private:
   SocketTunnel(bool active, std::string host, std::uint16_t port, HostId self,
                HostId peer, SocketTunnelConfig cfg);
+
+  // One staged outbound record. Either a refcounted packet (vectored path:
+  // the IO thread frames it from iovecs, payload uncopied) or an opaque
+  // pre-framed byte blob (blocking send / shaper output / bulk-Bytes push).
+  struct TxRec {
+    PacketPtr pkt;
+    std::uint32_t body_len = 0;   // pkt path: header+payload bytes
+    std::uint64_t checksum = 0;   // pkt path: frame checksum trailer
+    common::Bytes bytes;          // legacy path: whole checksummed frame
+  };
+
+  // One received record sliced in place out of a pooled RX slab. The
+  // shared_ptr keeps the slab alive while the record is queued or viewed.
+  struct RxFrameRef {
+    std::shared_ptr<common::Bytes> slab;
+    const std::uint8_t* data = nullptr;
+    std::uint32_t len = 0;
+  };
 
   void io_loop();
   // Blocks until a usable fd is available (dial with backoff, or wait for
@@ -122,6 +180,9 @@ class SocketTunnel final : public TunnelEndpoint {
   // Discard staged TX frames while a once-established connection is down.
   void drain_tx_as_drops();
   void poke();
+  // Poke only if the IO thread is (or may be going) to sleep.
+  void poke_if_waiting();
+  static common::Bytes ref_to_bytes(const RxFrameRef& ref);
 
   const bool active_;
   std::string peer_host_;       // guarded by fd_mu_ (retarget)
@@ -130,16 +191,39 @@ class SocketTunnel final : public TunnelEndpoint {
   const HostId peer_host_id_;
   const SocketTunnelConfig cfg_;
 
-  common::MpmcQueue<common::Bytes> tx_q_;
-  common::MpmcQueue<common::Bytes> rx_q_;
+  common::MpmcQueue<TxRec> tx_q_;
+  common::MpmcQueue<RxFrameRef> rx_q_;
 
   std::atomic<bool> running_{true};
   std::atomic<bool> connected_{false};
   std::atomic<bool> ever_connected_{false};
   std::atomic<std::uint64_t> reconnects_{0};
 
+  // True while the IO thread is about to block in (or is inside) a poll
+  // with a nonzero timeout. Submitters write the eventfd only when set —
+  // the busy loop re-checks the rings itself, so pokes would be wasted
+  // syscalls. Ordering: the IO thread stores this (seq_cst) *before* its
+  // final emptiness check of the rings; a submitter's push into the ring
+  // happens-before its load of this flag (same ring mutex), so either the
+  // IO thread sees the new record or the submitter sees the flag and pokes.
+  std::atomic<bool> io_waiting_{false};
+
   // IO-thread wakeup (eventfd): armed by pushes, close, and adopt_fd.
   int wake_fd_ = -1;
+
+  // I/O efficiency counters (see IoStats).
+  std::atomic<std::uint64_t> sendmsg_calls_{0};
+  std::atomic<std::uint64_t> read_calls_{0};
+  std::atomic<std::uint64_t> poll_calls_{0};
+  std::atomic<std::uint64_t> wake_writes_{0};
+  std::atomic<std::uint64_t> tx_records_{0};
+  std::atomic<std::uint64_t> rx_records_{0};
+  std::atomic<std::uint64_t> tx_bytes_copied_{0};
+  std::atomic<std::uint64_t> rx_bytes_copied_{0};
+
+  // Borrowed-view scratch for wire_pop_views/wire_release_views (single
+  // consumer: the owning poller).
+  std::vector<RxFrameRef> view_refs_;
 
   // Pending adopted connection (passive side / reconnect).
   std::mutex fd_mu_;

@@ -12,7 +12,7 @@ namespace typhoon::net {
 
 namespace {
 
-constexpr std::size_t kChecksumBytes = 8;
+constexpr std::size_t kChecksumBytes = kFrameChecksumBytes;
 
 void AppendChecksum(common::Bytes& frame) {
   const std::uint64_t sum =
@@ -36,7 +36,29 @@ bool VerifyAndStripChecksum(common::Bytes& frame) {
   return true;
 }
 
+// Verify the trailer over a borrowed frame view without mutating it.
+// Returns the body span (trailer stripped) or an empty optional on mismatch.
+std::optional<std::span<const std::uint8_t>> VerifyChecksumView(
+    std::span<const std::uint8_t> frame) {
+  if (frame.size() < kChecksumBytes) return std::nullopt;
+  const std::size_t body = frame.size() - kChecksumBytes;
+  std::uint64_t stored = 0;
+  for (std::size_t i = 0; i < kChecksumBytes; ++i) {
+    stored |= static_cast<std::uint64_t>(frame[body + i]) << (i * 8);
+  }
+  if (common::Fnv1a(frame.first(body)) != stored) return std::nullopt;
+  return frame.first(body);
+}
+
 }  // namespace
+
+std::uint64_t FrameChecksum(const Packet& p) {
+  std::uint8_t hdr[Packet::kHeaderWireSize];
+  EncodeFrameHeader(p, hdr);
+  return common::Fnv1a(
+      std::span<const std::uint8_t>(p.payload.data(), p.payload.size()),
+      common::Fnv1a(std::span<const std::uint8_t>(hdr, sizeof hdr)));
+}
 
 TunnelEndpoint::~TunnelEndpoint() = default;
 
@@ -141,6 +163,64 @@ std::size_t TunnelEndpoint::try_send_burst(
   return pushed;
 }
 
+std::size_t TunnelEndpoint::try_send_burst(std::span<const PacketPtr> pkts) {
+  if (pkts.empty()) return 0;
+  if (impaired_.load(std::memory_order_acquire)) {
+    // Same as the raw-pointer overload: impaired links keep the per-frame
+    // path so the shaper's draw schedule stays byte-identical.
+    std::size_t n = 0;
+    for (const PacketPtr& p : pkts) {
+      if (!send(*p)) break;
+      ++n;
+    }
+    return n;
+  }
+  // Precompute framing metadata; on a capped link admit frames against the
+  // bucket one by one, stopping at the first the bucket cannot cover.
+  std::vector<TxFrameInfo> info;
+  info.reserve(pkts.size());
+  const bool capped = tx_limited_.load(std::memory_order_acquire);
+  for (const PacketPtr& p : pkts) {
+    const std::size_t body = p->wire_size();
+    if (capped && !tx_bucket_.try_spend(static_cast<double>(body))) break;
+    info.push_back(TxFrameInfo{static_cast<std::uint32_t>(body),
+                               FrameChecksum(*p)});
+  }
+  const std::size_t pushed =
+      wire_try_push_pkts(pkts.first(info.size()),
+                         std::span<const TxFrameInfo>(info));
+  if (capped) {
+    for (std::size_t i = pushed; i < info.size(); ++i) {
+      tx_bucket_.spend(-static_cast<double>(info[i].body_len));
+    }
+  }
+  std::size_t body_bytes_total = 0;
+  for (std::size_t i = 0; i < pushed; ++i) body_bytes_total += info[i].body_len;
+  bytes_.fetch_add(body_bytes_total, std::memory_order_relaxed);
+  sent_.fetch_add(pushed, std::memory_order_relaxed);
+  if (pushed != 0) wire_fire_tx_notify();
+  return pushed;
+}
+
+std::size_t TunnelEndpoint::wire_try_push_pkts(
+    std::span<const PacketPtr> pkts, std::span<const TxFrameInfo> info) {
+  // Fallback for transports without a vectored TX path: materialize the
+  // checksummed frames and reuse the bulk byte push.
+  std::vector<common::Bytes> frames;
+  frames.reserve(pkts.size());
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    common::Bytes frame;
+    frame.reserve(info[i].body_len + kChecksumBytes);
+    EncodeFrame(*pkts[i], frame);
+    const std::uint64_t sum = info[i].checksum;
+    for (std::size_t b = 0; b < kChecksumBytes; ++b) {
+      frame.push_back(static_cast<std::uint8_t>(sum >> (b * 8)));
+    }
+    frames.push_back(std::move(frame));
+  }
+  return wire_try_push_bulk(frames);
+}
+
 std::optional<Packet> TunnelEndpoint::decode_checked(common::Bytes frame) {
   if (!VerifyAndStripChecksum(frame)) {
     corrupt_rx_.fetch_add(1, std::memory_order_relaxed);
@@ -166,6 +246,25 @@ bool TunnelEndpoint::try_recv_into(Packet& out) {
 
 std::size_t TunnelEndpoint::try_recv_burst(std::span<Packet*> out) {
   if (out.empty()) return 0;
+  if (wire_supports_views()) {
+    // View path: the transport lends spans into its RX slabs/rings; verify
+    // and decode in place, making the payload copy into the caller's pooled
+    // packet the only copy past the kernel boundary.
+    view_scratch_.clear();
+    const std::size_t got = wire_pop_views(view_scratch_, out.size());
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < got; ++i) {
+      const auto body = VerifyChecksumView(view_scratch_[i].bytes);
+      if (!body) {
+        corrupt_rx_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (DecodeFrameInto(*body, *out[n])) ++n;
+    }
+    view_scratch_.clear();
+    wire_release_views();
+    return n;
+  }
   rx_scratch_.clear();
   wire_pop_bulk(rx_scratch_, out.size());
   std::size_t n = 0;

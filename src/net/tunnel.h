@@ -49,6 +49,31 @@
 
 namespace typhoon::net {
 
+// Width of the FNV-1a checksum trailer appended to every wire frame.
+// Transports that build records without materializing the frame (the
+// vectored socket TX path, the shm burst writer) need the trailer width to
+// size their records; the checksum value itself rides in TxFrameInfo.
+inline constexpr std::size_t kFrameChecksumBytes = 8;
+
+// Checksum of a packet's encoded frame ([header][payload]) computed without
+// materializing the frame: FNV-1a chained header-then-payload. Byte-
+// identical to hashing EncodeFrame's output.
+std::uint64_t FrameChecksum(const Packet& p);
+
+// Per-frame metadata precomputed by the burst sender and handed to the
+// wire alongside the packets, so transports can frame records ([len]
+// [header][payload][checksum]) from iovecs without re-hashing.
+struct TxFrameInfo {
+  std::uint32_t body_len = 0;     // header + payload, excluding trailer
+  std::uint64_t checksum = 0;     // FrameChecksum of the packet
+};
+
+// Borrowed view of one received wire frame ([header][payload][checksum]),
+// valid until the next wire_release_views() on the same endpoint.
+struct FrameView {
+  std::span<const std::uint8_t> bytes;
+};
+
 class TunnelEndpoint {
  public:
   virtual ~TunnelEndpoint();
@@ -63,6 +88,12 @@ class TunnelEndpoint {
   // the number enqueued; the unsent tail `pkts[n..]` stays with the caller
   // (retry, hold, or fall back to the blocking send).
   std::size_t try_send_burst(std::span<const Packet* const> pkts);
+  // PacketPtr burst send — the cross-process fast path. Same ordering and
+  // tail semantics as the raw-pointer overload, but hands the refcounted
+  // handles to the wire so a transport with its own I/O thread (socket) can
+  // keep the packets alive and write [header iovec][payload iovec] pairs
+  // without ever copying the payload into an intermediate frame buffer.
+  std::size_t try_send_burst(std::span<const PacketPtr> pkts);
   // Non-blocking receive of one decoded frame.
   std::optional<Packet> try_recv();
   // Non-blocking receive into an existing packet, reusing its payload
@@ -141,6 +172,13 @@ class TunnelEndpoint {
   // accepted from the front of `frames`; the tail stays with the caller.
   virtual std::size_t wire_try_push_bulk(
       std::vector<common::Bytes>& frames) = 0;
+  // Non-blocking bulk enqueue of refcounted packets plus their precomputed
+  // framing metadata (info[i] describes pkts[i]). Default: materialize each
+  // frame and fall back to wire_try_push_bulk — transports with a vectored
+  // TX path (socket, shm) override to skip the intermediate copy. Returns
+  // the accepted prefix length.
+  virtual std::size_t wire_try_push_pkts(std::span<const PacketPtr> pkts,
+                                         std::span<const TxFrameInfo> info);
   // Non-blocking dequeue of one frame from the peer.
   virtual std::optional<common::Bytes> wire_try_pop() = 0;
   // Bulk dequeue of up to `max` frames under one lock round.
@@ -149,6 +187,21 @@ class TunnelEndpoint {
   // Blocking dequeue with timeout.
   virtual std::optional<common::Bytes> wire_pop_for(
       std::chrono::milliseconds timeout) = 0;
+  // View-based RX: transports that hold received records in slabs/rings can
+  // hand out borrowed spans instead of copying each frame into a Bytes.
+  // wire_pop_views appends up to `max` views (valid until the matching
+  // wire_release_views) and returns the count; try_recv_burst decodes
+  // straight from the views into the caller's pooled packets, making the
+  // decode the only copy on the RX path. Single consumer, and the two
+  // calls must pair up (no other RX call in between).
+  [[nodiscard]] virtual bool wire_supports_views() const { return false; }
+  virtual std::size_t wire_pop_views(std::vector<FrameView>& out,
+                                     std::size_t max) {
+    (void)out;
+    (void)max;
+    return 0;
+  }
+  virtual void wire_release_views() {}
   // Frames queued toward this endpoint, not yet popped.
   [[nodiscard]] virtual std::size_t wire_rx_depth() const = 0;
   // Tear the wire down; all subsequent pushes/pops fail fast.
@@ -203,6 +256,7 @@ class TunnelEndpoint {
   // Single-consumer scratch for try_recv_burst (frames popped in bulk,
   // decoded outside the ring lock).
   std::vector<common::Bytes> rx_scratch_;
+  std::vector<FrameView> view_scratch_;
 
   // Wire shaper, present only while impaired. The flag keeps the unimpaired
   // send path lock-free; the mutex covers attach/detach racing the sender.

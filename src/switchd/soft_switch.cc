@@ -634,12 +634,11 @@ void SoftSwitch::flush_port_bin(Shard& sh, PortBin& bin) {
 }
 
 void SoftSwitch::flush_tunnel_bin(Shard& sh, TunnelBin& bin) {
-  sh.bins.raw_scratch.clear();
-  for (const net::PacketPtr& p : bin.pkts) {
-    sh.bins.raw_scratch.push_back(p.get());
-  }
+  // Hand the refcounted bin straight to the tunnel: the socket transport
+  // stages the PacketPtrs and frames them from iovecs on its IO thread, so
+  // a cross-process burst stays a burst (and stays uncopied) end to end.
   const std::size_t sent = bin.ep->try_send_burst(
-      std::span<const net::Packet* const>(sh.bins.raw_scratch));
+      std::span<const net::PacketPtr>(bin.pkts.data(), bin.pkts.size()));
   const bool tracing = sh.index == 0 && cfg_.trace_recorder != nullptr;
   std::size_t i = 0;
   for (; i < sent; ++i) {
@@ -660,7 +659,6 @@ void SoftSwitch::flush_tunnel_bin(Shard& sh, TunnelBin& bin) {
     }
   }
   bin.pkts.clear();
-  sh.bins.raw_scratch.clear();
 }
 
 void SoftSwitch::flush_bins(Shard& sh) {

@@ -332,7 +332,6 @@ class SoftSwitch : public SwitchControl {
     std::size_t n_ports = 0;
     std::vector<TunnelBin> tunnels;
     std::size_t n_tunnels = 0;
-    std::vector<const net::Packet*> raw_scratch;  // for try_send_burst
   };
 
   // One forwarding shard: a thread plus all of its private hot state.

@@ -188,6 +188,7 @@ bool HostProcess::connect_tunnels(const PeersMsg& peers) {
       // Dial lower-id peers; higher-id peers dial our listener.
       net::SocketTunnelConfig tcfg;
       tcfg.capacity = configure_.tunnel_capacity;
+      tcfg.rx_slab_bytes = configure_.tunnel_rx_slab;
       ep = net::SocketTunnel::Connect(p.addr, p.data_port, opts_.host, p.host,
                                       tcfg);
     } else {
@@ -286,6 +287,7 @@ int HostProcess::run() {
     data_port = listener_->port();
     net::SocketTunnelConfig tcfg;
     tcfg.capacity = configure_.tunnel_capacity;
+    tcfg.rx_slab_bytes = configure_.tunnel_rx_slab;
     for (HostId h : configure_.hosts) {
       if (h > opts_.host) {
         auto ep = listener_->expect_peer(h, tcfg);

@@ -81,6 +81,7 @@ struct ConfigureMsg {
   ProcTransport transport = ProcTransport::kSocket;
   std::uint32_t ring_capacity = 1024;   // switch rx ring slots
   std::uint32_t tunnel_capacity = 4096; // tunnel queue / shm ring frames
+  std::uint32_t tunnel_rx_slab = 256 * 1024;  // socket tunnel RX slab bytes
   std::string shm_prefix;               // shm segment name prefix
   std::vector<HostId> hosts;            // all cluster hosts, sorted
 };

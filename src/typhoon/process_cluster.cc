@@ -254,6 +254,7 @@ void ProcessCluster::send_configure(CtlChannel* channel) {
   cfg.transport = cfg_.transport;
   cfg.ring_capacity = static_cast<std::uint32_t>(cfg_.ring_capacity);
   cfg.tunnel_capacity = static_cast<std::uint32_t>(cfg_.tunnel_capacity);
+  cfg.tunnel_rx_slab = static_cast<std::uint32_t>(cfg_.tunnel_rx_slab);
   cfg.shm_prefix = shm_prefix_;
   cfg.hosts = host_ids_;
   common::Bytes payload;

@@ -51,6 +51,7 @@ struct ProcessClusterConfig {
 
   std::size_t ring_capacity = 8192;     // per-host switch rx ring slots
   std::size_t tunnel_capacity = 4096;   // socket tunnel staging, frames
+  std::size_t tunnel_rx_slab = 256 * 1024;  // socket tunnel RX slab bytes
   std::size_t shm_ring_bytes = 1 << 20; // shm transport, bytes per direction
 
   // Control-plane knobs (mirroring ClusterConfig).

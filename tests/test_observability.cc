@@ -32,9 +32,15 @@ using testutil::SentenceSpout;
 using testutil::SharedFlags;
 using testutil::SplitBolt;
 
-// Sanitizer instrumentation slows the replay-heavy chaos run ~10x; scale
-// the convergence deadlines rather than the workload so the assertions
-// stay identical.
+// Sanitizer instrumentation slows the replay-heavy chaos run ~10x. Scaling
+// only the convergence deadline is not enough: if the spout's offered rate
+// stays above the slowed pipeline's capacity, the pending window fills until
+// end-to-end latency exceeds pending_timeout_ms and the acker fails tuples
+// that are still in flight. Replays then compete with originals for the
+// same capacity (a replay storm) — the dedup counts still converge, but at
+// a crawl no deadline multiplier covers. So the chaos test scales its
+// offered rate down and its pending timeout up by the same factor, keeping
+// the assertions themselves identical.
 #if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
 constexpr int kDeadlineScale = 4;
 #elif defined(__has_feature)
@@ -290,8 +296,8 @@ TEST(Observability, ChainsSurviveRebalanceAndDropBurst) {
   const NodeId src = b.add_spout(
       "src",
       [progress] {
-        return std::make_unique<ReplayableSentenceSpout>(kSentences, progress,
-                                                         8, 15000.0);
+        return std::make_unique<ReplayableSentenceSpout>(
+            kSentences, progress, 8, 15000.0 / kDeadlineScale);
       },
       1);
   const NodeId split = b.add_bolt(
@@ -304,7 +310,7 @@ TEST(Observability, ChainsSurviveRebalanceAndDropBurst) {
 
   stream::SubmitOptions sopts;
   sopts.reliable = true;
-  sopts.pending_timeout_ms = 800;
+  sopts.pending_timeout_ms = 800 * kDeadlineScale;
   sopts.trace_sample_every = 4;
   auto submitted = cluster.submit(b.build().value(), sopts);
   ASSERT_TRUE(submitted.ok());
